@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench figs figs-full fuzz cover clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem .
+
+figs:
+	go run ./cmd/benchfigs
+
+figs-full:
+	go run ./cmd/benchfigs -scale full | tee figs_full.txt
+
+fuzz:
+	go test -fuzz=FuzzSplitIncrementMonotone -fuzztime=20s ./internal/counter
+	go test -fuzz=FuzzReadFile -fuzztime=20s ./internal/trace
+
+cover:
+	go test -cover ./...
+
+clean:
+	rm -f test_output.txt bench_output.txt

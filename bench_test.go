@@ -1,0 +1,302 @@
+package steins
+
+// The benchmarks below regenerate each table and figure of the paper's
+// evaluation (§IV) at reduced scale — one reported metric per series the
+// figure plots — plus the ablation benches DESIGN.md calls out. Run
+//
+//	go test -bench=. -benchmem
+//
+// for the quick pass, or `go run ./cmd/benchfigs -scale full` for
+// paper-scale tables.
+
+import (
+	"strconv"
+	"testing"
+
+	"steins/internal/bmt"
+	"steins/internal/bmtctrl"
+	"steins/internal/counter"
+	"steins/internal/crypt"
+	"steins/internal/figures"
+	"steins/internal/memctrl"
+	"steins/internal/rng"
+	"steins/internal/scheme/steins"
+	"steins/internal/scheme/wb"
+	"steins/internal/sim"
+	"steins/internal/trace"
+)
+
+// rngNew keeps the bench file decoupled from the rng package's name.
+func rngNew(seed uint64) *rng.Source { return rng.New(seed) }
+
+// benchScale keeps each figure bench in the seconds range.
+func benchScale() figures.Scale {
+	return figures.Scale{Ops: 6000, Seed: 1, Fig17Caches: []int{16 << 10, 32 << 10}}
+}
+
+// reportGeomeans extracts the geomean row of a figure table into bench
+// metrics named after the schemes.
+func reportGeomeans(b *testing.B, t interface {
+	Rows() [][]string
+}, headers []string) {
+	rows := t.Rows()
+	avg := rows[len(rows)-1]
+	for i := 1; i < len(headers); i++ {
+		v, err := strconv.ParseFloat(avg[i], 64)
+		if err != nil {
+			b.Fatalf("geomean cell %q: %v", avg[i], err)
+		}
+		b.ReportMetric(v, headers[i]+"_x")
+	}
+}
+
+func gcHeaders() []string { return []string{"workload", "WB-GC", "ASIT", "STAR", "Steins-GC"} }
+func scHeaders() []string { return []string{"workload", "WB-SC", "Steins-GC", "Steins-SC"} }
+
+func benchGCFigure(b *testing.B, fig func(*figures.Sweep) interface{ Rows() [][]string }) {
+	for i := 0; i < b.N; i++ {
+		sw, err := figures.GCSweep(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportGeomeans(b, fig(sw), gcHeaders())
+		}
+	}
+}
+
+func benchSCFigure(b *testing.B, fig func(*figures.Sweep) interface{ Rows() [][]string }) {
+	for i := 0; i < b.N; i++ {
+		sw, err := figures.SCSweep(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportGeomeans(b, fig(sw), scHeaders())
+		}
+	}
+}
+
+func BenchmarkFig09ExecTimeGC(b *testing.B) {
+	benchGCFigure(b, func(sw *figures.Sweep) interface{ Rows() [][]string } { return figures.Fig9(sw) })
+}
+
+func BenchmarkFig10WriteLatencyGC(b *testing.B) {
+	benchGCFigure(b, func(sw *figures.Sweep) interface{ Rows() [][]string } { return figures.Fig10(sw) })
+}
+
+func BenchmarkFig11ReadLatencyGC(b *testing.B) {
+	benchGCFigure(b, func(sw *figures.Sweep) interface{ Rows() [][]string } { return figures.Fig11(sw) })
+}
+
+func BenchmarkFig12ExecTimeSC(b *testing.B) {
+	benchSCFigure(b, func(sw *figures.Sweep) interface{ Rows() [][]string } { return figures.Fig12(sw) })
+}
+
+func BenchmarkFig13WriteTrafficGC(b *testing.B) {
+	benchGCFigure(b, func(sw *figures.Sweep) interface{ Rows() [][]string } { return figures.Fig13(sw) })
+}
+
+func BenchmarkFig14WriteTrafficSC(b *testing.B) {
+	benchSCFigure(b, func(sw *figures.Sweep) interface{ Rows() [][]string } { return figures.Fig14(sw) })
+}
+
+func BenchmarkFig15EnergyGC(b *testing.B) {
+	benchGCFigure(b, func(sw *figures.Sweep) interface{ Rows() [][]string } { return figures.Fig15(sw) })
+}
+
+func BenchmarkFig16EnergySC(b *testing.B) {
+	benchSCFigure(b, func(sw *figures.Sweep) interface{ Rows() [][]string } { return figures.Fig16(sw) })
+}
+
+func BenchmarkFig17RecoveryTime(b *testing.B) {
+	schemes := []sim.Scheme{sim.ASIT, sim.STAR, sim.SteinsGC, sim.SteinsSC}
+	const cacheBytes = 32 << 10
+	for i := 0; i < b.N; i++ {
+		for _, s := range schemes {
+			rep, err := sim.RecoveryAtCacheSize(s, cacheBytes, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(rep.TimeNS/1e6, s.Name+"_ms")
+			}
+		}
+	}
+}
+
+func BenchmarkStorageOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if figures.StorageTable() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func BenchmarkTableIConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if figures.TableI() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func BenchmarkOverflowAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if figures.OverflowTable() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// --- ablation benches (DESIGN.md) -------------------------------------------
+
+// ablationRun drives one workload/scheme pair and returns exec cycles.
+func ablationRun(b *testing.B, factory memctrl.PolicyFactory, split bool,
+	configure func(*memctrl.Config)) (uint64, uint64) {
+	b.Helper()
+	prof := trace.Profile{
+		Name: "ablation", FootprintBytes: 32 << 20, WriteFrac: 0.5,
+		GapMean: 300, Pattern: trace.Uniform,
+	}
+	opt := sim.Options{Ops: 8000, Seed: 1, MetaCacheBytes: 32 << 10, Configure: configure}
+	r, err := sim.Run(prof, sim.Scheme{Name: "ablation", Factory: factory, Split: split}, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r.ExecCycles, r.WriteBytes
+}
+
+// BenchmarkAblationNVBuffer contrasts Steins with and without the
+// non-volatile parent-counter buffer (§III-E): without it, parent fetches
+// return to the write critical path.
+func BenchmarkAblationNVBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with, _ := ablationRun(b, steins.Factory, false, nil)
+		without, _ := ablationRun(b, steins.FactoryWithOptions(steins.Options{DisableNVBuffer: true}), false, nil)
+		if i == b.N-1 {
+			b.ReportMetric(float64(without)/float64(with), "nobuffer_over_buffer_x")
+		}
+	}
+}
+
+// BenchmarkAblationLazyEager contrasts the lazy and eager SIT update
+// schemes of §II-C on the WB baseline.
+func BenchmarkAblationLazyEager(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lazy, _ := ablationRun(b, wb.Factory, false, nil)
+		eager, _ := ablationRun(b, wb.Factory, false, func(c *memctrl.Config) { c.EagerUpdate = true })
+		if i == b.N-1 {
+			b.ReportMetric(float64(eager)/float64(lazy), "eager_over_lazy_x")
+		}
+	}
+}
+
+// BenchmarkAblationRecordCache sweeps the number of record lines cached in
+// the controller (Table I: 16).
+func BenchmarkAblationRecordCache(b *testing.B) {
+	for _, lines := range []int{4, 16, 64} {
+		b.Run(strconv.Itoa(lines), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, traffic := ablationRun(b, steins.Factory, false, func(c *memctrl.Config) {
+					c.RecordCacheLines = lines
+				})
+				if i == b.N-1 {
+					b.ReportMetric(float64(traffic)/(1<<20), "write_MiB")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMetaCache sweeps the metadata cache size (§IV: larger
+// caches deliver higher performance).
+func BenchmarkAblationMetaCache(b *testing.B) {
+	for _, kb := range []int{16, 64, 256} {
+		b.Run(strconv.Itoa(kb)+"KiB", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exec, _ := ablationRun(b, steins.Factory, false, func(c *memctrl.Config) {
+					c.MetaCacheBytes = kb << 10
+				})
+				if i == b.N-1 {
+					b.ReportMetric(float64(exec)/1e6, "exec_Mcycles")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSkipUpdate compares parent-counter headroom consumption
+// of the skip-update and naive split-counter schemes (§III-B1): the same
+// hot-spot write sequence advances the naive parent orders of magnitude
+// faster, which is why the paper rejects that weighting.
+func BenchmarkAblationSkipUpdate(b *testing.B) {
+	const writes = 1 << 14
+	var skipParent, naiveParent float64
+	for i := 0; i < b.N; i++ {
+		var skip, naive counter.Split
+		for w := 0; w < writes; w++ {
+			skip.Increment(0) // hot single block: worst case for overflows
+			naive.IncrementNaive(0)
+		}
+		skipParent, naiveParent = float64(skip.Parent()), float64(naive.ParentNaive())
+	}
+	b.ReportMetric(skipParent, "skip_parent")
+	b.ReportMetric(naiveParent, "naive_parent")
+	b.ReportMetric(naiveParent/skipParent, "naive_over_skip_x")
+}
+
+// BenchmarkAblationSITvsBMT contrasts the update cost of a BMT branch
+// (sequential hashes to the root, §II-C) with the SIT lazy update (one
+// node plus its parent).
+func BenchmarkAblationSITvsBMT(b *testing.B) {
+	tree := bmt.New(1<<15, crypt.NewKey(1), crypt.SipMAC{}, 40)
+	var blk counter.Block
+	var bmtCycles uint64
+	for i := 0; i < b.N; i++ {
+		blk[0] = byte(i)
+		bmtCycles += tree.Update(uint64(i)&(1<<15-1), blk)
+	}
+	const sitLazyCycles = 2 * 40 // leaf HMAC + parent update on flush
+	b.ReportMetric(float64(bmtCycles)/float64(b.N), "bmt_cycles_per_update")
+	b.ReportMetric(sitLazyCycles, "sit_lazy_cycles_per_flush")
+}
+
+// BenchmarkAblationBMTSystem contrasts the full BMT-based controller with
+// the SIT-based WB controller under identical traffic — the system-level
+// version of the §II-C comparison (the per-update version is
+// BenchmarkAblationSITvsBMT).
+func BenchmarkAblationBMTSystem(b *testing.B) {
+	run := func(bmtMode bool) float64 {
+		r := rngNew(9)
+		if bmtMode {
+			cfg := bmtctrl.DefaultConfig(1 << 20)
+			cfg.MetaCacheBytes = 8 << 10
+			c := bmtctrl.New(cfg)
+			for i := 0; i < 6000; i++ {
+				addr := r.Uint64n(1<<20/64) * 64
+				if err := c.WriteData(5, addr, [64]byte{byte(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return c.Stats().AvgWriteLatency()
+		}
+		cfg := memctrl.DefaultConfig(1<<20, true)
+		cfg.MetaCacheBytes = 8 << 10
+		c := memctrl.New(cfg, wb.Factory)
+		for i := 0; i < 6000; i++ {
+			addr := r.Uint64n(1<<20/64) * 64
+			if err := c.WriteData(5, addr, [64]byte{byte(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c.Stats().AvgWriteLatency()
+	}
+	for i := 0; i < b.N; i++ {
+		bmtLat := run(true)
+		sitLat := run(false)
+		if i == b.N-1 {
+			b.ReportMetric(bmtLat/sitLat, "bmt_over_sit_wlat_x")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command benchfigs regenerates the paper's evaluation tables and figures
+// (Figs. 9-17, Table I, the §IV-E storage table, and the §III-B overflow
+// analysis) from fresh simulations.
+//
+// Usage:
+//
+//	benchfigs                 # everything at quick scale
+//	benchfigs -scale full     # paper-scale runs (minutes)
+//	benchfigs -fig 9,13,17    # a subset
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"steins/internal/figures"
+	"steins/internal/stats"
+)
+
+func main() {
+	var (
+		figList = flag.String("fig", "all", "comma-separated figures: 9-17, config, storage, overflow, ablation, all")
+		scale   = flag.String("scale", "quick", "simulation scale: quick or full")
+		format  = flag.String("format", "text", "output format: text or json")
+	)
+	flag.Parse()
+	emit := func(t *stats.Table) {
+		if *format == "json" {
+			data, err := json.MarshalIndent(t, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(data))
+			return
+		}
+		fmt.Println(t)
+	}
+
+	var sc figures.Scale
+	switch *scale {
+	case "quick":
+		sc = figures.Quick()
+	case "full":
+		sc = figures.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figList, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	if sel("config") {
+		emit(figures.TableI())
+	}
+
+	needGC := sel("9") || sel("10") || sel("11") || sel("13") || sel("15")
+	if needGC {
+		fmt.Fprintln(os.Stderr, "running GC comparison sweep (WB-GC, ASIT, STAR, Steins-GC)...")
+		sw, err := figures.GCSweep(sc)
+		if err != nil {
+			fatal(err)
+		}
+		if sel("9") {
+			emit(figures.Fig9(sw))
+		}
+		if sel("10") {
+			emit(figures.Fig10(sw))
+		}
+		if sel("11") {
+			emit(figures.Fig11(sw))
+		}
+		if sel("13") {
+			emit(figures.Fig13(sw))
+		}
+		if sel("15") {
+			emit(figures.Fig15(sw))
+		}
+	}
+
+	needSC := sel("12") || sel("14") || sel("16")
+	if needSC {
+		fmt.Fprintln(os.Stderr, "running SC comparison sweep (WB-SC, Steins-GC, Steins-SC)...")
+		sw, err := figures.SCSweep(sc)
+		if err != nil {
+			fatal(err)
+		}
+		if sel("12") {
+			emit(figures.Fig12(sw))
+		}
+		if sel("14") {
+			emit(figures.Fig14(sw))
+		}
+		if sel("16") {
+			emit(figures.Fig16(sw))
+		}
+	}
+
+	if sel("17") {
+		fmt.Fprintln(os.Stderr, "running recovery-time sweep (Fig. 17)...")
+		tab, err := figures.Fig17(sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tab)
+	}
+
+	if sel("ablation") {
+		fmt.Fprintln(os.Stderr, "running NV-buffer ablation sweep...")
+		tab, err := figures.AblationTable(sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tab)
+	}
+
+	if sel("storage") {
+		emit(figures.StorageTable())
+	}
+	if sel("overflow") {
+		emit(figures.OverflowTable())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchfigs: %v\n", err)
+	os.Exit(1)
+}

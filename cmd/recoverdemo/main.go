@@ -1,0 +1,79 @@
+// Command recoverdemo walks through a crash and recovery step by step for
+// each recoverable scheme, narrating what survives the power failure, what
+// is lost, and how the scheme rebuilds and verifies the SIT — the §III-G
+// story in executable form.
+package main
+
+import (
+	"fmt"
+
+	"steins/internal/memctrl"
+	"steins/internal/rng"
+	"steins/internal/scheme/steins"
+	"steins/internal/sim"
+	"steins/internal/stats"
+)
+
+func main() {
+	for _, s := range []sim.Scheme{sim.SteinsGC, sim.SteinsSC, sim.ASIT, sim.STAR, sim.SCUEGC} {
+		demo(s)
+		fmt.Println()
+	}
+}
+
+func demo(s sim.Scheme) {
+	fmt.Printf("=== %s ===\n", s.Name)
+	cfg := memctrl.DefaultConfig(4<<20, s.Split)
+	cfg.MetaCacheBytes = 16 << 10
+	c := memctrl.New(cfg, s.Factory)
+
+	// Phase 1: a burst of writes leaves dirty metadata in the cache.
+	r := rng.New(7)
+	lines := cfg.DataBytes / 64
+	payload := func(addr uint64) [64]byte {
+		var b [64]byte
+		copy(b[:], fmt.Sprintf("block %#x", addr))
+		return b
+	}
+	written := map[uint64][64]byte{}
+	for i := 0; i < 5000; i++ {
+		addr := r.Uint64n(lines) * 64
+		b := payload(addr)
+		if err := c.WriteData(10, addr, b); err != nil {
+			panic(err)
+		}
+		written[addr] = b
+	}
+	fmt.Printf("phase 1: %d blocks written; metadata cache holds %d nodes (%d dirty evictions so far)\n",
+		len(written), c.Meta().Len(), c.Meta().Stats().DirtyEvictions)
+
+	if p, ok := c.Policy().(*steins.Policy); ok {
+		fmt.Printf("         LIncs = %v, NV buffer = %d entries\n", p.LIncs(), p.BufferedEntries())
+	}
+
+	// Phase 2: power failure.
+	c.Crash()
+	fmt.Println("phase 2: CRASH — metadata cache lost; ADR flushed tracking lines;",
+		"on-chip NV state (root, LIncs/roots) survives")
+
+	// Phase 3: recovery.
+	rep, err := c.Recover()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("phase 3: recovered %d nodes with %d NVM reads, %d writes, %d MAC ops -> %s\n",
+		rep.NodesRecovered, rep.NVMReads, rep.NVMWrites, rep.MACOps, stats.Seconds(rep.TimeNS))
+
+	// Phase 4: verify every block decrypts and verifies.
+	bad := 0
+	for addr, want := range written {
+		got, err := c.ReadData(1, addr)
+		if err != nil || got != want {
+			bad++
+		}
+	}
+	fmt.Printf("phase 4: %d/%d blocks verified after recovery\n", len(written)-bad, len(written))
+	if bad > 0 {
+		panic("recovery lost data")
+	}
+}

@@ -1,0 +1,154 @@
+// Command steinssim runs one workload through one secure-memory scheme and
+// prints the controller metrics, optionally crashing and recovering at the
+// end.
+//
+// Usage:
+//
+//	steinssim -workload cactusADM -scheme Steins-GC -ops 100000 -crash
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"steins/internal/sim"
+	"steins/internal/stats"
+	"steins/internal/trace"
+)
+
+func schemes() map[string]sim.Scheme {
+	out := map[string]sim.Scheme{}
+	for _, s := range []sim.Scheme{
+		sim.WBGC, sim.WBSC, sim.ASIT, sim.STAR,
+		sim.SteinsGC, sim.SteinsSC, sim.SCUEGC, sim.SCUESC,
+	} {
+		out[strings.ToLower(s.Name)] = s
+	}
+	return out
+}
+
+func main() {
+	var (
+		workload  = flag.String("workload", "cactusADM", "workload name (see -list)")
+		scheme    = flag.String("scheme", "Steins-GC", "scheme name (see -list)")
+		ops       = flag.Int("ops", 100000, "trace length in memory requests")
+		seed      = flag.Uint64("seed", 1, "trace seed")
+		cacheKB   = flag.Int("cache", 256, "metadata cache size in KiB")
+		crash     = flag.Bool("crash", false, "crash and recover after the run")
+		allDirty  = flag.Bool("alldirty", false, "force all cached metadata dirty before the crash")
+		list      = flag.Bool("list", false, "list workloads and schemes")
+		compare   = flag.Bool("compare", false, "run every scheme on the workload and tabulate")
+		tablePath = flag.Bool("v", false, "verbose per-class NVM breakdown")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, p := range trace.All() {
+			fmt.Printf("  %-14s footprint %-10s writes %.0f%%\n",
+				p.Name, stats.Bytes(p.FootprintBytes), p.WriteFrac*100)
+		}
+		fmt.Println("schemes: WB-GC WB-SC ASIT STAR Steins-GC Steins-SC SCUE-GC SCUE-SC")
+		return
+	}
+
+	prof, ok := trace.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *workload)
+		os.Exit(2)
+	}
+	if *compare {
+		compareSchemes(prof, sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10})
+		return
+	}
+	s, ok := schemes()[strings.ToLower(*scheme)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q (use -list)\n", *scheme)
+		os.Exit(2)
+	}
+	opt := sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10}
+
+	run := func() (sim.Result, error) {
+		if *crash {
+			res, rep, err := sim.RunWithCrash(prof, s, opt, *allDirty)
+			if err != nil {
+				return res, err
+			}
+			fmt.Printf("recovery: %d nodes, %d NVM reads, %d writes, %d MAC ops -> %s\n",
+				rep.NodesRecovered, rep.NVMReads, rep.NVMWrites, rep.MACOps,
+				stats.Seconds(rep.TimeNS))
+			return res, nil
+		}
+		return sim.Run(prof, s, opt)
+	}
+	res, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	t := stats.NewTable(fmt.Sprintf("%s on %s (%d ops)", s.Name, prof.Name, *ops), "metric", "value")
+	t.AddRow("execution time", fmt.Sprintf("%d cycles (%.2f ms simulated)",
+		res.ExecCycles, float64(res.ExecCycles)/2e6))
+	t.AddRow("avg read latency", fmt.Sprintf("%.1f cycles", res.AvgReadLat))
+	t.AddRow("avg write latency", fmt.Sprintf("%.1f cycles", res.AvgWriteLat))
+	t.AddRow("NVM write traffic", stats.Bytes(res.WriteBytes))
+	t.AddRow("energy", fmt.Sprintf("%.2f uJ", res.EnergyPJ/1e6))
+	t.AddRow("metadata cache hit rate", fmt.Sprintf("%.1f%%", res.MetaHitRate*100))
+	t.AddRow("hash ops", fmt.Sprintf("%d", res.Ctrl.HashOps))
+	t.AddRow("minor overflows", fmt.Sprintf("%d (re-encrypted %d blocks)",
+		res.Ctrl.Overflows, res.Ctrl.Reencrypts))
+	fmt.Print(t)
+
+	if *tablePath {
+		bt := stats.NewTable("NVM accesses by class", "class", "reads", "writes")
+		for cls := 0; cls < len(res.NVM.Reads); cls++ {
+			if res.NVM.Reads[cls] == 0 && res.NVM.Writes[cls] == 0 {
+				continue
+			}
+			bt.AddRow(fmt.Sprint(clsName(cls)), fmt.Sprint(res.NVM.Reads[cls]), fmt.Sprint(res.NVM.Writes[cls]))
+		}
+		fmt.Print(bt)
+	}
+}
+
+// compareSchemes runs every scheme on one workload in parallel and prints
+// a side-by-side table, normalised to WB-GC.
+func compareSchemes(prof trace.Profile, opt sim.Options) {
+	schemes := []sim.Scheme{
+		sim.WBGC, sim.ASIT, sim.STAR, sim.SteinsGC,
+		sim.WBSC, sim.SteinsSC, sim.SCUEGC,
+	}
+	jobs := make([]sim.Job, len(schemes))
+	for i, s := range schemes {
+		jobs[i] = sim.Job{Prof: prof, Scheme: s, Opt: opt}
+	}
+	results, err := sim.RunParallel(jobs, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare failed: %v\n", err)
+		os.Exit(1)
+	}
+	base := results[0]
+	t := stats.NewTable(fmt.Sprintf("all schemes on %s (%d ops, vs WB-GC)", prof.Name, opt.Ops),
+		"scheme", "exec", "wlat", "rlat", "traffic", "energy", "hit%")
+	for _, r := range results {
+		t.AddRow(r.Scheme,
+			stats.F(float64(r.ExecCycles)/float64(base.ExecCycles)),
+			stats.F(r.AvgWriteLat/base.AvgWriteLat),
+			stats.F(r.AvgReadLat/base.AvgReadLat),
+			stats.F(float64(r.WriteBytes)/float64(base.WriteBytes)),
+			stats.F(r.EnergyPJ/base.EnergyPJ),
+			fmt.Sprintf("%.1f", r.MetaHitRate*100))
+	}
+	fmt.Print(t)
+}
+
+func clsName(i int) string {
+	names := []string{"data", "hmac", "meta", "shadow", "record", "bitmap", "other"}
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprint(i)
+}

@@ -1,0 +1,93 @@
+// Command tracegen records workload traces to the repository's binary
+// trace format and summarises existing trace files, so experiments can be
+// replayed bit-identically across schemes and machines.
+//
+//	tracegen -workload lbm_r -ops 100000 -o lbm.trace
+//	tracegen -summarize lbm.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"steins/internal/stats"
+	"steins/internal/trace"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "workload profile to record")
+		ops       = flag.Int("ops", 100000, "operations to record")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		out       = flag.String("o", "", "output trace file")
+		summarize = flag.String("summarize", "", "trace file to summarise")
+	)
+	flag.Parse()
+
+	switch {
+	case *summarize != "":
+		f, err := os.Open(*summarize)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		name, recorded, err := trace.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		summary(name, recorded)
+	case *workload != "":
+		p, ok := trace.ByName(*workload)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *workload))
+		}
+		recorded := trace.Record(p, *seed, *ops)
+		if *out == "" {
+			summary(p.Name, recorded)
+			return
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteFile(f, p.Name, recorded); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d ops of %s to %s\n", len(recorded), p.Name, *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func summary(name string, ops []trace.Op) {
+	writes, gaps := 0, uint64(0)
+	distinct := map[uint64]bool{}
+	var maxAddr uint64
+	for _, op := range ops {
+		if op.IsWrite {
+			writes++
+		}
+		gaps += op.Gap
+		distinct[op.Addr] = true
+		if op.Addr > maxAddr {
+			maxAddr = op.Addr
+		}
+	}
+	t := stats.NewTable("trace "+name, "metric", "value")
+	t.AddRow("operations", fmt.Sprint(len(ops)))
+	t.AddRow("writes", fmt.Sprintf("%d (%.1f%%)", writes, 100*float64(writes)/float64(max(1, len(ops)))))
+	t.AddRow("distinct lines", fmt.Sprint(len(distinct)))
+	t.AddRow("touched span", stats.Bytes(maxAddr+64))
+	if len(ops) > 0 {
+		t.AddRow("mean gap", fmt.Sprintf("%.0f cycles", float64(gaps)/float64(len(ops))))
+	}
+	fmt.Print(t)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,17 @@
+// Package steins is a from-scratch reproduction of "A High-Performance
+// and Fast-Recovery Scheme for Secure Non-Volatile Memory Systems"
+// (Shi, Hua, Huang — IEEE CLUSTER 2024).
+//
+// The repository implements the complete system the paper evaluates: a
+// PCM-like NVM device model, counter-mode encryption with split counters,
+// the SGX-style integrity tree, the Steins recovery scheme (generated
+// parent counters, offset record lines, LInc trust bases, a non-volatile
+// parent-counter buffer, root-to-leaf recovery) and the comparison schemes
+// WB, ASIT, STAR and SCUE, plus the workloads, attack harness and
+// benchmark generators that regenerate every table and figure of §IV.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate each figure at reduced scale;
+// cmd/benchfigs produces the full tables.
+package steins

@@ -1,0 +1,121 @@
+// Persistkv: a persistent key-value store on secure NVM.
+//
+// A small fixed-capacity hash table lives entirely in the protected data
+// region of a Steins-secured memory controller: every slot access goes
+// through counter-mode encryption and integrity verification, and the
+// store survives a power failure mid-burst thanks to metadata recovery.
+//
+//	go run ./examples/persistkv
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"steins/internal/crypt"
+	"steins/securemem"
+)
+
+// kvStore is an open-addressed hash table of 64-byte slots: 8-byte hash of
+// the key, 24-byte key, 32-byte value.
+type kvStore struct {
+	m     *securemem.Memory
+	slots uint64
+}
+
+func newKV(m *securemem.Memory, dataBytes uint64) *kvStore {
+	return &kvStore{m: m, slots: dataBytes / 64}
+}
+
+func (kv *kvStore) slotAddr(i uint64) uint64 { return (i % kv.slots) * 64 }
+
+func (kv *kvStore) hash(key string) uint64 {
+	return crypt.SipMAC{}.Sum64(crypt.NewKey(42), []byte(key))
+}
+
+// Put inserts or updates a key (max 24 bytes) with a value (max 32 bytes).
+func (kv *kvStore) Put(key, value string) error {
+	if len(key) > 24 || len(value) > 32 {
+		return fmt.Errorf("kv: key/value too large")
+	}
+	h := kv.hash(key)
+	for probe := uint64(0); probe < kv.slots; probe++ {
+		addr := kv.slotAddr(h + probe)
+		slot, err := kv.m.Read(addr)
+		if err != nil {
+			return err
+		}
+		stored := binary.LittleEndian.Uint64(slot[:8])
+		if stored != 0 && (stored != h || string(slot[8:8+len(key)]) != key) {
+			continue // occupied by another key
+		}
+		var out [64]byte
+		binary.LittleEndian.PutUint64(out[:8], h)
+		copy(out[8:32], key)
+		copy(out[32:], value)
+		return kv.m.Write(addr, out)
+	}
+	return fmt.Errorf("kv: table full")
+}
+
+// Get fetches a key's value.
+func (kv *kvStore) Get(key string) (string, bool, error) {
+	h := kv.hash(key)
+	for probe := uint64(0); probe < kv.slots; probe++ {
+		addr := kv.slotAddr(h + probe)
+		slot, err := kv.m.Read(addr)
+		if err != nil {
+			return "", false, err
+		}
+		stored := binary.LittleEndian.Uint64(slot[:8])
+		if stored == 0 {
+			return "", false, nil
+		}
+		if stored == h && string(slot[8:8+len(key)]) == key {
+			val := slot[32:]
+			n := 0
+			for n < len(val) && val[n] != 0 {
+				n++
+			}
+			return string(val[:n]), true, nil
+		}
+	}
+	return "", false, nil
+}
+
+func main() {
+	const dataBytes = 1 << 20
+	m, err := securemem.New(securemem.Config{DataBytes: dataBytes, Scheme: securemem.SteinsSC})
+	if err != nil {
+		panic(err)
+	}
+	kv := newKV(m, dataBytes)
+
+	// A burst of inserts; the final ones leave dirty metadata.
+	for i := 0; i < 2000; i++ {
+		if err := kv.Put(fmt.Sprintf("key-%04d", i), fmt.Sprintf("value-%04d", i)); err != nil {
+			panic(err)
+		}
+	}
+	if err := kv.Put("paper", "CLUSTER 2024 / Steins"); err != nil {
+		panic(err)
+	}
+	fmt.Println("inserted 2001 records into the secure store")
+
+	kv.m.Crash()
+	fmt.Println("-- power failure --")
+	rep, err := kv.m.Recover()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("metadata recovered: %d nodes, %.1f us simulated\n",
+		rep.NodesRecovered, rep.SimulatedNS/1e3)
+
+	for _, key := range []string{"key-0000", "key-1999", "paper"} {
+		val, ok, err := kv.Get(key)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("get %q -> %q (found=%v)\n", key, val, ok)
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: a minimal secure-NVM round trip with Steins.
+//
+// Builds a secure memory controller with the Steins recovery scheme,
+// writes and reads encrypted+verified data, crashes the system with dirty
+// security metadata, recovers it, and reads the data back.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"steins/securemem"
+)
+
+func main() {
+	// 1 MiB protected data region with split-counter leaves; every other
+	// parameter is the paper's Table I default.
+	m, err := securemem.New(securemem.Config{
+		DataBytes: 1 << 20,
+		Scheme:    securemem.SteinsSC,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Describe())
+
+	// Write: the block is encrypted with counter-mode encryption, tagged
+	// with an HMAC, and covered by the SGX-style integrity tree.
+	var secret securemem.Block
+	copy(secret[:], "attack at dawn")
+	if err := m.Write(0x1000, secret); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote plaintext   %q\n", secret[:14])
+	ct := m.Controller().Device().Peek(0x1000)
+	fmt.Printf("NVM ciphertext    %x...\n", ct[:14])
+
+	// Read: decrypted and verified against the tree.
+	got, err := m.Read(0x1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("read back         %q\n", got[:14])
+
+	// Crash with the covering leaf counter still dirty in the metadata
+	// cache — without a recovery scheme this block would be lost.
+	m.Crash()
+	fmt.Println("-- crash: dirty security metadata lost --")
+
+	rep, err := m.Recover()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("recovered %d SIT nodes in %.1f us (simulated)\n",
+		rep.NodesRecovered, rep.SimulatedNS/1e3)
+
+	got, err = m.Read(0x1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("read after crash  %q\n", got[:14])
+}

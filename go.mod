@@ -1,0 +1,3 @@
+module steins
+
+go 1.22

@@ -1,0 +1,81 @@
+package attack_test
+
+import (
+	"testing"
+
+	"steins/internal/attack"
+	"steins/internal/scheme/asit"
+	"steins/internal/scheme/scue"
+	"steins/internal/scheme/star"
+	"steins/internal/scheme/steins"
+	"steins/internal/scheme/wb"
+	"steins/internal/sim"
+)
+
+func TestNoSilentCorruptionAnyScheme(t *testing.T) {
+	// The one inviolable property across every recoverable scheme and
+	// every attack: no attack ever yields silently corrupted data. Each
+	// attack must be detected or neutralized.
+	schemes := []sim.Scheme{
+		{Name: "ASIT", Factory: asit.Factory},
+		{Name: "STAR", Factory: star.Factory},
+		{Name: "Steins-GC", Factory: steins.Factory},
+		{Name: "Steins-SC", Factory: steins.Factory, Split: true},
+		{Name: "SCUE-GC", Factory: scue.Factory},
+	}
+	for _, s := range schemes {
+		for _, sc := range attack.Scenarios() {
+			rep, err := attack.Execute(s.Factory, s.Split, sc)
+			if err != nil {
+				t.Errorf("%s/%v: %v", s.Name, sc, err)
+				continue
+			}
+			if !rep.Applicable {
+				t.Errorf("%s/%v: unexpectedly inapplicable", s.Name, sc)
+				continue
+			}
+			if !rep.Detected && !rep.Neutralized {
+				t.Errorf("%s/%v: neither detected nor neutralized", s.Name, sc)
+			}
+		}
+	}
+}
+
+func TestSteinsDetectsCoreAttacks(t *testing.T) {
+	// The paper's security analysis (§III-H): tampering caught by HMACs,
+	// replay and tracking manipulation caught by the LIncs.
+	mustDetect := []attack.Scenario{
+		attack.TamperData, attack.TamperTag, attack.ReplayData,
+		attack.TamperNode, attack.ReplayNode, attack.EraseTracking,
+	}
+	for _, sc := range mustDetect {
+		rep, err := attack.Execute(steins.Factory, false, sc)
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		if !rep.Detected {
+			t.Errorf("Steins did not detect %v (neutralized=%v)", sc, rep.Neutralized)
+		}
+	}
+}
+
+func TestWBInapplicable(t *testing.T) {
+	rep, err := attack.Execute(wb.Factory, false, attack.TamperData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applicable {
+		t.Fatal("WB reported as recoverable")
+	}
+}
+
+func TestScenarioNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sc := range attack.Scenarios() {
+		name := sc.String()
+		if seen[name] || name == "" {
+			t.Fatalf("bad scenario name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,153 @@
+// Package bmt implements the Bonsai Merkle Tree of §II-C (Rogers et al.,
+// MICRO'07): counter blocks are hashed into parent HMAC nodes, which are
+// hashed recursively up to an on-chip root. Because each parent hash takes
+// its children's hashes as input, an update must recompute the whole
+// branch sequentially — the cost that motivates the paper's choice of SIT,
+// whose per-level counters update in parallel (§II-C).
+//
+// The package is the substrate for the SIT-vs-BMT ablation bench: it is a
+// functional tree (real hashes, real verification) with the same 40-cycle
+// hash-latency accounting as the controller.
+package bmt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"steins/internal/counter"
+	"steins/internal/crypt"
+)
+
+// Tree is a Bonsai Merkle Tree over counter blocks. Leaves are the CME
+// counter blocks themselves (hashed), interior nodes are hashes of their
+// children, arity 8.
+type Tree struct {
+	key        crypt.Key
+	mac        crypt.MAC
+	hashCycles uint64
+	blocks     []counter.Block // the protected counter blocks
+	levels     [][]uint64      // levels[0][i] = hash of block i; top is len-1
+	root       uint64          // on-chip, trusted
+}
+
+// Arity is the tree fan-out.
+const Arity = 8
+
+// New builds a BMT over numBlocks zeroed counter blocks.
+func New(numBlocks int, key crypt.Key, mac crypt.MAC, hashCycles uint64) *Tree {
+	if numBlocks <= 0 {
+		panic("bmt: need at least one block")
+	}
+	t := &Tree{key: key, mac: mac, hashCycles: hashCycles, blocks: make([]counter.Block, numBlocks)}
+	n := numBlocks
+	for {
+		t.levels = append(t.levels, make([]uint64, n))
+		if n == 1 {
+			break
+		}
+		n = (n + Arity - 1) / Arity
+	}
+	for i := range t.blocks {
+		t.levels[0][i] = t.leafHash(uint64(i))
+	}
+	for l := 1; l < len(t.levels); l++ {
+		for i := range t.levels[l] {
+			t.levels[l][i] = t.groupHash(l, uint64(i))
+		}
+	}
+	t.root = t.levels[len(t.levels)-1][0]
+	return t
+}
+
+// Levels returns the number of hash levels (leaf hashes included).
+func (t *Tree) Levels() int { return len(t.levels) }
+
+// Root returns the trusted root hash.
+func (t *Tree) Root() uint64 { return t.root }
+
+// Block returns a copy of leaf block i.
+func (t *Tree) Block(i uint64) counter.Block { return t.blocks[i] }
+
+func (t *Tree) leafHash(i uint64) uint64 {
+	var msg [72]byte
+	copy(msg[:64], t.blocks[i][:])
+	binary.LittleEndian.PutUint64(msg[64:], i)
+	return t.mac.Sum64(t.key, msg[:])
+}
+
+func (t *Tree) groupHash(level int, idx uint64) uint64 {
+	lo := idx * Arity
+	hi := min(lo+Arity, uint64(len(t.levels[level-1])))
+	msg := make([]byte, 0, 8*(int(hi-lo)+1))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(level)<<32|idx)
+	msg = append(msg, b[:]...)
+	for _, h := range t.levels[level-1][lo:hi] {
+		binary.LittleEndian.PutUint64(b[:], h)
+		msg = append(msg, b[:]...)
+	}
+	return t.mac.Sum64(t.key, msg)
+}
+
+// Update replaces leaf block i and recomputes the branch to the root.
+// The returned cycle count is sequential — each hash needs its child's
+// result — which is BMT's structural penalty versus SIT.
+func (t *Tree) Update(i uint64, block counter.Block) (cycles uint64) {
+	t.blocks[i] = block
+	t.levels[0][i] = t.leafHash(i)
+	cycles = t.hashCycles
+	idx := i
+	for l := 1; l < len(t.levels); l++ {
+		idx /= Arity
+		t.levels[l][idx] = t.groupHash(l, idx)
+		cycles += t.hashCycles // strictly sequential: child hash is an input
+	}
+	t.root = t.levels[len(t.levels)-1][0]
+	return cycles
+}
+
+// Verify checks leaf block i against the stored branch and root. The
+// returned cycles assume the branch hashes are computed in parallel once
+// the data is available (verification, unlike update, parallelises in BMT
+// too), so it costs one hash latency plus a compare per level.
+func (t *Tree) Verify(i uint64, block counter.Block) (uint64, error) {
+	saved := t.blocks[i]
+	t.blocks[i] = block
+	h := t.leafHash(i)
+	t.blocks[i] = saved
+	cycles := t.hashCycles
+	if h != t.levels[0][i] {
+		return cycles, fmt.Errorf("bmt: leaf %d hash mismatch", i)
+	}
+	idx := i
+	for l := 1; l < len(t.levels); l++ {
+		idx /= Arity
+		if t.groupHash(l, idx) != t.levels[l][idx] {
+			return cycles, fmt.Errorf("bmt: interior hash mismatch at level %d", l)
+		}
+		cycles++ // pipelined compare
+	}
+	if t.levels[len(t.levels)-1][0] != t.root {
+		return cycles, fmt.Errorf("bmt: root mismatch")
+	}
+	return cycles, nil
+}
+
+// Rebuild reconstructs every hash from the leaf blocks (the BMT recovery
+// path of §II-D: the tree can be rebuilt from leaves because parents are
+// pure functions of children). It returns the hash count and the new root,
+// which the caller compares with a trusted copy.
+func (t *Tree) Rebuild() (hashes uint64, root uint64) {
+	for i := range t.blocks {
+		t.levels[0][i] = t.leafHash(uint64(i))
+		hashes++
+	}
+	for l := 1; l < len(t.levels); l++ {
+		for i := range t.levels[l] {
+			t.levels[l][i] = t.groupHash(l, uint64(i))
+			hashes++
+		}
+	}
+	t.root = t.levels[len(t.levels)-1][0]
+	return hashes, t.root
+}

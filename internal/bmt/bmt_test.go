@@ -1,0 +1,135 @@
+package bmt
+
+import (
+	"testing"
+
+	"steins/internal/counter"
+	"steins/internal/crypt"
+)
+
+func newTree(n int) *Tree {
+	return New(n, crypt.NewKey(1), crypt.SipMAC{}, 40)
+}
+
+func TestVerifyFresh(t *testing.T) {
+	tr := newTree(100)
+	for i := uint64(0); i < 100; i += 17 {
+		if _, err := tr.Verify(i, tr.Block(i)); err != nil {
+			t.Fatalf("fresh leaf %d: %v", i, err)
+		}
+	}
+}
+
+func TestUpdateThenVerify(t *testing.T) {
+	tr := newTree(64)
+	var blk counter.Block
+	blk[0] = 42
+	tr.Update(5, blk)
+	if _, err := tr.Verify(5, blk); err != nil {
+		t.Fatal(err)
+	}
+	// Unmodified neighbours still verify.
+	if _, err := tr.Verify(6, tr.Block(6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	tr := newTree(64)
+	var blk counter.Block
+	blk[0] = 1
+	tr.Update(9, blk)
+	blk[0] = 2 // attacker's version
+	if _, err := tr.Verify(9, blk); err == nil {
+		t.Fatal("tampered block verified")
+	}
+}
+
+func TestRootChangesOnUpdate(t *testing.T) {
+	tr := newTree(64)
+	before := tr.Root()
+	var blk counter.Block
+	blk[3] = 7
+	tr.Update(0, blk)
+	if tr.Root() == before {
+		t.Fatal("root unchanged after update")
+	}
+}
+
+func TestUpdateCostScalesWithHeight(t *testing.T) {
+	// The motivating contrast (§II-C): BMT update cost is height x hash
+	// latency, sequential. SIT's lazy update touches one node (+ parent).
+	small, large := newTree(8), newTree(8*8*8*8)
+	var blk counter.Block
+	blk[0] = 1
+	cs := small.Update(0, blk)
+	cl := large.Update(0, blk)
+	if cl <= cs {
+		t.Fatalf("deep tree update (%d cycles) not costlier than shallow (%d)", cl, cs)
+	}
+	if want := uint64(large.Levels()) * 40; cl != want {
+		t.Fatalf("update cost %d, want levels*hash = %d", cl, want)
+	}
+}
+
+func TestRebuildFromLeaves(t *testing.T) {
+	tr := newTree(128)
+	var blk counter.Block
+	for i := uint64(0); i < 128; i += 11 {
+		blk[0] = byte(i)
+		tr.Update(i, blk)
+	}
+	trusted := tr.Root()
+	// Simulate loss of interior hashes: rebuild and compare.
+	hashes, root := tr.Rebuild()
+	if root != trusted {
+		t.Fatal("rebuild changed the root")
+	}
+	if hashes < 128 {
+		t.Fatalf("rebuild hashed %d nodes, want >= leaf count", hashes)
+	}
+}
+
+func TestRebuildDetectsTamperedLeafViaRoot(t *testing.T) {
+	tr := newTree(64)
+	var blk counter.Block
+	blk[0] = 9
+	tr.Update(3, blk)
+	trusted := tr.Root()
+	// Attacker modifies the stored block, then the system rebuilds.
+	blk[0] = 10
+	tr.blocks[3] = blk
+	if _, root := tr.Rebuild(); root == trusted {
+		t.Fatal("tampered rebuild produced the trusted root")
+	}
+}
+
+func TestNonPowerOfEightSizes(t *testing.T) {
+	for _, n := range []int{1, 7, 9, 63, 65, 100} {
+		tr := newTree(n)
+		var blk counter.Block
+		blk[1] = 5
+		tr.Update(uint64(n-1), blk)
+		if _, err := tr.Verify(uint64(n-1), blk); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	newTree(0)
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	tr := newTree(1 << 15)
+	var blk counter.Block
+	for i := 0; i < b.N; i++ {
+		blk[0] = byte(i)
+		tr.Update(uint64(i)&(1<<15-1), blk)
+	}
+}

@@ -1,0 +1,529 @@
+// Package bmtctrl is a complete secure memory controller built on the
+// Bonsai Merkle Tree instead of the SGX-style integrity tree — the §II-C
+// baseline design the paper argues against, implemented at system level so
+// the SIT-vs-BMT comparison can be made end to end rather than per
+// operation.
+//
+// Design (Rogers et al., MICRO'07; consistency treatment after PLP/BMF):
+//
+//   - Leaves are classic CME split counter blocks (64-bit major + 64×7-bit
+//     minors, Fig. 1), each covering 64 data blocks, cached in the
+//     controller and persisted in NVM.
+//   - A Merkle tree of hashes covers the counter blocks. Because every
+//     interior node is a pure function of the leaves, the interior lives
+//     only in controller SRAM and is never persisted: after a crash it is
+//     rebuilt from the leaves (§II-D: "the tree can be reconstructed from
+//     leaf nodes"). Only the root occupies an on-chip non-volatile
+//     register.
+//   - Every counter-block modification updates the branch to the root
+//     sequentially — each parent hash needs its child's result — which is
+//     the structural write cost that motivates SIT (§II-C).
+//   - Recovery restores stale leaves from the covered data blocks' tags
+//     (Osiris-style, as the SIT schemes do), rebuilds the interior, and
+//     compares the computed root with the non-volatile register: because
+//     updates are eager, the surviving root covers the *latest* counters,
+//     so any tampering or replay of data or counter blocks mismatches.
+package bmtctrl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"steins/internal/cache"
+	"steins/internal/cme"
+	"steins/internal/counter"
+	"steins/internal/crypt"
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+	"steins/internal/stats"
+)
+
+// Arity is the hash-tree fan-out.
+const Arity = 8
+
+// Config parameterises the BMT system; defaults mirror Table I.
+type Config struct {
+	DataBytes      uint64
+	MetaCacheBytes int
+	MetaCacheWays  int
+	HashCycles     uint64
+	AESCycles      uint64
+	CacheHitCycles uint64
+	RunAheadCycles uint64
+	HashPJ         float64
+	AESPJ          float64
+	NVM            nvmem.Config
+	Key            crypt.Key
+	MAC            crypt.MAC
+	OTP            crypt.OTPGen
+	RecoveryReadNS float64
+	RecoveryHashNS float64
+}
+
+// DefaultConfig returns the Table I parameters over dataBytes of data.
+func DefaultConfig(dataBytes uint64) Config {
+	base := memctrl.DefaultConfig(dataBytes, false)
+	return Config{
+		DataBytes:      dataBytes,
+		MetaCacheBytes: base.MetaCacheBytes,
+		MetaCacheWays:  base.MetaCacheWays,
+		HashCycles:     base.HashCycles,
+		AESCycles:      base.AESCycles,
+		CacheHitCycles: base.CacheHitCycles,
+		RunAheadCycles: base.RunAheadCycles,
+		HashPJ:         base.HashPJ,
+		AESPJ:          base.AESPJ,
+		NVM:            base.NVM,
+		Key:            base.Key,
+		MAC:            base.MAC,
+		OTP:            base.OTP,
+		RecoveryReadNS: base.RecoveryReadNS,
+		RecoveryHashNS: base.RecoveryHashNS,
+	}
+}
+
+// Stats mirrors the SIT controller's metrics.
+type Stats struct {
+	DataReads   uint64
+	DataWrites  uint64
+	ReadLatSum  uint64
+	WriteLatSum uint64
+	HashOps     uint64
+	AESOps      uint64
+	ReadHist    stats.Hist
+	WriteHist   stats.Hist
+}
+
+// AvgReadLatency returns the mean read latency in cycles.
+func (s Stats) AvgReadLatency() float64 {
+	if s.DataReads == 0 {
+		return 0
+	}
+	return float64(s.ReadLatSum) / float64(s.DataReads)
+}
+
+// AvgWriteLatency returns the mean write latency in cycles.
+func (s Stats) AvgWriteLatency() float64 {
+	if s.DataWrites == 0 {
+		return 0
+	}
+	return float64(s.WriteLatSum) / float64(s.DataWrites)
+}
+
+// Controller is the BMT-based secure memory controller.
+type Controller struct {
+	cfg      Config
+	dev      *nvmem.Device
+	eng      cme.Engine
+	meta     *cache.Cache[*counter.CME]
+	tags     map[uint64]cme.Tag
+	metaBase uint64
+	leaves   uint64
+	// levels[0][i] is the hash of counter block i; upper levels shrink by
+	// Arity. Volatile SRAM; root is the on-chip NV register.
+	levels [][]uint64
+	root   uint64
+
+	arrival   uint64
+	reqStart  uint64
+	busyUntil uint64
+	warmupEnd uint64
+	stats     Stats
+	crashed   bool
+}
+
+// New builds the controller. Data occupies [0, DataBytes); the counter
+// block region follows it.
+func New(cfg Config) *Controller {
+	if cfg.DataBytes == 0 || cfg.DataBytes%nvmem.LineSize != 0 {
+		panic("bmtctrl: bad data size")
+	}
+	leaves := (cfg.DataBytes/nvmem.LineSize + counter.SplitArity - 1) / counter.SplitArity
+	cfg.NVM.CapacityBytes = cfg.DataBytes + leaves*nvmem.LineSize
+	c := &Controller{
+		cfg:      cfg,
+		dev:      nvmem.New(cfg.NVM),
+		eng:      cme.Engine{Key: cfg.Key, OTP: cfg.OTP, MAC: cfg.MAC},
+		meta:     cache.New[*counter.CME](cfg.MetaCacheBytes, cfg.MetaCacheWays, nvmem.LineSize),
+		tags:     make(map[uint64]cme.Tag),
+		metaBase: cfg.DataBytes,
+		leaves:   leaves,
+	}
+	n := leaves
+	for {
+		c.levels = append(c.levels, make([]uint64, n))
+		if n == 1 {
+			break
+		}
+		n = (n + Arity - 1) / Arity
+	}
+	// Leaf hashes cover the initial (zero) counter blocks: a fetched block
+	// that was never written must verify against its genuine hash.
+	for i := uint64(0); i < leaves; i++ {
+		c.levels[0][i] = c.leafHash(i, counter.Block{})
+	}
+	c.rebuildInterior()
+	c.root = c.levels[len(c.levels)-1][0]
+	c.stats = Stats{} // construction hashes are not workload activity
+	return c
+}
+
+// Device returns the NVM device.
+func (c *Controller) Device() *nvmem.Device { return c.dev }
+
+// Stats returns a metrics snapshot.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Levels returns the hash-tree height (leaf hashes included).
+func (c *Controller) Levels() int { return len(c.levels) }
+
+// ExecCycles returns the makespan.
+func (c *Controller) ExecCycles() uint64 { return c.busyUntil - c.warmupEnd }
+
+// EnergyPJ returns device plus crypto-engine energy.
+func (c *Controller) EnergyPJ() float64 {
+	return c.dev.EnergyPJ() +
+		float64(c.stats.HashOps)*c.cfg.HashPJ +
+		float64(c.stats.AESOps)*c.cfg.AESPJ
+}
+
+// Tag returns a data block's authentication tag (attack injection).
+func (c *Controller) Tag(addr uint64) cme.Tag { return c.tags[addr] }
+
+// SetTag overwrites a data block's tag (attack injection).
+func (c *Controller) SetTag(addr uint64, t cme.Tag) { c.tags[addr] = t }
+
+func (c *Controller) leafOf(addr uint64) (uint64, int) {
+	line := addr / nvmem.LineSize
+	return line / counter.SplitArity, int(line % counter.SplitArity)
+}
+
+func (c *Controller) leafAddr(leaf uint64) uint64 {
+	return c.metaBase + leaf*nvmem.LineSize
+}
+
+// leafHash hashes a counter block bound to its index.
+func (c *Controller) leafHash(i uint64, blk counter.Block) uint64 {
+	var msg [72]byte
+	copy(msg[:64], blk[:])
+	binary.LittleEndian.PutUint64(msg[64:], i)
+	c.stats.HashOps++
+	return c.cfg.MAC.Sum64(c.cfg.Key, msg[:])
+}
+
+func (c *Controller) groupHash(level int, idx uint64) uint64 {
+	lo := idx * Arity
+	hi := min(lo+Arity, uint64(len(c.levels[level-1])))
+	msg := make([]byte, 0, 8*(int(hi-lo)+1))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(level)<<32|idx)
+	msg = append(msg, b[:]...)
+	for _, h := range c.levels[level-1][lo:hi] {
+		binary.LittleEndian.PutUint64(b[:], h)
+		msg = append(msg, b[:]...)
+	}
+	c.stats.HashOps++
+	return c.cfg.MAC.Sum64(c.cfg.Key, msg)
+}
+
+// updateBranch recomputes the branch from leaf i to the root; strictly
+// sequential, the §II-C cost. Returns the charged cycles.
+func (c *Controller) updateBranch(i uint64, blk counter.Block) uint64 {
+	c.levels[0][i] = c.leafHash(i, blk)
+	idx := i
+	for l := 1; l < len(c.levels); l++ {
+		idx /= Arity
+		c.levels[l][idx] = c.groupHash(l, idx)
+	}
+	c.root = c.levels[len(c.levels)-1][0]
+	return uint64(len(c.levels)) * c.cfg.HashCycles
+}
+
+// verifyLeaf checks a fetched counter block against the SRAM branch; the
+// branch hashes recompute in parallel once the block arrives.
+func (c *Controller) verifyLeaf(i uint64, blk counter.Block) (uint64, error) {
+	if c.leafHash(i, blk) != c.levels[0][i] {
+		return c.cfg.HashCycles, memctrl.TamperAt("BMT counter block", 0, i, "hash mismatch")
+	}
+	return c.cfg.HashCycles, nil
+}
+
+func (c *Controller) rebuildInterior() {
+	for l := 1; l < len(c.levels); l++ {
+		for idx := range c.levels[l] {
+			c.levels[l][idx] = c.groupHash(l, uint64(idx))
+		}
+	}
+}
+
+// fetchLeaf returns the cached counter block for a leaf, loading and
+// verifying it on a miss; dirty victims write back (their branch is
+// already current — updates are eager).
+func (c *Controller) fetchLeaf(leaf uint64) (*cache.Entry[*counter.CME], uint64, error) {
+	addr := c.leafAddr(leaf)
+	if e, ok := c.meta.Lookup(addr); ok {
+		return e, c.cfg.CacheHitCycles, nil
+	}
+	line, rlat := c.dev.Read(c.reqStart, addr, nvmem.ClassMeta)
+	blk := counter.Block(line)
+	vcyc, err := c.verifyLeaf(leaf, blk)
+	cycles := rlat + vcyc
+	if err != nil {
+		return nil, cycles, err
+	}
+	dec := counter.DecodeCME(blk)
+	for {
+		if live, ok := c.meta.Probe(addr); ok {
+			return live, cycles, nil
+		}
+		e, victim, evicted := c.meta.Insert(addr, &dec, false)
+		if !evicted || !victim.Dirty {
+			return e, cycles, nil
+		}
+		blkOut := victim.Payload.Encode()
+		cycles += c.dev.Write(c.reqStart+cycles, victim.Addr, nvmem.Line(blkOut), nvmem.ClassMeta)
+	}
+}
+
+func (c *Controller) arrive(gap uint64) {
+	c.arrival += gap
+	if c.busyUntil > c.cfg.RunAheadCycles && c.arrival < c.busyUntil-c.cfg.RunAheadCycles {
+		c.arrival = c.busyUntil - c.cfg.RunAheadCycles
+	}
+	c.reqStart = max(c.arrival, c.busyUntil)
+}
+
+// WriteData encrypts and persists one data block, updating the counter
+// block and the full hash branch (eagerly, sequentially).
+func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
+	c.checkAddr(addr)
+	if c.crashed {
+		return fmt.Errorf("bmtctrl: crashed; recover first")
+	}
+	c.arrive(gap)
+	leaf, slot := c.leafOf(addr)
+	e, cycles, err := c.fetchLeaf(leaf)
+	if err != nil {
+		c.completeWrite(cycles)
+		return err
+	}
+	blk := e.Payload
+	if overflow := blk.Increment(slot); overflow {
+		rc, rerr := c.reencrypt(leaf, blk, slot)
+		cycles += rc
+		if rerr != nil {
+			c.completeWrite(cycles)
+			return rerr
+		}
+	}
+	e.Dirty = true
+	cycles += c.updateBranch(leaf, blk.Encode())
+
+	enc := blk.EncCounter(slot)
+	ct := data
+	c.eng.Apply(&ct, addr, enc)
+	c.stats.AESOps++
+	c.stats.HashOps++
+	tag := c.eng.TagSC(&ct, addr, enc, blk.Major)
+	cycles += c.cfg.AESCycles + c.cfg.HashCycles
+	cycles += c.dev.Write(c.reqStart+cycles, addr, nvmem.Line(ct), nvmem.ClassData)
+	c.tags[addr] = tag
+	c.completeWrite(cycles)
+	return nil
+}
+
+// ReadData fetches, verifies and decrypts one data block.
+func (c *Controller) ReadData(gap uint64, addr uint64) ([64]byte, error) {
+	c.checkAddr(addr)
+	if c.crashed {
+		return [64]byte{}, fmt.Errorf("bmtctrl: crashed; recover first")
+	}
+	c.arrive(gap)
+	leaf, slot := c.leafOf(addr)
+	e, counterPath, err := c.fetchLeaf(leaf)
+	if err != nil {
+		c.completeRead(counterPath)
+		return [64]byte{}, err
+	}
+	blk := e.Payload
+	enc := blk.EncCounter(slot)
+	line, dataLat := c.dev.Read(c.reqStart, addr, nvmem.ClassData)
+	tag := c.tags[addr]
+	if !tag.Written {
+		cycles := max(dataLat, counterPath)
+		c.completeRead(cycles)
+		if blk.Minor[slot] != 0 {
+			return [64]byte{}, memctrl.TamperData(addr, "live counter but no tag")
+		}
+		return [64]byte{}, nil
+	}
+	ct := [64]byte(line)
+	c.stats.AESOps++
+	c.stats.HashOps++
+	cycles := max(dataLat, counterPath+c.cfg.AESCycles) + c.cfg.HashCycles
+	if !c.eng.Verify(&ct, addr, enc, tag) {
+		c.completeRead(cycles)
+		return [64]byte{}, memctrl.TamperData(addr, "HMAC mismatch on read")
+	}
+	c.eng.Apply(&ct, addr, enc)
+	c.completeRead(cycles)
+	return ct, nil
+}
+
+// reencrypt handles a 7-bit minor overflow: all written covered blocks
+// re-encrypt under the bumped major.
+func (c *Controller) reencrypt(leaf uint64, blk *counter.CME, skipSlot int) (uint64, error) {
+	var cycles uint64
+	first := true
+	const pipelineGap = 4
+	for j := 0; j < counter.SplitArity; j++ {
+		if j == skipSlot {
+			continue
+		}
+		daddr := (leaf*counter.SplitArity + uint64(j)) * nvmem.LineSize
+		tag := c.tags[daddr]
+		if !tag.Written {
+			continue
+		}
+		line, rlat := c.dev.Read(c.reqStart+cycles, daddr, nvmem.ClassData)
+		if first {
+			cycles += rlat
+			first = false
+		} else {
+			cycles += pipelineGap
+		}
+		ct := [64]byte(line)
+		// Decrypt under the pre-overflow counter: the major just bumped by
+		// one, so the old counter is (major-1)<<7 | old minor, found by
+		// checking candidates against the stored tag.
+		oldMajor := blk.Major - 1
+		var matched bool
+		for m := 0; m <= counter.CMEMinorMax; m++ {
+			cand := oldMajor<<7 | uint64(m)
+			c.stats.HashOps++
+			if c.eng.Verify(&ct, daddr, cand, tag) {
+				c.eng.Apply(&ct, daddr, cand)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return cycles, memctrl.TamperData(daddr, "during BMT re-encryption")
+		}
+		newCtr := blk.EncCounter(j)
+		c.eng.Apply(&ct, daddr, newCtr)
+		c.stats.AESOps += 2
+		c.stats.HashOps++
+		c.tags[daddr] = c.eng.TagSC(&ct, daddr, newCtr, blk.Major)
+		cycles += c.dev.Write(c.reqStart+cycles, daddr, nvmem.Line(ct), nvmem.ClassData)
+	}
+	return cycles, nil
+}
+
+func (c *Controller) checkAddr(addr uint64) {
+	if addr%nvmem.LineSize != 0 || addr >= c.cfg.DataBytes {
+		panic(fmt.Sprintf("bmtctrl: bad data address %#x", addr))
+	}
+}
+
+func (c *Controller) completeRead(cycles uint64) {
+	c.busyUntil = c.reqStart + cycles
+	c.stats.DataReads++
+	lat := c.busyUntil - c.arrival
+	c.stats.ReadLatSum += lat
+	c.stats.ReadHist.Add(lat)
+}
+
+func (c *Controller) completeWrite(cycles uint64) {
+	c.busyUntil = c.reqStart + cycles
+	c.stats.DataWrites++
+	lat := c.busyUntil - c.arrival
+	c.stats.WriteLatSum += lat
+	c.stats.WriteHist.Add(lat)
+}
+
+// Crash loses the metadata cache and the SRAM hash interior; the root
+// register and NVM survive.
+func (c *Controller) Crash() {
+	c.meta.Clear()
+	for l := range c.levels {
+		for i := range c.levels[l] {
+			c.levels[l][i] = 0
+		}
+	}
+	c.crashed = true
+}
+
+// RecoveryReport mirrors the SIT schemes' accounting.
+type RecoveryReport struct {
+	LeavesRecovered uint64
+	NVMReads        uint64
+	MACOps          uint64
+	TimeNS          float64
+}
+
+// Recover rebuilds every counter block from the covered data blocks' tags
+// (there is no dirty tracking: like SCUE, the whole leaf level is
+// restored), recomputes the interior, and verifies the computed root
+// against the surviving register. Cost scales with memory capacity — the
+// §II-D reason recovery-aware SIT schemes exist.
+func (c *Controller) Recover() (RecoveryReport, error) {
+	rep := RecoveryReport{}
+	hashesBefore := c.stats.HashOps
+	for leaf := uint64(0); leaf < c.leaves; leaf++ {
+		rep.NVMReads++ // stale counter block
+		stale := counter.DecodeCME(counter.Block(c.dev.Peek(c.leafAddr(leaf))))
+		blk, reads, macs, err := c.recoverLeaf(leaf, stale)
+		rep.NVMReads += reads
+		rep.MACOps += macs
+		if err != nil {
+			return rep, err
+		}
+		enc := blk.Encode()
+		c.levels[0][leaf] = c.leafHash(leaf, enc)
+		c.dev.Poke(c.leafAddr(leaf), nvmem.Line(enc))
+		rep.LeavesRecovered++
+	}
+	c.rebuildInterior()
+	rep.MACOps += c.stats.HashOps - hashesBefore
+	if c.levels[len(c.levels)-1][0] != c.root {
+		return rep, memctrl.ReplayAt("BMT root", len(c.levels)-1, 0, "rebuilt root does not match the register")
+	}
+	c.crashed = false
+	rep.TimeNS = float64(rep.NVMReads)*c.cfg.RecoveryReadNS + float64(rep.MACOps)*c.cfg.RecoveryHashNS
+	return rep, nil
+}
+
+// recoverLeaf restores one counter block from its covered data tags.
+func (c *Controller) recoverLeaf(leaf uint64, stale counter.CME) (counter.CME, uint64, uint64, error) {
+	blk := counter.CME{Major: stale.Major}
+	var reads, macs uint64
+	have := false
+	for j := 0; j < counter.SplitArity; j++ {
+		daddr := (leaf*counter.SplitArity + uint64(j)) * nvmem.LineSize
+		reads++
+		tag := c.tags[daddr]
+		if !tag.Written {
+			continue
+		}
+		if !have {
+			blk.Major, have = tag.Hint, true
+		} else if tag.Hint != blk.Major {
+			return blk, reads, macs, memctrl.ReplayAt("BMT leaf", 0, leaf, "inconsistent majors")
+		}
+		ct := [64]byte(c.dev.Peek(daddr))
+		found := false
+		for m := 0; m <= counter.CMEMinorMax; m++ {
+			macs++
+			if c.eng.Verify(&ct, daddr, blk.Major<<7|uint64(m), tag) {
+				blk.Minor[j] = uint8(m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return blk, reads, macs, memctrl.TamperData(daddr, "during BMT recovery")
+		}
+	}
+	return blk, reads, macs, nil
+}

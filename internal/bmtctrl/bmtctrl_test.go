@@ -1,0 +1,241 @@
+package bmtctrl_test
+
+import (
+	"errors"
+	"testing"
+
+	"steins/internal/bmtctrl"
+	"steins/internal/memctrl"
+	"steins/internal/rng"
+	"steins/internal/scheme/wb"
+)
+
+func newBMT(dataBytes uint64) *bmtctrl.Controller {
+	cfg := bmtctrl.DefaultConfig(dataBytes)
+	cfg.MetaCacheBytes = 4 << 10
+	cfg.MetaCacheWays = 4
+	return bmtctrl.New(cfg)
+}
+
+func pattern(addr uint64, v byte) [64]byte {
+	var b [64]byte
+	b[0], b[1], b[2] = v, byte(addr>>6), byte(addr>>14)
+	return b
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := newBMT(1 << 20)
+	want := pattern(128, 7)
+	if err := c.WriteData(10, 128, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadData(10, 128)
+	if err != nil || got != want {
+		t.Fatalf("round trip: %v", err)
+	}
+	if got, _ := c.ReadData(1, 4096); got != ([64]byte{}) {
+		t.Fatal("unwritten block not zero")
+	}
+}
+
+func TestChurnRoundTrip(t *testing.T) {
+	c := newBMT(1 << 20)
+	r := rng.New(3)
+	expect := map[uint64][64]byte{}
+	for i := 0; i < 5000; i++ {
+		addr := r.Uint64n(1<<20/64) * 64
+		v := pattern(addr, byte(i))
+		if err := c.WriteData(5, addr, v); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		expect[addr] = v
+	}
+	for addr, want := range expect {
+		got, err := c.ReadData(1, addr)
+		if err != nil || got != want {
+			t.Fatalf("read %#x: %v", addr, err)
+		}
+	}
+}
+
+func TestMinorOverflowReencrypts(t *testing.T) {
+	c := newBMT(1 << 20)
+	a := pattern(64, 1)
+	if err := c.WriteData(0, 64, a); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 130; i++ { // cross the 7-bit minor overflow
+		if err := c.WriteData(0, 0, pattern(0, byte(i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if got, err := c.ReadData(0, 64); err != nil || got != a {
+		t.Fatalf("neighbour after overflow: %v", err)
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	c := newBMT(1 << 20)
+	if err := c.WriteData(0, 256, pattern(256, 5)); err != nil {
+		t.Fatal(err)
+	}
+	line := c.Device().Peek(256)
+	line[0] ^= 1
+	c.Device().Poke(256, line)
+	if _, err := c.ReadData(0, 256); !errors.Is(err, memctrl.ErrTamper) {
+		t.Fatalf("tampered read = %v, want ErrTamper", err)
+	}
+}
+
+func TestTamperedCounterBlockDetected(t *testing.T) {
+	c := newBMT(1 << 20)
+	r := rng.New(5)
+	for i := 0; i < 4000; i++ {
+		if err := c.WriteData(5, r.Uint64n(1<<20/64)*64, pattern(0, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tamper a persisted counter block and force a refetch by churning.
+	base := uint64(1 << 20) // metaBase
+	var addr uint64
+	for leaf := uint64(0); leaf < (1<<20)/64/64; leaf++ {
+		a := base + leaf*64
+		if c.Device().Peek(a) != ([64]byte{}) {
+			addr = a
+			break
+		}
+	}
+	if addr == 0 {
+		t.Skip("no persisted counter block")
+	}
+	line := c.Device().Peek(addr)
+	line[5] ^= 8
+	c.Device().Poke(addr, line)
+	// Keep accessing until the tampered block is refetched.
+	var sawErr bool
+	for i := 0; i < 20000 && !sawErr; i++ {
+		_, err := c.ReadData(5, r.Uint64n(1<<20/64)*64)
+		if errors.Is(err, memctrl.ErrTamper) {
+			sawErr = true
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawErr {
+		t.Fatal("tampered counter block never detected")
+	}
+}
+
+func TestCrashRecoverRoundTrip(t *testing.T) {
+	c := newBMT(1 << 20)
+	r := rng.New(7)
+	expect := map[uint64][64]byte{}
+	for i := 0; i < 4000; i++ {
+		addr := r.Uint64n(1<<20/64) * 64
+		v := pattern(addr, byte(i))
+		if err := c.WriteData(5, addr, v); err != nil {
+			t.Fatal(err)
+		}
+		expect[addr] = v
+	}
+	c.Crash()
+	if _, err := c.ReadData(0, 0); err == nil {
+		t.Fatal("read allowed while crashed")
+	}
+	rep, err := c.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rep.LeavesRecovered == 0 || rep.TimeNS <= 0 {
+		t.Fatalf("empty report %+v", rep)
+	}
+	for addr, want := range expect {
+		got, err := c.ReadData(1, addr)
+		if err != nil || got != want {
+			t.Fatalf("post-recovery read %#x: %v", addr, err)
+		}
+	}
+}
+
+func TestRecoveryDetectsReplay(t *testing.T) {
+	c := newBMT(1 << 20)
+	if err := c.WriteData(0, 0, pattern(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	oldLine := c.Device().Peek(0)
+	oldTag := c.Tag(0)
+	if err := c.WriteData(0, 0, pattern(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash()
+	c.Device().Poke(0, oldLine)
+	c.SetTag(0, oldTag)
+	if _, err := c.Recover(); !errors.Is(err, memctrl.ErrReplay) && !errors.Is(err, memctrl.ErrTamper) {
+		t.Fatalf("recover after replay = %v, want integrity error", err)
+	}
+}
+
+func TestRecoveryScalesWithMemorySize(t *testing.T) {
+	// The §II-D motivation: BMT recovery (like SCUE) reads every covered
+	// block, scaling with capacity rather than the dirty set.
+	reads := map[uint64]uint64{}
+	for _, size := range []uint64{1 << 19, 1 << 21} {
+		c := newBMT(size)
+		if err := c.WriteData(0, 0, pattern(0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		c.Crash()
+		rep, err := c.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads[size] = rep.NVMReads
+	}
+	if reads[1<<21] < reads[1<<19]*3 {
+		t.Fatalf("BMT recovery reads %v do not scale with capacity", reads)
+	}
+}
+
+func TestWriteCostAboveSIT(t *testing.T) {
+	// The §II-C claim this substrate exists to demonstrate: BMT's
+	// sequential branch update makes writes slower than the SIT lazy
+	// scheme under identical traffic.
+	run := func(build func() interface {
+		WriteData(uint64, uint64, [64]byte) error
+		ReadData(uint64, uint64) ([64]byte, error)
+	}) (float64, uint64) {
+		c := build()
+		r := rng.New(9)
+		for i := 0; i < 6000; i++ {
+			addr := r.Uint64n(1<<20/64) * 64
+			if err := c.WriteData(5, addr, pattern(addr, byte(i))); err != nil {
+				panic(err)
+			}
+		}
+		switch v := c.(type) {
+		case *bmtctrl.Controller:
+			return v.Stats().AvgWriteLatency(), v.ExecCycles()
+		case *memctrl.Controller:
+			return v.Stats().AvgWriteLatency(), v.ExecCycles()
+		}
+		panic("unknown controller")
+	}
+	bmtLat, _ := run(func() interface {
+		WriteData(uint64, uint64, [64]byte) error
+		ReadData(uint64, uint64) ([64]byte, error)
+	} {
+		return newBMT(1 << 20)
+	})
+	sitLat, _ := run(func() interface {
+		WriteData(uint64, uint64, [64]byte) error
+		ReadData(uint64, uint64) ([64]byte, error)
+	} {
+		cfg := memctrl.DefaultConfig(1<<20, true)
+		cfg.MetaCacheBytes = 4 << 10
+		cfg.MetaCacheWays = 4
+		return memctrl.New(cfg, wb.Factory)
+	})
+	if bmtLat <= sitLat {
+		t.Fatalf("BMT write latency %.1f not above SIT %.1f", bmtLat, sitLat)
+	}
+}

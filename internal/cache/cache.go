@@ -1,0 +1,219 @@
+// Package cache implements a set-associative write-back cache with LRU
+// replacement, the structure used for the metadata cache in the memory
+// controller (Table I: 256 KB, 8-way, 64 B blocks) as well as for the
+// smaller ADR-resident record-line and bitmap-line caches.
+//
+// The cache is generic over its payload so the metadata cache can hold
+// decoded SIT nodes while the record cache holds raw lines. Replacement
+// decisions and statistics live here; write-back policy (what to do with a
+// dirty victim) belongs to the owner via the value returned from Insert.
+package cache
+
+import "fmt"
+
+// Entry is one cache line. Owners mutate Payload and Dirty through the
+// pointer returned by Lookup/Insert; Addr and bookkeeping are read-only.
+type Entry[P any] struct {
+	Addr    uint64
+	Payload P
+	Dirty   bool
+	valid   bool
+	stamp   uint64
+	slot    int
+}
+
+// Slot returns the entry's stable position (set*ways + way). Recovery
+// schemes key per-cache-line NVM state — Steins record entries, ASIT
+// shadow-table slots — by this index.
+func (e *Entry[P]) Slot() int { return e.slot }
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits           uint64
+	Misses         uint64
+	Evictions      uint64
+	DirtyEvictions uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a set-associative LRU cache. Addresses must be multiples of the
+// configured line size. Not safe for concurrent use.
+type Cache[P any] struct {
+	lineSize uint64
+	ways     int
+	sets     [][]Entry[P]
+	stamp    uint64
+	stats    Stats
+}
+
+// New creates a cache of sizeBytes capacity with the given associativity
+// and line size. sizeBytes must be a multiple of ways*lineSize.
+func New[P any](sizeBytes, ways, lineSize int) *Cache[P] {
+	if sizeBytes <= 0 || ways <= 0 || lineSize <= 0 {
+		panic("cache: size, ways and line size must be positive")
+	}
+	if sizeBytes%(ways*lineSize) != 0 {
+		panic(fmt.Sprintf("cache: size %d not a multiple of ways*lineSize (%d)", sizeBytes, ways*lineSize))
+	}
+	numSets := sizeBytes / (ways * lineSize)
+	sets := make([][]Entry[P], numSets)
+	backing := make([]Entry[P], numSets*ways)
+	for i := range sets {
+		sets[i], backing = backing[:ways:ways], backing[ways:]
+	}
+	return &Cache[P]{lineSize: uint64(lineSize), ways: ways, sets: sets}
+}
+
+// Sets returns the number of sets.
+func (c *Cache[P]) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache[P]) Ways() int { return c.ways }
+
+// Capacity returns the number of lines the cache can hold.
+func (c *Cache[P]) Capacity() int { return len(c.sets) * c.ways }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[P]) Stats() Stats { return c.stats }
+
+// ResetStats clears counters without evicting anything.
+func (c *Cache[P]) ResetStats() { c.stats = Stats{} }
+
+// SetOf returns the set index addr maps to.
+func (c *Cache[P]) SetOf(addr uint64) int {
+	c.checkAddr(addr)
+	return int((addr / c.lineSize) % uint64(len(c.sets)))
+}
+
+func (c *Cache[P]) checkAddr(addr uint64) {
+	if addr%c.lineSize != 0 {
+		panic(fmt.Sprintf("cache: unaligned address %#x (line size %d)", addr, c.lineSize))
+	}
+}
+
+// Lookup returns the entry holding addr, updating recency on a hit. The
+// returned pointer stays valid until the entry is evicted.
+func (c *Cache[P]) Lookup(addr uint64) (*Entry[P], bool) {
+	set := c.sets[c.SetOf(addr)]
+	for i := range set {
+		if set[i].valid && set[i].Addr == addr {
+			c.stamp++
+			set[i].stamp = c.stamp
+			c.stats.Hits++
+			return &set[i], true
+		}
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Probe returns the entry holding addr without touching recency or
+// hit/miss counters; schemes use it to inspect residency.
+func (c *Cache[P]) Probe(addr uint64) (*Entry[P], bool) {
+	set := c.sets[c.SetOf(addr)]
+	for i := range set {
+		if set[i].valid && set[i].Addr == addr {
+			return &set[i], true
+		}
+	}
+	return nil, false
+}
+
+// Insert places addr into the cache and returns a pointer to its entry.
+// If a valid line had to be displaced, the victim's pre-eviction state is
+// returned with evicted=true so the owner can write it back. Inserting an
+// address that is already resident panics: owners must Lookup first.
+func (c *Cache[P]) Insert(addr uint64, payload P, dirty bool) (entry *Entry[P], victim Entry[P], evicted bool) {
+	if _, ok := c.Probe(addr); ok {
+		panic(fmt.Sprintf("cache: insert of resident address %#x", addr))
+	}
+	setIdx := c.SetOf(addr)
+	set := c.sets[setIdx]
+	way := -1
+	for i := range set {
+		if !set[i].valid {
+			way = i
+			break
+		}
+	}
+	if way == -1 {
+		// Evict the least recently used way.
+		way = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].stamp < set[way].stamp {
+				way = i
+			}
+		}
+		victim = set[way]
+		evicted = true
+		c.stats.Evictions++
+		if victim.Dirty {
+			c.stats.DirtyEvictions++
+		}
+	}
+	c.stamp++
+	set[way] = Entry[P]{
+		Addr: addr, Payload: payload, Dirty: dirty,
+		valid: true, stamp: c.stamp, slot: setIdx*c.ways + way,
+	}
+	return &set[way], victim, evicted
+}
+
+// Invalidate drops addr from the cache without write-back and reports
+// whether it was resident.
+func (c *Cache[P]) Invalidate(addr uint64) bool {
+	set := c.sets[c.SetOf(addr)]
+	for i := range set {
+		if set[i].valid && set[i].Addr == addr {
+			set[i] = Entry[P]{}
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach visits every valid entry in deterministic (set, way) order. The
+// callback may mutate the entry's Payload and Dirty fields.
+func (c *Cache[P]) ForEach(fn func(*Entry[P])) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				fn(&c.sets[s][w])
+			}
+		}
+	}
+}
+
+// EntriesInSet visits the valid entries of one set in way order; STAR's
+// set-MAC computation iterates sets this way before sorting by address.
+func (c *Cache[P]) EntriesInSet(set int, fn func(*Entry[P])) {
+	for w := range c.sets[set] {
+		if c.sets[set][w].valid {
+			fn(&c.sets[set][w])
+		}
+	}
+}
+
+// Clear invalidates every line; crash modelling uses it to drop volatile
+// controller state.
+func (c *Cache[P]) Clear() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = Entry[P]{}
+		}
+	}
+}
+
+// Len returns the number of valid lines.
+func (c *Cache[P]) Len() int {
+	n := 0
+	c.ForEach(func(*Entry[P]) { n++ })
+	return n
+}

@@ -1,0 +1,104 @@
+// Package cme implements counter-mode encryption for user data (§II-B):
+// one-time pads derived from (key, address, counter), XOR encryption, and
+// the per-data-block authentication tag.
+//
+// The tag models the HMAC stored alongside each data block in the ECC bits
+// of the DIMM (Synergy-style, so it costs no extra NVM access). Following
+// §II-D, in split-counter mode the tag also embeds a copy of the leaf's
+// major counter; for general-counter leaves it embeds the low bits of the
+// encryption counter as the analogous recovery hint, which bounds the
+// Osiris-style counter search during leaf recovery to a single candidate.
+package cme
+
+import (
+	"steins/internal/crypt"
+	"steins/internal/sit"
+)
+
+// Tag is the per-data-block authentication metadata co-located with the
+// line (ECC bits): a truncated HMAC plus the counter recovery hint.
+type Tag struct {
+	MAC     uint64 // truncated HMAC over (ciphertext, address, counter)
+	Hint    uint64 // SC: leaf major counter; GC: low 16 bits of the counter
+	Written bool   // whether the block has ever been written
+}
+
+// Engine performs data encryption and tagging with a fixed key.
+type Engine struct {
+	Key crypt.Key
+	OTP crypt.OTPGen
+	MAC crypt.MAC
+}
+
+// Apply XORs the one-time pad for (addr, encCounter) into buf; the same
+// operation encrypts and decrypts.
+func (e *Engine) Apply(buf *[64]byte, addr, encCounter uint64) {
+	var pad [64]byte
+	e.OTP.Pad(&pad, e.Key, addr, encCounter)
+	crypt.XOR64(buf, &pad)
+}
+
+// GCHintMask selects the counter bits stored in a general-counter tag hint.
+const GCHintMask = 0xffff
+
+// TagGC builds the tag for a ciphertext written under a general 56-bit
+// leaf counter.
+func (e *Engine) TagGC(ct *[64]byte, addr, encCounter uint64) Tag {
+	return Tag{
+		MAC:     sit.DataMAC(e.MAC, e.Key, addr, ct, encCounter),
+		Hint:    encCounter & GCHintMask,
+		Written: true,
+	}
+}
+
+// TagSC builds the tag for a ciphertext written under a split leaf; major
+// is the leaf's major counter (§II-D stores it in the data block's HMAC
+// field for recovery).
+func (e *Engine) TagSC(ct *[64]byte, addr, encCounter, major uint64) Tag {
+	return Tag{
+		MAC:     sit.DataMAC(e.MAC, e.Key, addr, ct, encCounter),
+		Hint:    major,
+		Written: true,
+	}
+}
+
+// Verify checks a ciphertext against its tag under the given counter.
+func (e *Engine) Verify(ct *[64]byte, addr, encCounter uint64, tag Tag) bool {
+	return tag.Written && sit.DataMAC(e.MAC, e.Key, addr, ct, encCounter) == tag.MAC
+}
+
+// RecoverCounterGC restores the encryption counter of a persisted data
+// block whose leaf counter was lost: the unique candidate >= stale whose
+// low bits equal the tag hint is checked against the MAC. macOps reports
+// MAC evaluations for recovery-cost accounting.
+func (e *Engine) RecoverCounterGC(ct *[64]byte, addr uint64, tag Tag, stale uint64) (ctr uint64, macOps uint64, ok bool) {
+	if !tag.Written {
+		return stale, 0, true // never written since initialisation
+	}
+	cand := stale&^uint64(GCHintMask) | tag.Hint
+	if cand < stale {
+		cand += GCHintMask + 1
+	}
+	if sit.DataMAC(e.MAC, e.Key, addr, ct, cand) == tag.MAC {
+		return cand, 1, true
+	}
+	return 0, 1, false
+}
+
+// RecoverCounterSC restores the (major, minor) encryption counter of a
+// block covered by a split leaf: the major comes from the tag hint, the
+// minor from an Osiris-style search over its 64 possible values.
+func (e *Engine) RecoverCounterSC(ct *[64]byte, addr uint64, tag Tag, staleMinor uint8) (major uint64, minor uint8, macOps uint64, ok bool) {
+	if !tag.Written {
+		return 0, staleMinor, 0, true
+	}
+	major = tag.Hint
+	for m := 0; m < 64; m++ {
+		macOps++
+		enc := major<<6 | uint64(m)
+		if sit.DataMAC(e.MAC, e.Key, addr, ct, enc) == tag.MAC {
+			return major, uint8(m), macOps, true
+		}
+	}
+	return 0, 0, macOps, false
+}

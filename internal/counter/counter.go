@@ -1,0 +1,306 @@
+// Package counter implements the 64-byte security-metadata codecs of the
+// paper: general SIT nodes (8×56-bit counters + 64-bit HMAC, Fig. 3),
+// split-counter SIT leaves (64-bit major + 64×6-bit minors + 64-bit HMAC,
+// §II-D), and CME split counter blocks (64-bit major + 64×7-bit minors,
+// Fig. 1, used by the BMT substrate).
+//
+// It also implements Steins' parent-counter generation functions: Eq. 1
+// (plain sum over a general node's counters) and Eq. 2 (weighted linear
+// function over a split leaf) with the skip-update major-counter scheme of
+// §III-B1, plus the naive maximum-weight variant the paper rejects, kept
+// for the ablation bench.
+package counter
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Geometry constants shared by the tree and controller.
+const (
+	Arity       = 8         // children per general SIT node
+	SplitArity  = 64        // data blocks covered by one split leaf
+	CounterBits = 56        // width of a general node counter
+	CounterMask = 1<<56 - 1 // value mask of a general node counter
+	MinorBits   = 6         // width of a split-leaf minor counter
+	MinorMax    = 63        // largest split-leaf minor value
+	MinorRange  = 64        // number of values a minor can take (2^6)
+	CMEMinorMax = 127       // largest CME (7-bit) minor value
+)
+
+// Block is one 64-byte metadata line as stored in NVM.
+type Block = [64]byte
+
+// --- General node ------------------------------------------------------------
+
+// General is a decoded general SIT node: eight 56-bit counters, one per
+// child, and a 64-bit HMAC over the counters, the node address and the
+// parent counter.
+type General struct {
+	C    [Arity]uint64
+	HMAC uint64
+}
+
+// DecodeGeneral unpacks a 64-byte line into a General node.
+func DecodeGeneral(b Block) General {
+	var g General
+	for i := 0; i < Arity; i++ {
+		g.C[i] = get56(b[:], i)
+	}
+	g.HMAC = binary.LittleEndian.Uint64(b[56:64])
+	return g
+}
+
+// Encode packs the node into its 64-byte line form.
+func (g *General) Encode() Block {
+	var b Block
+	for i := 0; i < Arity; i++ {
+		put56(b[:], i, g.C[i])
+	}
+	binary.LittleEndian.PutUint64(b[56:64], g.HMAC)
+	return b
+}
+
+// CounterBytes returns the 56-byte counter region, the message portion of
+// the node's HMAC input.
+func (g *General) CounterBytes() [56]byte {
+	var out [56]byte
+	b := g.Encode()
+	copy(out[:], b[:56])
+	return out
+}
+
+// Sum is Eq. 1: the generated parent counter is the plain sum of the
+// node's eight counters, reduced to the 56-bit counter domain.
+func (g *General) Sum() uint64 {
+	var s uint64
+	for _, c := range g.C {
+		s += c
+	}
+	return s & CounterMask
+}
+
+// Increment bumps counter i by one and returns the change in the node's
+// generated parent counter (always 1; a wrap of the 56-bit domain is
+// reported by overflow, the 342-685-year corner case of §III-B2 that
+// forces re-keying).
+func (g *General) Increment(i int) (delta uint64, overflow bool) {
+	checkIndex(i, Arity)
+	g.C[i] = (g.C[i] + 1) & CounterMask
+	return 1, g.C[i] == 0
+}
+
+// --- Split leaf ---------------------------------------------------------------
+
+// Split is a decoded split-counter SIT leaf: one 64-bit major counter,
+// 64 six-bit minor counters (one per covered data block), and the HMAC.
+type Split struct {
+	Major uint64
+	Minor [SplitArity]uint8
+	HMAC  uint64
+}
+
+// DecodeSplit unpacks a 64-byte line into a Split leaf.
+func DecodeSplit(b Block) Split {
+	var s Split
+	s.Major = binary.LittleEndian.Uint64(b[0:8])
+	for i := 0; i < SplitArity; i++ {
+		s.Minor[i] = getPacked(b[8:56], i, MinorBits)
+	}
+	s.HMAC = binary.LittleEndian.Uint64(b[56:64])
+	return s
+}
+
+// Encode packs the leaf into its 64-byte line form.
+func (s *Split) Encode() Block {
+	var b Block
+	binary.LittleEndian.PutUint64(b[0:8], s.Major)
+	for i := 0; i < SplitArity; i++ {
+		putPacked(b[8:56], i, MinorBits, s.Minor[i])
+	}
+	binary.LittleEndian.PutUint64(b[56:64], s.HMAC)
+	return b
+}
+
+// CounterBytes returns the 56-byte counter region (major + minors), the
+// message portion of the leaf's HMAC input.
+func (s *Split) CounterBytes() [56]byte {
+	var out [56]byte
+	b := s.Encode()
+	copy(out[:], b[:56])
+	return out
+}
+
+// minorSum returns the plain sum of all minor counters.
+func (s *Split) minorSum() uint64 {
+	var sum uint64
+	for _, m := range s.Minor {
+		sum += uint64(m)
+	}
+	return sum
+}
+
+// Parent is Eq. 2 with the skip-update weight of §III-B1: the generated
+// parent counter is Major·2^6 + Σ minors, reduced to the counter domain.
+func (s *Split) Parent() uint64 {
+	return (s.Major*MinorRange + s.minorSum()) & CounterMask
+}
+
+// Increment bumps minor i, applying the skip-update overflow scheme: when
+// the minor would exceed its maximum, the major counter advances by
+// ceil(S/2^6) where S is the minor sum including the overflowed counter at
+// 2^6, and all minors reset. It returns the parent-counter delta (for LInc
+// maintenance) and whether an overflow (hence data re-encryption of all
+// covered blocks) occurred.
+func (s *Split) Increment(i int) (delta uint64, overflow bool) {
+	checkIndex(i, SplitArity)
+	old := s.Parent()
+	if s.Minor[i] < MinorMax {
+		s.Minor[i]++
+		return (s.Parent() - old) & CounterMask, false
+	}
+	// Overflow: sum with the overflowing minor counted at 2^6.
+	sum := s.minorSum() + 1
+	inc := (sum + MinorRange - 1) / MinorRange // ceil(sum / 2^6)
+	s.Major += inc
+	for j := range s.Minor {
+		s.Minor[j] = 0
+	}
+	return (s.Parent() - old) & CounterMask, true
+}
+
+// ParentNaive is the intuitive Eq. 2 weighting the paper rejects: each
+// minor weighs 1 and the major weighs the maximum minor sum 2^6·64.
+func (s *Split) ParentNaive() uint64 {
+	return (s.Major*(MinorRange*SplitArity) + s.minorSum()) & CounterMask
+}
+
+// IncrementNaive bumps minor i under the naive scheme: on overflow the
+// major advances by exactly one and minors reset. Kept for the §III-B1
+// ablation comparing parent-counter headroom.
+func (s *Split) IncrementNaive(i int) (delta uint64, overflow bool) {
+	checkIndex(i, SplitArity)
+	old := s.ParentNaive()
+	if s.Minor[i] < MinorMax {
+		s.Minor[i]++
+		return (s.ParentNaive() - old) & CounterMask, false
+	}
+	s.Major++
+	for j := range s.Minor {
+		s.Minor[j] = 0
+	}
+	return (s.ParentNaive() - old) & CounterMask, true
+}
+
+// EncCounter returns the encryption counter for covered data block i: the
+// major and minor concatenated, unique per write of that block.
+func (s *Split) EncCounter(i int) uint64 {
+	checkIndex(i, SplitArity)
+	return s.Major<<MinorBits | uint64(s.Minor[i])
+}
+
+// --- CME split counter block (BMT substrate) ----------------------------------
+
+// CME is the classic split counter block of Fig. 1: a 64-bit major and 64
+// seven-bit minors, no embedded HMAC (a BMT hash node protects it).
+type CME struct {
+	Major uint64
+	Minor [SplitArity]uint8
+}
+
+// DecodeCME unpacks a 64-byte line into a CME block.
+func DecodeCME(b Block) CME {
+	var c CME
+	c.Major = binary.LittleEndian.Uint64(b[0:8])
+	for i := 0; i < SplitArity; i++ {
+		c.Minor[i] = getPacked(b[8:64], i, 7)
+	}
+	return c
+}
+
+// Encode packs the block into its 64-byte line form.
+func (c *CME) Encode() Block {
+	var b Block
+	binary.LittleEndian.PutUint64(b[0:8], c.Major)
+	for i := 0; i < SplitArity; i++ {
+		putPacked(b[8:64], i, 7, c.Minor[i])
+	}
+	return b
+}
+
+// Increment bumps minor i classically: on overflow the major advances by
+// one and all minors reset, forcing re-encryption of covered blocks.
+func (c *CME) Increment(i int) (overflow bool) {
+	checkIndex(i, SplitArity)
+	if c.Minor[i] < CMEMinorMax {
+		c.Minor[i]++
+		return false
+	}
+	c.Major++
+	for j := range c.Minor {
+		c.Minor[j] = 0
+	}
+	return true
+}
+
+// EncCounter returns the encryption counter for covered block i.
+func (c *CME) EncCounter(i int) uint64 {
+	checkIndex(i, SplitArity)
+	return c.Major<<7 | uint64(c.Minor[i])
+}
+
+// --- packing helpers -----------------------------------------------------------
+
+func checkIndex(i, n int) {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("counter: index %d out of range [0,%d)", i, n))
+	}
+}
+
+// get56 reads the i-th 56-bit little-endian counter from the block head.
+func get56(b []byte, i int) uint64 {
+	off := i * 7
+	var v uint64
+	for j := 6; j >= 0; j-- {
+		v = v<<8 | uint64(b[off+j])
+	}
+	return v
+}
+
+// put56 writes the i-th 56-bit little-endian counter into the block head.
+func put56(b []byte, i int, v uint64) {
+	if v > CounterMask {
+		panic(fmt.Sprintf("counter: value %#x exceeds 56 bits", v))
+	}
+	off := i * 7
+	for j := 0; j < 7; j++ {
+		b[off+j] = byte(v >> (8 * uint(j)))
+	}
+}
+
+// getPacked reads the i-th width-bit field from a packed bit array.
+func getPacked(b []byte, i, width int) uint8 {
+	bit := i * width
+	var v uint16
+	for j := 0; j < width; j++ {
+		byteIdx, bitIdx := (bit+j)/8, uint(bit+j)%8
+		v |= uint16(b[byteIdx]>>bitIdx&1) << uint(j)
+	}
+	return uint8(v)
+}
+
+// putPacked writes the i-th width-bit field into a packed bit array.
+func putPacked(b []byte, i, width int, v uint8) {
+	if int(v) >= 1<<uint(width) {
+		panic(fmt.Sprintf("counter: value %d exceeds %d bits", v, width))
+	}
+	bit := i * width
+	for j := 0; j < width; j++ {
+		byteIdx, bitIdx := (bit+j)/8, uint(bit+j)%8
+		if v>>uint(j)&1 == 1 {
+			b[byteIdx] |= 1 << bitIdx
+		} else {
+			b[byteIdx] &^= 1 << bitIdx
+		}
+	}
+}

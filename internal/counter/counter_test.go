@@ -1,0 +1,386 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// --- General node ---------------------------------------------------------
+
+func TestGeneralRoundTrip(t *testing.T) {
+	f := func(c [Arity]uint64, hmac uint64) bool {
+		var g General
+		for i := range c {
+			g.C[i] = c[i] & CounterMask
+		}
+		g.HMAC = hmac
+		return DecodeGeneral(g.Encode()) == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralSumEq1(t *testing.T) {
+	var g General
+	for i := 0; i < Arity; i++ {
+		g.C[i] = uint64(i + 1)
+	}
+	if got := g.Sum(); got != 36 { // 1+2+...+8
+		t.Fatalf("Sum = %d, want 36", got)
+	}
+}
+
+func TestGeneralSumWraps56Bits(t *testing.T) {
+	var g General
+	g.C[0] = CounterMask
+	g.C[1] = 1
+	if got := g.Sum(); got != 0 {
+		t.Fatalf("Sum wrap = %d, want 0", got)
+	}
+}
+
+func TestGeneralIncrementDelta(t *testing.T) {
+	var g General
+	before := g.Sum()
+	delta, overflow := g.Increment(3)
+	if delta != 1 || overflow {
+		t.Fatalf("delta=%d overflow=%v", delta, overflow)
+	}
+	if g.Sum() != before+1 {
+		t.Fatal("Sum did not advance by delta")
+	}
+}
+
+func TestGeneralIncrementOverflow(t *testing.T) {
+	var g General
+	g.C[0] = CounterMask
+	_, overflow := g.Increment(0)
+	if !overflow {
+		t.Fatal("56-bit wrap not reported")
+	}
+	if g.C[0] != 0 {
+		t.Fatalf("counter after wrap = %d", g.C[0])
+	}
+}
+
+func TestGeneralMonotonicSum(t *testing.T) {
+	// Property: any sequence of increments keeps Sum strictly increasing
+	// (absent the 56-bit wrap, unreachable in simulation lifetimes).
+	var g General
+	prev := g.Sum()
+	f := func(idx uint8) bool {
+		g.Increment(int(idx) % Arity)
+		s := g.Sum()
+		ok := s == prev+1
+		prev = s
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralCounterBytesExcludesHMAC(t *testing.T) {
+	var a, b General
+	a.C[0], b.C[0] = 5, 5
+	a.HMAC, b.HMAC = 1, 2
+	if a.CounterBytes() != b.CounterBytes() {
+		t.Fatal("HMAC leaked into CounterBytes")
+	}
+}
+
+func TestPut56RejectsWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("encoding 57-bit value did not panic")
+		}
+	}()
+	g := General{C: [Arity]uint64{1 << 56}}
+	g.Encode()
+}
+
+// --- Split leaf -------------------------------------------------------------
+
+func TestSplitRoundTrip(t *testing.T) {
+	f := func(major uint64, minors [SplitArity]uint8, hmac uint64) bool {
+		var s Split
+		s.Major = major
+		for i := range minors {
+			s.Minor[i] = minors[i] & MinorMax
+		}
+		s.HMAC = hmac
+		return DecodeSplit(s.Encode()) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitParentEq2(t *testing.T) {
+	var s Split
+	s.Major = 3
+	s.Minor[0], s.Minor[5] = 2, 7
+	if got := s.Parent(); got != 3*64+9 {
+		t.Fatalf("Parent = %d, want %d", got, 3*64+9)
+	}
+}
+
+func TestSplitIncrementNormal(t *testing.T) {
+	var s Split
+	delta, overflow := s.Increment(10)
+	if delta != 1 || overflow {
+		t.Fatalf("delta=%d overflow=%v, want 1,false", delta, overflow)
+	}
+	if s.Minor[10] != 1 {
+		t.Fatalf("minor = %d", s.Minor[10])
+	}
+}
+
+func TestSplitIncrementOverflowSkipUpdate(t *testing.T) {
+	var s Split
+	s.Major = 10
+	s.Minor[0] = MinorMax // 63
+	s.Minor[1] = 5
+	// Overflow: S = 63+5+1 = 69, ceil(69/64) = 2, major 10 -> 12.
+	old := s.Parent() // 10*64 + 68 = 708
+	delta, overflow := s.Increment(0)
+	if !overflow {
+		t.Fatal("overflow not reported")
+	}
+	if s.Major != 12 {
+		t.Fatalf("major = %d, want 12 (skip update)", s.Major)
+	}
+	for i, m := range s.Minor {
+		if m != 0 {
+			t.Fatalf("minor %d not reset: %d", i, m)
+		}
+	}
+	if got := s.Parent(); got != 12*64 {
+		t.Fatalf("parent = %d, want %d", got, 12*64)
+	}
+	if delta != s.Parent()-old {
+		t.Fatalf("delta = %d, want %d", delta, s.Parent()-old)
+	}
+	if s.Parent() <= old {
+		t.Fatal("parent not monotonic across overflow")
+	}
+}
+
+func TestSplitOverflowAlignsToMinorRange(t *testing.T) {
+	// §III-B1: after an overflow the parent counter is aligned upward in
+	// multiples of 2^6.
+	var s Split
+	s.Minor[0] = MinorMax
+	s.Increment(0)
+	if s.Parent()%MinorRange != 0 {
+		t.Fatalf("parent %d not aligned to %d", s.Parent(), MinorRange)
+	}
+}
+
+func TestSplitCornerCaseMajorPlusTwo(t *testing.T) {
+	// §III-B2 corner case: minor sum reaching 2^6+1 right as a minor
+	// overflows bumps the major by two.
+	var s Split
+	s.Minor[0] = MinorMax // 63
+	s.Minor[1] = 1
+	s.Increment(0) // S = 65, ceil(65/64) = 2
+	if s.Major != 2 {
+		t.Fatalf("major = %d, want 2", s.Major)
+	}
+}
+
+func TestSplitParentMonotonicProperty(t *testing.T) {
+	var s Split
+	prev := s.Parent()
+	f := func(idx uint8) bool {
+		delta, _ := s.Increment(int(idx) % SplitArity)
+		p := s.Parent()
+		ok := p > prev && p-prev == delta
+		prev = p
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitNaiveParentMonotonicProperty(t *testing.T) {
+	var s Split
+	prev := s.ParentNaive()
+	f := func(idx uint8) bool {
+		delta, _ := s.IncrementNaive(int(idx) % SplitArity)
+		p := s.ParentNaive()
+		ok := p > prev && p-prev == delta
+		prev = p
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipUpdateBeatsNaiveHeadroom(t *testing.T) {
+	// The design rationale of §III-B1: for the same write sequence the
+	// skip-update parent counter stays far below the naive-weight one,
+	// reducing overflow probability. Drive one hot minor.
+	var skip, naive Split
+	for i := 0; i < 64*10; i++ {
+		skip.Increment(0)
+		naive.IncrementNaive(0)
+	}
+	if skip.Parent() >= naive.ParentNaive() {
+		t.Fatalf("skip parent %d >= naive parent %d", skip.Parent(), naive.ParentNaive())
+	}
+}
+
+func TestSplitEncCounterUniquePerWrite(t *testing.T) {
+	// Every write to block i must yield a fresh (major,minor) encryption
+	// counter, including across overflows.
+	var s Split
+	seen := map[uint64]bool{}
+	for w := 0; w < 500; w++ {
+		s.Increment(7)
+		ec := s.EncCounter(7)
+		if seen[ec] {
+			t.Fatalf("encryption counter %d reused at write %d", ec, w)
+		}
+		seen[ec] = true
+	}
+}
+
+func TestSplitEncCounterAllBlocksDistinctHistory(t *testing.T) {
+	// Writes interleaved over multiple blocks: each block's counter stream
+	// must be strictly increasing.
+	var s Split
+	last := map[int]uint64{}
+	for w := 0; w < 2000; w++ {
+		i := w % 5
+		s.Increment(i)
+		ec := s.EncCounter(i)
+		if prev, ok := last[i]; ok && ec <= prev {
+			t.Fatalf("block %d counter not increasing: %d -> %d", i, prev, ec)
+		}
+		last[i] = ec
+	}
+}
+
+func TestSplitCounterBytesExcludesHMAC(t *testing.T) {
+	var a, b Split
+	a.Major, b.Major = 4, 4
+	a.HMAC, b.HMAC = 1, 2
+	if a.CounterBytes() != b.CounterBytes() {
+		t.Fatal("HMAC leaked into CounterBytes")
+	}
+}
+
+// --- CME block ---------------------------------------------------------------
+
+func TestCMERoundTrip(t *testing.T) {
+	f := func(major uint64, minors [SplitArity]uint8) bool {
+		var c CME
+		c.Major = major
+		for i := range minors {
+			c.Minor[i] = minors[i] & CMEMinorMax
+		}
+		return DecodeCME(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCMEOverflow(t *testing.T) {
+	var c CME
+	c.Minor[0] = CMEMinorMax
+	if overflow := c.Increment(0); !overflow {
+		t.Fatal("overflow not reported")
+	}
+	if c.Major != 1 {
+		t.Fatalf("major = %d, want 1", c.Major)
+	}
+	for i, m := range c.Minor {
+		if m != 0 {
+			t.Fatalf("minor %d not reset", i)
+		}
+	}
+}
+
+func TestCMEEncCounterUnique(t *testing.T) {
+	var c CME
+	seen := map[uint64]bool{}
+	for w := 0; w < 1000; w++ {
+		c.Increment(3)
+		ec := c.EncCounter(3)
+		if seen[ec] {
+			t.Fatalf("CME counter reuse at write %d", w)
+		}
+		seen[ec] = true
+	}
+}
+
+// --- packing ------------------------------------------------------------------
+
+func TestPackedFieldIsolation(t *testing.T) {
+	// Writing one 6-bit field must not disturb neighbours.
+	var s Split
+	for i := range s.Minor {
+		s.Minor[i] = uint8(i % 64)
+	}
+	b := s.Encode()
+	got := DecodeSplit(b)
+	got.Minor[31] = 63
+	putPacked(b[8:56], 31, MinorBits, 63)
+	if DecodeSplit(b) != got {
+		t.Fatal("putPacked disturbed neighbouring fields")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	var g General
+	var s Split
+	var c CME
+	for _, f := range []func(){
+		func() { g.Increment(Arity) },
+		func() { g.Increment(-1) },
+		func() { s.Increment(SplitArity) },
+		func() { s.EncCounter(-1) },
+		func() { c.Increment(SplitArity) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range index did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkGeneralEncode(b *testing.B) {
+	var g General
+	for i := range g.C {
+		g.C[i] = uint64(i) * 1234567
+	}
+	for i := 0; i < b.N; i++ {
+		_ = g.Encode()
+	}
+}
+
+func BenchmarkSplitIncrement(b *testing.B) {
+	var s Split
+	for i := 0; i < b.N; i++ {
+		s.Increment(i % SplitArity)
+	}
+}
+
+func BenchmarkSplitEncode(b *testing.B) {
+	var s Split
+	for i := range s.Minor {
+		s.Minor[i] = uint8(i % 64)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = s.Encode()
+	}
+}

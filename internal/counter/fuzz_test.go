@@ -1,0 +1,78 @@
+package counter
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGeneralRoundTrip checks that decode(encode(x)) is the identity for
+// arbitrary 64-byte lines interpreted as general nodes.
+func FuzzGeneralRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 64))
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 64 {
+			return
+		}
+		var b Block
+		copy(b[:], raw)
+		g := DecodeGeneral(b)
+		if got := g.Encode(); got != b {
+			t.Fatalf("general round trip changed bytes:\n%x\n%x", b, got)
+		}
+	})
+}
+
+// FuzzSplitRoundTrip checks the split-leaf codec the same way.
+func FuzzSplitRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 64 {
+			return
+		}
+		var b Block
+		copy(b[:], raw)
+		s := DecodeSplit(b)
+		if got := s.Encode(); got != b {
+			t.Fatalf("split round trip changed bytes:\n%x\n%x", b, got)
+		}
+	})
+}
+
+// FuzzSplitIncrementMonotone drives random increment sequences and checks
+// the Eq. 2 parent value never regresses and always matches the reported
+// delta.
+func FuzzSplitIncrementMonotone(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 63})
+	f.Fuzz(func(t *testing.T, idxs []byte) {
+		var s Split
+		prev := s.Parent()
+		for _, raw := range idxs {
+			delta, _ := s.Increment(int(raw) % SplitArity)
+			p := s.Parent()
+			if p <= prev || p-prev != delta {
+				t.Fatalf("parent %d -> %d (delta %d) not monotone-consistent", prev, p, delta)
+			}
+			prev = p
+		}
+	})
+}
+
+func FuzzCMERoundTrip(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 64 {
+			return
+		}
+		var b Block
+		copy(b[:], raw)
+		c := DecodeCME(b)
+		if got := c.Encode(); !bytes.Equal(got[:], b[:]) {
+			t.Fatalf("CME round trip changed bytes")
+		}
+	})
+}

@@ -1,0 +1,218 @@
+// Package cpu models the processor-side cache hierarchy of Table I —
+// 32 KB 2-way private L1d, 512 KB 8-way shared L2, 2 MB 8-way shared L3,
+// 64 B blocks, LRU, write-back — the part of the Gem5 configuration that
+// turns a program's raw access stream into the LLC-miss stream the memory
+// controller sees.
+//
+// The evaluation workloads (internal/trace) are synthesised directly at
+// the LLC-miss level, which keeps the figures' calibration independent of
+// this package (DESIGN.md, substitutions). The hierarchy exists to close
+// the Table I inventory and to validate that substitution: filtering a raw
+// stream through these caches produces a miss stream with the same
+// qualitative behaviour the generators emit directly (see the tests).
+package cpu
+
+import (
+	"steins/internal/cache"
+	"steins/internal/nvmem"
+)
+
+// Config sizes the three levels; defaults are Table I.
+type Config struct {
+	L1Bytes, L1Ways int
+	L2Bytes, L2Ways int
+	L3Bytes, L3Ways int
+	// Latencies in cycles, used to accumulate the compute gap between
+	// consecutive memory-level operations.
+	L1HitCycles, L2HitCycles, L3HitCycles uint64
+}
+
+// DefaultConfig returns the Table I hierarchy.
+func DefaultConfig() Config {
+	return Config{
+		L1Bytes: 32 << 10, L1Ways: 2,
+		L2Bytes: 512 << 10, L2Ways: 8,
+		L3Bytes: 2 << 20, L3Ways: 8,
+		L1HitCycles: 2, L2HitCycles: 12, L3HitCycles: 30,
+	}
+}
+
+// MemOp is one operation that escapes the hierarchy to main memory.
+type MemOp struct {
+	Addr    uint64
+	IsWrite bool // write-back of a dirty LLC victim
+	Gap     uint64
+}
+
+// Stats counts hierarchy activity.
+type Stats struct {
+	Accesses   uint64
+	L1Hits     uint64
+	L2Hits     uint64
+	L3Hits     uint64
+	Misses     uint64 // accesses that reached memory
+	WriteBacks uint64 // dirty LLC victims written to memory
+}
+
+// MissRate returns the fraction of accesses that reached memory.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Hierarchy is the three-level write-back cache stack. It is inclusive:
+// a line resides in every level from its highest point of presence down.
+// Not safe for concurrent use.
+type Hierarchy struct {
+	cfg        Config
+	l1, l2, l3 *cache.Cache[struct{}]
+	stats      Stats
+	pendingGap uint64
+}
+
+// New builds the hierarchy.
+func New(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		l1:  cache.New[struct{}](cfg.L1Bytes, cfg.L1Ways, nvmem.LineSize),
+		l2:  cache.New[struct{}](cfg.L2Bytes, cfg.L2Ways, nvmem.LineSize),
+		l3:  cache.New[struct{}](cfg.L3Bytes, cfg.L3Ways, nvmem.LineSize),
+	}
+}
+
+// Stats returns a snapshot.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Access runs one CPU load/store through the hierarchy, returning the
+// memory-level operations it causes (zero on hits, a fill read and/or
+// dirty write-backs on an LLC miss). gap is the compute time since the
+// previous access; it accumulates across hits so the emitted MemOps carry
+// the full inter-miss distance.
+func (h *Hierarchy) Access(addr uint64, isWrite bool, gap uint64) []MemOp {
+	addr &^= uint64(nvmem.LineSize - 1)
+	h.stats.Accesses++
+	h.pendingGap += gap
+
+	if e, ok := h.l1.Lookup(addr); ok {
+		h.stats.L1Hits++
+		h.pendingGap += h.cfg.L1HitCycles
+		e.Dirty = e.Dirty || isWrite
+		return nil
+	}
+	var out []MemOp
+	if _, ok := h.l2.Lookup(addr); ok {
+		h.stats.L2Hits++
+		h.pendingGap += h.cfg.L2HitCycles
+	} else if _, ok := h.l3.Lookup(addr); ok {
+		h.stats.L3Hits++
+		h.pendingGap += h.cfg.L3HitCycles
+		h.fillL2(addr, &out)
+	} else {
+		// LLC miss: fetch from memory, fill all levels.
+		h.stats.Misses++
+		out = append(out, MemOp{Addr: addr, IsWrite: false, Gap: h.take()})
+		h.fillL3(addr, &out)
+		h.fillL2(addr, &out)
+	}
+	h.fillL1(addr, isWrite, &out)
+	return out
+}
+
+// take consumes the accumulated gap for the next emitted MemOp.
+func (h *Hierarchy) take() uint64 {
+	g := h.pendingGap
+	h.pendingGap = 0
+	if g == 0 {
+		g = 1
+	}
+	return g
+}
+
+// fillL1 inserts into L1; a dirty victim spills into L2.
+func (h *Hierarchy) fillL1(addr uint64, dirty bool, out *[]MemOp) {
+	_, victim, evicted := h.l1.Insert(addr, struct{}{}, dirty)
+	if evicted && victim.Dirty {
+		if e, ok := h.l2.Probe(victim.Addr); ok {
+			e.Dirty = true
+		} else {
+			// Inclusion was broken by an L2 eviction; spill to L3.
+			h.spillL3(victim.Addr, out)
+		}
+	}
+}
+
+// fillL2 inserts into L2; a dirty victim spills into L3.
+func (h *Hierarchy) fillL2(addr uint64, out *[]MemOp) {
+	if _, ok := h.l2.Probe(addr); ok {
+		return
+	}
+	_, victim, evicted := h.l2.Insert(addr, struct{}{}, false)
+	if evicted {
+		// Invalidate the inclusive copy below.
+		if e, ok := h.l1.Probe(victim.Addr); ok {
+			victim.Dirty = victim.Dirty || e.Dirty
+			h.l1.Invalidate(victim.Addr)
+		}
+		if victim.Dirty {
+			h.spillL3(victim.Addr, out)
+		}
+	}
+}
+
+// fillL3 inserts into L3; a dirty victim is written back to memory.
+func (h *Hierarchy) fillL3(addr uint64, out *[]MemOp) {
+	if _, ok := h.l3.Probe(addr); ok {
+		return
+	}
+	_, victim, evicted := h.l3.Insert(addr, struct{}{}, false)
+	if evicted {
+		// Enforce inclusion: drop the line from the levels above,
+		// absorbing their dirtiness.
+		if e, ok := h.l1.Probe(victim.Addr); ok {
+			victim.Dirty = victim.Dirty || e.Dirty
+			h.l1.Invalidate(victim.Addr)
+		}
+		if e, ok := h.l2.Probe(victim.Addr); ok {
+			victim.Dirty = victim.Dirty || e.Dirty
+			h.l2.Invalidate(victim.Addr)
+		}
+		if victim.Dirty {
+			h.stats.WriteBacks++
+			*out = append(*out, MemOp{Addr: victim.Addr, IsWrite: true, Gap: h.take()})
+		}
+	}
+}
+
+// spillL3 marks addr dirty in L3, filling it if absent.
+func (h *Hierarchy) spillL3(addr uint64, out *[]MemOp) {
+	if e, ok := h.l3.Probe(addr); ok {
+		e.Dirty = true
+		return
+	}
+	h.fillL3(addr, out)
+	if e, ok := h.l3.Probe(addr); ok {
+		e.Dirty = true
+	}
+}
+
+// Flush drains every dirty line to memory (end-of-run write-back).
+func (h *Hierarchy) Flush() []MemOp {
+	var out []MemOp
+	seen := map[uint64]bool{}
+	emit := func(addr uint64, dirty bool) {
+		if dirty && !seen[addr] {
+			seen[addr] = true
+			h.stats.WriteBacks++
+			out = append(out, MemOp{Addr: addr, IsWrite: true, Gap: h.take()})
+		}
+	}
+	h.l1.ForEach(func(e *cache.Entry[struct{}]) { emit(e.Addr, e.Dirty) })
+	h.l2.ForEach(func(e *cache.Entry[struct{}]) { emit(e.Addr, e.Dirty) })
+	h.l3.ForEach(func(e *cache.Entry[struct{}]) { emit(e.Addr, e.Dirty) })
+	h.l1.Clear()
+	h.l2.Clear()
+	h.l3.Clear()
+	return out
+}

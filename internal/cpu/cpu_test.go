@@ -1,0 +1,207 @@
+package cpu
+
+import (
+	"testing"
+
+	"steins/internal/cache"
+	"steins/internal/rng"
+)
+
+func small() Config {
+	return Config{
+		L1Bytes: 1 << 10, L1Ways: 2,
+		L2Bytes: 4 << 10, L2Ways: 4,
+		L3Bytes: 16 << 10, L3Ways: 4,
+		L1HitCycles: 2, L2HitCycles: 12, L3HitCycles: 30,
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	h := New(small())
+	ops := h.Access(0, false, 10)
+	if len(ops) != 1 || ops[0].IsWrite {
+		t.Fatalf("cold miss ops = %+v", ops)
+	}
+	if ops := h.Access(0, false, 10); len(ops) != 0 {
+		t.Fatalf("second access missed: %+v", ops)
+	}
+	s := h.Stats()
+	if s.L1Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestGapAccumulatesAcrossHits(t *testing.T) {
+	h := New(small())
+	h.Access(0, false, 100) // miss, consumes gap
+	for i := 0; i < 5; i++ {
+		h.Access(0, false, 100) // hits accumulate gap
+	}
+	ops := h.Access(1<<14, false, 100) // far line: miss
+	if len(ops) != 1 {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if ops[0].Gap < 600 { // 6x100 + hit latencies
+		t.Fatalf("gap %d did not accumulate across hits", ops[0].Gap)
+	}
+}
+
+func TestDirtyVictimWritesBack(t *testing.T) {
+	h := New(small())
+	// Write one line, then stream enough lines through to evict it from
+	// every level; its write-back must appear.
+	h.Access(0, true, 1)
+	sawWB := false
+	for i := uint64(1); i < 4096 && !sawWB; i++ {
+		for _, op := range h.Access(i*64, false, 1) {
+			if op.IsWrite && op.Addr == 0 {
+				sawWB = true
+			}
+		}
+	}
+	if !sawWB {
+		t.Fatal("dirty line never written back through the hierarchy")
+	}
+	if h.Stats().WriteBacks == 0 {
+		t.Fatal("write-back count zero")
+	}
+}
+
+func TestCleanVictimsSilent(t *testing.T) {
+	h := New(small())
+	writes := 0
+	for i := uint64(0); i < 4096; i++ {
+		for _, op := range h.Access(i*64, false, 1) {
+			if op.IsWrite {
+				writes++
+			}
+		}
+	}
+	if writes != 0 {
+		t.Fatalf("%d write-backs from a read-only stream", writes)
+	}
+}
+
+func TestFlushDrainsDirtyLines(t *testing.T) {
+	h := New(small())
+	dirty := map[uint64]bool{}
+	for i := uint64(0); i < 8; i++ {
+		h.Access(i*64, true, 1)
+		dirty[i*64] = true
+	}
+	for _, op := range h.Flush() {
+		if !op.IsWrite {
+			t.Fatalf("flush emitted a read: %+v", op)
+		}
+		delete(dirty, op.Addr)
+	}
+	if len(dirty) != 0 {
+		t.Fatalf("flush missed dirty lines: %v", dirty)
+	}
+	// Hierarchy empty afterwards.
+	if ops := h.Access(0, false, 1); len(ops) != 1 {
+		t.Fatal("hierarchy not cold after flush")
+	}
+}
+
+func TestInclusionMostlyMaintained(t *testing.T) {
+	// The hierarchy is inclusive by fill policy; evictions above can
+	// transiently break it (handled by the dirty-spill paths), but the
+	// steady state keeps the overwhelming majority of upper-level lines
+	// backed by L3.
+	h := New(small())
+	r := rng.New(3)
+	for i := 0; i < 20000; i++ {
+		h.Access(r.Uint64n(2048)*64, r.Bool(0.4), 1)
+	}
+	total, backed := 0, 0
+	h.l1.ForEach(func(e *cache.Entry[struct{}]) {
+		total++
+		if _, ok := h.l3.Probe(e.Addr); ok {
+			backed++
+		}
+	})
+	h.l2.ForEach(func(e *cache.Entry[struct{}]) {
+		total++
+		if _, ok := h.l3.Probe(e.Addr); ok {
+			backed++
+		}
+	})
+	if total == 0 || float64(backed)/float64(total) < 0.9 {
+		t.Fatalf("inclusion degraded: %d/%d upper lines L3-backed", backed, total)
+	}
+}
+
+func TestMissRateOrdering(t *testing.T) {
+	// A working set inside L3 must have a far lower miss rate than one
+	// 16x beyond it.
+	run := func(lines uint64) float64 {
+		h := New(small())
+		r := rng.New(9)
+		for i := 0; i < 30000; i++ {
+			h.Access(r.Uint64n(lines)*64, r.Bool(0.3), 1)
+		}
+		return h.Stats().MissRate()
+	}
+	smallSet := run(128)  // 8 KiB, fits L3
+	largeSet := run(8192) // 512 KiB, far beyond
+	if smallSet >= largeSet/4 {
+		t.Fatalf("miss rates do not separate: fits=%.4f overflows=%.4f", smallSet, largeSet)
+	}
+}
+
+func TestTableIDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.L1Bytes != 32<<10 || cfg.L1Ways != 2 {
+		t.Fatalf("L1 %+v", cfg)
+	}
+	if cfg.L2Bytes != 512<<10 || cfg.L2Ways != 8 {
+		t.Fatalf("L2 %+v", cfg)
+	}
+	if cfg.L3Bytes != 2<<20 || cfg.L3Ways != 8 {
+		t.Fatalf("L3 %+v", cfg)
+	}
+}
+
+func TestWriteBackStreamConservation(t *testing.T) {
+	// Every dirtied line is either still cached at the end or was written
+	// back exactly as many times as it was re-dirtied after eviction; at
+	// minimum, after Flush, dirtied-set == union(write-backs).
+	h := New(small())
+	r := rng.New(17)
+	dirtied := map[uint64]bool{}
+	written := map[uint64]bool{}
+	for i := 0; i < 30000; i++ {
+		addr := r.Uint64n(4096) * 64
+		w := r.Bool(0.5)
+		if w {
+			dirtied[addr] = true
+		}
+		for _, op := range h.Access(addr, w, 1) {
+			if op.IsWrite {
+				written[op.Addr] = true
+			}
+		}
+	}
+	for _, op := range h.Flush() {
+		written[op.Addr] = true
+	}
+	for addr := range dirtied {
+		if !written[addr] {
+			t.Fatalf("dirtied line %#x never written back", addr)
+		}
+	}
+	for addr := range written {
+		if !dirtied[addr] {
+			t.Fatalf("write-back of never-dirtied line %#x", addr)
+		}
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	h := New(DefaultConfig())
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		h.Access(r.Uint64n(1<<16)*64, i&3 == 0, 4)
+	}
+}

@@ -1,0 +1,159 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"steins/internal/trace"
+)
+
+// tinyScale keeps figure tests fast while exercising every code path.
+func tinyScale() Scale {
+	return Scale{Ops: 4000, Seed: 1, Fig17Caches: []int{8 << 10, 16 << 10}}
+}
+
+func parseRatio(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestGCSweepFigures(t *testing.T) {
+	sw, err := GCSweep(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Workloads) != len(trace.All()) {
+		t.Fatalf("sweep covered %d workloads", len(sw.Workloads))
+	}
+	for _, fig := range []struct {
+		name  string
+		table interface{ Rows() [][]string }
+	}{
+		{"Fig9", Fig9(sw)}, {"Fig10", Fig10(sw)}, {"Fig11", Fig11(sw)},
+		{"Fig13", Fig13(sw)}, {"Fig15", Fig15(sw)},
+	} {
+		rows := fig.table.Rows()
+		if len(rows) != len(trace.All())+1 { // + geomean
+			t.Fatalf("%s: %d rows", fig.name, len(rows))
+		}
+		for _, row := range rows {
+			// Column 1 is WB-GC: the baseline must be exactly 1.
+			if v := parseRatio(t, row[1]); v != 1 {
+				t.Fatalf("%s: baseline %v != 1 in row %v", fig.name, v, row)
+			}
+		}
+	}
+	// The headline result on the geomean row: WB <= Steins <= STAR <= ASIT
+	// for execution time.
+	rows := Fig9(sw).Rows()
+	avg := rows[len(rows)-1]
+	asit, star, steins := parseRatio(t, avg[2]), parseRatio(t, avg[3]), parseRatio(t, avg[4])
+	if !(steins <= star && star <= asit) {
+		t.Fatalf("Fig9 geomean ordering violated: ASIT %v, STAR %v, Steins %v", asit, star, steins)
+	}
+	// ASIT's write traffic ~2x (Fig. 13).
+	rows = Fig13(sw).Rows()
+	avg = rows[len(rows)-1]
+	if v := parseRatio(t, avg[2]); v < 1.8 {
+		t.Fatalf("Fig13 ASIT traffic %v, want ~2x", v)
+	}
+}
+
+func TestSCSweepFigures(t *testing.T) {
+	sw, err := SCSweep(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range []interface{ Rows() [][]string }{Fig12(sw), Fig14(sw), Fig16(sw)} {
+		if len(tab.Rows()) != len(trace.All())+1 {
+			t.Fatalf("SC figure has %d rows", len(tab.Rows()))
+		}
+	}
+	// Fig 12 headline: Steins-SC ~= WB-SC and faster than Steins-GC.
+	rows := Fig12(sw).Rows()
+	avg := rows[len(rows)-1]
+	gc, sc := parseRatio(t, avg[2]), parseRatio(t, avg[3])
+	if sc >= gc {
+		t.Fatalf("Fig12 geomean: Steins-SC %v not below Steins-GC %v", sc, gc)
+	}
+	if sc > 1.1 {
+		t.Fatalf("Fig12 geomean: Steins-SC %v too far above WB-SC", sc)
+	}
+}
+
+func TestFig17(t *testing.T) {
+	tab, err := Fig17(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("Fig17 rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row[len(row)-1] != "n/a" {
+			t.Fatalf("WB column should be n/a: %v", row)
+		}
+		for _, cell := range row[1 : len(row)-1] {
+			if !strings.Contains(cell, "s") {
+				t.Fatalf("recovery cell %q has no time unit", cell)
+			}
+		}
+	}
+}
+
+func TestTableI(t *testing.T) {
+	s := TableI().String()
+	for _, want := range []string{"16.0 GiB", "256.0 KiB", "9 (GC) / 8 (SC)", "40 cycles", "128 B", "16.0 KiB"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStorageTable(t *testing.T) {
+	s := StorageTable().String()
+	for _, want := range []string{"2.0 GiB", "256.0 MiB", "Steins-GC", "SCUE-GC"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("storage table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOverflowTable(t *testing.T) {
+	s := OverflowTable().String()
+	for _, want := range []string{"classic SIT", "skip-update", "naive"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("overflow table missing %q:\n%s", want, s)
+		}
+	}
+	// Classic ~685 years, skip-update half of that.
+	rows := OverflowTable().Rows()
+	classic, _ := strconv.ParseFloat(rows[0][2], 64)
+	skip, _ := strconv.ParseFloat(rows[1][2], 64)
+	if classic < 600 || classic > 800 {
+		t.Fatalf("classic overflow %v years, want ~685", classic)
+	}
+	if skip < 300 || skip > 400 {
+		t.Fatalf("skip-update overflow %v years, want ~342", skip)
+	}
+}
+
+func TestAblationTable(t *testing.T) {
+	tab, err := AblationTable(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	avg := rows[len(rows)-1]
+	full := parseRatio(t, avg[2])
+	noBuf := parseRatio(t, avg[3])
+	if noBuf <= full {
+		t.Fatalf("no-buffer write latency %v not above full Steins %v", noBuf, full)
+	}
+}

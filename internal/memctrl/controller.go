@@ -1,0 +1,425 @@
+package memctrl
+
+import (
+	"steins/internal/cache"
+	"steins/internal/cme"
+	"steins/internal/counter"
+	"steins/internal/nvmem"
+	"steins/internal/sit"
+)
+
+// Controller is the secure memory controller. It serialises requests to
+// one DIMM (§IV-F): each request occupies the controller for its critical
+// path, and a request arriving while the controller is busy queues behind
+// it, which is how heavyweight schemes (shadow writes, cache-tree updates)
+// degrade execution time.
+//
+// Not safe for concurrent use.
+type Controller struct {
+	cfg    Config
+	lay    Layout
+	dev    *nvmem.Device
+	meta   *cache.Cache[*sit.Node]
+	root   sit.Root
+	eng    cme.Engine
+	tags   map[uint64]cme.Tag
+	policy Policy
+
+	// evicting tracks nodes whose dirty eviction is in flight: removed
+	// from the cache but (for classic schemes) not yet persisted. A fetch
+	// that lands on one must take the in-flight copy — the NVM image is
+	// stale until the eviction finishes.
+	evicting map[uint64]*sit.Node
+
+	arrival   uint64 // trace-time arrival of the current request
+	reqStart  uint64 // cycle the current request began service
+	busyUntil uint64
+	warmupEnd uint64 // makespan at the last ResetStats
+	stats     Stats
+}
+
+// New builds a controller with the given configuration and recovery
+// scheme. The NVM capacity is derived from the layout.
+func New(cfg Config, factory PolicyFactory) *Controller {
+	if cfg.MetaCacheWays < 2 {
+		panic("memctrl: metadata cache needs at least 2 ways")
+	}
+	lay := NewLayout(cfg)
+	cfg.NVM.CapacityBytes = lay.Capacity
+	c := &Controller{
+		cfg:      cfg,
+		lay:      lay,
+		dev:      nvmem.New(cfg.NVM),
+		meta:     cache.New[*sit.Node](cfg.MetaCacheBytes, cfg.MetaCacheWays, nvmem.LineSize),
+		eng:      cme.Engine{Key: cfg.Key, OTP: cfg.OTP, MAC: cfg.MAC},
+		tags:     make(map[uint64]cme.Tag),
+		evicting: make(map[uint64]*sit.Node),
+	}
+	c.policy = factory(c)
+	if cfg.EagerUpdate && c.policy.CounterGen() {
+		panic("memctrl: eager update is only supported with classic self-increment schemes")
+	}
+	return c
+}
+
+// Accessors used by policies, recovery and the harness.
+
+// Config returns the controller configuration.
+func (c *Controller) Config() *Config { return &c.cfg }
+
+// Layout returns the NVM region layout.
+func (c *Controller) Layout() *Layout { return &c.lay }
+
+// Device returns the NVM device.
+func (c *Controller) Device() *nvmem.Device { return c.dev }
+
+// Meta returns the metadata cache.
+func (c *Controller) Meta() *cache.Cache[*sit.Node] { return c.meta }
+
+// Root returns the on-chip root register file.
+func (c *Controller) Root() *sit.Root { return &c.root }
+
+// Engine returns the CME engine.
+func (c *Controller) Engine() *cme.Engine { return &c.eng }
+
+// Policy returns the active recovery scheme.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// Stats returns a snapshot of controller statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats zeroes controller and device statistics without touching any
+// state; the simulator calls it at the end of the warm-up phase. The
+// makespan clock keeps running (it orders requests), so execution time for
+// a measured phase is the makespan delta.
+func (c *Controller) ResetStats() {
+	c.stats = Stats{}
+	c.dev.ResetStats()
+	c.meta.ResetStats()
+	c.warmupEnd = c.busyUntil
+}
+
+// MeasuredExecCycles returns the makespan excluding the warm-up phase.
+func (c *Controller) MeasuredExecCycles() uint64 { return c.busyUntil - c.warmupEnd }
+
+// ExecCycles returns the makespan so far: the cycle the controller last
+// went idle. This is the execution-time metric of Fig. 9/12.
+func (c *Controller) ExecCycles() uint64 { return c.busyUntil }
+
+// EnergyPJ returns total energy: NVM accesses plus crypto engine work.
+func (c *Controller) EnergyPJ() float64 {
+	return c.dev.EnergyPJ() +
+		float64(c.stats.HashOps)*c.cfg.HashPJ +
+		float64(c.stats.AESOps)*c.cfg.AESPJ
+}
+
+// Now returns the service-start cycle of the request in flight; device
+// accesses within a request are stamped with it.
+func (c *Controller) Now() uint64 { return c.reqStart }
+
+// Tag returns the co-located authentication tag of a data line.
+func (c *Controller) Tag(addr uint64) cme.Tag { return c.tags[addr] }
+
+// SetTag overwrites a data line's tag; attack injection uses it to model
+// an adversary rewriting ECC bits.
+func (c *Controller) SetTag(addr uint64, t cme.Tag) { c.tags[addr] = t }
+
+// ChargeHash accounts n MAC-engine operations and returns their latency.
+func (c *Controller) ChargeHash(n uint64) uint64 {
+	c.stats.HashOps += n
+	return n * c.cfg.HashCycles
+}
+
+// CountHash accounts MAC-engine work that runs on a dedicated pipelined
+// engine off the critical path (cache-tree updates); it contributes to
+// energy but the caller decides the latency charge.
+func (c *Controller) CountHash(n uint64) {
+	c.stats.HashOps += n
+}
+
+// --- metadata fetch ----------------------------------------------------------
+
+// FetchNode returns the cached entry for tree node (level, index), loading
+// and verifying it (and, on misses, its ancestors) from NVM. The returned
+// cycles are the critical-path cost; the entry pointer is valid until the
+// next cache mutation.
+func (c *Controller) FetchNode(level int, index uint64) (*cache.Entry[*sit.Node], uint64, error) {
+	addr := c.lay.Geo.NodeAddr(level, index)
+	if e, ok := c.meta.Lookup(addr); ok {
+		return e, c.cfg.CacheHitCycles, nil
+	}
+	if n, ok := c.evicting[addr]; ok {
+		// The node's dirty eviction is in flight; its NVM image may be
+		// stale, so re-adopt the in-flight copy (still the newest
+		// version) instead of reading the device.
+		e, icyc, err := c.insertNode(addr, n, true)
+		return e, icyc + c.cfg.CacheHitCycles, err
+	}
+	var cycles uint64
+	var pc uint64
+	if ov, ok := c.policy.ParentCounterOverride(level, index); ok {
+		pc = ov
+	} else if c.lay.Geo.IsTop(level) {
+		pc = c.root.Counter(index)
+	} else {
+		pl, pi, slot := c.lay.Geo.Parent(level, index)
+		pe, pcyc, err := c.FetchNode(pl, pi)
+		cycles += pcyc
+		if err != nil {
+			return nil, cycles, err
+		}
+		pc = pe.Payload.Counter(slot)
+	}
+	line, rlat := c.dev.Read(c.reqStart+cycles, addr, nvmem.ClassMeta)
+	cycles += rlat
+	node, vcyc, err := c.VerifyNodeLine(level, index, counter.Block(line), pc)
+	cycles += vcyc
+	if err != nil {
+		return nil, cycles, err
+	}
+	e, icyc, err := c.insertNode(addr, node, false)
+	return e, cycles + icyc, err
+}
+
+// insertNode places a node in the metadata cache, writing back displaced
+// dirty victims through the policy.
+func (c *Controller) insertNode(addr uint64, node *sit.Node, dirty bool) (*cache.Entry[*sit.Node], uint64, error) {
+	var cycles uint64
+	for {
+		// Nested work triggered on this path (drains, eviction cascades)
+		// can itself have loaded — and possibly updated — this node; the
+		// resident copy is then authoritative.
+		if live, ok := c.meta.Probe(addr); ok {
+			if dirty {
+				live.Dirty = true
+			}
+			return live, cycles, nil
+		}
+		e, victim, evicted := c.meta.Insert(addr, node, dirty)
+		if !evicted || !victim.Dirty {
+			return e, cycles, nil
+		}
+		evc, err := c.EvictDirtyNode(victim.Payload)
+		cycles += evc
+		if err != nil {
+			return nil, cycles, err
+		}
+	}
+}
+
+// EvictDirtyNode writes a dirty node back through the active policy,
+// tracking it as in flight so a concurrent refetch adopts the live copy,
+// and re-registers it with the policy if the eviction cascade pulled it
+// back into the cache.
+func (c *Controller) EvictDirtyNode(node *sit.Node) (uint64, error) {
+	addr := c.lay.Geo.NodeAddr(node.Level, node.Index)
+	c.evicting[addr] = node
+	cycles, err := c.policy.EvictDirty(node)
+	delete(c.evicting, addr)
+	if err != nil {
+		return cycles, err
+	}
+	if e, ok := c.meta.Probe(addr); ok && e.Dirty && e.Payload == node {
+		// Re-adopted mid-eviction: the policy believes the node left the
+		// cache, so re-establish its dirty tracking (records, bitmap,
+		// shadow slot). Its contents match NVM, hence delta zero.
+		cycles += c.policy.OnModify(e, true, 0)
+	}
+	return cycles, nil
+}
+
+// VerifyNodeLine decodes a node line and checks its HMAC against the
+// counter its parent holds. An all-zero line under a zero parent counter
+// is the valid initial state of a never-flushed node: a node cannot reach
+// NVM without its first flush advancing the parent counter past zero.
+func (c *Controller) VerifyNodeLine(level int, index uint64, b counter.Block, parentCounter uint64) (*sit.Node, uint64, error) {
+	split := c.cfg.SplitLeaf && level == 0
+	node := sit.DecodeNode(level, index, split, b)
+	if parentCounter == 0 && b == (counter.Block{}) {
+		return node, 0, nil
+	}
+	addr := c.lay.Geo.NodeAddr(level, index)
+	lat := c.ChargeHash(1)
+	if sit.NodeMAC(c.cfg.MAC, c.cfg.Key, addr, node.CounterBytes(), parentCounter) != node.HMAC() {
+		return nil, lat, TamperAt("SIT node", level, index, "HMAC mismatch on fetch")
+	}
+	return node, lat, nil
+}
+
+// NodeMAC computes the HMAC a node would carry under the given parent
+// counter.
+func (c *Controller) NodeMAC(n *sit.Node, parentCounter uint64) uint64 {
+	addr := c.lay.Geo.NodeAddr(n.Level, n.Index)
+	return sit.NodeMAC(c.cfg.MAC, c.cfg.Key, addr, n.CounterBytes(), parentCounter)
+}
+
+// StaleNode decodes a node's current NVM image without timing or stats;
+// recovery paths use it with their own accounting.
+func (c *Controller) StaleNode(level int, index uint64) *sit.Node {
+	line := c.dev.Peek(c.lay.Geo.NodeAddr(level, index))
+	return sit.DecodeNode(level, index, c.cfg.SplitLeaf && level == 0, counter.Block(line))
+}
+
+// --- modification and eviction -------------------------------------------------
+
+// SetParentCounter applies a parent-side counter update for a flushed or
+// modified child, marks the parent dirty, and routes the change through
+// the policy. delta is the FValue increase.
+func (c *Controller) SetParentCounter(pe *cache.Entry[*sit.Node], slot int, val uint64, delta uint64) uint64 {
+	wasClean := !pe.Dirty
+	pe.Payload.SetCounter(slot, val)
+	pe.Dirty = true
+	return c.policy.OnModify(pe, wasClean, delta)
+}
+
+// SealAndWriteNode computes the victim's HMAC under the given parent
+// counter and persists it through the write queue.
+func (c *Controller) SealAndWriteNode(n *sit.Node, parentCounter uint64) uint64 {
+	lat := c.ChargeHash(1)
+	n.SetHMAC(c.NodeMAC(n, parentCounter))
+	addr := c.lay.Geo.NodeAddr(n.Level, n.Index)
+	stall := c.dev.Write(c.reqStart, addr, nvmem.Line(n.Encode()), nvmem.ClassMeta)
+	return lat + stall
+}
+
+// ClassicEvict is the classic SIT write-back shared by WB, ASIT and STAR:
+// fetch the parent (verification chain on the critical path), advance its
+// counter for the victim, seal the victim's HMAC with the new counter, and
+// persist the victim. In eager mode the parent is already current, so its
+// counter is read but not advanced.
+func (c *Controller) ClassicEvict(victim *sit.Node) (uint64, error) {
+	var cycles uint64
+	var newPC uint64
+	if c.lay.Geo.IsTop(victim.Level) {
+		newPC = c.root.Counter(victim.Index)
+		if !c.cfg.EagerUpdate {
+			newPC++
+			c.root.SetCounter(victim.Index, newPC)
+		}
+	} else {
+		pl, pi, slot := c.lay.Geo.Parent(victim.Level, victim.Index)
+		pe, pcyc, err := c.FetchNode(pl, pi)
+		cycles += pcyc
+		if err != nil {
+			return cycles, err
+		}
+		newPC = pe.Payload.Counter(slot)
+		if !c.cfg.EagerUpdate {
+			newPC++
+			cycles += c.SetParentCounter(pe, slot, newPC, 1)
+		}
+	}
+	return cycles + c.SealAndWriteNode(victim, newPC), nil
+}
+
+// FlushNode forces a specific node out of the metadata cache, writing it
+// back through the active scheme if dirty. Tests and examples use it to
+// build precise flush epochs; it returns the write-back cost in cycles.
+func (c *Controller) FlushNode(level int, index uint64) (uint64, error) {
+	addr := c.lay.Geo.NodeAddr(level, index)
+	e, ok := c.meta.Probe(addr)
+	if !ok {
+		return 0, nil
+	}
+	node, dirty := e.Payload, e.Dirty
+	c.meta.Invalidate(addr)
+	if !dirty {
+		return 0, nil
+	}
+	return c.EvictDirtyNode(node)
+}
+
+// ForceAllDirty marks every cached node dirty through the policy funnel;
+// the recovery-time evaluation (§IV-D) assumes all cached metadata are
+// dirty at the crash.
+func (c *Controller) ForceAllDirty() {
+	c.meta.ForEach(func(e *cache.Entry[*sit.Node]) {
+		wasClean := !e.Dirty
+		e.Dirty = true
+		c.policy.OnModify(e, wasClean, 0)
+	})
+}
+
+// --- crash and recovery ----------------------------------------------------------
+
+// Crash models a power failure: the policy flushes its ADR-domain lines,
+// then all volatile controller state (the metadata cache) is lost. The
+// NVM device, data tags (ECC bits), the on-chip root and the policy's
+// on-chip non-volatile state survive.
+func (c *Controller) Crash() {
+	c.policy.OnCrash()
+	c.meta.Clear()
+}
+
+// Recover rebuilds and verifies the metadata lost in the last Crash using
+// the active scheme.
+func (c *Controller) Recover() (RecoveryReport, error) {
+	return c.policy.Recover()
+}
+
+// --- clocking -----------------------------------------------------------------
+
+func (c *Controller) arrive(gap uint64) {
+	c.arrival += gap
+	// Closed loop: the core cannot run further ahead of the memory system
+	// than its outstanding-miss window, so a backed-up controller slows
+	// arrivals (stretching execution time) instead of queueing unboundedly.
+	if c.busyUntil > c.cfg.RunAheadCycles && c.arrival < c.busyUntil-c.cfg.RunAheadCycles {
+		c.arrival = c.busyUntil - c.cfg.RunAheadCycles
+	}
+	c.reqStart = max(c.arrival, c.busyUntil)
+}
+
+func (c *Controller) completeRead(cycles uint64) {
+	c.busyUntil = c.reqStart + cycles
+	c.stats.DataReads++
+	lat := c.busyUntil - c.arrival
+	c.stats.ReadLatSum += lat
+	c.stats.ReadHist.Add(lat)
+}
+
+func (c *Controller) completeWrite(cycles uint64) {
+	c.busyUntil = c.reqStart + cycles
+	c.stats.DataWrites++
+	lat := c.busyUntil - c.arrival
+	c.stats.WriteLatSum += lat
+	c.stats.WriteHist.Add(lat)
+}
+
+// VerifyNVM walks every persisted tree node and checks its HMAC against
+// the counter its parent currently holds (pending buffered counters first,
+// then the cached parent, then the parent's NVM copy; the root for the top
+// level). It is a test oracle: after any operation sequence the persisted
+// tree must be self-consistent, or the next fetch of the offending node
+// would fail. Cost is proportional to the tree, so only small
+// configurations should call it.
+func (c *Controller) VerifyNVM() error {
+	geo := &c.lay.Geo
+	for level := geo.Levels - 1; level >= 0; level-- {
+		for idx := uint64(0); idx < geo.LevelNodes[level]; idx++ {
+			addr := geo.NodeAddr(level, idx)
+			line := counter.Block(c.dev.Peek(addr))
+			var pc uint64
+			if ov, ok := c.policy.ParentCounterOverride(level, idx); ok {
+				pc = ov
+			} else if geo.IsTop(level) {
+				pc = c.root.Counter(idx)
+			} else {
+				pl, pi, slot := geo.Parent(level, idx)
+				if pe, ok := c.meta.Probe(geo.NodeAddr(pl, pi)); ok {
+					pc = pe.Payload.Counter(slot)
+				} else {
+					pc = c.StaleNode(pl, pi).Counter(slot)
+				}
+			}
+			if pc == 0 && line == (counter.Block{}) {
+				continue // initial state
+			}
+			node := sit.DecodeNode(level, idx, c.cfg.SplitLeaf && level == 0, line)
+			if c.NodeMAC(node, pc) != node.HMAC() {
+				return TamperAt("persisted SIT node", level, idx, "inconsistent with parent counter")
+			}
+		}
+	}
+	return nil
+}

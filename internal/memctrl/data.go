@@ -1,0 +1,235 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"steins/internal/cache"
+	"steins/internal/cme"
+	"steins/internal/counter"
+	"steins/internal/nvmem"
+	"steins/internal/sit"
+)
+
+// checkDataAddr validates a user-data address.
+func (c *Controller) checkDataAddr(addr uint64) {
+	if addr%nvmem.LineSize != 0 {
+		panic(fmt.Sprintf("memctrl: unaligned data address %#x", addr))
+	}
+	if addr >= c.cfg.DataBytes {
+		panic(fmt.Sprintf("memctrl: data address %#x outside data region", addr))
+	}
+}
+
+// WriteData processes a dirty LLC eviction (§III-F): the covering leaf
+// counter advances, the block is encrypted and tagged, and the scheme's
+// tracking state is updated. gap is the trace time since the previous
+// request.
+func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
+	c.checkDataAddr(addr)
+	c.arrive(gap)
+	var cycles uint64
+	leaf, slot := c.lay.Geo.LeafOfData(addr)
+	le, fc, err := c.FetchNode(0, leaf)
+	cycles += fc
+	if err != nil {
+		c.completeWrite(cycles)
+		return err
+	}
+	wasClean := !le.Dirty
+	node := le.Payload
+	var encCtr, delta, major uint64
+	if node.IsSplit {
+		var pre counter.Split
+		willOverflow := node.Split.Minor[slot] == counter.MinorMax
+		if willOverflow {
+			pre = node.Split
+		}
+		delta, _ = node.Split.Increment(slot)
+		if willOverflow {
+			c.stats.Overflows++
+			rc, rerr := c.reencrypt(le, &pre, slot)
+			cycles += rc
+			if rerr != nil {
+				c.completeWrite(cycles)
+				return rerr
+			}
+		}
+		encCtr, major = node.Split.EncCounter(slot), node.Split.Major
+	} else {
+		var wrapped bool
+		delta, wrapped = node.Gen.Increment(slot)
+		if wrapped {
+			// The 342–685-year corner case of §III-B2: the system would
+			// re-key and rebuild the tree; the simulator surfaces it.
+			c.completeWrite(cycles)
+			return fmt.Errorf("%w: 56-bit leaf counter wrapped, re-keying required", ErrUnrecoverable)
+		}
+		encCtr = node.Gen.C[slot]
+	}
+	le.Dirty = true
+	node.WritesSinceFlush++
+	writeThrough := c.cfg.WriteThroughEvery > 0 && node.WritesSinceFlush >= c.cfg.WriteThroughEvery
+	cycles += c.policy.OnModify(le, wasClean, delta)
+	if c.cfg.EagerUpdate {
+		ec, eerr := c.eagerPropagate(leaf)
+		cycles += ec
+		if eerr != nil {
+			c.completeWrite(cycles)
+			return eerr
+		}
+	}
+
+	ct := data
+	c.eng.Apply(&ct, addr, encCtr)
+	c.stats.AESOps++
+	var tag cme.Tag
+	if node.IsSplit {
+		tag = c.eng.TagSC(&ct, addr, encCtr, major)
+	} else {
+		tag = c.eng.TagGC(&ct, addr, encCtr)
+	}
+	c.stats.HashOps++
+	cycles += c.cfg.AESCycles + c.cfg.HashCycles
+	cycles += c.dev.Write(c.reqStart+cycles, addr, nvmem.Line(ct), nvmem.ClassData)
+	c.tags[addr] = tag
+	if writeThrough {
+		// §II-D write-through: persist the leaf (through the scheme's
+		// normal write-back) before its counters run beyond the recovery
+		// search window. The flush goes last so the captured encryption
+		// counter stays valid for this request.
+		wc, werr := c.FlushNode(0, leaf)
+		cycles += wc
+		if werr != nil {
+			c.completeWrite(cycles)
+			return werr
+		}
+	}
+	c.completeWrite(cycles)
+	return nil
+}
+
+// ReadData fetches, verifies and decrypts a data block (§III-F). The OTP
+// is generated in parallel with the NVM data fetch, hiding the decryption
+// latency when the counter hits in the metadata cache (§II-B).
+func (c *Controller) ReadData(gap uint64, addr uint64) ([64]byte, error) {
+	c.checkDataAddr(addr)
+	c.arrive(gap)
+	var cycles uint64
+	bc, err := c.policy.BeforeRead()
+	cycles += bc
+	if err != nil {
+		c.completeRead(cycles)
+		return [64]byte{}, err
+	}
+	leaf, slot := c.lay.Geo.LeafOfData(addr)
+	le, counterPath, err := c.FetchNode(0, leaf)
+	if err != nil {
+		c.completeRead(cycles + counterPath)
+		return [64]byte{}, err
+	}
+	node := le.Payload
+	var encCtr uint64
+	if node.IsSplit {
+		encCtr = node.Split.EncCounter(slot)
+	} else {
+		encCtr = node.Gen.C[slot]
+	}
+	line, dataLat := c.dev.Read(c.reqStart+cycles, addr, nvmem.ClassData)
+	tag := c.tags[addr]
+	if !tag.Written {
+		// A block is legitimately unwritten iff its own counter never
+		// advanced: a zero minor under a split leaf (majors advance for
+		// the whole leaf on any neighbour's overflow) or a zero counter
+		// under a general leaf. Anything else means the tag was erased.
+		virgin := encCtr == 0
+		if node.IsSplit {
+			virgin = node.Split.Minor[slot] == 0
+		}
+		cycles += max(dataLat, counterPath)
+		c.completeRead(cycles)
+		if !virgin {
+			return [64]byte{}, TamperData(addr, "live counter but no tag")
+		}
+		// Never written: initial zero contents, nothing to decrypt.
+		return [64]byte{}, nil
+	}
+	ct := [64]byte(line)
+	c.stats.AESOps++
+	otpReady := counterPath + c.cfg.AESCycles
+	cycles += max(dataLat, otpReady) + c.cfg.HashCycles
+	c.stats.HashOps++
+	if !c.eng.Verify(&ct, addr, encCtr, tag) {
+		c.completeRead(cycles)
+		return [64]byte{}, TamperData(addr, "HMAC mismatch on read")
+	}
+	c.eng.Apply(&ct, addr, encCtr)
+	c.completeRead(cycles)
+	return ct, nil
+}
+
+// reencrypt handles a split-leaf minor overflow (§II-B): every covered
+// block written so far is read, decrypted under its pre-overflow counter
+// (pre), and re-encrypted under the post-overflow counter. skipSlot (the
+// block whose write triggered the overflow) is excluded — its fresh data
+// is about to be written under the new counter, and re-encrypting its old
+// contents under that same counter would reuse the pad.
+func (c *Controller) reencrypt(le *cache.Entry[*sit.Node], pre *counter.Split, skipSlot int) (uint64, error) {
+	node := le.Payload
+	var cycles uint64
+	first := true
+	// NVM reads pipeline across banks: the first pays full latency,
+	// the rest a per-line issue gap.
+	const pipelineGap = 4
+	for j := 0; j < counter.SplitArity; j++ {
+		if j == skipSlot {
+			continue
+		}
+		daddr := c.lay.Geo.DataAddr(node.Index, j)
+		tag := c.tags[daddr]
+		if !tag.Written {
+			continue
+		}
+		line, rlat := c.dev.Read(c.reqStart+cycles, daddr, nvmem.ClassData)
+		if first {
+			cycles += rlat
+			first = false
+		} else {
+			cycles += pipelineGap
+		}
+		ct := [64]byte(line)
+		oldCtr := pre.Major<<counter.MinorBits | uint64(pre.Minor[j])
+		c.stats.HashOps++
+		if !c.eng.Verify(&ct, daddr, oldCtr, tag) {
+			return cycles, TamperData(daddr, "during re-encryption")
+		}
+		c.eng.Apply(&ct, daddr, oldCtr) // decrypt
+		newCtr := node.Split.EncCounter(j)
+		c.eng.Apply(&ct, daddr, newCtr) // re-encrypt
+		c.stats.AESOps += 2
+		c.stats.HashOps++
+		c.tags[daddr] = c.eng.TagSC(&ct, daddr, newCtr, node.Split.Major)
+		cycles += c.dev.Write(c.reqStart+cycles, daddr, nvmem.Line(ct), nvmem.ClassData)
+		c.stats.Reencrypts++
+	}
+	return cycles, nil
+}
+
+// eagerPropagate implements the eager update scheme of §II-C: after a leaf
+// modification, every ancestor on the branch is fetched and its counter
+// advanced, keeping the whole branch current at the cost of extra fetches.
+func (c *Controller) eagerPropagate(leaf uint64) (uint64, error) {
+	var cycles uint64
+	level, index := 0, leaf
+	for !c.lay.Geo.IsTop(level) {
+		pl, pi, slot := c.lay.Geo.Parent(level, index)
+		pe, pc, err := c.FetchNode(pl, pi)
+		cycles += pc
+		if err != nil {
+			return cycles, err
+		}
+		cycles += c.SetParentCounter(pe, slot, pe.Payload.Counter(slot)+1, 1)
+		level, index = pl, pi
+	}
+	c.root.SetCounter(index, c.root.Counter(index)+1)
+	return cycles, nil
+}

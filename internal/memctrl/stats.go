@@ -1,0 +1,114 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"steins/internal/stats"
+)
+
+// Stats aggregates controller-side activity for one run. NVM-side counters
+// (per-class reads/writes, stall cycles) live in the device's own stats.
+type Stats struct {
+	DataReads   uint64
+	DataWrites  uint64
+	ReadLatSum  uint64 // cycles, includes controller queueing
+	WriteLatSum uint64
+	HashOps     uint64 // MAC engine invocations
+	AESOps      uint64 // OTP generations
+	Overflows   uint64 // split-leaf minor overflows (re-encryption events)
+	Reencrypts  uint64 // data blocks re-encrypted by overflows
+
+	// Latency distributions (cycles), for tail analysis beyond the means
+	// the paper reports.
+	ReadHist  stats.Hist
+	WriteHist stats.Hist
+}
+
+// AvgReadLatency returns mean read latency in cycles.
+func (s Stats) AvgReadLatency() float64 {
+	if s.DataReads == 0 {
+		return 0
+	}
+	return float64(s.ReadLatSum) / float64(s.DataReads)
+}
+
+// AvgWriteLatency returns mean write latency in cycles.
+func (s Stats) AvgWriteLatency() float64 {
+	if s.DataWrites == 0 {
+		return 0
+	}
+	return float64(s.WriteLatSum) / float64(s.DataWrites)
+}
+
+// RecoveryReport quantifies one recovery pass (§IV-D cost model: time is
+// dominated by NVM fetches at RecoveryReadNS each, plus restore writes and
+// MAC computations).
+type RecoveryReport struct {
+	Scheme         string
+	NodesRecovered uint64
+	NVMReads       uint64
+	NVMWrites      uint64
+	MACOps         uint64
+	TimeNS         float64
+}
+
+// StorageOverhead itemises a scheme's §IV-E storage costs.
+type StorageOverhead struct {
+	TreeBytes      uint64 // SIT nodes in NVM
+	NVMExtraBytes  uint64 // shadow table / records / bitmap in NVM
+	CacheTaxBytes  uint64 // metadata cache capacity consumed by the scheme
+	OnChipNVBytes  uint64 // non-volatile registers/buffers on chip
+	OnChipSRBytes  uint64 // volatile on-chip structures (cache-tree interior)
+	LeafCoverBytes uint64 // data bytes covered per leaf node
+}
+
+// Violation is the structured integrity error every verification failure
+// carries: §III-H notes that top-down verification localises the attack,
+// so the error names the level and node (or data address) that failed.
+// errors.Is(err, ErrTamper/ErrReplay) matches through Unwrap.
+type Violation struct {
+	Kind     error  // ErrTamper or ErrReplay
+	Where    string // human-readable site ("SIT node", "data block", ...)
+	Level    int    // tree level, -1 for data blocks and region-wide checks
+	Index    uint64 // node index within the level
+	DataAddr uint64 // data address for data-block violations
+	Detail   string // extra context
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	msg := v.Kind.Error() + ": " + v.Where
+	if v.Level >= 0 {
+		msg += fmt.Sprintf(" level %d index %d", v.Level, v.Index)
+	}
+	if v.Where == "data block" {
+		msg += fmt.Sprintf(" %#x", v.DataAddr)
+	}
+	if v.Detail != "" {
+		msg += " (" + v.Detail + ")"
+	}
+	return msg
+}
+
+// Unwrap lets errors.Is match ErrTamper/ErrReplay.
+func (v *Violation) Unwrap() error { return v.Kind }
+
+// TamperAt builds a tampering violation for a tree node.
+func TamperAt(where string, level int, index uint64, detail string) error {
+	return &Violation{Kind: ErrTamper, Where: where, Level: level, Index: index, Detail: detail}
+}
+
+// ReplayAt builds a replay violation for a tree level or node.
+func ReplayAt(where string, level int, index uint64, detail string) error {
+	return &Violation{Kind: ErrReplay, Where: where, Level: level, Index: index, Detail: detail}
+}
+
+// TamperData builds a tampering violation for a data block.
+func TamperData(addr uint64, detail string) error {
+	return &Violation{Kind: ErrTamper, Where: "data block", Level: -1, DataAddr: addr, Detail: detail}
+}
+
+// ReplayData builds a replay violation for a data block.
+func ReplayData(addr uint64, detail string) error {
+	return &Violation{Kind: ErrReplay, Where: "data block", Level: -1, DataAddr: addr, Detail: detail}
+}

@@ -1,0 +1,130 @@
+// Package multi models the §IV-F deployment: several memory controllers,
+// each owning one secure DIMM with its own metadata cache, integrity tree
+// and recovery scheme. Client requests to different DIMMs execute in
+// parallel; requests to the same DIMM serialise in its controller. Data is
+// interleaved across controllers at a configurable granularity, and after
+// a machine-wide power failure every DIMM recovers independently — in
+// parallel — so recovery time is the maximum, not the sum.
+package multi
+
+import (
+	"fmt"
+	"sync"
+
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+)
+
+// System is a set of independent secure memory controllers behind an
+// interleaved physical address space.
+type System struct {
+	ctrls      []*memctrl.Controller
+	interleave uint64 // bytes per chunk
+	// lastArrival tracks, per controller, the global time of its last
+	// request, so each controller sees correct local inter-arrival gaps.
+	lastArrival []uint64
+	now         uint64
+}
+
+// New builds a system of n controllers, each configured from the template
+// (DataBytes is the per-controller capacity), with the address space
+// interleaved across them in chunks of interleave bytes.
+func New(n int, template memctrl.Config, factory memctrl.PolicyFactory, interleave uint64) *System {
+	if n <= 0 {
+		panic("multi: need at least one controller")
+	}
+	if interleave == 0 || interleave%nvmem.LineSize != 0 {
+		panic("multi: interleave must be a positive multiple of the line size")
+	}
+	s := &System{interleave: interleave, lastArrival: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		s.ctrls = append(s.ctrls, memctrl.New(template, factory))
+	}
+	return s
+}
+
+// Controllers returns the per-DIMM controllers.
+func (s *System) Controllers() []*memctrl.Controller { return s.ctrls }
+
+// DataBytes returns the system's total protected capacity.
+func (s *System) DataBytes() uint64 {
+	return uint64(len(s.ctrls)) * s.ctrls[0].Config().DataBytes
+}
+
+// route maps a global address to (controller, local address).
+func (s *System) route(addr uint64) (int, uint64) {
+	if addr >= s.DataBytes() {
+		panic(fmt.Sprintf("multi: address %#x beyond capacity", addr))
+	}
+	chunk := addr / s.interleave
+	ctrl := int(chunk % uint64(len(s.ctrls)))
+	local := (chunk/uint64(len(s.ctrls)))*s.interleave + addr%s.interleave
+	return ctrl, local
+}
+
+// advance moves global time and returns the local gap for controller i.
+func (s *System) advance(gap uint64, i int) uint64 {
+	s.now += gap
+	local := s.now - s.lastArrival[i]
+	s.lastArrival[i] = s.now
+	return local
+}
+
+// WriteData routes a write to its DIMM.
+func (s *System) WriteData(gap uint64, addr uint64, data [64]byte) error {
+	i, local := s.route(addr)
+	return s.ctrls[i].WriteData(s.advance(gap, i), local, data)
+}
+
+// ReadData routes a read to its DIMM.
+func (s *System) ReadData(gap uint64, addr uint64) ([64]byte, error) {
+	i, local := s.route(addr)
+	return s.ctrls[i].ReadData(s.advance(gap, i), local)
+}
+
+// ExecCycles is the system makespan: the slowest controller bounds it.
+func (s *System) ExecCycles() uint64 {
+	var m uint64
+	for _, c := range s.ctrls {
+		m = max(m, c.ExecCycles())
+	}
+	return m
+}
+
+// Crash fails the whole machine: every controller loses its volatile
+// state.
+func (s *System) Crash() {
+	for _, c := range s.ctrls {
+		c.Crash()
+	}
+}
+
+// Recover rebuilds every DIMM's metadata concurrently, one goroutine per
+// controller (each owns disjoint state, so this is safe), and returns the
+// aggregated report: work summed, time the parallel maximum.
+func (s *System) Recover() (memctrl.RecoveryReport, error) {
+	reports := make([]memctrl.RecoveryReport, len(s.ctrls))
+	errs := make([]error, len(s.ctrls))
+	var wg sync.WaitGroup
+	for i, c := range s.ctrls {
+		wg.Add(1)
+		go func(i int, c *memctrl.Controller) {
+			defer wg.Done()
+			reports[i], errs[i] = c.Recover()
+		}(i, c)
+	}
+	wg.Wait()
+	var agg memctrl.RecoveryReport
+	agg.Scheme = reports[0].Scheme
+	for i := range reports {
+		if errs[i] != nil {
+			return agg, fmt.Errorf("multi: controller %d: %w", i, errs[i])
+		}
+		agg.NodesRecovered += reports[i].NodesRecovered
+		agg.NVMReads += reports[i].NVMReads
+		agg.NVMWrites += reports[i].NVMWrites
+		agg.MACOps += reports[i].MACOps
+		agg.TimeNS = max(agg.TimeNS, reports[i].TimeNS)
+	}
+	return agg, nil
+}

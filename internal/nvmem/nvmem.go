@@ -1,0 +1,336 @@
+// Package nvmem models a byte-addressable non-volatile main memory device
+// at the granularity the memory controller sees: 64-byte lines, PCM read
+// latency, a bounded write queue with tWR-scale service time, and per-class
+// access/energy accounting.
+//
+// Timing follows the NVMain configuration of Table I
+// (tRCD/tCL/tCWD/tFAW/tWTR/tWR = 48/15/13/50/7.5/300 ns at a 2 GHz
+// controller clock). The write-pending queue sits inside the ADR
+// persistence domain, so a write is durable the moment it is accepted:
+// crashes lose nothing that reached the device, only state still inside
+// the (non-ADR parts of the) memory controller.
+package nvmem
+
+import "fmt"
+
+// LineSize is the access granularity in bytes, matching the cache line.
+const LineSize = 64
+
+// Line is one 64-byte memory line.
+type Line [LineSize]byte
+
+// Class tags an access with the kind of state it touches so write traffic
+// can be broken down the way the paper's figures discuss it.
+type Class int
+
+// Access classes.
+const (
+	ClassData   Class = iota // user data blocks
+	ClassHMAC                // per-data-block HMACs
+	ClassMeta                // SIT nodes / counter blocks
+	ClassShadow              // ASIT shadow-table blocks
+	ClassRecord              // Steins offset record lines
+	ClassBitmap              // STAR dirty-tracking bitmap lines
+	ClassOther
+	numClasses
+)
+
+var classNames = [...]string{"data", "hmac", "meta", "shadow", "record", "bitmap", "other"}
+
+// String returns the class name used in stats output.
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Timing holds the PCM latency model in nanoseconds.
+type Timing struct {
+	TRCDNS float64 // row activate
+	TCLNS  float64 // CAS (read) latency
+	TCWDNS float64 // CAS write delay
+	TFAWNS float64 // four-activation window
+	TWTRNS float64 // write-to-read turnaround
+	TWRNS  float64 // write recovery (the dominant PCM write cost)
+}
+
+// DefaultTiming is the Table I PCM latency model.
+func DefaultTiming() Timing {
+	return Timing{TRCDNS: 48, TCLNS: 15, TCWDNS: 13, TFAWNS: 50, TWTRNS: 7.5, TWRNS: 300}
+}
+
+// EnergyModel gives per-line access energy in picojoules. Defaults follow
+// common PCM estimates (reads cheap, writes an order of magnitude dearer),
+// which is all the energy figures need: they are reported normalised.
+type EnergyModel struct {
+	ReadPJ  float64 // energy per 64 B line read
+	WritePJ float64 // energy per 64 B line write
+}
+
+// DefaultEnergy returns the default PCM energy model.
+func DefaultEnergy() EnergyModel { return EnergyModel{ReadPJ: 1200, WritePJ: 16000} }
+
+// Config configures a Device.
+type Config struct {
+	CapacityBytes     uint64
+	ClockGHz          float64
+	Timing            Timing
+	Energy            EnergyModel
+	WriteQueueEntries int
+	// WriteBanks is the number of banks draining queued writes in
+	// parallel; PCM write recovery (tWR) is per bank, so effective write
+	// bandwidth is WriteBanks per tWR window.
+	WriteBanks int
+}
+
+// DefaultConfig returns the Table I device: 16 GB PCM behind a 64-entry
+// write queue at a 2 GHz controller clock.
+func DefaultConfig() Config {
+	return Config{
+		CapacityBytes:     16 << 30,
+		ClockGHz:          2,
+		Timing:            DefaultTiming(),
+		Energy:            DefaultEnergy(),
+		WriteQueueEntries: 64,
+		WriteBanks:        4,
+	}
+}
+
+// ReadCycles is the controller-clock latency of a line read
+// (row activate + CAS).
+func (c Config) ReadCycles() uint64 {
+	return uint64((c.Timing.TRCDNS + c.Timing.TCLNS) * c.ClockGHz)
+}
+
+// WriteServiceCycles is the service time one queued write occupies the
+// device (CAS write delay + write recovery).
+func (c Config) WriteServiceCycles() uint64 {
+	return uint64((c.Timing.TCWDNS + c.Timing.TWRNS) * c.ClockGHz)
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	Reads       [numClasses]uint64
+	Writes      [numClasses]uint64
+	StallCycles uint64 // cycles requests waited on a full write queue
+}
+
+// TotalReads returns reads across all classes.
+func (s Stats) TotalReads() uint64 { return total(&s.Reads) }
+
+// TotalWrites returns writes across all classes.
+func (s Stats) TotalWrites() uint64 { return total(&s.Writes) }
+
+// WriteBytes returns total bytes written.
+func (s Stats) WriteBytes() uint64 { return s.TotalWrites() * LineSize }
+
+func total(a *[numClasses]uint64) uint64 {
+	var t uint64
+	for _, v := range a {
+		t += v
+	}
+	return t
+}
+
+// Device is the NVM device. It is not safe for concurrent use; the memory
+// controller serialises requests to one DIMM exactly as §IV-F describes.
+type Device struct {
+	cfg   Config
+	lines map[uint64]*Line
+	// wear counts writes per line; PCM's limited write endurance (§I) is
+	// a first-class concern, and recovery schemes that concentrate writes
+	// (shadow tables, record lines) show up here.
+	wear map[uint64]uint64
+	// queue holds completion times (in cycles) of pending writes, FIFO
+	// by completion; banks tracks when each bank next frees up.
+	queue []uint64
+	banks []uint64
+	stats Stats
+}
+
+// New creates a Device. Lines read before any write return the zero line,
+// matching freshly initialised (zeroed) memory.
+func New(cfg Config) *Device {
+	if cfg.CapacityBytes == 0 || cfg.CapacityBytes%LineSize != 0 {
+		panic("nvmem: capacity must be a positive multiple of the line size")
+	}
+	if cfg.WriteQueueEntries <= 0 {
+		panic("nvmem: write queue must have at least one entry")
+	}
+	if cfg.WriteBanks <= 0 {
+		panic("nvmem: need at least one write bank")
+	}
+	return &Device{
+		cfg:   cfg,
+		lines: make(map[uint64]*Line),
+		wear:  make(map[uint64]uint64),
+		banks: make([]uint64, cfg.WriteBanks),
+	}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the statistics without touching contents.
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+func (d *Device) checkAddr(addr uint64) {
+	if addr%LineSize != 0 {
+		panic(fmt.Sprintf("nvmem: unaligned address %#x", addr))
+	}
+	if addr >= d.cfg.CapacityBytes {
+		panic(fmt.Sprintf("nvmem: address %#x beyond capacity %#x", addr, d.cfg.CapacityBytes))
+	}
+}
+
+// Read fetches the line at addr. It returns the contents and the access
+// latency in cycles.
+func (d *Device) Read(now uint64, addr uint64, cls Class) (Line, uint64) {
+	d.checkAddr(addr)
+	d.drain(now)
+	d.stats.Reads[cls]++
+	if l, ok := d.lines[addr]; ok {
+		return *l, d.cfg.ReadCycles()
+	}
+	return Line{}, d.cfg.ReadCycles()
+}
+
+// Write stores the line at addr through the write queue. It returns the
+// cycles the caller stalled waiting for a free queue entry (zero when the
+// queue has room). The write is durable on return.
+func (d *Device) Write(now uint64, addr uint64, line Line, cls Class) uint64 {
+	d.checkAddr(addr)
+	d.drain(now)
+	var stall uint64
+	if len(d.queue) >= d.cfg.WriteQueueEntries {
+		head := d.queue[0]
+		if head > now {
+			stall = head - now
+			now = head
+		}
+		d.drain(now)
+	}
+	// Dispatch to the bank that frees up first.
+	bank := 0
+	for i := 1; i < len(d.banks); i++ {
+		if d.banks[i] < d.banks[bank] {
+			bank = i
+		}
+	}
+	start := now
+	if d.banks[bank] > start {
+		start = d.banks[bank]
+	}
+	done := start + d.cfg.WriteServiceCycles()
+	d.banks[bank] = done
+	d.insertCompletion(done)
+	d.stats.Writes[cls]++
+	d.stats.StallCycles += stall
+	d.wear[addr]++
+	d.store(addr, line)
+	return stall
+}
+
+// insertCompletion keeps the pending-write list sorted by completion time.
+func (d *Device) insertCompletion(done uint64) {
+	i := len(d.queue)
+	d.queue = append(d.queue, done)
+	for i > 0 && d.queue[i-1] > done {
+		d.queue[i] = d.queue[i-1]
+		i--
+	}
+	d.queue[i] = done
+}
+
+// drain removes queue entries whose service completed at or before now.
+func (d *Device) drain(now uint64) {
+	i := 0
+	for i < len(d.queue) && d.queue[i] <= now {
+		i++
+	}
+	if i > 0 {
+		d.queue = d.queue[:copy(d.queue, d.queue[i:])]
+	}
+}
+
+// QueueDepth returns the number of writes still pending at time now.
+func (d *Device) QueueDepth(now uint64) int {
+	d.drain(now)
+	return len(d.queue)
+}
+
+func (d *Device) store(addr uint64, line Line) {
+	if line == (Line{}) {
+		// Keep the sparse map sparse: a zero line equals absent.
+		delete(d.lines, addr)
+		return
+	}
+	l, ok := d.lines[addr]
+	if !ok {
+		l = new(Line)
+		d.lines[addr] = l
+	}
+	*l = line
+}
+
+// Peek returns the current contents of addr without timing or stats;
+// recovery code uses it together with its own read accounting, and tests
+// use it to inspect durable state.
+func (d *Device) Peek(addr uint64) Line {
+	d.checkAddr(addr)
+	if l, ok := d.lines[addr]; ok {
+		return *l
+	}
+	return Line{}
+}
+
+// Poke overwrites addr without timing or stats. Attack injection uses it
+// to model an adversary with physical access to the DIMM.
+func (d *Device) Poke(addr uint64, line Line) {
+	d.checkAddr(addr)
+	d.store(addr, line)
+}
+
+// EnergyPJ returns the device energy consumed so far under the configured
+// per-access model.
+func (d *Device) EnergyPJ() float64 {
+	return float64(d.stats.TotalReads())*d.cfg.Energy.ReadPJ +
+		float64(d.stats.TotalWrites())*d.cfg.Energy.WritePJ
+}
+
+// PopulatedLines reports how many distinct non-zero lines the device holds;
+// tests use it to bound simulator footprints.
+func (d *Device) PopulatedLines() int { return len(d.lines) }
+
+// Wear summarises write endurance consumption.
+type Wear struct {
+	LinesWritten uint64 // distinct lines ever written
+	TotalWrites  uint64
+	MaxPerLine   uint64 // the hottest line's write count
+	HotAddr      uint64 // its address
+}
+
+// WearStats scans the per-line write counts. With PCM endurance around
+// 10^8 writes, MaxPerLine bounds device lifetime; schemes that hammer a
+// fixed region (ASIT's shadow slots, Steins' record lines) surface here.
+func (d *Device) WearStats() Wear {
+	var w Wear
+	for addr, n := range d.wear {
+		w.LinesWritten++
+		w.TotalWrites += n
+		if n > w.MaxPerLine {
+			w.MaxPerLine, w.HotAddr = n, addr
+		}
+	}
+	return w
+}
+
+// WearOf returns one line's write count.
+func (d *Device) WearOf(addr uint64) uint64 {
+	d.checkAddr(addr)
+	return d.wear[addr]
+}

@@ -1,0 +1,35 @@
+package schemetest_test
+
+import (
+	"testing"
+
+	"steins/internal/scheme/asit"
+	"steins/internal/scheme/schemetest"
+	"steins/internal/scheme/scue"
+	"steins/internal/scheme/star"
+	"steins/internal/scheme/steins"
+	"steins/internal/sim"
+)
+
+func TestTortureAllSchemes(t *testing.T) {
+	schemes := []sim.Scheme{
+		{Name: "ASIT", Factory: asit.Factory},
+		{Name: "STAR", Factory: star.Factory},
+		{Name: "Steins-GC", Factory: steins.Factory},
+		{Name: "Steins-SC", Factory: steins.Factory, Split: true},
+		{Name: "SCUE-GC", Factory: scue.Factory},
+	}
+	ops := 6000
+	if testing.Short() {
+		ops = 1500
+	}
+	for _, s := range schemes {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 3; seed++ {
+				schemetest.RunTorture(t, s.Factory, s.Split, seed, ops)
+			}
+		})
+	}
+}

@@ -1,0 +1,204 @@
+// Package scue implements the SCUE baseline (Huang & Hua, HPCA'23).
+// SCUE keeps only a Recovery_root — the running sum of every leaf-counter
+// increment — in an on-chip non-volatile register, so its runtime cost is
+// near zero; but recovery must reconstruct the ENTIRE tree from all leaf
+// nodes, which scales with memory capacity rather than metadata cache size
+// ("hour-scale for TB memory", §II-D). The paper therefore excludes SCUE
+// from its performance comparison; this package exists to reproduce that
+// motivation quantitatively.
+//
+// Like Steins, SCUE derives parent counters by summation, which is what
+// makes bottom-up reconstruction possible.
+package scue
+
+import (
+	"fmt"
+
+	"steins/internal/cache"
+	"steins/internal/counter"
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+	"steins/internal/sit"
+)
+
+// Policy is the SCUE scheme.
+type Policy struct {
+	c *memctrl.Controller
+	// recoveryRoot is the on-chip NV register: total increments applied to
+	// leaf counters, i.e. the expected sum of all leaf FValues.
+	recoveryRoot uint64
+}
+
+// Factory builds a SCUE policy; pass to memctrl.New.
+func Factory(c *memctrl.Controller) memctrl.Policy { return &Policy{c: c} }
+
+// Name implements memctrl.Policy.
+func (p *Policy) Name() string {
+	if p.c.Config().SplitLeaf {
+		return "SCUE-SC"
+	}
+	return "SCUE-GC"
+}
+
+// CounterGen implements memctrl.Policy: SCUE generates parent counters by
+// summation so the tree can be rebuilt from the leaves.
+func (p *Policy) CounterGen() bool { return true }
+
+// RecoveryRoot returns the register value (tests use it).
+func (p *Policy) RecoveryRoot() uint64 { return p.recoveryRoot }
+
+// OnModify implements memctrl.Policy: leaf increments fold into the
+// Recovery_root; everything else is free — SCUE's high runtime performance.
+func (p *Policy) OnModify(e *cache.Entry[*sit.Node], _ bool, delta uint64) uint64 {
+	if e.Payload.Level == 0 {
+		p.recoveryRoot += delta
+	}
+	return 1
+}
+
+// EvictDirty implements memctrl.Policy: generated-counter write-back with
+// the parent fetched on the critical path (SCUE has no deferral buffer).
+func (p *Policy) EvictDirty(victim *sit.Node) (uint64, error) {
+	c := p.c
+	geo := &c.Layout().Geo
+	newPC := victim.FValue()
+	cycles := c.SealAndWriteNode(victim, newPC)
+	if geo.IsTop(victim.Level) {
+		c.Root().SetCounter(victim.Index, newPC)
+		return cycles, nil
+	}
+	pl, pi, slot := geo.Parent(victim.Level, victim.Index)
+	pe, pcyc, err := c.FetchNode(pl, pi)
+	cycles += pcyc
+	if err != nil {
+		return cycles, err
+	}
+	delta := newPC - pe.Payload.Counter(slot)
+	cycles += c.SetParentCounter(pe, slot, newPC, delta)
+	return cycles, nil
+}
+
+// BeforeRead implements memctrl.Policy.
+func (p *Policy) BeforeRead() (uint64, error) { return 0, nil }
+
+// ParentCounterOverride implements memctrl.Policy.
+func (p *Policy) ParentCounterOverride(int, uint64) (uint64, bool) { return 0, false }
+
+// OnCrash implements memctrl.Policy: only the register survives.
+func (p *Policy) OnCrash() {}
+
+// Recover implements memctrl.Policy: rebuild the whole tree bottom-up.
+// Every leaf is restored from its covered data blocks (there is no dirty
+// tracking, so every leaf might be stale), the total leaf sum is compared
+// with Recovery_root, and every interior node is recomputed by summation.
+// Cost scales with the full tree, not the metadata cache.
+func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
+	rep := memctrl.RecoveryReport{Scheme: p.Name()}
+	geo := &p.c.Layout().Geo
+	eng := p.c.Engine()
+
+	prev := make([]*sit.Node, geo.LevelNodes[0])
+	var total uint64
+	for idx := uint64(0); idx < geo.LevelNodes[0]; idx++ {
+		rep.NVMReads++ // stale leaf
+		stale := p.c.StaleNode(0, idx)
+		node := &sit.Node{Level: 0, Index: idx, IsSplit: geo.SplitLeaf}
+		if node.IsSplit {
+			if err := p.recoverSplitLeaf(&rep, node, stale); err != nil {
+				return rep, err
+			}
+		} else {
+			for i := 0; i < int(geo.LeafCover); i++ {
+				daddr := geo.DataAddr(idx, i)
+				rep.NVMReads++
+				ct := [64]byte(p.c.Device().Peek(daddr))
+				ctr, macOps, ok := eng.RecoverCounterGC(&ct, daddr, p.c.Tag(daddr), stale.Counter(i))
+				rep.MACOps += macOps
+				if !ok {
+					return rep, memctrl.TamperData(daddr, "during SCUE rebuild")
+				}
+				node.SetCounter(i, ctr)
+			}
+		}
+		total += node.FValue()
+		prev[idx] = node
+	}
+	if total != p.recoveryRoot {
+		return rep, memctrl.ReplayAt("leaf level", 0, 0,
+			fmt.Sprintf("leaf sum %d != Recovery_root %d", total, p.recoveryRoot))
+	}
+
+	// Rebuild interior levels by summation and write everything back.
+	levels := make([][]*sit.Node, geo.Levels)
+	levels[0] = prev
+	for k := 1; k < geo.Levels; k++ {
+		levels[k] = make([]*sit.Node, geo.LevelNodes[k])
+		for idx := range levels[k] {
+			n := &sit.Node{Level: k, Index: uint64(idx)}
+			for i := 0; i < counter.Arity; i++ {
+				ci := uint64(idx)*counter.Arity + uint64(i)
+				if ci < uint64(len(levels[k-1])) {
+					n.SetCounter(i, levels[k-1][ci].FValue())
+				}
+			}
+			levels[k][idx] = n
+		}
+	}
+	for k := 0; k < geo.Levels; k++ {
+		for idx, n := range levels[k] {
+			n.SetHMAC(p.c.NodeMAC(n, n.FValue()))
+			rep.MACOps++
+			p.c.Device().Poke(geo.NodeAddr(k, uint64(idx)), nvmem.Line(n.Encode()))
+			rep.NVMWrites++
+			rep.NodesRecovered++
+			if geo.IsTop(k) {
+				p.c.Root().SetCounter(uint64(idx), n.FValue())
+			}
+		}
+	}
+
+	cfg := p.c.Config()
+	rep.TimeNS = float64(rep.NVMReads)*cfg.RecoveryReadNS +
+		float64(rep.NVMWrites)*cfg.RecoveryWriteNS +
+		float64(rep.MACOps)*cfg.RecoveryHashNS
+	return rep, nil
+}
+
+func (p *Policy) recoverSplitLeaf(rep *memctrl.RecoveryReport, node, stale *sit.Node) error {
+	geo := &p.c.Layout().Geo
+	eng := p.c.Engine()
+	major := stale.Split.Major
+	have := false
+	for i := 0; i < counter.SplitArity; i++ {
+		daddr := geo.DataAddr(node.Index, i)
+		rep.NVMReads++
+		ct := [64]byte(p.c.Device().Peek(daddr))
+		tag := p.c.Tag(daddr)
+		if !tag.Written {
+			continue
+		}
+		if !have {
+			major, have = tag.Hint, true
+		} else if tag.Hint != major {
+			return memctrl.ReplayAt("split leaf", 0, node.Index, "inconsistent majors")
+		}
+		m, minor, macOps, ok := eng.RecoverCounterSC(&ct, daddr, tag, stale.Split.Minor[i])
+		rep.MACOps += macOps
+		if !ok || m != major {
+			return memctrl.TamperData(daddr, "during SCUE rebuild")
+		}
+		node.Split.Minor[i] = minor
+	}
+	node.Split.Major = major
+	return nil
+}
+
+// Storage implements memctrl.Policy: just the tree and an 8 B register.
+func (p *Policy) Storage() memctrl.StorageOverhead {
+	lay := p.c.Layout()
+	return memctrl.StorageOverhead{
+		TreeBytes:      lay.Geo.MetaBytes,
+		OnChipNVBytes:  8,
+		LeafCoverBytes: lay.Geo.LeafCover * 64,
+	}
+}

@@ -1,0 +1,87 @@
+package scue_test
+
+import (
+	"errors"
+	"testing"
+
+	"steins/internal/memctrl"
+	"steins/internal/scheme/schemetest"
+	"steins/internal/scheme/scue"
+)
+
+func TestConformance(t *testing.T) {
+	t.Run("RoundTripGC", func(t *testing.T) { schemetest.RunRoundTrip(t, scue.Factory, false) })
+	t.Run("RoundTripSC", func(t *testing.T) { schemetest.RunRoundTrip(t, scue.Factory, true) })
+	t.Run("CrashRecoverGC", func(t *testing.T) { schemetest.RunCrashRecover(t, scue.Factory, false) })
+	t.Run("CrashRecoverSC", func(t *testing.T) { schemetest.RunCrashRecover(t, scue.Factory, true) })
+	t.Run("ForceAllDirty", func(t *testing.T) { schemetest.RunForceAllDirtyRecover(t, scue.Factory, false) })
+	t.Run("RuntimeTamper", func(t *testing.T) { schemetest.RunRuntimeTamperDetected(t, scue.Factory) })
+	t.Run("DataReplay", func(t *testing.T) { schemetest.RunRecoveryDetectsDataReplay(t, scue.Factory) })
+	t.Run("Determinism", func(t *testing.T) { schemetest.RunDeterminism(t, scue.Factory, false) })
+	t.Run("SparseCache", func(t *testing.T) { schemetest.RunSparseCacheRecover(t, scue.Factory, false) })
+}
+
+func TestRecoveryRootTracksLeafIncrements(t *testing.T) {
+	c := memctrl.New(schemetest.Config(false), scue.Factory)
+	p := c.Policy().(*scue.Policy)
+	for i := 0; i < 10; i++ {
+		if err := c.WriteData(1, uint64(i)*64, schemetest.Pattern(uint64(i)*64, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.RecoveryRoot() != 10 {
+		t.Fatalf("Recovery_root = %d after 10 writes, want 10", p.RecoveryRoot())
+	}
+}
+
+func TestRecoveryScalesWithMemoryNotCache(t *testing.T) {
+	// §II-D: SCUE reconstructs the entire tree, so its recovery reads grow
+	// with memory capacity even when the dirty set is tiny.
+	reads := map[uint64]uint64{}
+	for _, size := range []uint64{1 << 19, 1 << 20} {
+		cfg := memctrl.DefaultConfig(size, false)
+		cfg.MetaCacheBytes = 4 << 10
+		cfg.MetaCacheWays = 4
+		c := memctrl.New(cfg, scue.Factory)
+		if err := c.WriteData(1, 0, schemetest.Pattern(0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		c.Crash()
+		rep, err := c.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads[size] = rep.NVMReads
+	}
+	if reads[1<<20] < reads[1<<19]*3/2 {
+		t.Fatalf("recovery reads %v do not scale with memory size", reads)
+	}
+}
+
+func TestRecoveryDetectsRootMismatch(t *testing.T) {
+	// Replaying any block lowers the reconstructed leaf sum below
+	// Recovery_root.
+	c := memctrl.New(schemetest.Config(false), scue.Factory)
+	if err := c.WriteData(1, 0, schemetest.Pattern(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	old := c.Device().Peek(0)
+	oldTag := c.Tag(0)
+	if err := c.WriteData(1, 0, schemetest.Pattern(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash()
+	c.Device().Poke(0, old)
+	c.SetTag(0, oldTag)
+	if _, err := c.Recover(); !errors.Is(err, memctrl.ErrReplay) {
+		t.Fatalf("recover after replay = %v, want ErrReplay", err)
+	}
+}
+
+func TestStorageOverheadSCUE(t *testing.T) {
+	c := memctrl.New(schemetest.Config(false), scue.Factory)
+	s := c.Policy().Storage()
+	if s.OnChipNVBytes != 8 || s.NVMExtraBytes != 0 || s.CacheTaxBytes != 0 {
+		t.Fatalf("SCUE overhead %+v, want only the 8 B register", s)
+	}
+}

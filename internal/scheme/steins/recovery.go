@@ -1,0 +1,352 @@
+package steins
+
+import (
+	"fmt"
+
+	"steins/internal/cache"
+	"steins/internal/counter"
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+	"steins/internal/sit"
+)
+
+// nodeKey identifies a tree node during recovery.
+type nodeKey struct {
+	level int
+	index uint64
+}
+
+// recoveryState carries the bookkeeping of one Recover pass.
+type recoveryState struct {
+	report    memctrl.RecoveryReport
+	dirty     []map[uint64]bool      // per level: nodes to regenerate
+	recovered []map[uint64]*sit.Node // per level: regenerated nodes
+	stales    map[nodeKey]*sit.Node  // memoised stale reads
+	verified  map[nodeKey]bool       // stale nodes already chain-verified
+}
+
+// Recover implements memctrl.Policy: the root-to-leaf recovery of §III-G.
+// Precondition: Crash() ran (the metadata cache is empty; record lines are
+// flushed; LIncs, NV buffer and root survived on chip).
+//
+// Per level, from the top down: pending buffered counters are folded into
+// the adjacent LIncs (step ⑤); each tracked node's counters are
+// regenerated from its persisted children (step ①/⑥), with child HMACs
+// checked against the regenerated counter (tamper detection, Fig. 6); the
+// stale base is verified against its recovered parent or the root
+// (step ②/⑦-⑧); and the level's total increment is compared with its LInc
+// (replay detection, steps ③-④/⑨-⑩). Recovered nodes re-enter the
+// metadata cache marked dirty so their modifications keep propagating
+// upward, and the record region is rebuilt to match the new cache layout.
+func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
+	geo := &p.c.Layout().Geo
+	st := &recoveryState{
+		report:    memctrl.RecoveryReport{Scheme: p.Name()},
+		dirty:     make([]map[uint64]bool, geo.Levels),
+		recovered: make([]map[uint64]*sit.Node, geo.Levels),
+		stales:    make(map[nodeKey]*sit.Node),
+		verified:  make(map[nodeKey]bool),
+	}
+	for k := range st.dirty {
+		st.dirty[k] = make(map[uint64]bool)
+		st.recovered[k] = make(map[uint64]*sit.Node)
+	}
+
+	p.scanRecords(st)
+
+	// Group pending buffer entries by the level of the parent they target.
+	bufByParent := make(map[int][]bufEntry)
+	for _, ent := range p.buf {
+		bufByParent[ent.level+1] = append(bufByParent[ent.level+1], ent)
+	}
+
+	for k := geo.Levels - 1; k >= 0; k-- {
+		// Step ⑤: fold buffered counters into the LIncs and make sure the
+		// targeted parents are regenerated.
+		for _, ent := range bufByParent[k] {
+			_, pi, slot := geo.Parent(ent.level, ent.index)
+			st.dirty[k][pi] = true
+			stale := p.staleOf(st, k, pi)
+			delta := ent.counter - stale.Counter(slot)
+			p.linc[ent.level] -= delta
+			p.linc[k] += delta
+		}
+
+		var calc int64
+		for _, idx := range sortedKeys(st.dirty[k]) {
+			node, inc, err := p.recoverNode(st, k, idx)
+			if err != nil {
+				return st.report, err
+			}
+			st.recovered[k][idx] = node
+			calc += inc
+		}
+		// Steps ③-④/⑨-⑩: replay detection. With no dirty nodes the level
+		// increment must be exactly zero (§III-G).
+		if calc != int64(p.linc[k]) {
+			return st.report, memctrl.ReplayAt("SIT level", k, 0,
+				fmt.Sprintf("increment %d != LInc %d", calc, int64(p.linc[k])))
+		}
+	}
+
+	p.buf = nil
+	p.reinstate(st)
+	p.rebuildRecords(st)
+
+	cfg := p.c.Config()
+	st.report.TimeNS = float64(st.report.NVMReads)*cfg.RecoveryReadNS +
+		float64(st.report.NVMWrites)*cfg.RecoveryWriteNS +
+		float64(st.report.MACOps)*cfg.RecoveryHashNS
+	return st.report, nil
+}
+
+// scanRecords reads the whole record region and resolves tracked offsets.
+// Corrupted entries that resolve to no node are ignored: an attacker can
+// only unmark a genuinely dirty node this way, which the LInc comparison
+// catches as a shortfall (§III-H).
+func (p *Policy) scanRecords(st *recoveryState) {
+	lay := p.c.Layout()
+	for li := uint64(0); li < lay.RecordLines(); li++ {
+		st.report.NVMReads++
+		rl := decodeRecordLine(p.c.Device().Peek(lay.RecordBase + li*nvmem.LineSize))
+		for _, off := range rl {
+			if off == 0 {
+				continue
+			}
+			if level, idx, ok := lay.Geo.NodeAtOffset(off - 1); ok {
+				st.dirty[level][idx] = true
+			}
+		}
+	}
+}
+
+// staleOf reads (and memoises) a node's stale NVM image.
+func (p *Policy) staleOf(st *recoveryState, level int, index uint64) *sit.Node {
+	key := nodeKey{level, index}
+	if n, ok := st.stales[key]; ok {
+		return n
+	}
+	st.report.NVMReads++
+	n := p.c.StaleNode(level, index)
+	st.stales[key] = n
+	return n
+}
+
+// trustedCounter returns the verified counter the parent side holds for
+// (level, index): from the root, from an already-recovered parent, or by
+// iteratively verifying the stale parent chain (the "iterative node reads"
+// of §IV-D).
+func (p *Policy) trustedCounter(st *recoveryState, level int, index uint64) (uint64, error) {
+	geo := &p.c.Layout().Geo
+	if geo.IsTop(level) {
+		return p.c.Root().Counter(index), nil
+	}
+	pl, pi, slot := geo.Parent(level, index)
+	if n, ok := st.recovered[pl][pi]; ok {
+		return n.Counter(slot), nil
+	}
+	parent := p.staleOf(st, pl, pi)
+	if err := p.verifyStale(st, parent); err != nil {
+		return 0, err
+	}
+	return parent.Counter(slot), nil
+}
+
+// verifyStale checks a stale node's HMAC against its trusted parent
+// counter, memoising success.
+func (p *Policy) verifyStale(st *recoveryState, n *sit.Node) error {
+	key := nodeKey{n.Level, n.Index}
+	if st.verified[key] {
+		return nil
+	}
+	pc, err := p.trustedCounter(st, n.Level, n.Index)
+	if err != nil {
+		return err
+	}
+	if !(pc == 0 && n.Encode() == (counter.Block{})) {
+		st.report.MACOps++
+		if p.c.NodeMAC(n, pc) != n.HMAC() {
+			return memctrl.TamperAt("stale SIT node", n.Level, n.Index, "during recovery")
+		}
+	}
+	st.verified[key] = true
+	return nil
+}
+
+// recoverNode regenerates one tracked node from its persisted children and
+// returns the regenerated node and its increment over the stale base.
+func (p *Policy) recoverNode(st *recoveryState, level int, index uint64) (*sit.Node, int64, error) {
+	geo := &p.c.Layout().Geo
+	stale := p.staleOf(st, level, index)
+	if err := p.verifyStale(st, stale); err != nil {
+		return nil, 0, err
+	}
+	node := &sit.Node{Level: level, Index: index, IsSplit: geo.SplitLeaf && level == 0}
+	var err error
+	if level > 0 {
+		err = p.regenerateFromNodes(st, node)
+	} else if node.IsSplit {
+		err = p.regenerateSplitLeaf(st, node, stale)
+	} else {
+		err = p.regenerateGeneralLeaf(st, node, stale)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	st.report.NodesRecovered++
+	return node, int64(node.FValue()) - int64(stale.FValue()), nil
+}
+
+// regenerateFromNodes rebuilds an intermediate node: counter i is the
+// generation function of persisted child i (§III-B), and each child's HMAC
+// is checked with the regenerated counter as input (Fig. 6).
+func (p *Policy) regenerateFromNodes(st *recoveryState, node *sit.Node) error {
+	geo := &p.c.Layout().Geo
+	for i := 0; i < counter.Arity; i++ {
+		childIdx := node.Index*counter.Arity + uint64(i)
+		if childIdx >= geo.LevelNodes[node.Level-1] {
+			continue
+		}
+		child := p.staleOf(st, node.Level-1, childIdx)
+		cand := child.FValue()
+		if !(cand == 0 && child.Encode() == (counter.Block{})) {
+			st.report.MACOps++
+			if p.c.NodeMAC(child, cand) != child.HMAC() {
+				return memctrl.TamperAt("child node", node.Level-1, childIdx, "during recovery")
+			}
+		}
+		node.SetCounter(i, cand)
+	}
+	return nil
+}
+
+// regenerateGeneralLeaf rebuilds a general leaf from the 8 persisted data
+// blocks it covers, using the tag hints (Osiris-style candidate check).
+func (p *Policy) regenerateGeneralLeaf(st *recoveryState, node *sit.Node, stale *sit.Node) error {
+	geo := &p.c.Layout().Geo
+	eng := p.c.Engine()
+	for i := 0; i < int(geo.LeafCover); i++ {
+		daddr := geo.DataAddr(node.Index, i)
+		st.report.NVMReads++
+		ct := [64]byte(p.c.Device().Peek(daddr))
+		ctr, macOps, ok := eng.RecoverCounterGC(&ct, daddr, p.c.Tag(daddr), stale.Counter(i))
+		st.report.MACOps += macOps
+		if !ok {
+			return memctrl.TamperData(daddr, "during leaf recovery")
+		}
+		node.SetCounter(i, ctr)
+	}
+	return nil
+}
+
+// regenerateSplitLeaf rebuilds a split leaf from its 64 persisted data
+// blocks: the major comes from the tag copies (§II-D), the minors from the
+// per-block search. All written blocks must agree on one major no older
+// than the stale base; disagreement or regression means replayed blocks.
+func (p *Policy) regenerateSplitLeaf(st *recoveryState, node *sit.Node, stale *sit.Node) error {
+	geo := &p.c.Layout().Geo
+	eng := p.c.Engine()
+	major := stale.Split.Major
+	haveWritten := false
+	type blockState struct {
+		addr uint64
+		ct   [64]byte
+	}
+	written := make([]int, 0, counter.SplitArity)
+	blocks := make([]blockState, counter.SplitArity)
+	for i := 0; i < counter.SplitArity; i++ {
+		daddr := geo.DataAddr(node.Index, i)
+		st.report.NVMReads++
+		blocks[i] = blockState{addr: daddr, ct: [64]byte(p.c.Device().Peek(daddr))}
+		tag := p.c.Tag(daddr)
+		if !tag.Written {
+			continue // never written: minor stays zero
+		}
+		if !haveWritten {
+			major, haveWritten = tag.Hint, true
+		} else if tag.Hint != major {
+			return memctrl.ReplayAt("split leaf", 0, node.Index, "inconsistent major counters across data blocks")
+		}
+		written = append(written, i)
+	}
+	if haveWritten && major < stale.Split.Major {
+		return memctrl.ReplayAt("split leaf", 0, node.Index,
+			fmt.Sprintf("recovered major %d older than persisted %d", major, stale.Split.Major))
+	}
+	node.Split.Major = major
+	for _, i := range written {
+		b := blocks[i]
+		m, minor, macOps, ok := eng.RecoverCounterSC(&b.ct, b.addr, p.c.Tag(b.addr), stale.Split.Minor[i])
+		st.report.MACOps += macOps
+		if !ok {
+			return memctrl.TamperData(b.addr, "during split-leaf recovery")
+		}
+		if m != major {
+			return memctrl.ReplayData(b.addr, "major mismatch")
+		}
+		node.Split.Minor[i] = minor
+	}
+	return nil
+}
+
+// reinstate re-inserts every recovered node into the metadata cache marked
+// dirty, top level first so parents are resident when children follow. The
+// crash-time LIncs already describe exactly this dirty state, so no LInc
+// changes are needed; overflowing a set evicts through the normal Steins
+// write-back, which keeps all bookkeeping coherent.
+func (p *Policy) reinstate(st *recoveryState) {
+	geo := &p.c.Layout().Geo
+	for k := geo.Levels - 1; k >= 0; k-- {
+		for _, idx := range sortedKeys(st.dirty[k]) {
+			node := st.recovered[k][idx]
+			addr := geo.NodeAddr(k, idx)
+			if e, ok := p.c.Meta().Probe(addr); ok {
+				// Displaced and refetched during an eviction cascade;
+				// overwrite with the recovered image and mark dirty.
+				e.Payload = node
+				e.Dirty = true
+				continue
+			}
+			for {
+				_, victim, evicted := p.c.Meta().Insert(addr, node, true)
+				if !evicted || !victim.Dirty {
+					break
+				}
+				if _, err := p.c.EvictDirtyNode(victim.Payload); err != nil {
+					// Eviction flushes a node we just rebuilt; it cannot
+					// fail verification unless the device is being
+					// attacked mid-recovery, which Crash/Recover callers
+					// surface through the next runtime access.
+					panic(fmt.Sprintf("steins: eviction during reinstate: %v", err))
+				}
+				if _, ok := p.c.Meta().Probe(addr); ok {
+					break
+				}
+			}
+		}
+	}
+}
+
+// rebuildRecords rewrites the record region to describe the post-recovery
+// cache layout, counting only lines whose contents changed.
+func (p *Policy) rebuildRecords(st *recoveryState) {
+	lay := p.c.Layout()
+	lines := make([]recordLine, lay.RecordLines())
+	p.c.Meta().ForEach(func(e *cache.Entry[*sit.Node]) {
+		if !e.Dirty {
+			return
+		}
+		slot := e.Slot()
+		li := slot / memctrl.RecordEntriesPerLine
+		pos := slot % memctrl.RecordEntriesPerLine
+		lines[li][pos] = lay.Geo.Offset(e.Payload.Level, e.Payload.Index) + 1
+	})
+	for li := uint64(0); li < uint64(len(lines)); li++ {
+		addr := lay.RecordBase + li*nvmem.LineSize
+		img := encodeRecordLine(&lines[li])
+		if nvmem.Line(p.c.Device().Peek(addr)) != img {
+			p.c.Device().Poke(addr, img)
+			st.report.NVMWrites++
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package wb implements the Write Back baseline scheme (§IV): the general
+// CME + SIT secure memory with lazy updates and no recovery support.
+// Modified metadata reaches NVM only through cache replacement, so a crash
+// loses every dirty node irrecoverably — WB is the performance baseline the
+// paper normalises Figs. 9-16 against.
+package wb
+
+import (
+	"steins/internal/cache"
+	"steins/internal/memctrl"
+	"steins/internal/sit"
+)
+
+// Policy is the WB scheme.
+type Policy struct {
+	c *memctrl.Controller
+}
+
+// Factory builds a WB policy; pass to memctrl.New.
+func Factory(c *memctrl.Controller) memctrl.Policy { return &Policy{c: c} }
+
+// Name implements memctrl.Policy.
+func (p *Policy) Name() string {
+	if p.c.Config().SplitLeaf {
+		return "WB-SC"
+	}
+	return "WB-GC"
+}
+
+// CounterGen implements memctrl.Policy: WB uses classic self-increment.
+func (p *Policy) CounterGen() bool { return false }
+
+// OnModify implements memctrl.Policy: WB tracks nothing.
+func (p *Policy) OnModify(*cache.Entry[*sit.Node], bool, uint64) uint64 { return 0 }
+
+// EvictDirty implements memctrl.Policy with the classic SIT write-back.
+func (p *Policy) EvictDirty(victim *sit.Node) (uint64, error) {
+	return p.c.ClassicEvict(victim)
+}
+
+// BeforeRead implements memctrl.Policy.
+func (p *Policy) BeforeRead() (uint64, error) { return 0, nil }
+
+// ParentCounterOverride implements memctrl.Policy.
+func (p *Policy) ParentCounterOverride(int, uint64) (uint64, bool) { return 0, false }
+
+// OnCrash implements memctrl.Policy: nothing survives but NVM itself.
+func (p *Policy) OnCrash() {}
+
+// Recover implements memctrl.Policy: WB cannot recover (§IV-D, Fig. 17).
+func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
+	return memctrl.RecoveryReport{Scheme: p.Name()}, memctrl.ErrNoRecovery
+}
+
+// Storage implements memctrl.Policy: just the tree.
+func (p *Policy) Storage() memctrl.StorageOverhead {
+	lay := p.c.Layout()
+	return memctrl.StorageOverhead{
+		TreeBytes:      lay.Geo.MetaBytes,
+		LeafCoverBytes: lay.Geo.LeafCover * 64,
+	}
+}

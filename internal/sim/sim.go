@@ -1,0 +1,283 @@
+// Package sim drives workload traces through secure memory controllers
+// and collects the metrics the paper's figures report: execution time
+// (controller makespan), read/write latency, NVM write traffic, energy,
+// and — after injected crashes — recovery reports.
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+	"steins/internal/scheme/asit"
+	"steins/internal/scheme/scue"
+	"steins/internal/scheme/star"
+	"steins/internal/scheme/steins"
+	"steins/internal/scheme/wb"
+	"steins/internal/trace"
+)
+
+// Scheme pairs a display name with its policy factory and leaf kind.
+type Scheme struct {
+	Name    string
+	Factory memctrl.PolicyFactory
+	Split   bool
+}
+
+// The evaluated schemes (§IV). ASIT and STAR use general counter blocks
+// only, as in the paper ("neither ASIT nor STAR considers the split
+// counter block").
+var (
+	WBGC     = Scheme{Name: "WB-GC", Factory: wb.Factory, Split: false}
+	WBSC     = Scheme{Name: "WB-SC", Factory: wb.Factory, Split: true}
+	ASIT     = Scheme{Name: "ASIT", Factory: asit.Factory, Split: false}
+	STAR     = Scheme{Name: "STAR", Factory: star.Factory, Split: false}
+	SteinsGC = Scheme{Name: "Steins-GC", Factory: steins.Factory, Split: false}
+	SteinsSC = Scheme{Name: "Steins-SC", Factory: steins.Factory, Split: true}
+	SCUEGC   = Scheme{Name: "SCUE-GC", Factory: scue.Factory, Split: false}
+	SCUESC   = Scheme{Name: "SCUE-SC", Factory: scue.Factory, Split: true}
+)
+
+// GCComparison is the Fig. 9-11/13/15 scheme set.
+func GCComparison() []Scheme { return []Scheme{WBGC, ASIT, STAR, SteinsGC} }
+
+// SCComparison is the Fig. 12/14/16 scheme set.
+func SCComparison() []Scheme { return []Scheme{WBSC, SteinsGC, SteinsSC} }
+
+// Options parameterise one run.
+type Options struct {
+	Ops            int
+	WarmupOps      int // requests replayed before stats reset (§IV's warm-up)
+	Seed           uint64
+	DataBytes      uint64                // 0: twice the workload footprint
+	MetaCacheBytes int                   // 0: Table I 256 KB
+	Configure      func(*memctrl.Config) // optional extra knobs
+}
+
+// Result carries the metrics of one (workload, scheme) run.
+type Result struct {
+	Workload    string
+	Scheme      string
+	Ops         int
+	ExecCycles  uint64
+	AvgReadLat  float64 // cycles
+	AvgWriteLat float64 // cycles
+	WriteBytes  uint64
+	EnergyPJ    float64
+	MetaHitRate float64
+	NVM         nvmem.Stats
+	Ctrl        memctrl.Stats
+}
+
+// build constructs the controller for a run.
+func build(prof trace.Profile, s Scheme, opt Options) *memctrl.Controller {
+	dataBytes := opt.DataBytes
+	if dataBytes == 0 {
+		dataBytes = prof.FootprintBytes * 2
+	}
+	if dataBytes < prof.FootprintBytes {
+		panic(fmt.Sprintf("sim: data region %d smaller than %s footprint %d",
+			dataBytes, prof.Name, prof.FootprintBytes))
+	}
+	cfg := memctrl.DefaultConfig(dataBytes, s.Split)
+	if opt.MetaCacheBytes != 0 {
+		cfg.MetaCacheBytes = opt.MetaCacheBytes
+	}
+	if opt.Configure != nil {
+		opt.Configure(&cfg)
+	}
+	return memctrl.New(cfg, s.Factory)
+}
+
+// payload derives a deterministic data block for a write.
+func payload(addr uint64, i int) [64]byte {
+	var b [64]byte
+	binary.LittleEndian.PutUint64(b[:8], addr)
+	binary.LittleEndian.PutUint64(b[8:16], uint64(i))
+	return b
+}
+
+// drive replays the trace into the controller: WarmupOps requests to warm
+// the caches (then stats reset, mirroring §IV's 10M-instruction warm-up),
+// followed by the measured Ops.
+func drive(c *memctrl.Controller, prof trace.Profile, opt Options) error {
+	return driveStream(c, trace.New(prof, opt.Seed, opt.WarmupOps+opt.Ops), opt.WarmupOps)
+}
+
+// driveStream replays an arbitrary operation stream.
+func driveStream(c *memctrl.Controller, s trace.Stream, warmupOps int) error {
+	i := 0
+	for {
+		op, ok := s.Next()
+		if !ok {
+			return nil
+		}
+		var err error
+		if op.IsWrite {
+			err = c.WriteData(op.Gap, op.Addr, payload(op.Addr, i))
+		} else {
+			_, err = c.ReadData(op.Gap, op.Addr)
+		}
+		if err != nil {
+			return fmt.Errorf("sim: %s op %d (%v %#x): %w", s.Name(), i, op.IsWrite, op.Addr, err)
+		}
+		i++
+		if i == warmupOps {
+			c.ResetStats()
+		}
+	}
+}
+
+// collect snapshots the metrics.
+func collect(c *memctrl.Controller, prof trace.Profile, s Scheme, ops int) Result {
+	st := c.Stats()
+	return Result{
+		Workload:    prof.Name,
+		Scheme:      s.Name,
+		Ops:         ops,
+		ExecCycles:  c.MeasuredExecCycles(),
+		AvgReadLat:  st.AvgReadLatency(),
+		AvgWriteLat: st.AvgWriteLatency(),
+		WriteBytes:  c.Device().Stats().WriteBytes(),
+		EnergyPJ:    c.EnergyPJ(),
+		MetaHitRate: c.Meta().Stats().HitRate(),
+		NVM:         c.Device().Stats(),
+		Ctrl:        st,
+	}
+}
+
+// Run replays one workload through one scheme.
+func Run(prof trace.Profile, s Scheme, opt Options) (Result, error) {
+	c := build(prof, s, opt)
+	if err := drive(c, prof, opt); err != nil {
+		return Result{}, err
+	}
+	return collect(c, prof, s, opt.Ops), nil
+}
+
+// RunStream replays an arbitrary operation stream — a recorded trace or a
+// CPU-filtered raw stream — through one scheme. opt.DataBytes is required
+// (streams carry no footprint information); opt.Ops/Seed are ignored.
+func RunStream(stream trace.Stream, s Scheme, opt Options) (Result, error) {
+	if opt.DataBytes == 0 {
+		panic("sim: RunStream requires DataBytes")
+	}
+	prof := trace.Profile{Name: stream.Name(), FootprintBytes: opt.DataBytes}
+	c := build(prof, s, opt)
+	if err := driveStream(c, stream, opt.WarmupOps); err != nil {
+		return Result{}, err
+	}
+	res := collect(c, prof, s, int(c.Stats().DataReads+c.Stats().DataWrites))
+	return res, nil
+}
+
+// RunWithCrash replays the workload, optionally marks every cached node
+// dirty (the §IV-D assumption), crashes, recovers, and verifies that a
+// sample of the written data is readable afterwards.
+func RunWithCrash(prof trace.Profile, s Scheme, opt Options, forceAllDirty bool) (Result, memctrl.RecoveryReport, error) {
+	c := build(prof, s, opt)
+	if err := drive(c, prof, opt); err != nil {
+		return Result{}, memctrl.RecoveryReport{}, err
+	}
+	res := collect(c, prof, s, opt.Ops)
+	if forceAllDirty {
+		c.ForceAllDirty()
+	}
+	c.Crash()
+	rep, err := c.Recover()
+	if err != nil {
+		return res, rep, err
+	}
+	// Post-recovery sanity: replay a short read-only probe.
+	g := trace.New(prof, opt.Seed+1, 200)
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		if _, rerr := c.ReadData(op.Gap, op.Addr); rerr != nil {
+			return res, rep, fmt.Errorf("sim: post-recovery read failed: %w", rerr)
+		}
+	}
+	return res, rep, nil
+}
+
+// RecoveryAtCacheSize measures recovery for a given metadata cache size
+// under the Fig. 17 methodology: a uniform write stream sized to fill the
+// cache with distinct nodes, all forced dirty at the crash.
+func RecoveryAtCacheSize(s Scheme, cacheBytes int, seed uint64) (memctrl.RecoveryReport, error) {
+	cacheLines := uint64(cacheBytes / 64)
+	cover := uint64(8)
+	if s.Split {
+		cover = 64
+	}
+	// Footprint large enough that cacheLines distinct leaves are touched.
+	footprint := cacheLines * cover * 64 * 4
+	prof := trace.Profile{
+		Name:           "fig17-fill",
+		FootprintBytes: footprint,
+		WriteFrac:      1.0,
+		GapMean:        20,
+		Pattern:        trace.Uniform,
+	}
+	opt := Options{
+		Ops:            int(cacheLines) * 6,
+		Seed:           seed,
+		DataBytes:      footprint,
+		MetaCacheBytes: cacheBytes,
+	}
+	c := build(prof, s, opt)
+	if err := drive(c, prof, opt); err != nil {
+		return memctrl.RecoveryReport{}, err
+	}
+	c.ForceAllDirty()
+	c.Crash()
+	return c.Recover()
+}
+
+// Job is one (workload, scheme, options) simulation for RunParallel.
+type Job struct {
+	Prof   trace.Profile
+	Scheme Scheme
+	Opt    Options
+}
+
+// RunParallel executes jobs across a worker pool (controllers are fully
+// independent, so the sweeps behind the paper's figures parallelise
+// perfectly). workers <= 0 selects GOMAXPROCS. Results are positional.
+func RunParallel(jobs []Job, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = Run(jobs[i].Prof, jobs[i].Scheme, jobs[i].Opt)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: job %d (%s/%s): %w",
+				i, jobs[i].Prof.Name, jobs[i].Scheme.Name, err)
+		}
+	}
+	return results, nil
+}

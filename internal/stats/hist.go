@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Hist is a power-of-two latency histogram: bucket i counts samples in
+// [2^i, 2^(i+1)). It gives tail-latency visibility (p50/p95/p99) without
+// storing samples; the zero value is ready to use.
+type Hist struct {
+	buckets [48]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Add records one sample.
+func (h *Hist) Add(v uint64) {
+	i := bits.Len64(v)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of the samples.
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Hist) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound of the p-quantile (0 < p <= 1): the
+// top of the bucket containing it.
+func (h *Hist) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(p * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return h.max
+}
+
+// String renders a compact sparkline-style summary.
+func (h *Hist) String() string {
+	if h.count == 0 {
+		return "hist: empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.0f p50<=%d p95<=%d p99<=%d max=%d",
+		h.count, h.Mean(), h.Percentile(0.5), h.Percentile(0.95), h.Percentile(0.99), h.max)
+	return b.String()
+}
+
+// Merge folds another histogram into h; the multi-controller system
+// aggregates per-controller histograms this way.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.99) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.String() != "hist: empty" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{1, 2, 3, 100, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if got, want := h.Mean(), float64(1106)/5; got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistPercentileBounds(t *testing.T) {
+	// Property: the reported quantile bound is >= the true quantile and
+	// at most 2x (power-of-two buckets).
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Hist
+		maxV := uint64(0)
+		for _, v := range raw {
+			h.Add(uint64(v))
+			if uint64(v) > maxV {
+				maxV = uint64(v)
+			}
+		}
+		p100 := h.Percentile(1.0)
+		return p100 >= maxV
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistPercentileMonotone(t *testing.T) {
+	var h Hist
+	for i := uint64(1); i <= 10000; i++ {
+		h.Add(i)
+	}
+	p50, p95, p99 := h.Percentile(0.5), h.Percentile(0.95), h.Percentile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("percentiles not monotone: %d %d %d", p50, p95, p99)
+	}
+	// p50 of uniform 1..10000 is ~5000; bucket bound gives <= 8191.
+	if p50 < 4096 || p50 > 8191 {
+		t.Fatalf("p50 bound = %d, want within [4096, 8191]", p50)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 100; i++ {
+		a.Add(10)
+		b.Add(1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 1000 {
+		t.Fatalf("merged max = %d", a.Max())
+	}
+	if a.Mean() != 505 {
+		t.Fatalf("merged mean = %v", a.Mean())
+	}
+}
+
+func TestHistHugeValue(t *testing.T) {
+	var h Hist
+	h.Add(1 << 62)
+	if h.Percentile(1.0) == 0 {
+		t.Fatal("huge value lost")
+	}
+}

@@ -1,0 +1,171 @@
+// Package stats provides the small numeric and formatting helpers the
+// figure generators share: normalisation against a baseline, geometric
+// means for cross-workload averages, and aligned text tables.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Normalize divides each value by base; base must be non-zero.
+func Normalize(vals []float64, base float64) []float64 {
+	if base == 0 {
+		panic("stats: normalising by zero")
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v / base
+	}
+	return out
+}
+
+// GeoMean returns the geometric mean of positive values, the conventional
+// cross-benchmark average for normalised metrics.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			panic("stats: GeoMean needs positive values")
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Table renders an aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Rows returns the row data (for tests and machine output).
+func (t *Table) Rows() [][]string { return t.rows }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, r := range t.rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// F formats a ratio-style float with three decimals.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// F2 formats with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Seconds formats nanoseconds as seconds with adaptive precision.
+func Seconds(ns float64) string {
+	s := ns / 1e9
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f s", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.1f us", s*1e6)
+	}
+}
+
+// Bytes formats byte counts in binary units.
+func Bytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// tableJSON is the serialised form of a Table.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// MarshalJSON serialises the table for machine consumption
+// (benchfigs -format json).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{
+		Title: t.Title, Headers: t.Headers, Rows: t.rows, Notes: t.Notes,
+	})
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Normalize = %v", got)
+		}
+	}
+}
+
+func TestNormalizeZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Normalize([]float64{1}, 0)
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty GeoMean not 0")
+	}
+}
+
+func TestGeoMeanNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty Mean not 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "workload", "WB", "Steins")
+	tb.AddRow("lbm_r", "1.000", "1.062")
+	tb.AddRow("cactusADM", "1.000", "1.081")
+	tb.AddNote("normalised to WB")
+	s := tb.String()
+	for _, want := range []string{"Fig X", "workload", "lbm_r", "1.081", "note: normalised to WB"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	if len(tb.Rows()) != 2 {
+		t.Fatalf("Rows = %d", len(tb.Rows()))
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	if got := tb.Rows()[0]; len(got) != 2 || got[1] != "" {
+		t.Fatalf("short row not padded: %q", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		ns   float64
+		want string
+	}{
+		{4.4e8, "440.00 ms"},
+		{2e9, "2.00 s"},
+		{5e5, "500.0 us"},
+		{3e11, "300 s"},
+	} {
+		if got := Seconds(tc.ns); got != tc.want {
+			t.Errorf("Seconds(%v) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	for _, tc := range []struct {
+		b    uint64
+		want string
+	}{
+		{512, "512 B"},
+		{16 << 10, "16.0 KiB"},
+		{256 << 20, "256.0 MiB"},
+		{2 << 30, "2.0 GiB"},
+	} {
+		if got := Bytes(tc.b); got != tc.want {
+			t.Errorf("Bytes(%d) = %q, want %q", tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("Fig X", "a", "b")
+	tb.AddRow("r1", "1.0")
+	tb.AddNote("n")
+	data, err := tb.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "Fig X" || len(got.Headers) != 2 || len(got.Rows) != 1 || len(got.Notes) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: traces can be recorded once and replayed across
+// schemes/configurations or shared between machines, with the header
+// carrying the generating profile's name.
+//
+//	magic "STTR" | version u16 | name len u16 | name | op count u64 |
+//	ops: addr u64 | gap u32 | flags u8   (flag bit 0: write)
+const (
+	fileMagic   = "STTR"
+	fileVersion = 1
+)
+
+// WriteFile serialises a trace.
+func WriteFile(w io.Writer, name string, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	if len(name) > 1<<16-1 {
+		return fmt.Errorf("trace: name too long")
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], fileVersion)
+	binary.LittleEndian.PutUint16(hdr[2:4], uint16(len(name)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(ops)))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return err
+	}
+	var rec [13]byte
+	for _, op := range ops {
+		binary.LittleEndian.PutUint64(rec[0:8], op.Addr)
+		if op.Gap > 1<<32-1 {
+			return fmt.Errorf("trace: gap %d exceeds 32 bits", op.Gap)
+		}
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(op.Gap))
+		rec[12] = 0
+		if op.IsWrite {
+			rec[12] = 1
+		}
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile deserialises a trace written by WriteFile.
+func ReadFile(r io.Reader) (name string, ops []Op, err error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return "", nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic[:]) != fileMagic {
+		return "", nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return "", nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != fileVersion {
+		return "", nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	nameBuf := make([]byte, binary.LittleEndian.Uint16(hdr[2:4]))
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return "", nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return "", nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	const maxOps = 1 << 30
+	if n > maxOps {
+		return "", nil, fmt.Errorf("trace: implausible op count %d", n)
+	}
+	// Never trust the declared count for allocation (a forged header must
+	// not reserve gigabytes); grow with the records actually present.
+	ops = make([]Op, 0, min(n, 1<<16))
+	var rec [13]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return "", nil, fmt.Errorf("trace: reading op %d: %w", i, err)
+		}
+		ops = append(ops, Op{
+			Addr:    binary.LittleEndian.Uint64(rec[0:8]),
+			Gap:     uint64(binary.LittleEndian.Uint32(rec[8:12])),
+			IsWrite: rec[12]&1 == 1,
+		})
+	}
+	return string(nameBuf), ops, nil
+}
+
+// Record materialises n operations of a profile.
+func Record(p Profile, seed uint64, n int) []Op {
+	g := New(p, seed, n)
+	ops := make([]Op, 0, n)
+	for {
+		op, ok := g.Next()
+		if !ok {
+			return ops
+		}
+		ops = append(ops, op)
+	}
+}
+
+// Replay wraps a recorded op slice in the Generator interface shape.
+type Replay struct {
+	name string
+	ops  []Op
+	pos  int
+}
+
+// NewReplay builds a replayer over recorded operations.
+func NewReplay(name string, ops []Op) *Replay {
+	return &Replay{name: name, ops: ops}
+}
+
+// Name returns the recorded trace's name.
+func (r *Replay) Name() string { return r.name }
+
+// Remaining returns how many operations are left.
+func (r *Replay) Remaining() int { return len(r.ops) - r.pos }
+
+// Next returns the next recorded operation.
+func (r *Replay) Next() (Op, bool) {
+	if r.pos >= len(r.ops) {
+		return Op{}, false
+	}
+	op := r.ops[r.pos]
+	r.pos++
+	return op, true
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	p, _ := ByName("cactusADM")
+	ops := Record(p, 7, 5000)
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, p.Name, ops); err != nil {
+		t.Fatal(err)
+	}
+	name, got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != p.Name {
+		t.Fatalf("name %q", name)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("len %d != %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestFileEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	name, ops, err := ReadFile(&buf)
+	if err != nil || name != "empty" || len(ops) != 0 {
+		t.Fatalf("empty round trip: %q %d %v", name, len(ops), err)
+	}
+}
+
+func TestFileBadMagic(t *testing.T) {
+	if _, _, err := ReadFile(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestFileTruncated(t *testing.T) {
+	p, _ := ByName("lbm_r")
+	ops := Record(p, 1, 100)
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, p.Name, ops); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{3, 5, 10, len(data) - 1} {
+		if _, _, err := ReadFile(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestFileBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version field
+	if _, _, err := ReadFile(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReplayMatchesGenerator(t *testing.T) {
+	p, _ := ByName("gcc_r")
+	ops := Record(p, 3, 1000)
+	r := NewReplay(p.Name, ops)
+	g := New(p, 3, 1000)
+	if r.Name() != p.Name {
+		t.Fatalf("name %q", r.Name())
+	}
+	for {
+		a, oka := r.Next()
+		b, okb := g.Next()
+		if oka != okb || a != b {
+			t.Fatal("replay diverged from generator")
+		}
+		if !oka {
+			break
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFile feeds arbitrary bytes to the trace parser: it must reject
+// or parse, never panic or over-allocate.
+func FuzzReadFile(f *testing.F) {
+	var buf bytes.Buffer
+	p, _ := ByName("lbm_r")
+	if err := WriteFile(&buf, p.Name, Record(p, 1, 50)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("STTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, ops, err := ReadFile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed successfully: re-serialising must reproduce semantics.
+		var out bytes.Buffer
+		if werr := WriteFile(&out, name, ops); werr != nil {
+			t.Fatalf("re-serialise of parsed trace failed: %v", werr)
+		}
+		name2, ops2, rerr := ReadFile(&out)
+		if rerr != nil || name2 != name || len(ops2) != len(ops) {
+			t.Fatalf("parse/serialise not idempotent")
+		}
+	})
+}

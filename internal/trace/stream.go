@@ -1,0 +1,14 @@
+package trace
+
+// Stream is any source of memory operations: synthetic generators,
+// recorded replays, or CPU-filtered raw streams.
+type Stream interface {
+	Name() string
+	Next() (Op, bool)
+}
+
+// Compile-time checks that the provided sources are Streams.
+var (
+	_ Stream = (*Generator)(nil)
+	_ Stream = (*Replay)(nil)
+)

@@ -1,0 +1,239 @@
+// Package trace generates the memory-request streams the evaluation runs
+// on. Each generator models the LLC-miss stream (reads plus dirty
+// write-backs) of one benchmark from §IV: eight SPEC CPU2006/2017-like
+// profiles reproducing each benchmark's published memory character
+// (footprint, read/write mix, sequentiality, reuse skew) and the two
+// write-ordered persistent workloads from STAR.
+//
+// Traces are synthesised rather than replayed (DESIGN.md, substitutions):
+// every metric in the paper's figures is a function of the metadata-cache
+// hit rate and dirty-eviction frequency, which these statistics determine.
+package trace
+
+import "steins/internal/rng"
+
+// Op is one memory request reaching the controller.
+type Op struct {
+	Addr    uint64 // 64 B-aligned data address
+	IsWrite bool
+	Gap     uint64 // controller cycles since the previous request
+}
+
+// Pattern selects the address-generation behaviour.
+type Pattern int
+
+// Address patterns.
+const (
+	Sequential   Pattern = iota // streaming walk (lbm-like)
+	Strided                     // fixed-stride sweep (milc-like)
+	Uniform                     // uniform random (cactusADM-like)
+	Zipf                        // skewed reuse (gcc-like)
+	PointerChase                // dependent random walk (mcf-like)
+	MixedPhase                  // alternating scan/random phases (xalancbmk-like)
+	Queue                       // persistent FIFO: append at tail, pop at head
+	HashTable                   // persistent hash table: random slot updates
+)
+
+// Profile describes one workload.
+type Profile struct {
+	Name           string
+	FootprintBytes uint64  // touched data region
+	WriteFrac      float64 // fraction of requests that are writes
+	GapMean        uint64  // mean compute gap between requests, cycles
+	Pattern        Pattern
+	ZipfS          float64 // skew for Zipf/PointerChase
+	StrideLines    uint64  // for Strided
+}
+
+// SPEC returns the eight SPEC-like profiles of §IV (four from CPU2017,
+// four from CPU2006, the mix ASIT evaluates).
+func SPEC() []Profile {
+	return []Profile{
+		{Name: "lbm_r", FootprintBytes: 384 << 20, WriteFrac: 0.55, GapMean: 230, Pattern: Sequential},
+		{Name: "mcf_r", FootprintBytes: 320 << 20, WriteFrac: 0.25, GapMean: 430, Pattern: PointerChase, ZipfS: 0.8},
+		{Name: "gcc_r", FootprintBytes: 128 << 20, WriteFrac: 0.35, GapMean: 560, Pattern: Zipf, ZipfS: 0.99},
+		{Name: "xalancbmk_r", FootprintBytes: 192 << 20, WriteFrac: 0.30, GapMean: 640, Pattern: MixedPhase},
+		{Name: "cactusADM", FootprintBytes: 384 << 20, WriteFrac: 0.45, GapMean: 310, Pattern: Uniform},
+		{Name: "milc", FootprintBytes: 256 << 20, WriteFrac: 0.40, GapMean: 420, Pattern: Strided, StrideLines: 4},
+		{Name: "libquantum", FootprintBytes: 192 << 20, WriteFrac: 0.25, GapMean: 270, Pattern: Sequential},
+		{Name: "soplex", FootprintBytes: 192 << 20, WriteFrac: 0.30, GapMean: 500, Pattern: Zipf, ZipfS: 0.8},
+	}
+}
+
+// Persistent returns the two STAR-style persistent workloads.
+func Persistent() []Profile {
+	return []Profile{
+		{Name: "pers_queue", FootprintBytes: 64 << 20, WriteFrac: 0.75, GapMean: 360, Pattern: Queue},
+		{Name: "pers_hash", FootprintBytes: 128 << 20, WriteFrac: 0.70, GapMean: 460, Pattern: HashTable},
+	}
+}
+
+// All returns every evaluation workload in figure order.
+func All() []Profile { return append(SPEC(), Persistent()...) }
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Generator streams the requests of one profile. Deterministic per seed.
+type Generator struct {
+	p     Profile
+	r     *rng.Source
+	zipf  *rng.Zipf
+	n     int
+	emit  int
+	lines uint64
+
+	cursor uint64 // Sequential/Strided position, Queue tail
+	head   uint64 // Queue head
+	phase  int    // MixedPhase countdown
+	random bool   // MixedPhase mode
+
+	// Short spatial runs: LLC-miss streams retain line-neighbour locality
+	// (prefetchers, large-object accesses), so random patterns emit a few
+	// sequential lines after each jump.
+	runLeft int
+	runBase uint64
+}
+
+// zipfRanks bounds the Zipf CDF table; ranks map onto the footprint by
+// scaling, preserving the skew without a giant table.
+const zipfRanks = 1 << 16
+
+// New creates a generator producing n operations.
+func New(p Profile, seed uint64, n int) *Generator {
+	if p.FootprintBytes == 0 || p.FootprintBytes%64 != 0 {
+		panic("trace: footprint must be a positive multiple of 64")
+	}
+	g := &Generator{p: p, r: rng.New(seed ^ 0x9e3779b97f4a7c15), n: n, lines: p.FootprintBytes / 64}
+	if p.Pattern == Zipf || p.Pattern == PointerChase {
+		s := p.ZipfS
+		if s == 0 {
+			s = 0.99
+		}
+		g.zipf = rng.NewZipf(g.r, zipfRanks, s)
+	}
+	return g
+}
+
+// Name returns the profile name.
+func (g *Generator) Name() string { return g.p.Name }
+
+// Remaining returns how many operations are left.
+func (g *Generator) Remaining() int { return g.n - g.emit }
+
+// Next returns the next operation; ok is false when the trace is done.
+func (g *Generator) Next() (Op, bool) {
+	if g.emit >= g.n {
+		return Op{}, false
+	}
+	g.emit++
+	op := Op{
+		Gap:     1 + g.r.Uint64n(2*g.p.GapMean),
+		IsWrite: g.r.Bool(g.p.WriteFrac),
+	}
+	op.Addr = g.nextLine() * 64
+	return op, true
+}
+
+func (g *Generator) nextLine() uint64 {
+	switch g.p.Pattern {
+	case Uniform, Zipf, PointerChase, HashTable:
+		if g.runLeft > 0 {
+			g.runLeft--
+			g.runBase = (g.runBase + 1) % g.lines
+			return g.runBase
+		}
+		g.runBase = g.jumpLine()
+		g.runLeft = g.r.Geometric(0.3) // mean ~2.3 follow-on lines
+		if g.runLeft > 7 {
+			g.runLeft = 7
+		}
+		return g.runBase
+	}
+	return g.jumpLine()
+}
+
+// jumpLine draws a fresh position per the profile's pattern.
+func (g *Generator) jumpLine() uint64 {
+	switch g.p.Pattern {
+	case Sequential:
+		// Streaming with occasional restarts at a random offset.
+		if g.r.Bool(0.001) {
+			g.cursor = g.r.Uint64n(g.lines)
+		}
+		l := g.cursor
+		g.cursor = (g.cursor + 1) % g.lines
+		return l
+	case Strided:
+		stride := g.p.StrideLines
+		if stride == 0 {
+			stride = 4
+		}
+		l := g.cursor
+		g.cursor = (g.cursor + stride) % g.lines
+		return l
+	case Uniform:
+		return g.r.Uint64n(g.lines)
+	case Zipf:
+		return g.scaleRank(g.zipf.Next())
+	case PointerChase:
+		// Dependent walk through a skewed set: the next node depends on
+		// the current one, modelled as a fresh skewed draw mixed with the
+		// cursor so runs are reproducible but non-repeating.
+		g.cursor = (g.cursor*6364136223846793005 + uint64(g.zipf.Next())) % g.lines
+		return g.cursor
+	case MixedPhase:
+		if g.phase == 0 {
+			g.phase = 512 + g.r.Intn(1024)
+			g.random = !g.random
+		}
+		g.phase--
+		if g.random {
+			return g.r.Uint64n(g.lines)
+		}
+		l := g.cursor
+		g.cursor = (g.cursor + 1) % g.lines
+		return l
+	case Queue:
+		// Producer/consumer ring: most operations append at the tail
+		// (write) or pop at the head (read-modify), both with strong
+		// spatial locality; the metadata header line is hammered.
+		switch g.r.Intn(8) {
+		case 0:
+			return 0 // queue header: hot line
+		case 1, 2:
+			l := g.head
+			g.head = (g.head + 1) % g.lines
+			return l
+		default:
+			l := g.cursor
+			g.cursor = (g.cursor + 1) % g.lines
+			return l
+		}
+	case HashTable:
+		// Random slot updates plus a hot directory region at the front.
+		if g.r.Bool(0.1) {
+			return g.r.Uint64n(64) // directory lines
+		}
+		return g.r.Uint64n(g.lines)
+	default:
+		panic("trace: unknown pattern")
+	}
+}
+
+// scaleRank spreads Zipf ranks over the footprint: rank r maps to a fixed
+// pseudo-random line, preserving rank popularity.
+func (g *Generator) scaleRank(rank int) uint64 {
+	x := uint64(rank)
+	x ^= x >> 12
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 25
+	return x % g.lines
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllProfilesProduceBoundedOps(t *testing.T) {
+	for _, p := range All() {
+		g := New(p, 1, 1000)
+		n := 0
+		for {
+			op, ok := g.Next()
+			if !ok {
+				break
+			}
+			n++
+			if op.Addr%64 != 0 {
+				t.Fatalf("%s: unaligned address %#x", p.Name, op.Addr)
+			}
+			if op.Addr >= p.FootprintBytes {
+				t.Fatalf("%s: address %#x outside footprint %#x", p.Name, op.Addr, p.FootprintBytes)
+			}
+			if op.Gap == 0 {
+				t.Fatalf("%s: zero gap", p.Name)
+			}
+		}
+		if n != 1000 {
+			t.Fatalf("%s: emitted %d ops, want 1000", p.Name, n)
+		}
+		if g.Remaining() != 0 {
+			t.Fatalf("%s: Remaining = %d", p.Name, g.Remaining())
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	for _, p := range All() {
+		a, b := New(p, 7, 500), New(p, 7, 500)
+		for {
+			oa, oka := a.Next()
+			ob, okb := b.Next()
+			if oka != okb || oa != ob {
+				t.Fatalf("%s: same seed diverged", p.Name)
+			}
+			if !oka {
+				break
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	p, _ := ByName("cactusADM")
+	a, b := New(p, 1, 200), New(p, 2, 200)
+	same := 0
+	for i := 0; i < 200; i++ {
+		oa, _ := a.Next()
+		ob, _ := b.Next()
+		if oa.Addr == ob.Addr {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("different seeds produced %d/200 identical addresses", same)
+	}
+}
+
+func TestWriteFractionRespected(t *testing.T) {
+	for _, p := range All() {
+		g := New(p, 3, 20000)
+		writes := 0
+		for {
+			op, ok := g.Next()
+			if !ok {
+				break
+			}
+			if op.IsWrite {
+				writes++
+			}
+		}
+		got := float64(writes) / 20000
+		if math.Abs(got-p.WriteFrac) > 0.03 {
+			t.Errorf("%s: write fraction %.3f, want %.2f", p.Name, got, p.WriteFrac)
+		}
+	}
+}
+
+func TestGapMeanRespected(t *testing.T) {
+	p, _ := ByName("lbm_r")
+	g := New(p, 5, 50000)
+	var sum uint64
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		sum += op.Gap
+	}
+	mean := float64(sum) / 50000
+	if math.Abs(mean-float64(p.GapMean)) > float64(p.GapMean)/5 {
+		t.Fatalf("gap mean %.1f, want ~%d", mean, p.GapMean)
+	}
+}
+
+func TestSequentialIsSequential(t *testing.T) {
+	p, _ := ByName("lbm_r")
+	g := New(p, 1, 5000)
+	prev, _ := g.Next()
+	seq := 0
+	for i := 1; i < 5000; i++ {
+		op, _ := g.Next()
+		if op.Addr == prev.Addr+64 {
+			seq++
+		}
+		prev = op
+	}
+	if seq < 4500 {
+		t.Fatalf("only %d/5000 steps sequential in lbm_r", seq)
+	}
+}
+
+func TestUniformSpreads(t *testing.T) {
+	p, _ := ByName("cactusADM")
+	g := New(p, 1, 20000)
+	distinct := map[uint64]bool{}
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		distinct[op.Addr] = true
+	}
+	if len(distinct) < 15000 {
+		t.Fatalf("uniform workload touched only %d distinct lines", len(distinct))
+	}
+}
+
+func TestZipfSkewed(t *testing.T) {
+	p, _ := ByName("gcc_r")
+	g := New(p, 1, 50000)
+	counts := map[uint64]int{}
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		counts[op.Addr]++
+	}
+	hottest := 0
+	for _, c := range counts {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	// The hottest line in a Zipf(0.99) stream gets far more than its
+	// uniform share.
+	if hottest < 50000/len(counts)*20 {
+		t.Fatalf("hottest line hit %d times over %d lines; no skew", hottest, len(counts))
+	}
+}
+
+func TestQueueHammersHeader(t *testing.T) {
+	p, _ := ByName("pers_queue")
+	g := New(p, 1, 20000)
+	header := 0
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		if op.Addr == 0 {
+			header++
+		}
+	}
+	if header < 1500 {
+		t.Fatalf("queue header touched %d/20000 times, want ~1/8", header)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("lbm_r"); !ok {
+		t.Fatal("lbm_r missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("bogus name resolved")
+	}
+	if len(All()) != 10 {
+		t.Fatalf("expected 10 workloads, got %d", len(All()))
+	}
+}
+
+func TestBadFootprintPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad footprint did not panic")
+		}
+	}()
+	New(Profile{Name: "x", FootprintBytes: 100}, 1, 1)
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	p, _ := ByName("cactusADM")
+	g := New(p, 1, b.N)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,232 @@
+// Package securemem is the public API of the Steins reproduction: a secure
+// non-volatile memory built from counter-mode encryption, an SGX-style
+// integrity tree, and a pluggable crash-recovery scheme.
+//
+// A Memory protects a byte-addressable data region at 64-byte granularity.
+// Writes are encrypted and authenticated; reads are verified against the
+// integrity tree; Crash models a power failure and Recover restores the
+// security metadata using the configured scheme:
+//
+//	m, err := securemem.New(securemem.Config{
+//		DataBytes: 1 << 20,
+//		Scheme:    securemem.SteinsSC,
+//	})
+//	...
+//	err = m.Write(0x1000, block)
+//	got, err := m.Read(0x1000)
+//	m.Crash()
+//	report, err := m.Recover()
+//
+// Integrity violations surface as errors matching ErrTamper or ErrReplay
+// (via errors.Is); errors.As against *Violation yields the attacked level
+// and node, the §III-H attack localization.
+//
+// The underlying simulator charges the paper's Table I cycle costs to
+// every operation, so Stats also reports the performance metrics the
+// paper's figures use (execution cycles, latencies, NVM traffic, energy).
+package securemem
+
+import (
+	"fmt"
+
+	"steins/internal/crypt"
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+	"steins/internal/scheme/asit"
+	"steins/internal/scheme/scue"
+	"steins/internal/scheme/star"
+	"steins/internal/scheme/steins"
+	"steins/internal/scheme/wb"
+	"steins/internal/stats"
+)
+
+// BlockSize is the access granularity in bytes.
+const BlockSize = 64
+
+// Block is one data block.
+type Block = [BlockSize]byte
+
+// Scheme selects the crash-recovery scheme.
+type Scheme string
+
+// The available schemes. The -GC variants use general counter blocks in
+// the tree leaves (8 data blocks per leaf), the -SC variants split
+// counter blocks (64 data blocks per leaf, the paper's recommended mode).
+const (
+	WBGC     Scheme = "WB-GC"     // write-back baseline, no recovery
+	WBSC     Scheme = "WB-SC"     // split-counter baseline, no recovery
+	ASIT     Scheme = "ASIT"      // Anubis-style shadow table
+	STAR     Scheme = "STAR"      // bitmap + per-set cache-tree
+	SteinsGC Scheme = "Steins-GC" // the paper's scheme, general leaves
+	SteinsSC Scheme = "Steins-SC" // the paper's scheme, split leaves
+	SCUEGC   Scheme = "SCUE-GC"   // recovery-root, full-tree rebuild
+	SCUESC   Scheme = "SCUE-SC"
+)
+
+// Schemes lists every available scheme.
+func Schemes() []Scheme {
+	return []Scheme{WBGC, WBSC, ASIT, STAR, SteinsGC, SteinsSC, SCUEGC, SCUESC}
+}
+
+// Integrity errors, re-exported from the controller.
+var (
+	ErrTamper     = memctrl.ErrTamper
+	ErrReplay     = memctrl.ErrReplay
+	ErrNoRecovery = memctrl.ErrNoRecovery
+)
+
+// Violation is the structured integrity error; use errors.As to obtain
+// the attacked location.
+type Violation = memctrl.Violation
+
+// Config configures a Memory. The zero value of every optional field
+// selects the paper's Table I parameter.
+type Config struct {
+	// DataBytes is the protected capacity; required, a multiple of 64.
+	DataBytes uint64
+	// Scheme selects the recovery scheme; required.
+	Scheme Scheme
+	// MetaCacheBytes sizes the controller's metadata cache (default 256 KiB).
+	MetaCacheBytes int
+	// KeySeed derives the (deterministic) secret key; any value works.
+	KeySeed uint64
+	// Advanced exposes every low-level knob; applied last.
+	Advanced func(*memctrl.Config)
+}
+
+// Memory is a secure NVM region with crash recovery.
+type Memory struct {
+	c      *memctrl.Controller
+	scheme Scheme
+}
+
+// New builds a Memory.
+func New(cfg Config) (*Memory, error) {
+	if cfg.DataBytes == 0 || cfg.DataBytes%BlockSize != 0 {
+		return nil, fmt.Errorf("securemem: DataBytes must be a positive multiple of %d", BlockSize)
+	}
+	var factory memctrl.PolicyFactory
+	split := false
+	switch cfg.Scheme {
+	case WBGC:
+		factory = wb.Factory
+	case WBSC:
+		factory, split = wb.Factory, true
+	case ASIT:
+		factory = asit.Factory
+	case STAR:
+		factory = star.Factory
+	case SteinsGC:
+		factory = steins.Factory
+	case SteinsSC:
+		factory, split = steins.Factory, true
+	case SCUEGC:
+		factory = scue.Factory
+	case SCUESC:
+		factory, split = scue.Factory, true
+	default:
+		return nil, fmt.Errorf("securemem: unknown scheme %q", cfg.Scheme)
+	}
+	mc := memctrl.DefaultConfig(cfg.DataBytes, split)
+	if cfg.MetaCacheBytes != 0 {
+		mc.MetaCacheBytes = cfg.MetaCacheBytes
+	}
+	if cfg.KeySeed != 0 {
+		mc.Key = crypt.NewKey(cfg.KeySeed)
+	}
+	if cfg.Advanced != nil {
+		cfg.Advanced(&mc)
+	}
+	return &Memory{c: memctrl.New(mc, factory), scheme: cfg.Scheme}, nil
+}
+
+// Scheme returns the active recovery scheme.
+func (m *Memory) Scheme() Scheme { return m.scheme }
+
+// Write encrypts, authenticates and persists one block. addr must be
+// 64-byte aligned and inside the data region.
+func (m *Memory) Write(addr uint64, data Block) error {
+	return m.c.WriteData(1, addr, data)
+}
+
+// Read verifies and decrypts one block. Blocks never written read as
+// zero. A verification failure returns an error matching ErrTamper.
+func (m *Memory) Read(addr uint64) (Block, error) {
+	return m.c.ReadData(1, addr)
+}
+
+// Crash models a power failure: all volatile controller state (cached
+// security metadata) is lost; NVM contents, ADR-flushed tracking state
+// and on-chip non-volatile registers survive.
+func (m *Memory) Crash() { m.c.Crash() }
+
+// Recover restores the security metadata lost in the last Crash. The
+// report quantifies the work; errors match ErrTamper/ErrReplay when the
+// persisted state fails verification, or ErrNoRecovery for WB.
+func (m *Memory) Recover() (RecoveryReport, error) {
+	rep, err := m.c.Recover()
+	return RecoveryReport{
+		NodesRecovered: rep.NodesRecovered,
+		NVMReads:       rep.NVMReads,
+		NVMWrites:      rep.NVMWrites,
+		MACOps:         rep.MACOps,
+		SimulatedNS:    rep.TimeNS,
+	}, err
+}
+
+// RecoveryReport quantifies one recovery pass under the paper's §IV-D
+// cost model (100 ns per NVM fetch).
+type RecoveryReport struct {
+	NodesRecovered uint64
+	NVMReads       uint64
+	NVMWrites      uint64
+	MACOps         uint64
+	SimulatedNS    float64
+}
+
+// Stats reports the simulated performance counters of the run so far.
+type Stats struct {
+	Reads            uint64
+	Writes           uint64
+	ExecCycles       uint64  // controller makespan at 2 GHz
+	AvgReadCycles    float64 // mean verified-read latency
+	AvgWriteCycles   float64 // mean write latency
+	P99ReadCycles    uint64
+	P99WriteCycles   uint64
+	NVMWriteBytes    uint64
+	EnergyPJ         float64
+	MetaCacheHitRate float64
+}
+
+// Stats returns the current counters.
+func (m *Memory) Stats() Stats {
+	st := m.c.Stats()
+	return Stats{
+		Reads:            st.DataReads,
+		Writes:           st.DataWrites,
+		ExecCycles:       m.c.ExecCycles(),
+		AvgReadCycles:    st.AvgReadLatency(),
+		AvgWriteCycles:   st.AvgWriteLatency(),
+		P99ReadCycles:    st.ReadHist.Percentile(0.99),
+		P99WriteCycles:   st.WriteHist.Percentile(0.99),
+		NVMWriteBytes:    m.c.Device().Stats().WriteBytes(),
+		EnergyPJ:         m.c.EnergyPJ(),
+		MetaCacheHitRate: m.c.Meta().Stats().HitRate(),
+	}
+}
+
+// Controller exposes the underlying simulator for advanced use (timing
+// experiments, attack injection through the device, custom policies).
+func (m *Memory) Controller() *memctrl.Controller { return m.c }
+
+// Describe returns a one-line summary of the configuration.
+func (m *Memory) Describe() string {
+	cfg := m.c.Config()
+	return fmt.Sprintf("%s over %s data, %s metadata cache, tree height %d",
+		m.scheme, stats.Bytes(cfg.DataBytes),
+		stats.Bytes(uint64(cfg.MetaCacheBytes)),
+		m.c.Layout().Geo.HeightIncludingRoot())
+}
+
+// NVMWear summarises write-endurance consumption (§I's endurance concern).
+func (m *Memory) NVMWear() nvmem.Wear { return m.c.Device().WearStats() }

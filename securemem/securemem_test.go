@@ -1,0 +1,144 @@
+package securemem_test
+
+import (
+	"errors"
+	"testing"
+
+	"steins/securemem"
+)
+
+func TestAllSchemesRoundTrip(t *testing.T) {
+	for _, s := range securemem.Schemes() {
+		m, err := securemem.New(securemem.Config{DataBytes: 1 << 20, Scheme: s, MetaCacheBytes: 8 << 10})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		var b securemem.Block
+		copy(b[:], "hello secure world")
+		if err := m.Write(0x2000, b); err != nil {
+			t.Fatalf("%s write: %v", s, err)
+		}
+		got, err := m.Read(0x2000)
+		if err != nil || got != b {
+			t.Fatalf("%s read: %v", s, err)
+		}
+		if m.Scheme() != s {
+			t.Fatalf("Scheme() = %q", m.Scheme())
+		}
+	}
+}
+
+func TestCrashRecoverPublicAPI(t *testing.T) {
+	m, err := securemem.New(securemem.Config{
+		DataBytes: 1 << 20, Scheme: securemem.SteinsSC, MetaCacheBytes: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := map[uint64]securemem.Block{}
+	for i := uint64(0); i < 500; i++ {
+		addr := i * 64 * 3 % (1 << 20)
+		var b securemem.Block
+		b[0], b[1] = byte(i), byte(i>>8)
+		if err := m.Write(addr, b); err != nil {
+			t.Fatal(err)
+		}
+		blocks[addr] = b
+	}
+	m.Crash()
+	rep, err := m.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rep.SimulatedNS <= 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	for addr, want := range blocks {
+		got, err := m.Read(addr)
+		if err != nil || got != want {
+			t.Fatalf("post-recovery read %#x: %v", addr, err)
+		}
+	}
+}
+
+func TestWBHasNoRecovery(t *testing.T) {
+	m, _ := securemem.New(securemem.Config{DataBytes: 1 << 20, Scheme: securemem.WBGC})
+	m.Crash()
+	if _, err := m.Recover(); !errors.Is(err, securemem.ErrNoRecovery) {
+		t.Fatalf("WB recover = %v", err)
+	}
+}
+
+func TestTamperSurfacesViolation(t *testing.T) {
+	m, _ := securemem.New(securemem.Config{DataBytes: 1 << 20, Scheme: securemem.SteinsGC})
+	var b securemem.Block
+	b[0] = 1
+	if err := m.Write(0, b); err != nil {
+		t.Fatal(err)
+	}
+	line := m.Controller().Device().Peek(0)
+	line[5] ^= 1
+	m.Controller().Device().Poke(0, line)
+	_, err := m.Read(0)
+	if !errors.Is(err, securemem.ErrTamper) {
+		t.Fatalf("tampered read = %v", err)
+	}
+	var v *securemem.Violation
+	if !errors.As(err, &v) || v.DataAddr != 0 {
+		t.Fatalf("violation not localised: %v", err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	m, _ := securemem.New(securemem.Config{DataBytes: 1 << 20, Scheme: securemem.SteinsSC})
+	var b securemem.Block
+	for i := uint64(0); i < 200; i++ {
+		if err := m.Write(i*64, b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Read(i * 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Reads != 200 || st.Writes != 200 {
+		t.Fatalf("counts %+v", st)
+	}
+	if st.ExecCycles == 0 || st.AvgWriteCycles == 0 || st.P99ReadCycles == 0 ||
+		st.NVMWriteBytes == 0 || st.EnergyPJ <= 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+	if w := m.NVMWear(); w.TotalWrites == 0 {
+		t.Fatalf("wear not populated: %+v", w)
+	}
+	if m.Describe() == "" {
+		t.Fatal("empty Describe")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := securemem.New(securemem.Config{DataBytes: 100, Scheme: securemem.SteinsGC}); err == nil {
+		t.Fatal("unaligned DataBytes accepted")
+	}
+	if _, err := securemem.New(securemem.Config{DataBytes: 1 << 20, Scheme: "bogus"}); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if _, err := securemem.New(securemem.Config{Scheme: securemem.SteinsGC}); err == nil {
+		t.Fatal("zero DataBytes accepted")
+	}
+}
+
+func TestKeySeedSeparation(t *testing.T) {
+	build := func(seed uint64) securemem.Block {
+		m, _ := securemem.New(securemem.Config{DataBytes: 1 << 20, Scheme: securemem.WBGC, KeySeed: seed})
+		var b securemem.Block
+		b[0] = 42
+		if err := m.Write(0, b); err != nil {
+			t.Fatal(err)
+		}
+		return securemem.Block(m.Controller().Device().Peek(0))
+	}
+	if build(1) == build(2) {
+		t.Fatal("different keys produced identical ciphertexts")
+	}
+}

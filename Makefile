@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench figs figs-full fuzz cover clean
+.PHONY: all build test bench figs figs-full fuzz crashfuzz check cover clean
 
 all: build test
 
@@ -23,6 +23,23 @@ figs-full:
 fuzz:
 	go test -fuzz=FuzzSplitIncrementMonotone -fuzztime=20s ./internal/counter
 	go test -fuzz=FuzzReadFile -fuzztime=20s ./internal/trace
+
+# Short deterministic crash-point fault-injection sweep: every scheme,
+# pinned seeds, torn-write detection demo included.
+crashfuzz:
+	go run ./cmd/crashfuzz -scheme steins-gc -workload pers_queue -crashes 100 -seed 1 -q
+	go run ./cmd/crashfuzz -scheme steins-sc -workload pers_queue -crashes 100 -seed 1 -q
+	go run ./cmd/crashfuzz -scheme steins-sc -workload pers_hash -crashes 60 -seed 2 -q
+	go run ./cmd/crashfuzz -scheme asit -workload pers_queue -crashes 40 -seed 3 -q
+	go run ./cmd/crashfuzz -scheme star -workload pers_queue -crashes 40 -seed 4 -q
+	go run ./cmd/crashfuzz -scheme scue -workload pers_queue -crashes 25 -seed 5 -q
+	go run ./cmd/crashfuzz -scheme bmt -workload pers_queue -crashes 40 -seed 6 -q
+
+# CI gate: vet, the crash harness, and the race-sensitive packages
+# (figure sweeps under both GOMAXPROCS settings).
+check: crashfuzz
+	go vet ./...
+	go test -race -cpu 1,4 ./internal/crashfuzz ./internal/figures
 
 cover:
 	go test -cover ./...

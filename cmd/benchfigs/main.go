@@ -1,6 +1,7 @@
 // Command benchfigs regenerates the paper's evaluation tables and figures
 // (Figs. 9-17, Table I, the §IV-E storage table, and the §III-B overflow
-// analysis) from fresh simulations.
+// analysis) from fresh simulations. Sweep failures exit 1 with a
+// diagnostic; bad flags exit 2.
 //
 // Usage:
 //
@@ -13,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,22 +23,37 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body: 0 on success, 1 on a sweep or encoding
+// failure, 2 on bad flags.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchfigs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		figList = flag.String("fig", "all", "comma-separated figures: 9-17, config, storage, overflow, ablation, all")
-		scale   = flag.String("scale", "quick", "simulation scale: quick or full")
-		format  = flag.String("format", "text", "output format: text or json")
+		figList = fs.String("fig", "all", "comma-separated figures: 9-17, config, storage, overflow, ablation, all")
+		scale   = fs.String("scale", "quick", "simulation scale: quick or full")
+		format  = fs.String("format", "text", "output format: text or json")
 	)
-	flag.Parse()
-	emit := func(t *stats.Table) {
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	emit := func(t *stats.Table) error {
 		if *format == "json" {
 			data, err := json.MarshalIndent(t, "", "  ")
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Println(string(data))
-			return
+			fmt.Fprintln(stdout, string(data))
+			return nil
 		}
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
+		return nil
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "benchfigs: %v\n", err)
+		return 1
 	}
 
 	var sc figures.Scale
@@ -46,8 +63,8 @@ func main() {
 	case "full":
 		sc = figures.Full()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown scale %q\n", *scale)
+		return 2
 	}
 
 	want := map[string]bool{}
@@ -58,78 +75,85 @@ func main() {
 	sel := func(name string) bool { return all || want[name] }
 
 	if sel("config") {
-		emit(figures.TableI())
+		if err := emit(figures.TableI()); err != nil {
+			return fail(err)
+		}
 	}
 
 	needGC := sel("9") || sel("10") || sel("11") || sel("13") || sel("15")
 	if needGC {
-		fmt.Fprintln(os.Stderr, "running GC comparison sweep (WB-GC, ASIT, STAR, Steins-GC)...")
+		fmt.Fprintln(stderr, "running GC comparison sweep (WB-GC, ASIT, STAR, Steins-GC)...")
 		sw, err := figures.GCSweep(sc)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		if sel("9") {
-			emit(figures.Fig9(sw))
-		}
-		if sel("10") {
-			emit(figures.Fig10(sw))
-		}
-		if sel("11") {
-			emit(figures.Fig11(sw))
-		}
-		if sel("13") {
-			emit(figures.Fig13(sw))
-		}
-		if sel("15") {
-			emit(figures.Fig15(sw))
+		for _, f := range []struct {
+			name string
+			tab  func(*figures.Sweep) *stats.Table
+		}{
+			{"9", figures.Fig9}, {"10", figures.Fig10}, {"11", figures.Fig11},
+			{"13", figures.Fig13}, {"15", figures.Fig15},
+		} {
+			if sel(f.name) {
+				if err := emit(f.tab(sw)); err != nil {
+					return fail(err)
+				}
+			}
 		}
 	}
 
 	needSC := sel("12") || sel("14") || sel("16")
 	if needSC {
-		fmt.Fprintln(os.Stderr, "running SC comparison sweep (WB-SC, Steins-GC, Steins-SC)...")
+		fmt.Fprintln(stderr, "running SC comparison sweep (WB-SC, Steins-GC, Steins-SC)...")
 		sw, err := figures.SCSweep(sc)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		if sel("12") {
-			emit(figures.Fig12(sw))
-		}
-		if sel("14") {
-			emit(figures.Fig14(sw))
-		}
-		if sel("16") {
-			emit(figures.Fig16(sw))
+		for _, f := range []struct {
+			name string
+			tab  func(*figures.Sweep) *stats.Table
+		}{
+			{"12", figures.Fig12}, {"14", figures.Fig14}, {"16", figures.Fig16},
+		} {
+			if sel(f.name) {
+				if err := emit(f.tab(sw)); err != nil {
+					return fail(err)
+				}
+			}
 		}
 	}
 
 	if sel("17") {
-		fmt.Fprintln(os.Stderr, "running recovery-time sweep (Fig. 17)...")
+		fmt.Fprintln(stderr, "running recovery-time sweep (Fig. 17)...")
 		tab, err := figures.Fig17(sc)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		emit(tab)
+		if err := emit(tab); err != nil {
+			return fail(err)
+		}
 	}
 
 	if sel("ablation") {
-		fmt.Fprintln(os.Stderr, "running NV-buffer ablation sweep...")
+		fmt.Fprintln(stderr, "running NV-buffer ablation sweep...")
 		tab, err := figures.AblationTable(sc)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		emit(tab)
+		if err := emit(tab); err != nil {
+			return fail(err)
+		}
 	}
 
 	if sel("storage") {
-		emit(figures.StorageTable())
+		if err := emit(figures.StorageTable()); err != nil {
+			return fail(err)
+		}
 	}
 	if sel("overflow") {
-		emit(figures.OverflowTable())
+		if err := emit(figures.OverflowTable()); err != nil {
+			return fail(err)
+		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "benchfigs: %v\n", err)
-	os.Exit(1)
+	return 0
 }

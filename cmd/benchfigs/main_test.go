@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunConfigTable(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-fig", "config"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Table I") {
+		t.Fatalf("missing Table I:\n%s", out.String())
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-fig", "storage,overflow", "-format", "json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "\"headers\"") {
+		t.Fatalf("not JSON:\n%s", out.String())
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scale", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad scale: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown scale") {
+		t.Fatalf("missing diagnostic: %s", errb.String())
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

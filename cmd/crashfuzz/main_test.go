@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunShortTorture(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-scheme", "steins-sc", "-workload", "pers_queue",
+		"-crashes", "5", "-seed", "1", "-ops", "250", "-footprint", "131072", "-q",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "PASS torture") || !strings.Contains(out.String(), "PASS torn-write") {
+		t.Fatalf("missing PASS lines:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownScheme(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scheme", "nope", "-crashes", "1"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unknown scheme") {
+		t.Fatalf("missing diagnostic: %s", errb.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"extra"}, &out, &errb); code != 2 {
+		t.Fatalf("positional args: exit %d, want 2", code)
+	}
+}

@@ -1,11 +1,14 @@
 // Command recoverdemo walks through a crash and recovery step by step for
 // each recoverable scheme, narrating what survives the power failure, what
 // is lost, and how the scheme rebuilds and verifies the SIT — the §III-G
-// story in executable form.
+// story in executable form. Any write, recovery or verification failure
+// exits non-zero with a diagnostic.
 package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"steins/internal/memctrl"
 	"steins/internal/rng"
@@ -15,14 +18,23 @@ import (
 )
 
 func main() {
-	for _, s := range []sim.Scheme{sim.SteinsGC, sim.SteinsSC, sim.ASIT, sim.STAR, sim.SCUEGC} {
-		demo(s)
-		fmt.Println()
-	}
+	os.Exit(run(os.Stdout, os.Stderr))
 }
 
-func demo(s sim.Scheme) {
-	fmt.Printf("=== %s ===\n", s.Name)
+// run is the testable body: 0 on success, 1 when any scheme's demo fails.
+func run(stdout, stderr io.Writer) int {
+	for _, s := range []sim.Scheme{sim.SteinsGC, sim.SteinsSC, sim.ASIT, sim.STAR, sim.SCUEGC} {
+		if err := demo(s, stdout); err != nil {
+			fmt.Fprintf(stderr, "recoverdemo: %s: %v\n", s.Name, err)
+			return 1
+		}
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}
+
+func demo(s sim.Scheme, w io.Writer) error {
+	fmt.Fprintf(w, "=== %s ===\n", s.Name)
 	cfg := memctrl.DefaultConfig(4<<20, s.Split)
 	cfg.MetaCacheBytes = 16 << 10
 	c := memctrl.New(cfg, s.Factory)
@@ -40,28 +52,28 @@ func demo(s sim.Scheme) {
 		addr := r.Uint64n(lines) * 64
 		b := payload(addr)
 		if err := c.WriteData(10, addr, b); err != nil {
-			panic(err)
+			return fmt.Errorf("phase 1 write %#x: %w", addr, err)
 		}
 		written[addr] = b
 	}
-	fmt.Printf("phase 1: %d blocks written; metadata cache holds %d nodes (%d dirty evictions so far)\n",
+	fmt.Fprintf(w, "phase 1: %d blocks written; metadata cache holds %d nodes (%d dirty evictions so far)\n",
 		len(written), c.Meta().Len(), c.Meta().Stats().DirtyEvictions)
 
 	if p, ok := c.Policy().(*steins.Policy); ok {
-		fmt.Printf("         LIncs = %v, NV buffer = %d entries\n", p.LIncs(), p.BufferedEntries())
+		fmt.Fprintf(w, "         LIncs = %v, NV buffer = %d entries\n", p.LIncs(), p.BufferedEntries())
 	}
 
 	// Phase 2: power failure.
 	c.Crash()
-	fmt.Println("phase 2: CRASH — metadata cache lost; ADR flushed tracking lines;",
+	fmt.Fprintln(w, "phase 2: CRASH — metadata cache lost; ADR flushed tracking lines;",
 		"on-chip NV state (root, LIncs/roots) survives")
 
 	// Phase 3: recovery.
 	rep, err := c.Recover()
 	if err != nil {
-		panic(err)
+		return fmt.Errorf("recovery failed: %w", err)
 	}
-	fmt.Printf("phase 3: recovered %d nodes with %d NVM reads, %d writes, %d MAC ops -> %s\n",
+	fmt.Fprintf(w, "phase 3: recovered %d nodes with %d NVM reads, %d writes, %d MAC ops -> %s\n",
 		rep.NodesRecovered, rep.NVMReads, rep.NVMWrites, rep.MACOps, stats.Seconds(rep.TimeNS))
 
 	// Phase 4: verify every block decrypts and verifies.
@@ -72,8 +84,9 @@ func demo(s sim.Scheme) {
 			bad++
 		}
 	}
-	fmt.Printf("phase 4: %d/%d blocks verified after recovery\n", len(written)-bad, len(written))
+	fmt.Fprintf(w, "phase 4: %d/%d blocks verified after recovery\n", len(written)-bad, len(written))
 	if bad > 0 {
-		panic("recovery lost data")
+		return fmt.Errorf("recovery lost data: %d/%d blocks failed verification", bad, len(written))
 	}
+	return nil
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"steins/internal/sim"
+)
+
+func TestDemoAllSchemes(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(&out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Steins-GC", "Steins-SC", "ASIT", "STAR", "SCUE-GC", "phase 4"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDemoSingleScheme(t *testing.T) {
+	var out strings.Builder
+	if err := demo(sim.SteinsSC, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "blocks verified after recovery") {
+		t.Fatalf("missing verification line:\n%s", out.String())
+	}
+}

@@ -1,6 +1,7 @@
 // Command steinssim runs one workload through one secure-memory scheme and
 // prints the controller metrics, optionally crashing and recovering at the
-// end.
+// end. Simulation or recovery failures exit 1 with a diagnostic; bad flags
+// exit 2.
 //
 // Usage:
 //
@@ -10,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,63 +32,76 @@ func schemes() map[string]sim.Scheme {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body: 0 on success, 1 on a simulation/recovery
+// failure, 2 on bad flags.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("steinssim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload  = flag.String("workload", "cactusADM", "workload name (see -list)")
-		scheme    = flag.String("scheme", "Steins-GC", "scheme name (see -list)")
-		ops       = flag.Int("ops", 100000, "trace length in memory requests")
-		seed      = flag.Uint64("seed", 1, "trace seed")
-		cacheKB   = flag.Int("cache", 256, "metadata cache size in KiB")
-		crash     = flag.Bool("crash", false, "crash and recover after the run")
-		allDirty  = flag.Bool("alldirty", false, "force all cached metadata dirty before the crash")
-		list      = flag.Bool("list", false, "list workloads and schemes")
-		compare   = flag.Bool("compare", false, "run every scheme on the workload and tabulate")
-		tablePath = flag.Bool("v", false, "verbose per-class NVM breakdown")
+		workload  = fs.String("workload", "cactusADM", "workload name (see -list)")
+		scheme    = fs.String("scheme", "Steins-GC", "scheme name (see -list)")
+		ops       = fs.Int("ops", 100000, "trace length in memory requests")
+		seed      = fs.Uint64("seed", 1, "trace seed")
+		cacheKB   = fs.Int("cache", 256, "metadata cache size in KiB")
+		crash     = fs.Bool("crash", false, "crash and recover after the run")
+		allDirty  = fs.Bool("alldirty", false, "force all cached metadata dirty before the crash")
+		list      = fs.Bool("list", false, "list workloads and schemes")
+		compare   = fs.Bool("compare", false, "run every scheme on the workload and tabulate")
+		tablePath = fs.Bool("v", false, "verbose per-class NVM breakdown")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println("workloads:")
+		fmt.Fprintln(stdout, "workloads:")
 		for _, p := range trace.All() {
-			fmt.Printf("  %-14s footprint %-10s writes %.0f%%\n",
+			fmt.Fprintf(stdout, "  %-14s footprint %-10s writes %.0f%%\n",
 				p.Name, stats.Bytes(p.FootprintBytes), p.WriteFrac*100)
 		}
-		fmt.Println("schemes: WB-GC WB-SC ASIT STAR Steins-GC Steins-SC SCUE-GC SCUE-SC")
-		return
+		fmt.Fprintln(stdout, "schemes: WB-GC WB-SC ASIT STAR Steins-GC Steins-SC SCUE-GC SCUE-SC")
+		return 0
 	}
 
 	prof, ok := trace.ByName(*workload)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q (use -list)\n", *workload)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown workload %q (use -list)\n", *workload)
+		return 2
 	}
 	if *compare {
-		compareSchemes(prof, sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10})
-		return
+		if err := compareSchemes(prof, sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10}, stdout); err != nil {
+			fmt.Fprintf(stderr, "compare failed: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	s, ok := schemes()[strings.ToLower(*scheme)]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown scheme %q (use -list)\n", *scheme)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown scheme %q (use -list)\n", *scheme)
+		return 2
 	}
 	opt := sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10}
 
-	run := func() (sim.Result, error) {
+	sim1 := func() (sim.Result, error) {
 		if *crash {
 			res, rep, err := sim.RunWithCrash(prof, s, opt, *allDirty)
 			if err != nil {
 				return res, err
 			}
-			fmt.Printf("recovery: %d nodes, %d NVM reads, %d writes, %d MAC ops -> %s\n",
+			fmt.Fprintf(stdout, "recovery: %d nodes, %d NVM reads, %d writes, %d MAC ops -> %s\n",
 				rep.NodesRecovered, rep.NVMReads, rep.NVMWrites, rep.MACOps,
 				stats.Seconds(rep.TimeNS))
 			return res, nil
 		}
 		return sim.Run(prof, s, opt)
 	}
-	res, err := run()
+	res, err := sim1()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "simulation failed: %v\n", err)
+		return 1
 	}
 
 	t := stats.NewTable(fmt.Sprintf("%s on %s (%d ops)", s.Name, prof.Name, *ops), "metric", "value")
@@ -100,7 +115,7 @@ func main() {
 	t.AddRow("hash ops", fmt.Sprintf("%d", res.Ctrl.HashOps))
 	t.AddRow("minor overflows", fmt.Sprintf("%d (re-encrypted %d blocks)",
 		res.Ctrl.Overflows, res.Ctrl.Reencrypts))
-	fmt.Print(t)
+	fmt.Fprint(stdout, t)
 
 	if *tablePath {
 		bt := stats.NewTable("NVM accesses by class", "class", "reads", "writes")
@@ -110,13 +125,14 @@ func main() {
 			}
 			bt.AddRow(fmt.Sprint(clsName(cls)), fmt.Sprint(res.NVM.Reads[cls]), fmt.Sprint(res.NVM.Writes[cls]))
 		}
-		fmt.Print(bt)
+		fmt.Fprint(stdout, bt)
 	}
+	return 0
 }
 
 // compareSchemes runs every scheme on one workload in parallel and prints
 // a side-by-side table, normalised to WB-GC.
-func compareSchemes(prof trace.Profile, opt sim.Options) {
+func compareSchemes(prof trace.Profile, opt sim.Options, stdout io.Writer) error {
 	schemes := []sim.Scheme{
 		sim.WBGC, sim.ASIT, sim.STAR, sim.SteinsGC,
 		sim.WBSC, sim.SteinsSC, sim.SCUEGC,
@@ -127,8 +143,7 @@ func compareSchemes(prof trace.Profile, opt sim.Options) {
 	}
 	results, err := sim.RunParallel(jobs, 0)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "compare failed: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	base := results[0]
 	t := stats.NewTable(fmt.Sprintf("all schemes on %s (%d ops, vs WB-GC)", prof.Name, opt.Ops),
@@ -142,7 +157,8 @@ func compareSchemes(prof trace.Profile, opt sim.Options) {
 			stats.F(r.EnergyPJ/base.EnergyPJ),
 			fmt.Sprintf("%.1f", r.MetaHitRate*100))
 	}
-	fmt.Print(t)
+	fmt.Fprint(stdout, t)
+	return nil
 }
 
 func clsName(i int) string {

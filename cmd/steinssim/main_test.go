@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCrashRecover(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-workload", "pers_queue", "-scheme", "steins-gc",
+		"-ops", "2000", "-cache", "16", "-crash",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "recovery:") {
+		t.Fatalf("missing recovery report:\n%s", out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "pers_queue") {
+		t.Fatalf("missing workloads:\n%s", out.String())
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-workload", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown workload: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown workload") {
+		t.Fatalf("missing diagnostic: %s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-scheme", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown scheme: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

@@ -130,6 +130,30 @@ type Controller struct {
 	warmupEnd uint64
 	stats     Stats
 	crashed   bool
+
+	// hooks, when set, observes fault-injection events; the event
+	// vocabulary is shared with the SIT controller (memctrl.Event).
+	hooks memctrl.FaultHooks
+}
+
+// SetFaultHooks installs (or, with nil, removes) the fault-event sink.
+// Device line writes are forwarded as memctrl.EvLineWrite.
+func (c *Controller) SetFaultHooks(h memctrl.FaultHooks) {
+	c.hooks = h
+	if h == nil {
+		c.dev.SetWriteObserver(nil)
+		return
+	}
+	c.dev.SetWriteObserver(func(addr uint64, _ nvmem.Class) {
+		h.OnEvent(memctrl.EvLineWrite, addr)
+	})
+}
+
+// FaultEvent reports one event to the installed hooks, if any.
+func (c *Controller) FaultEvent(ev memctrl.Event, addr uint64) {
+	if c.hooks != nil {
+		c.hooks.OnEvent(ev, addr)
+	}
 }
 
 // New builds the controller. Data occupies [0, DataBytes); the counter
@@ -282,6 +306,7 @@ func (c *Controller) fetchLeaf(leaf uint64) (*cache.Entry[*counter.CME], uint64,
 		}
 		blkOut := victim.Payload.Encode()
 		cycles += c.dev.Write(c.reqStart+cycles, victim.Addr, nvmem.Line(blkOut), nvmem.ClassMeta)
+		c.FaultEvent(memctrl.EvEviction, victim.Addr)
 	}
 }
 
@@ -432,6 +457,7 @@ func (c *Controller) completeRead(cycles uint64) {
 	lat := c.busyUntil - c.arrival
 	c.stats.ReadLatSum += lat
 	c.stats.ReadHist.Add(lat)
+	c.FaultEvent(memctrl.EvOpRetired, 0)
 }
 
 func (c *Controller) completeWrite(cycles uint64) {
@@ -440,6 +466,7 @@ func (c *Controller) completeWrite(cycles uint64) {
 	lat := c.busyUntil - c.arrival
 	c.stats.WriteLatSum += lat
 	c.stats.WriteHist.Add(lat)
+	c.FaultEvent(memctrl.EvOpRetired, 0)
 }
 
 // Crash loses the metadata cache and the SRAM hash interior; the root
@@ -483,6 +510,7 @@ func (c *Controller) Recover() (RecoveryReport, error) {
 		c.levels[0][leaf] = c.leafHash(leaf, enc)
 		c.dev.Poke(c.leafAddr(leaf), nvmem.Line(enc))
 		rep.LeavesRecovered++
+		c.FaultEvent(memctrl.EvRecoveryStep, c.leafAddr(leaf))
 	}
 	c.rebuildInterior()
 	rep.MACOps += c.stats.HashOps - hashesBefore

@@ -166,6 +166,32 @@ func (c *Cache[P]) Insert(addr uint64, payload P, dirty bool) (entry *Entry[P], 
 	return &set[way], victim, evicted
 }
 
+// PlaceAt installs addr at the exact position slot (set*ways + way),
+// bypassing LRU victim selection. Recovery uses it to rebuild a pre-crash
+// cache layout from per-slot NVM tracking state, which by construction fits
+// without evictions. The slot must lie in addr's set and must not hold a
+// different valid line, and addr must not be resident elsewhere; violations
+// panic, as they mean the caller's tracking state is inconsistent.
+func (c *Cache[P]) PlaceAt(slot int, addr uint64, payload P, dirty bool) *Entry[P] {
+	setIdx, way := slot/c.ways, slot%c.ways
+	if setIdx != c.SetOf(addr) {
+		panic(fmt.Sprintf("cache: PlaceAt slot %d not in set of address %#x", slot, addr))
+	}
+	if e, ok := c.Probe(addr); ok && e.slot != slot {
+		panic(fmt.Sprintf("cache: PlaceAt of resident address %#x", addr))
+	}
+	set := c.sets[setIdx]
+	if set[way].valid && set[way].Addr != addr {
+		panic(fmt.Sprintf("cache: PlaceAt slot %d occupied by %#x", slot, set[way].Addr))
+	}
+	c.stamp++
+	set[way] = Entry[P]{
+		Addr: addr, Payload: payload, Dirty: dirty,
+		valid: true, stamp: c.stamp, slot: slot,
+	}
+	return &set[way]
+}
+
 // Invalidate drops addr from the cache without write-back and reports
 // whether it was resident.
 func (c *Cache[P]) Invalidate(addr uint64) bool {

@@ -1,0 +1,223 @@
+package crashfuzz
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"steins/internal/memctrl"
+)
+
+// sweepCfg keeps sweep iterations fast: a 512 KB footprint behind the
+// 4 KB metadata cache, a short op window, full differential readback.
+// pers_queue exercises the paper's persistent-queue pattern; pers_hash's
+// scattered accesses generate the eviction churn the queue lacks.
+func sweepCfg(scheme, workload string, seed uint64) Config {
+	return Config{
+		Scheme:         scheme,
+		Workload:       workload,
+		Seed:           seed,
+		OpsPerRound:    250,
+		FootprintBytes: 512 << 10,
+	}
+}
+
+// sweep crashes at event ordinals 1..max of one class, requiring at least
+// minReached of them to exist inside the op window so the sweep is not
+// vacuous.
+func sweep(t *testing.T, scheme, workload string, ev memctrl.Event, max, minReached int) {
+	t.Helper()
+	reached := 0
+	for n := 1; n <= max; n++ {
+		ok, err := CrashAt(sweepCfg(scheme, workload, uint64(n)), ev, uint64(n))
+		if err != nil {
+			t.Fatalf("%s: crash at %v #%d: %v", scheme, ev, n, err)
+		}
+		if ok {
+			reached++
+		}
+	}
+	if reached < minReached {
+		t.Fatalf("%s: only %d/%d crash points at %v were reachable", scheme, reached, max, ev)
+	}
+}
+
+// TestSweepEveryNthWrite crashes the Steins variants at every Nth durable
+// NVM line write over a short pers_queue trace.
+func TestSweepEveryNthWrite(t *testing.T) {
+	for _, scheme := range []string{"steins-gc", "steins-sc"} {
+		t.Run(scheme, func(t *testing.T) { sweep(t, scheme, "pers_queue", memctrl.EvLineWrite, 40, 35) })
+	}
+}
+
+// TestSweepEveryNthEviction crashes at every Nth completed dirty
+// metadata-cache eviction.
+func TestSweepEveryNthEviction(t *testing.T) {
+	for _, scheme := range []string{"steins-gc", "steins-sc"} {
+		t.Run(scheme, func(t *testing.T) { sweep(t, scheme, "pers_hash", memctrl.EvEviction, 12, 8) })
+	}
+}
+
+// TestSweepEveryNthRecordAppend crashes at every Nth committed offset
+// record entry (Steins' dirty tracking).
+func TestSweepEveryNthRecordAppend(t *testing.T) {
+	for _, scheme := range []string{"steins-gc", "steins-sc"} {
+		t.Run(scheme, func(t *testing.T) { sweep(t, scheme, "pers_hash", memctrl.EvRecordAppend, 25, 20) })
+	}
+}
+
+// TestSweepMidRecoveryRecrash aborts the recovery pass at each of its
+// first steps and requires the restarted recovery to succeed from that
+// prefix.
+func TestSweepMidRecoveryRecrash(t *testing.T) {
+	for _, scheme := range []string{"steins-gc", "steins-sc"} {
+		t.Run(scheme, func(t *testing.T) { sweep(t, scheme, "pers_hash", memctrl.EvRecoveryStep, 20, 15) })
+	}
+}
+
+// TestTortureAllSchemes runs a short randomized torture round set over
+// every scheme, including mid-recovery re-crashes.
+func TestTortureAllSchemes(t *testing.T) {
+	for _, scheme := range SchemeNames() {
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(Config{
+				Scheme:         scheme,
+				Workload:       "pers_queue",
+				Seed:           3,
+				Crashes:        15,
+				OpsPerRound:    250,
+				FootprintBytes: 128 << 10,
+				RecrashEvery:   3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.TotalCrashes() == 0 {
+				t.Fatalf("no crash committed: %v", &rep)
+			}
+		})
+	}
+}
+
+// TestTortureHashWorkload exercises the eviction-heavy pers_hash pattern
+// on the Steins variants, where metadata locality is poor.
+func TestTortureHashWorkload(t *testing.T) {
+	for _, scheme := range []string{"steins-gc", "steins-sc"} {
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(Config{
+				Scheme:         scheme,
+				Workload:       "pers_hash",
+				Seed:           11,
+				Crashes:        25,
+				OpsPerRound:    250,
+				FootprintBytes: 512 << 10,
+				RecrashEvery:   4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Crashes[memctrl.EvEviction] == 0 {
+				t.Fatalf("pers_hash never crashed at an eviction: %v", &rep)
+			}
+		})
+	}
+}
+
+// TestTornWriteDetected is the per-scheme torn-window regression: under a
+// pinned seed, a line corrupted at the crash point must be caught by
+// recovery or read-back, never silently accepted.
+func TestTornWriteDetected(t *testing.T) {
+	for _, scheme := range SchemeNames() {
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			rep, err := TornWrite(Config{
+				Scheme:         scheme,
+				Workload:       "pers_queue",
+				Seed:           5,
+				OpsPerRound:    250,
+				FootprintBytes: 128 << 10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.DetectedBy == "" || rep.Err == nil {
+				t.Fatalf("torn write not detected: %v", rep)
+			}
+		})
+	}
+}
+
+// TestRunDeterministic re-runs the same seed and requires an identical
+// report, so a printed failure seed really does replay the failure.
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{
+		Scheme:         "steins-sc",
+		Workload:       "pers_queue",
+		Seed:           9,
+		Crashes:        8,
+		OpsPerRound:    250,
+		FootprintBytes: 128 << 10,
+		RecrashEvery:   3,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged:\n  %v\n  %v", &a, &b)
+	}
+}
+
+// TestVerifySampleBounds checks the sampled readback path.
+func TestVerifySampleBounds(t *testing.T) {
+	rep, err := Run(Config{
+		Scheme:         "steins-gc",
+		Workload:       "pers_queue",
+		Seed:           4,
+		Crashes:        6,
+		OpsPerRound:    250,
+		FootprintBytes: 128 << 10,
+		VerifySample:   32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LinesVerified == 0 {
+		t.Fatalf("sampled run verified nothing: %v", &rep)
+	}
+}
+
+// TestUnknownInputs checks the error paths callers hit first.
+func TestUnknownInputs(t *testing.T) {
+	if _, err := Run(Config{Scheme: "nope", Workload: "pers_queue", Crashes: 1}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := Run(Config{Scheme: "steins-gc", Workload: "nope", Crashes: 1}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := NewSystem("nope", 1<<20); err == nil {
+		t.Fatal("NewSystem accepted unknown scheme")
+	}
+}
+
+// TestFailureError checks the reproduction line a failure prints.
+func TestFailureError(t *testing.T) {
+	f := &Failure{Scheme: "steins-sc", Workload: "pers_queue", Seed: 1, Round: 3,
+		Point: CrashPoint{Event: memctrl.EvEviction, Index: 7}, Detail: "boom"}
+	var err error = f
+	var asFailure *Failure
+	if !errors.As(err, &asFailure) {
+		t.Fatal("Failure does not unwrap")
+	}
+	for _, want := range []string{"-seed 1", "eviction #7", "round 3", "boom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("failure message %q missing %q", err.Error(), want)
+		}
+	}
+}

@@ -1,0 +1,454 @@
+package crashfuzz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"steins/internal/memctrl"
+	"steins/internal/rng"
+	"steins/internal/trace"
+)
+
+// runtimeEvents are the crashable event classes during normal operation;
+// EvRecoveryStep is only reachable from a mid-recovery re-crash.
+var runtimeEvents = []memctrl.Event{
+	memctrl.EvLineWrite, memctrl.EvEviction, memctrl.EvRecordAppend, memctrl.EvOpRetired,
+}
+
+// Config parameterises one torture run.
+type Config struct {
+	Scheme   string // a SchemeNames() entry
+	Workload string // a trace profile name, e.g. "pers_queue"
+	Seed     uint64
+	Crashes  int // crash rounds to attempt
+
+	// OpsPerRound bounds how many requests are driven per round before a
+	// crash (0: 400). The crash point is drawn inside this window.
+	OpsPerRound int
+	// FootprintBytes overrides the workload footprint so recovery and the
+	// differential readback stay fast (0: 512 KB).
+	FootprintBytes uint64
+	// RecrashEvery injects a second crash mid-recovery on every k-th round
+	// (0 disables; tests and the CLI default to 4).
+	RecrashEvery int
+	// VerifySample bounds the per-round differential readback to a random
+	// sample of that many lines plus everything written since the previous
+	// crash (0: read back the full shadow every round).
+	VerifySample int
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.OpsPerRound == 0 {
+		c.OpsPerRound = 400
+	}
+	if c.FootprintBytes == 0 {
+		c.FootprintBytes = 512 << 10
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Report summarises a completed torture run.
+type Report struct {
+	Scheme, Workload string
+	Seed             uint64
+	Rounds           int                       // rounds attempted
+	Crashes          [memctrl.NumEvents]uint64 // crashes committed, per event class
+	Recrashes        int                       // recoveries additionally crashed mid-flight
+	SkippedRounds    int                       // rounds whose chosen event never fired
+	Ops              uint64                    // requests driven
+	LinesVerified    uint64                    // differential readback checks performed
+}
+
+// TotalCrashes sums the committed crashes across event classes.
+func (r *Report) TotalCrashes() uint64 {
+	var t uint64
+	for _, n := range r.Crashes {
+		t += n
+	}
+	return t
+}
+
+func (r *Report) String() string {
+	s := fmt.Sprintf("%s/%s seed=%d: %d rounds, %d crashes (", r.Scheme, r.Workload, r.Seed,
+		r.Rounds, r.TotalCrashes())
+	for ev := memctrl.Event(0); ev < memctrl.NumEvents; ev++ {
+		if ev > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%v %d", ev, r.Crashes[ev])
+	}
+	return s + fmt.Sprintf("), %d mid-recovery re-crashes, %d ops, %d lines verified",
+		r.Recrashes, r.Ops, r.LinesVerified)
+}
+
+// Failure is a reproducible harness verdict: the seed, round and crash
+// point pin down the exact execution that exposed it.
+type Failure struct {
+	Scheme, Workload string
+	Seed             uint64
+	Round            int
+	Point            CrashPoint
+	Detail           string
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("crashfuzz: %s: %s (reproduce: -scheme %s -workload %s -seed %d -crashes %d; round %d, crash at %v)",
+		f.Scheme, f.Detail, f.Scheme, f.Workload, f.Seed, f.Round+1, f.Round, f.Point)
+}
+
+// fuzzer carries the per-run state.
+type fuzzer struct {
+	cfg    Config
+	sys    System
+	r      *rng.Source
+	gen    *trace.Generator
+	shadow map[uint64][64]byte // last-persisted plaintext per data line
+	recent []uint64            // addresses written since the last crash
+	seq    uint64              // global op ordinal (payload uniqueness)
+
+	// Event-rate bookkeeping: totals across rounds feed the crash-point
+	// draw for the next round so countdowns land inside the op window.
+	totalEvents [memctrl.NumEvents]uint64
+	totalOps    uint64
+	recSteps    uint64 // recovery steps observed in the last recovery
+
+	rep Report
+}
+
+// newFuzzer builds the system, trace generator and shadow model for one
+// run. cfg must already have defaults applied.
+func newFuzzer(cfg Config) (*fuzzer, error) {
+	prof, ok := trace.ByName(cfg.Workload)
+	if !ok {
+		return nil, fmt.Errorf("crashfuzz: unknown workload %q", cfg.Workload)
+	}
+	prof.FootprintBytes = cfg.FootprintBytes
+	sys, err := NewSystem(cfg.Scheme, cfg.FootprintBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &fuzzer{
+		cfg:    cfg,
+		sys:    sys,
+		r:      rng.New(cfg.Seed),
+		gen:    trace.New(prof, cfg.Seed, (cfg.Crashes+1)*cfg.OpsPerRound),
+		shadow: make(map[uint64][64]byte),
+		rep:    Report{Scheme: sys.Name(), Workload: cfg.Workload, Seed: cfg.Seed},
+	}, nil
+}
+
+// Run drives the torture loop: repeatedly crash the scheme at a randomly
+// drawn controller event, recover, and differentially verify every
+// readable line against the golden shadow model. The first error is a
+// *Failure carrying the reproduction seed and crash point.
+func Run(cfg Config) (Report, error) {
+	cfg.setDefaults()
+	f, err := newFuzzer(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.sys.SetFaultHooks(nil)
+
+	// Round 0 calibrates event rates without crashing.
+	if err := f.round(-1); err != nil {
+		return f.rep, err
+	}
+	for round := 0; round < cfg.Crashes; round++ {
+		f.rep.Rounds++
+		if err := f.round(round); err != nil {
+			return f.rep, err
+		}
+		if round%50 == 49 {
+			cfg.Logf("round %d/%d: %d crashes, %d re-crashes, %d lines verified",
+				round+1, cfg.Crashes, f.rep.TotalCrashes(), f.rep.Recrashes, f.rep.LinesVerified)
+		}
+	}
+	return f.rep, nil
+}
+
+// expected estimates how many events of a class one round produces.
+func (f *fuzzer) expected(ev memctrl.Event) uint64 {
+	if f.totalOps == 0 {
+		return 0
+	}
+	return f.totalEvents[ev] * uint64(f.cfg.OpsPerRound) / f.totalOps
+}
+
+// pickPoint draws the event class and countdown for one round.
+func (f *fuzzer) pickPoint() (memctrl.Event, uint64) {
+	candidates := make([]memctrl.Event, 0, len(runtimeEvents))
+	for _, ev := range runtimeEvents {
+		if f.expected(ev) > 0 {
+			candidates = append(candidates, ev)
+		}
+	}
+	if len(candidates) == 0 {
+		return memctrl.EvOpRetired, 1
+	}
+	ev := candidates[f.r.Intn(len(candidates))]
+	return ev, 1 + f.r.Uint64n(f.expected(ev))
+}
+
+// round drives one op window; round >= 0 crashes at a drawn event,
+// recovers (re-crashing mid-recovery on RecrashEvery rounds) and
+// differentially verifies. round == -1 only calibrates event rates.
+func (f *fuzzer) round(round int) error {
+	var inj *Injector
+	if round < 0 {
+		inj = NewInjector(memctrl.EvOpRetired, 0) // pure counter
+	} else {
+		ev, n := f.pickPoint()
+		inj = NewInjector(ev, n)
+	}
+	f.sys.SetFaultHooks(inj)
+
+	ops := 0
+	for ; ops < f.cfg.OpsPerRound && !inj.Armed(); ops++ {
+		op, more := f.gen.Next()
+		if !more {
+			break
+		}
+		if err := f.drive(round, inj, op); err != nil {
+			return err
+		}
+	}
+	f.totalOps += uint64(ops)
+	f.rep.Ops += uint64(ops)
+	for ev := memctrl.Event(0); ev < memctrl.NumEvents; ev++ {
+		f.totalEvents[ev] += inj.Count(ev)
+	}
+	f.sys.SetFaultHooks(nil)
+	if round < 0 || !inj.Armed() {
+		if round >= 0 {
+			f.rep.SkippedRounds++
+		}
+		return nil
+	}
+
+	idx, _ := inj.FiredAt()
+	point := CrashPoint{Event: inj.target, Index: idx}
+	f.rep.Crashes[inj.target]++
+	f.sys.Crash()
+	if err := f.recover(round, point); err != nil {
+		return err
+	}
+	return f.verify(round, point)
+}
+
+// drive executes one trace request against the system and the shadow
+// model, checking reads as it goes.
+func (f *fuzzer) drive(round int, inj *Injector, op trace.Op) error {
+	f.seq++
+	point := CrashPoint{Event: inj.target, Index: inj.Count(inj.target) + 1}
+	if op.IsWrite {
+		data := payload(op.Addr, f.seq)
+		if err := f.sys.WriteData(op.Gap, op.Addr, data); err != nil {
+			return f.fail(round, point, fmt.Sprintf("runtime write %#x rejected: %v", op.Addr, err))
+		}
+		// The crash commits at this request's boundary, so the write is
+		// durable before any crash the harness takes.
+		f.shadow[op.Addr] = data
+		f.recent = append(f.recent, op.Addr)
+		return nil
+	}
+	got, err := f.sys.ReadData(op.Gap, op.Addr)
+	if err != nil {
+		return f.fail(round, point, fmt.Sprintf("runtime read %#x rejected: %v", op.Addr, err))
+	}
+	if want, written := f.shadow[op.Addr]; written && got != want {
+		return f.fail(round, point, fmt.Sprintf("runtime read %#x returned wrong data", op.Addr))
+	}
+	return nil
+}
+
+// recover runs the scheme's recovery, optionally aborting it at a drawn
+// recovery step and restarting it from that prefix.
+func (f *fuzzer) recover(round int, point CrashPoint) error {
+	recrash := f.cfg.RecrashEvery > 0 && round >= 0 && round%f.cfg.RecrashEvery == f.cfg.RecrashEvery-1
+	var n uint64
+	if recrash && f.recSteps > 0 {
+		n = 1 + f.r.Uint64n(f.recSteps)
+	}
+	inj := NewInjector(memctrl.EvRecoveryStep, n)
+	f.sys.SetFaultHooks(inj)
+	sig, err := runRecover(f.sys)
+	if sig != nil {
+		// The re-crash aborted recovery at step sig.index; recovery must
+		// succeed from this arbitrary prefix.
+		f.rep.Recrashes++
+		point = CrashPoint{Event: memctrl.EvRecoveryStep, Index: sig.index}
+		f.sys.Crash()
+		inj = NewInjector(memctrl.EvRecoveryStep, 0)
+		f.sys.SetFaultHooks(inj)
+		sig, err = runRecover(f.sys)
+		if sig != nil {
+			panic("crashfuzz: counting injector fired")
+		}
+	}
+	f.recSteps = inj.Count(memctrl.EvRecoveryStep)
+	f.sys.SetFaultHooks(nil)
+	if err != nil {
+		return f.fail(round, point, fmt.Sprintf("recovery rejected legitimate state: %v", err))
+	}
+	return nil
+}
+
+// runRecover converts an injected crashSignal panic into a return value;
+// genuine panics propagate.
+func runRecover(sys System) (sig *crashSignal, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			cs, ok := p.(crashSignal)
+			if !ok {
+				panic(p)
+			}
+			sig = &cs
+		}
+	}()
+	err = sys.Recover()
+	return
+}
+
+// verify differentially checks recovered state: every sampled line must
+// read back to its last-persisted value, and the persisted metadata must
+// pass the controller's deep oracle.
+func (f *fuzzer) verify(round int, point CrashPoint) error {
+	if err := f.sys.VerifyPersisted(); err != nil {
+		return f.fail(round, point, fmt.Sprintf("persisted metadata inconsistent after recovery: %v", err))
+	}
+	addrs := f.verifySet()
+	for _, addr := range addrs {
+		want := f.shadow[addr]
+		got, err := f.sys.ReadData(1, addr)
+		if err != nil {
+			return f.fail(round, point, fmt.Sprintf("post-recovery read %#x rejected: %v", addr, err))
+		}
+		if got != want {
+			return f.fail(round, point, fmt.Sprintf("undetected corruption: %#x read back wrong data", addr))
+		}
+	}
+	f.rep.LinesVerified += uint64(len(addrs))
+	f.recent = f.recent[:0]
+	return nil
+}
+
+// verifySet returns the sorted addresses to read back this round: the
+// whole shadow, or (when sampling) everything written since the last
+// crash plus a random sample of older lines.
+func (f *fuzzer) verifySet() []uint64 {
+	all := make([]uint64, 0, len(f.shadow))
+	for addr := range f.shadow {
+		all = append(all, addr)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if f.cfg.VerifySample == 0 || len(all) <= f.cfg.VerifySample {
+		return all
+	}
+	pick := make(map[uint64]bool, f.cfg.VerifySample+len(f.recent))
+	for _, addr := range f.recent {
+		pick[addr] = true
+	}
+	for i := 0; i < f.cfg.VerifySample; i++ {
+		pick[all[f.r.Intn(len(all))]] = true
+	}
+	set := make([]uint64, 0, len(pick))
+	for addr := range pick {
+		set = append(set, addr)
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	return set
+}
+
+func (f *fuzzer) fail(round int, point CrashPoint, detail string) error {
+	return &Failure{
+		Scheme:   f.cfg.Scheme,
+		Workload: f.cfg.Workload,
+		Seed:     f.cfg.Seed,
+		Round:    round,
+		Point:    point,
+		Detail:   detail,
+	}
+}
+
+// CrashAt runs one deterministic crash at exactly the n-th (1-based)
+// event of class ev, recovers, and differentially verifies. It reports
+// whether the event was reached inside the op window at all (a sweep
+// stops when its event class is exhausted). For EvRecoveryStep the run
+// first crashes at the window midpoint, then aborts the recovery at its
+// n-th step and restarts it — the mid-recovery re-crash case.
+func CrashAt(cfg Config, ev memctrl.Event, n uint64) (bool, error) {
+	cfg.setDefaults()
+	f, err := newFuzzer(cfg)
+	if err != nil {
+		return false, err
+	}
+	defer f.sys.SetFaultHooks(nil)
+
+	target, runtimeN := ev, n
+	if ev == memctrl.EvRecoveryStep {
+		target, runtimeN = memctrl.EvOpRetired, uint64(cfg.OpsPerRound/2)
+	}
+	inj := NewInjector(target, runtimeN)
+	f.sys.SetFaultHooks(inj)
+	for ops := 0; ops < f.cfg.OpsPerRound && !inj.Armed(); ops++ {
+		op, more := f.gen.Next()
+		if !more {
+			break
+		}
+		if err := f.drive(0, inj, op); err != nil {
+			return true, err
+		}
+	}
+	f.sys.SetFaultHooks(nil)
+	if !inj.Armed() {
+		return false, nil
+	}
+	idx, _ := inj.FiredAt()
+	point := CrashPoint{Event: target, Index: idx}
+	f.sys.Crash()
+
+	reached := true
+	if ev == memctrl.EvRecoveryStep {
+		rinj := NewInjector(memctrl.EvRecoveryStep, n)
+		f.sys.SetFaultHooks(rinj)
+		sig, rerr := runRecover(f.sys)
+		f.sys.SetFaultHooks(nil)
+		if sig == nil {
+			// Recovery finished in fewer than n steps; nothing was aborted.
+			reached = false
+			if rerr != nil {
+				return reached, f.fail(0, point, fmt.Sprintf("recovery rejected legitimate state: %v", rerr))
+			}
+			return reached, f.verify(0, point)
+		}
+		point = CrashPoint{Event: memctrl.EvRecoveryStep, Index: sig.index}
+		f.sys.Crash()
+	}
+	rinj := NewInjector(memctrl.EvRecoveryStep, 0)
+	f.sys.SetFaultHooks(rinj)
+	sig, rerr := runRecover(f.sys)
+	f.sys.SetFaultHooks(nil)
+	if sig != nil {
+		panic("crashfuzz: counting injector fired")
+	}
+	if rerr != nil {
+		return reached, f.fail(0, point, fmt.Sprintf("recovery rejected legitimate state: %v", rerr))
+	}
+	return reached, f.verify(0, point)
+}
+
+// payload builds a unique, self-describing 64-byte block for one write.
+func payload(addr, seq uint64) [64]byte {
+	var b [64]byte
+	binary.LittleEndian.PutUint64(b[:8], addr)
+	binary.LittleEndian.PutUint64(b[8:16], seq)
+	for i := 16; i < 64; i++ {
+		b[i] = byte(seq >> (uint(i) % 8 * 8))
+	}
+	return b
+}

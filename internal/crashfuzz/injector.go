@@ -1,0 +1,84 @@
+package crashfuzz
+
+import (
+	"fmt"
+
+	"steins/internal/memctrl"
+)
+
+// crashSignal aborts a recovery pass mid-flight. It is private so a
+// deferred recover() in the harness can tell an injected re-crash from a
+// genuine panic in the code under test (which must propagate).
+type crashSignal struct {
+	ev    memctrl.Event
+	index uint64 // 1-based ordinal of the event within its class
+	addr  uint64
+}
+
+// Injector implements memctrl.FaultHooks: it counts controller events per
+// class and fires on the Nth occurrence of a chosen class.
+//
+// Runtime event classes (line writes, evictions, record appends, retired
+// requests) arm the injector; the harness commits the crash at the
+// boundary of the request that retired the event, matching the ADR/WPQ
+// model. EvRecoveryStep has no ADR cover, so firing on it panics with a
+// crashSignal immediately, aborting the recovery pass at that exact step.
+type Injector struct {
+	target    memctrl.Event
+	remaining uint64 // fire when the countdown for target reaches zero
+	counts    [memctrl.NumEvents]uint64
+	armed     bool
+	fired     bool
+	firedAt   uint64 // 1-based index of the firing event within its class
+	firedAddr uint64
+}
+
+// NewInjector returns an injector that fires on the n-th (1-based) event
+// of class target. n == 0 never fires (pure event counter).
+func NewInjector(target memctrl.Event, n uint64) *Injector {
+	return &Injector{target: target, remaining: n}
+}
+
+// OnEvent implements memctrl.FaultHooks.
+func (in *Injector) OnEvent(ev memctrl.Event, addr uint64) {
+	in.counts[ev]++
+	if in.fired || ev != in.target || in.remaining == 0 {
+		return
+	}
+	in.remaining--
+	if in.remaining > 0 {
+		return
+	}
+	in.fired = true
+	in.firedAt = in.counts[ev]
+	in.firedAddr = addr
+	if ev == memctrl.EvRecoveryStep {
+		panic(crashSignal{ev: ev, index: in.firedAt, addr: addr})
+	}
+	in.armed = true
+}
+
+// Armed reports whether a runtime crash point has been reached; the
+// harness checks it at request boundaries.
+func (in *Injector) Armed() bool { return in.armed }
+
+// Fired reports whether the crash point was reached at all.
+func (in *Injector) Fired() bool { return in.fired }
+
+// FiredAt returns the 1-based ordinal and address of the firing event.
+func (in *Injector) FiredAt() (uint64, uint64) { return in.firedAt, in.firedAddr }
+
+// Count returns how many events of a class have been observed.
+func (in *Injector) Count(ev memctrl.Event) uint64 { return in.counts[ev] }
+
+// CrashPoint identifies one reproducible crash: the event class and the
+// 1-based ordinal of the event within that class since the hooks were
+// installed.
+type CrashPoint struct {
+	Event memctrl.Event
+	Index uint64
+}
+
+func (cp CrashPoint) String() string {
+	return fmt.Sprintf("%v #%d", cp.Event, cp.Index)
+}

@@ -1,0 +1,129 @@
+// Package crashfuzz is a deterministic crash-point fault-injection
+// harness for the recoverable secure-NVM schemes. It halts a scheme at an
+// arbitrary controller event — the Nth durable line write, the Nth dirty
+// metadata-cache eviction, the Nth dirty-tracking record append, the Nth
+// retired request, or the Nth step of an in-progress recovery (a
+// mid-recovery re-crash) — then runs the scheme's recovery path and
+// differentially verifies the result: every data line a program persisted
+// must decrypt and verify back to its last-persisted value against a
+// golden shadow model, and the integrity machinery (HMAC + LInc) must
+// never accept deliberately corrupted state.
+//
+// Crash model. Runtime crash points are selected by event countdown, but
+// the crash COMMITS at the boundary of the request that retired the
+// chosen event: the ADR/WPQ flush domain completes the in-flight request
+// (the standard Anubis/STAR assumption — see internal/memctrl/fault.go).
+// Recovery has no such cover: it is plain software, so a re-crash aborts
+// it at exactly the chosen step and the subsequent Recover must succeed
+// from that arbitrary prefix.
+//
+// All randomness flows from an internal/rng seed; a failure report
+// carries the seed, round, event class and event index needed to replay
+// it exactly.
+package crashfuzz
+
+import (
+	"fmt"
+	"sort"
+
+	"steins/internal/bmtctrl"
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+	"steins/internal/scheme/asit"
+	"steins/internal/scheme/scue"
+	"steins/internal/scheme/star"
+	"steins/internal/scheme/steins"
+)
+
+// System abstracts the two controller families (the SIT-based memctrl
+// schemes and the BMT baseline) behind the handful of operations the
+// fuzzer needs.
+type System interface {
+	Name() string
+	WriteData(gap, addr uint64, data [64]byte) error
+	ReadData(gap, addr uint64) ([64]byte, error)
+	// Crash drops all volatile controller state (ADR-domain state persists).
+	Crash()
+	// Recover rebuilds and verifies metadata after a Crash.
+	Recover() error
+	SetFaultHooks(h memctrl.FaultHooks)
+	Device() *nvmem.Device
+	// VerifyPersisted deep-checks the persisted metadata for
+	// self-consistency, when the controller exposes such an oracle.
+	VerifyPersisted() error
+}
+
+// SchemeNames lists the accepted -scheme spellings.
+func SchemeNames() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var builders = map[string]func(dataBytes uint64) System{
+	"steins-gc": func(db uint64) System { return newSITSystem(db, false, steins.Factory) },
+	"steins-sc": func(db uint64) System { return newSITSystem(db, true, steins.Factory) },
+	"asit":      func(db uint64) System { return newSITSystem(db, false, asit.Factory) },
+	"star":      func(db uint64) System { return newSITSystem(db, false, star.Factory) },
+	"scue":      func(db uint64) System { return newSITSystem(db, false, scue.Factory) },
+	"scue-sc":   func(db uint64) System { return newSITSystem(db, true, scue.Factory) },
+	"bmt":       func(db uint64) System { return newBMTSystem(db) },
+}
+
+// NewSystem builds a named scheme over dataBytes of protected data with a
+// small metadata cache (4 KB, 4-way) so eviction churn — the interesting
+// crash surface — is constant even on tiny footprints.
+func NewSystem(scheme string, dataBytes uint64) (System, error) {
+	b, ok := builders[scheme]
+	if !ok {
+		return nil, fmt.Errorf("crashfuzz: unknown scheme %q (have %v)", scheme, SchemeNames())
+	}
+	return b(dataBytes), nil
+}
+
+type sitSystem struct{ c *memctrl.Controller }
+
+func newSITSystem(dataBytes uint64, split bool, factory memctrl.PolicyFactory) System {
+	cfg := memctrl.DefaultConfig(dataBytes, split)
+	cfg.MetaCacheBytes = 4 << 10
+	cfg.MetaCacheWays = 4
+	return &sitSystem{c: memctrl.New(cfg, factory)}
+}
+
+func (s *sitSystem) Name() string { return s.c.Policy().Name() }
+func (s *sitSystem) WriteData(gap, addr uint64, data [64]byte) error {
+	return s.c.WriteData(gap, addr, data)
+}
+func (s *sitSystem) ReadData(gap, addr uint64) ([64]byte, error) { return s.c.ReadData(gap, addr) }
+func (s *sitSystem) Crash()                                      { s.c.Crash() }
+func (s *sitSystem) Recover() error                              { _, err := s.c.Recover(); return err }
+func (s *sitSystem) SetFaultHooks(h memctrl.FaultHooks)          { s.c.SetFaultHooks(h) }
+func (s *sitSystem) Device() *nvmem.Device                       { return s.c.Device() }
+func (s *sitSystem) VerifyPersisted() error                      { return s.c.VerifyNVM() }
+
+type bmtSystem struct{ c *bmtctrl.Controller }
+
+func newBMTSystem(dataBytes uint64) System {
+	cfg := bmtctrl.DefaultConfig(dataBytes)
+	cfg.MetaCacheBytes = 4 << 10
+	cfg.MetaCacheWays = 4
+	return &bmtSystem{c: bmtctrl.New(cfg)}
+}
+
+func (s *bmtSystem) Name() string { return "BMT" }
+func (s *bmtSystem) WriteData(gap, addr uint64, data [64]byte) error {
+	return s.c.WriteData(gap, addr, data)
+}
+func (s *bmtSystem) ReadData(gap, addr uint64) ([64]byte, error) { return s.c.ReadData(gap, addr) }
+func (s *bmtSystem) Crash()                                      { s.c.Crash() }
+func (s *bmtSystem) Recover() error                              { _, err := s.c.Recover(); return err }
+func (s *bmtSystem) SetFaultHooks(h memctrl.FaultHooks)          { s.c.SetFaultHooks(h) }
+func (s *bmtSystem) Device() *nvmem.Device                       { return s.c.Device() }
+
+// VerifyPersisted: the BMT controller keeps no NVM-side tree copy to
+// cross-check (interior levels are volatile), so the differential data
+// readback is the whole oracle.
+func (s *bmtSystem) VerifyPersisted() error { return nil }

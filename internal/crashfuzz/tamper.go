@@ -1,0 +1,115 @@
+package crashfuzz
+
+import (
+	"fmt"
+	"sort"
+
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+	"steins/internal/rng"
+	"steins/internal/trace"
+)
+
+// TornWriteReport describes one detected torn-write injection.
+type TornWriteReport struct {
+	Scheme, Workload string
+	Seed             uint64
+	Point            CrashPoint // crash point at which the torn line was planted
+	Addr             uint64     // the corrupted data line
+	DetectedBy       string     // "recovery" or "read-back"
+	Err              error      // the integrity error that caught it
+}
+
+func (r TornWriteReport) String() string {
+	return fmt.Sprintf("%s/%s seed=%d: torn write at %#x (crash at %v) caught by %s: %v",
+		r.Scheme, r.Workload, r.Seed, r.Addr, r.Point, r.DetectedBy, r.Err)
+}
+
+// TornWrite plants a deliberately corrupted data line at a crash point —
+// modelling a line write torn by the power failure — and demands the
+// scheme catch it: recovery or the differential read-back must raise an
+// integrity error, and no read may silently return wrong data. A false
+// accept comes back as a *Failure with the reproducing seed and event
+// index.
+func TornWrite(cfg Config) (TornWriteReport, error) {
+	cfg.setDefaults()
+	prof, ok := trace.ByName(cfg.Workload)
+	if !ok {
+		return TornWriteReport{}, fmt.Errorf("crashfuzz: unknown workload %q", cfg.Workload)
+	}
+	prof.FootprintBytes = cfg.FootprintBytes
+	sys, err := NewSystem(cfg.Scheme, cfg.FootprintBytes)
+	if err != nil {
+		return TornWriteReport{}, err
+	}
+	defer sys.SetFaultHooks(nil)
+	r := rng.New(cfg.Seed)
+	gen := trace.New(prof, cfg.Seed, 2*cfg.OpsPerRound)
+	shadow := make(map[uint64][64]byte)
+
+	// Warm phase fills the shadow, then the injector arms on a drawn
+	// retired request inside the second half of the window.
+	inj := NewInjector(memctrl.EvOpRetired, uint64(cfg.OpsPerRound)+1+r.Uint64n(uint64(cfg.OpsPerRound)/2))
+	sys.SetFaultHooks(inj)
+	var seq uint64
+	for !inj.Armed() {
+		op, more := gen.Next()
+		if !more {
+			break
+		}
+		seq++
+		if op.IsWrite {
+			data := payload(op.Addr, seq)
+			if err := sys.WriteData(op.Gap, op.Addr, data); err != nil {
+				return TornWriteReport{}, fmt.Errorf("crashfuzz: torn-write warmup write %#x: %w", op.Addr, err)
+			}
+			shadow[op.Addr] = data
+		} else if _, err := sys.ReadData(op.Gap, op.Addr); err != nil {
+			return TornWriteReport{}, fmt.Errorf("crashfuzz: torn-write warmup read %#x: %w", op.Addr, err)
+		}
+	}
+	sys.SetFaultHooks(nil)
+	if len(shadow) == 0 {
+		return TornWriteReport{}, fmt.Errorf("crashfuzz: torn-write warmup produced no writes")
+	}
+	idx, _ := inj.FiredAt()
+	point := CrashPoint{Event: memctrl.EvOpRetired, Index: idx}
+	rep := TornWriteReport{Scheme: sys.Name(), Workload: cfg.Workload, Seed: cfg.Seed, Point: point}
+
+	addrs := make([]uint64, 0, len(shadow))
+	for addr := range shadow {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	rep.Addr = addrs[r.Intn(len(addrs))]
+
+	// Crash, then tear the victim line: flip one ciphertext bit, as a
+	// write interrupted mid-burst would.
+	sys.Crash()
+	torn := sys.Device().Peek(rep.Addr)
+	torn[0] ^= 0x01
+	sys.Device().Poke(rep.Addr, nvmem.Line(torn))
+
+	if err := sys.Recover(); err != nil {
+		rep.DetectedBy, rep.Err = "recovery", err
+		return rep, nil
+	}
+	for _, addr := range addrs {
+		got, err := sys.ReadData(1, addr)
+		if err != nil {
+			if addr != rep.Addr {
+				return rep, &Failure{Scheme: cfg.Scheme, Workload: cfg.Workload, Seed: cfg.Seed,
+					Point: point, Detail: fmt.Sprintf("untampered line %#x rejected after torn write at %#x: %v",
+						addr, rep.Addr, err)}
+			}
+			rep.DetectedBy, rep.Err = "read-back", err
+			return rep, nil
+		}
+		if got != shadow[addr] {
+			return rep, &Failure{Scheme: cfg.Scheme, Workload: cfg.Workload, Seed: cfg.Seed,
+				Point: point, Detail: fmt.Sprintf("false accept: torn write at %#x read back wrong data without an error", addr)}
+		}
+	}
+	return rep, &Failure{Scheme: cfg.Scheme, Workload: cfg.Workload, Seed: cfg.Seed,
+		Point: point, Detail: fmt.Sprintf("false accept: torn write at %#x was silently absorbed", rep.Addr)}
+}

@@ -1,0 +1,64 @@
+package figures
+
+import (
+	"reflect"
+	"testing"
+
+	"steins/internal/sim"
+	"steins/internal/stats"
+	"steins/internal/trace"
+)
+
+// TestParallelSweepDeterministic runs the same job set serially and across
+// a pool, twice each: the figure sweeps must be bit-deterministic in the
+// worker count (run with -cpu 1,4 so the whole test also executes under
+// both GOMAXPROCS settings).
+func TestParallelSweepDeterministic(t *testing.T) {
+	var jobs []sim.Job
+	for _, prof := range trace.Persistent() {
+		for _, s := range []sim.Scheme{sim.SteinsGC, sim.SteinsSC, sim.ASIT} {
+			jobs = append(jobs, sim.Job{Prof: prof, Scheme: s, Opt: sim.Options{Ops: 3000, Seed: 1}})
+		}
+	}
+	serial, err := sim.RunParallel(jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		pooled, err := sim.RunParallel(jobs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range jobs {
+			if !reflect.DeepEqual(serial[i], pooled[i]) {
+				t.Fatalf("job %d (%s/%s) diverged between 1 and %d workers:\n  %+v\n  %+v",
+					i, jobs[i].Prof.Name, jobs[i].Scheme.Name, workers, serial[i], pooled[i])
+			}
+		}
+	}
+}
+
+// TestNormalizedTableDegenerateBaseline: a zero-metric baseline must cost
+// only its own row (n/a cells), never panic or poison the geomean.
+func TestNormalizedTableDegenerateBaseline(t *testing.T) {
+	sw := &Sweep{
+		Workloads: []string{"w0", "w1"},
+		Schemes:   []sim.Scheme{{Name: "A"}, {Name: "B"}},
+		Results: map[string]map[string]sim.Result{
+			"w0": {"A": {ExecCycles: 0}, "B": {ExecCycles: 5}},
+			"w1": {"A": {ExecCycles: 10}, "B": {ExecCycles: 20}},
+		},
+	}
+	tab := sw.normalizedTable("t", "A", func(r sim.Result) float64 { return float64(r.ExecCycles) })
+	rows := tab.Rows()
+	if rows[0][1] != "n/a" || rows[0][2] != "n/a" {
+		t.Fatalf("degenerate row = %v, want n/a cells", rows[0])
+	}
+	if rows[1][1] != stats.F(1) || rows[1][2] != stats.F(2) {
+		t.Fatalf("healthy row = %v", rows[1])
+	}
+	geomean := rows[2]
+	if geomean[0] != "geomean" || geomean[1] != stats.F(1) || geomean[2] != stats.F(2) {
+		t.Fatalf("geomean row = %v, want values from the healthy row only", geomean)
+	}
+}

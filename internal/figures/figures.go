@@ -11,6 +11,7 @@ package figures
 
 import (
 	"fmt"
+	"math"
 
 	"steins/internal/counter"
 	"steins/internal/memctrl"
@@ -81,6 +82,15 @@ func SCSweep(sc Scale) (*Sweep, error) { return runSweep(sim.SCComparison(), sc)
 // metric extracts one value from a result.
 type metric func(sim.Result) float64
 
+// ratio divides v by base, yielding NaN for a degenerate base so the
+// cell formats as "n/a" and stats.GeoMean skips it.
+func ratio(v, base float64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return v / base
+}
+
 // normalizedTable renders one workload-by-scheme table of a metric
 // normalised to the baseline scheme, with a geometric-mean row.
 func (sw *Sweep) normalizedTable(title, baseline string, m metric) *stats.Table {
@@ -94,7 +104,10 @@ func (sw *Sweep) normalizedTable(title, baseline string, m metric) *stats.Table 
 		base := m(sw.Results[w][baseline])
 		row := []string{w}
 		for _, s := range sw.Schemes {
-			v := m(sw.Results[w][s.Name]) / base
+			// A degenerate baseline (e.g. a zero-cycle run) must cost only
+			// this row, not the sweep: the cell renders as n/a and stays
+			// out of the geomean.
+			v := ratio(m(sw.Results[w][s.Name]), base)
 			row = append(row, stats.F(v))
 			ratios[s.Name] = append(ratios[s.Name], v)
 		}
@@ -271,7 +284,7 @@ func AblationTable(sc Scale) (*stats.Table, error) {
 		base := results[wi*len(schemes)].AvgWriteLat
 		row := []string{w}
 		for si, s := range schemes {
-			v := results[wi*len(schemes)+si].AvgWriteLat / base
+			v := ratio(results[wi*len(schemes)+si].AvgWriteLat, base)
 			row = append(row, stats.F(v))
 			ratios[s.Name] = append(ratios[s.Name], v)
 		}

@@ -36,6 +36,9 @@ type Controller struct {
 	busyUntil uint64
 	warmupEnd uint64 // makespan at the last ResetStats
 	stats     Stats
+
+	// hooks, when set, observes fault-injection events (see fault.go).
+	hooks FaultHooks
 }
 
 // New builds a controller with the given configuration and recovery
@@ -225,6 +228,7 @@ func (c *Controller) EvictDirtyNode(node *sit.Node) (uint64, error) {
 		// shadow slot). Its contents match NVM, hence delta zero.
 		cycles += c.policy.OnModify(e, true, 0)
 	}
+	c.FaultEvent(EvEviction, addr)
 	return cycles, nil
 }
 
@@ -349,6 +353,9 @@ func (c *Controller) ForceAllDirty() {
 func (c *Controller) Crash() {
 	c.policy.OnCrash()
 	c.meta.Clear()
+	// In-flight eviction tracking is volatile controller state; a crash
+	// aborting a recovery pass can leave entries behind.
+	clear(c.evicting)
 }
 
 // Recover rebuilds and verifies the metadata lost in the last Crash using
@@ -376,6 +383,7 @@ func (c *Controller) completeRead(cycles uint64) {
 	lat := c.busyUntil - c.arrival
 	c.stats.ReadLatSum += lat
 	c.stats.ReadHist.Add(lat)
+	c.FaultEvent(EvOpRetired, 0)
 }
 
 func (c *Controller) completeWrite(cycles uint64) {
@@ -384,6 +392,7 @@ func (c *Controller) completeWrite(cycles uint64) {
 	lat := c.busyUntil - c.arrival
 	c.stats.WriteLatSum += lat
 	c.stats.WriteHist.Add(lat)
+	c.FaultEvent(EvOpRetired, 0)
 }
 
 // VerifyNVM walks every persisted tree node and checks its HMAC against

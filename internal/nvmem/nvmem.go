@@ -147,6 +147,9 @@ type Device struct {
 	queue []uint64
 	banks []uint64
 	stats Stats
+	// observer, when set, sees every durable line write (fault-injection
+	// harnesses count events through it). It runs after the store commits.
+	observer func(addr uint64, cls Class)
 }
 
 // New creates a Device. Lines read before any write return the zero line,
@@ -232,8 +235,16 @@ func (d *Device) Write(now uint64, addr uint64, line Line, cls Class) uint64 {
 	d.stats.StallCycles += stall
 	d.wear[addr]++
 	d.store(addr, line)
+	if d.observer != nil {
+		d.observer(addr, cls)
+	}
 	return stall
 }
+
+// SetWriteObserver registers a callback invoked after every timed Write
+// commits (Poke is exempt: it models out-of-band access, not controller
+// traffic). Pass nil to remove it.
+func (d *Device) SetWriteObserver(fn func(addr uint64, cls Class)) { d.observer = fn }
 
 // insertCompletion keeps the pending-write list sorted by completion time.
 func (d *Device) insertCompletion(done uint64) {

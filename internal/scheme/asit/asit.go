@@ -242,6 +242,7 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 			rep.NVMWrites++
 			rep.NodesRecovered++
 			restored[[2]uint64{uint64(level), index}] = node
+			p.c.FaultEvent(memctrl.EvRecoveryStep, geo.NodeAddr(level, index))
 		}
 	}
 

@@ -154,6 +154,7 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 			if geo.IsTop(k) {
 				p.c.Root().SetCounter(uint64(idx), n.FValue())
 			}
+			p.c.FaultEvent(memctrl.EvRecoveryStep, geo.NodeAddr(k, uint64(idx)))
 		}
 	}
 

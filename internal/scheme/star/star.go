@@ -201,6 +201,9 @@ func (p *Policy) setBit(level int, index uint64, val bool) uint64 {
 	if wasEmpty != isEmpty {
 		cycles += p.setL1Bit(lineIdx, !isEmpty)
 	}
+	if val {
+		p.c.FaultEvent(memctrl.EvRecordAppend, be.Addr)
+	}
 	return cycles + 1
 }
 
@@ -395,6 +398,7 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 		}
 		recovered[k] = node
 		rep.NodesRecovered++
+		p.c.FaultEvent(memctrl.EvRecoveryStep, p.c.Layout().Geo.NodeAddr(k.level, k.index))
 	}
 
 	// 3. Verify against the cache-tree root: recompute the per-set MACs

@@ -3,7 +3,6 @@ package steins
 import (
 	"fmt"
 
-	"steins/internal/cache"
 	"steins/internal/counter"
 	"steins/internal/memctrl"
 	"steins/internal/nvmem"
@@ -21,6 +20,8 @@ type recoveryState struct {
 	report    memctrl.RecoveryReport
 	dirty     []map[uint64]bool      // per level: nodes to regenerate
 	recovered []map[uint64]*sit.Node // per level: regenerated nodes
+	place     map[nodeKey]int        // record position (= cache slot) per node
+	rollback  map[nodeKey][]int      // parent slots with pending buffered flushes
 	stales    map[nodeKey]*sit.Node  // memoised stale reads
 	verified  map[nodeKey]bool       // stale nodes already chain-verified
 }
@@ -29,21 +30,31 @@ type recoveryState struct {
 // Precondition: Crash() ran (the metadata cache is empty; record lines are
 // flushed; LIncs, NV buffer and root survived on chip).
 //
-// Per level, from the top down: pending buffered counters are folded into
-// the adjacent LIncs (step ⑤); each tracked node's counters are
-// regenerated from its persisted children (step ①/⑥), with child HMACs
-// checked against the regenerated counter (tamper detection, Fig. 6); the
-// stale base is verified against its recovered parent or the root
-// (step ②/⑦-⑧); and the level's total increment is compared with its LInc
-// (replay detection, steps ③-④/⑨-⑩). Recovered nodes re-enter the
-// metadata cache marked dirty so their modifications keep propagating
-// upward, and the record region is rebuilt to match the new cache layout.
+// The pass reconstructs the exact crash-time cache state and is read-only
+// on every surviving trust base — the LIncs, the NV buffer and the record
+// region are consulted but never modified — so a power failure during
+// recovery simply restarts it from the same inputs (the mid-recovery
+// re-crash window crashfuzz exercises). Per level, from the top down: each
+// tracked node's counters are regenerated from its persisted children
+// (step ①/⑥) with child HMACs checked against the regenerated counter
+// (tamper detection, Fig. 6); parent slots whose child flush still sits in
+// the NV buffer are rolled back to the stale value the crash-time cache
+// held (the buffered update had not been applied yet); the stale base is
+// verified against its recovered parent or the root (step ②/⑦-⑧); and the
+// level's total increment — regenerated deltas plus pending buffered
+// increments, exactly the conservation law InvariantError states — is
+// compared with its LInc (replay detection, steps ③-④/⑨-⑩). Recovered
+// nodes then re-enter the metadata cache dirty at their recorded slots, so
+// the record region already describes the reinstated layout and the
+// runtime drain machinery picks the untouched buffer back up.
 func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 	geo := &p.c.Layout().Geo
 	st := &recoveryState{
 		report:    memctrl.RecoveryReport{Scheme: p.Name()},
 		dirty:     make([]map[uint64]bool, geo.Levels),
 		recovered: make([]map[uint64]*sit.Node, geo.Levels),
+		place:     make(map[nodeKey]int),
+		rollback:  make(map[nodeKey][]int),
 		stales:    make(map[nodeKey]*sit.Node),
 		verified:  make(map[nodeKey]bool),
 	}
@@ -54,24 +65,20 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 
 	p.scanRecords(st)
 
-	// Group pending buffer entries by the level of the parent they target.
+	// Group pending buffer entries by the level of the parent they target,
+	// and note which parent slots must be rolled back to their stale values
+	// (the crash-time cache had not applied those flushes yet).
 	bufByParent := make(map[int][]bufEntry)
 	for _, ent := range p.buf {
-		bufByParent[ent.level+1] = append(bufByParent[ent.level+1], ent)
+		pl, pi, slot := geo.Parent(ent.level, ent.index)
+		bufByParent[pl] = append(bufByParent[pl], ent)
+		key := nodeKey{pl, pi}
+		if !containsInt(st.rollback[key], slot) {
+			st.rollback[key] = append(st.rollback[key], slot)
+		}
 	}
 
 	for k := geo.Levels - 1; k >= 0; k-- {
-		// Step ⑤: fold buffered counters into the LIncs and make sure the
-		// targeted parents are regenerated.
-		for _, ent := range bufByParent[k] {
-			_, pi, slot := geo.Parent(ent.level, ent.index)
-			st.dirty[k][pi] = true
-			stale := p.staleOf(st, k, pi)
-			delta := ent.counter - stale.Counter(slot)
-			p.linc[ent.level] -= delta
-			p.linc[k] += delta
-		}
-
 		var calc int64
 		for _, idx := range sortedKeys(st.dirty[k]) {
 			node, inc, err := p.recoverNode(st, k, idx)
@@ -80,18 +87,23 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 			}
 			st.recovered[k][idx] = node
 			calc += inc
+			p.c.FaultEvent(memctrl.EvRecoveryStep, geo.NodeAddr(k, idx))
 		}
-		// Steps ③-④/⑨-⑩: replay detection. With no dirty nodes the level
-		// increment must be exactly zero (§III-G).
+		// A buffered entry keeps the child level's LInc inflated by the
+		// flushed increment until the drain moves it to the parent;
+		// successive flushes of one child each contribute their increment
+		// over the previous entry (chained per parent slot, in buffer
+		// order, from the stale base the crash-time cache agreed with).
+		calc += p.bufferedIncrements(st, k, bufByParent)
+		// Steps ③-④/⑨-⑩: replay detection. With no dirty nodes and no
+		// pending flushes the level increment must be exactly zero (§III-G).
 		if calc != int64(p.linc[k]) {
 			return st.report, memctrl.ReplayAt("SIT level", k, 0,
 				fmt.Sprintf("increment %d != LInc %d", calc, int64(p.linc[k])))
 		}
 	}
 
-	p.buf = nil
 	p.reinstate(st)
-	p.rebuildRecords(st)
 
 	cfg := p.c.Config()
 	st.report.TimeNS = float64(st.report.NVMReads)*cfg.RecoveryReadNS +
@@ -100,22 +112,78 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 	return st.report, nil
 }
 
-// scanRecords reads the whole record region and resolves tracked offsets.
-// Corrupted entries that resolve to no node are ignored: an attacker can
-// only unmark a genuinely dirty node this way, which the LInc comparison
-// catches as a shortfall (§III-H).
+// bufferedIncrements sums, for child level k, each pending buffer entry's
+// increment over the previous value of its parent slot — the same chaining
+// InvariantError uses. The recovering cache is empty and pending entries
+// are never applied while their parent is cached, so the chain base is
+// always the parent's stale NVM slot value.
+func (p *Policy) bufferedIncrements(st *recoveryState, k int, bufByParent map[int][]bufEntry) int64 {
+	geo := &p.c.Layout().Geo
+	var sum int64
+	type slotKey struct {
+		pi   uint64
+		slot int
+	}
+	cur := make(map[slotKey]uint64)
+	for pl, ents := range bufByParent {
+		for _, ent := range ents {
+			if ent.level != k {
+				continue
+			}
+			_, pi, slot := geo.Parent(ent.level, ent.index)
+			key := slotKey{pi, slot}
+			base, seen := cur[key]
+			if !seen {
+				base = p.staleOf(st, pl, pi).Counter(slot)
+			}
+			sum += int64(ent.counter) - int64(base)
+			cur[key] = ent.counter
+		}
+	}
+	return sum
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// scanRecords reads the whole record region and resolves tracked offsets,
+// remembering the record position — the metadata cache slot the node
+// occupied — so reinstatement can rebuild the exact pre-crash layout. A
+// node tracked at several positions (older entries go stale when a node
+// changes slots) keeps its lowest position; the others stay harmlessly
+// stale. Corrupted entries that resolve to no node, or whose position lies
+// outside the node's cache set, are ignored: an attacker can only unmark a
+// genuinely dirty node this way, which the LInc comparison catches as a
+// shortfall (§III-H).
 func (p *Policy) scanRecords(st *recoveryState) {
 	lay := p.c.Layout()
+	meta := p.c.Meta()
 	for li := uint64(0); li < lay.RecordLines(); li++ {
 		st.report.NVMReads++
 		rl := decodeRecordLine(p.c.Device().Peek(lay.RecordBase + li*nvmem.LineSize))
-		for _, off := range rl {
+		for pos, off := range rl {
 			if off == 0 {
 				continue
 			}
-			if level, idx, ok := lay.Geo.NodeAtOffset(off - 1); ok {
-				st.dirty[level][idx] = true
+			level, idx, ok := lay.Geo.NodeAtOffset(off - 1)
+			if !ok {
+				continue
 			}
+			slot := int(li)*memctrl.RecordEntriesPerLine + pos
+			if slot/meta.Ways() != meta.SetOf(lay.Geo.NodeAddr(level, idx)) {
+				continue
+			}
+			key := nodeKey{level, idx}
+			if old, dup := st.place[key]; !dup || slot < old {
+				st.place[key] = slot
+			}
+			st.dirty[level][idx] = true
 		}
 	}
 }
@@ -138,6 +206,14 @@ func (p *Policy) staleOf(st *recoveryState, level int, index uint64) *sit.Node {
 // of §IV-D).
 func (p *Policy) trustedCounter(st *recoveryState, level int, index uint64) (uint64, error) {
 	geo := &p.c.Layout().Geo
+	// A node with a flush still pending in the NV buffer was sealed under
+	// its buffered generated counter; the buffer is trusted on-chip state,
+	// so it overrides the parent side exactly as the runtime fetch path
+	// does (the reinstated parent keeps the pre-flush slot value until the
+	// drain applies the entry).
+	if ov, ok := p.ParentCounterOverride(level, index); ok {
+		return ov, nil
+	}
 	if geo.IsTop(level) {
 		return p.c.Root().Counter(index), nil
 	}
@@ -173,8 +249,12 @@ func (p *Policy) verifyStale(st *recoveryState, n *sit.Node) error {
 	return nil
 }
 
-// recoverNode regenerates one tracked node from its persisted children and
-// returns the regenerated node and its increment over the stale base.
+// recoverNode regenerates one tracked node's crash-time cache image from
+// its persisted children and returns it with its increment over the stale
+// base. Parent slots with flushes still pending in the NV buffer are
+// rolled back to the stale value: the crash-time cache had not applied
+// them (pending entries exist precisely because the parent was uncached
+// at flush time, and a direct application would have consumed them).
 func (p *Policy) recoverNode(st *recoveryState, level int, index uint64) (*sit.Node, int64, error) {
 	geo := &p.c.Layout().Geo
 	stale := p.staleOf(st, level, index)
@@ -192,6 +272,9 @@ func (p *Policy) recoverNode(st *recoveryState, level int, index uint64) (*sit.N
 	}
 	if err != nil {
 		return nil, 0, err
+	}
+	for _, slot := range st.rollback[nodeKey{level, index}] {
+		node.SetCounter(slot, stale.Counter(slot))
 	}
 	st.report.NodesRecovered++
 	return node, int64(node.FValue()) - int64(stale.FValue()), nil
@@ -289,64 +372,23 @@ func (p *Policy) regenerateSplitLeaf(st *recoveryState, node *sit.Node, stale *s
 	return nil
 }
 
-// reinstate re-inserts every recovered node into the metadata cache marked
-// dirty, top level first so parents are resident when children follow. The
-// crash-time LIncs already describe exactly this dirty state, so no LInc
-// changes are needed; overflowing a set evicts through the normal Steins
-// write-back, which keeps all bookkeeping coherent.
+// reinstate re-installs every recovered node into the metadata cache
+// marked dirty, at the exact slot its record entry names. Rebuilding the
+// pre-crash layout this way needs no evictions (each slot held the node
+// before the crash) and leaves the record region already describing the
+// reinstated cache, so recovery completes without writing any NV state.
+// The crash-time LIncs already describe exactly this dirty state, and the
+// untouched NV buffer keeps serving parent-counter overrides until the
+// normal runtime drain applies it.
 func (p *Policy) reinstate(st *recoveryState) {
 	geo := &p.c.Layout().Geo
+	meta := p.c.Meta()
 	for k := geo.Levels - 1; k >= 0; k-- {
 		for _, idx := range sortedKeys(st.dirty[k]) {
 			node := st.recovered[k][idx]
 			addr := geo.NodeAddr(k, idx)
-			if e, ok := p.c.Meta().Probe(addr); ok {
-				// Displaced and refetched during an eviction cascade;
-				// overwrite with the recovered image and mark dirty.
-				e.Payload = node
-				e.Dirty = true
-				continue
-			}
-			for {
-				_, victim, evicted := p.c.Meta().Insert(addr, node, true)
-				if !evicted || !victim.Dirty {
-					break
-				}
-				if _, err := p.c.EvictDirtyNode(victim.Payload); err != nil {
-					// Eviction flushes a node we just rebuilt; it cannot
-					// fail verification unless the device is being
-					// attacked mid-recovery, which Crash/Recover callers
-					// surface through the next runtime access.
-					panic(fmt.Sprintf("steins: eviction during reinstate: %v", err))
-				}
-				if _, ok := p.c.Meta().Probe(addr); ok {
-					break
-				}
-			}
-		}
-	}
-}
-
-// rebuildRecords rewrites the record region to describe the post-recovery
-// cache layout, counting only lines whose contents changed.
-func (p *Policy) rebuildRecords(st *recoveryState) {
-	lay := p.c.Layout()
-	lines := make([]recordLine, lay.RecordLines())
-	p.c.Meta().ForEach(func(e *cache.Entry[*sit.Node]) {
-		if !e.Dirty {
-			return
-		}
-		slot := e.Slot()
-		li := slot / memctrl.RecordEntriesPerLine
-		pos := slot % memctrl.RecordEntriesPerLine
-		lines[li][pos] = lay.Geo.Offset(e.Payload.Level, e.Payload.Index) + 1
-	})
-	for li := uint64(0); li < uint64(len(lines)); li++ {
-		addr := lay.RecordBase + li*nvmem.LineSize
-		img := encodeRecordLine(&lines[li])
-		if nvmem.Line(p.c.Device().Peek(addr)) != img {
-			p.c.Device().Poke(addr, img)
-			st.report.NVMWrites++
+			meta.PlaceAt(st.place[nodeKey{k, idx}], addr, node, true)
+			p.c.FaultEvent(memctrl.EvRecoveryStep, addr)
 		}
 	}
 }

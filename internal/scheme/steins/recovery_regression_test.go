@@ -1,0 +1,70 @@
+package steins_test
+
+import (
+	"testing"
+)
+
+// TestRecoverDuplicateBufferEntries pins the buffered-increment fold for
+// a child flushed TWICE with its parent uncached, leaving two buffer
+// entries for the same parent slot. The LInc delta of the second flush
+// must be computed against the first buffered counter, not the stale NVM
+// value — folding both entries against the stale base double-counts the
+// first increment and recovery falsely reports replay.
+func TestRecoverDuplicateBufferEntries(t *testing.T) {
+	for _, split := range []bool{false, true} {
+		name := "gc"
+		if split {
+			name = "sc"
+		}
+		t.Run(name, func(t *testing.T) {
+			c, p := newSteins(t, split)
+			expect := make(map[uint64][64]byte)
+			write := func(addr uint64, v byte) {
+				d := pattern(addr, v)
+				if err := c.WriteData(2, addr, d); err != nil {
+					t.Fatalf("write %#x: %v", addr, err)
+				}
+				expect[addr] = d
+			}
+
+			// Dirty leaf 0 and its ancestors, then flush the parent so the
+			// leaf's next write-back finds it uncached and defers to the
+			// NV buffer.
+			write(0, 1)
+			geo := &c.Layout().Geo
+			pl, pi, _ := geo.Parent(0, 0)
+			if _, err := c.FlushNode(pl, pi); err != nil {
+				t.Fatalf("flush parent: %v", err)
+			}
+			if _, err := c.FlushNode(0, 0); err != nil {
+				t.Fatalf("first leaf flush: %v", err)
+			}
+			if got := p.BufferedEntries(); got != 1 {
+				t.Fatalf("after first flush: %d buffered entries, want 1", got)
+			}
+
+			// Re-dirty the same leaf (fetched under the buffered counter
+			// override, so the parent stays uncached) and flush again: a
+			// second entry for the same parent slot.
+			write(0, 2)
+			if _, err := c.FlushNode(0, 0); err != nil {
+				t.Fatalf("second leaf flush: %v", err)
+			}
+			if got := p.BufferedEntries(); got != 2 {
+				t.Fatalf("after second flush: %d buffered entries, want 2", got)
+			}
+			if err := p.InvariantError(); err != nil {
+				t.Fatalf("pre-crash invariant: %v", err)
+			}
+
+			c.Crash()
+			if _, err := c.Recover(); err != nil {
+				t.Fatalf("recover with duplicate buffer entries: %v", err)
+			}
+			verifyAll(t, c, expect)
+			if err := c.VerifyNVM(); err != nil {
+				t.Fatalf("post-recovery NVM: %v", err)
+			}
+		})
+	}
+}

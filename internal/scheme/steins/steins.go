@@ -143,6 +143,7 @@ func (p *Policy) trackDirty(e *cache.Entry[*sit.Node]) uint64 {
 	}
 	re.Payload[pos] = off
 	re.Dirty = true
+	p.c.FaultEvent(memctrl.EvRecordAppend, recAddr)
 	return cycles + 1
 }
 

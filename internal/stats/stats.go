@@ -10,32 +10,43 @@ import (
 	"strings"
 )
 
-// Normalize divides each value by base; base must be non-zero.
-func Normalize(vals []float64, base float64) []float64 {
-	if base == 0 {
-		panic("stats: normalising by zero")
+// Normalize divides each value by base. A zero or non-finite base cannot
+// produce meaningful ratios, so it is reported as an error instead of
+// poisoning every cell downstream (a degenerate run used to panic here
+// and kill the whole figure sweep).
+func Normalize(vals []float64, base float64) ([]float64, error) {
+	if base == 0 || math.IsNaN(base) || math.IsInf(base, 0) {
+		return nil, fmt.Errorf("stats: cannot normalise by %v", base)
 	}
 	out := make([]float64, len(vals))
 	for i, v := range vals {
 		out[i] = v / base
 	}
-	return out
+	return out, nil
 }
 
-// GeoMean returns the geometric mean of positive values, the conventional
-// cross-benchmark average for normalised metrics.
+// GeoMean returns the geometric mean, the conventional cross-benchmark
+// average for normalised metrics. Values that are not finite and positive
+// carry no usable magnitude (a degenerate cell from a zero baseline), so
+// they are skipped rather than aborting the average; if nothing usable
+// remains the result is NaN. The empty slice stays 0 for backward
+// compatibility.
 func GeoMean(vals []float64) float64 {
 	if len(vals) == 0 {
 		return 0
 	}
-	sum := 0.0
+	sum, n := 0.0, 0
 	for _, v := range vals {
-		if v <= 0 {
-			panic("stats: GeoMean needs positive values")
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
 		}
 		sum += math.Log(v)
+		n++
 	}
-	return math.Exp(sum / float64(len(vals)))
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sum / float64(n))
 }
 
 // Mean returns the arithmetic mean.
@@ -119,11 +130,23 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// F formats a ratio-style float with three decimals.
-func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+// F formats a ratio-style float with three decimals; degenerate values
+// (NaN, Inf — e.g. a ratio against a zero baseline) render as "n/a" so
+// one bad cell does not wreck a table.
+func F(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
 
-// F2 formats with two decimals.
-func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+// F2 formats with two decimals; degenerate values render as "n/a".
+func F2(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
 
 // Seconds formats nanoseconds as seconds with adaptive precision.
 func Seconds(ns float64) string {

@@ -8,7 +8,10 @@ import (
 )
 
 func TestNormalize(t *testing.T) {
-	got := Normalize([]float64{2, 4, 6}, 2)
+	got, err := Normalize([]float64{2, 4, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float64{1, 2, 3}
 	for i := range want {
 		if got[i] != want[i] {
@@ -17,13 +20,12 @@ func TestNormalize(t *testing.T) {
 	}
 }
 
-func TestNormalizeZeroPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+func TestNormalizeDegenerateBase(t *testing.T) {
+	for _, base := range []float64{0, math.NaN(), math.Inf(1)} {
+		if _, err := Normalize([]float64{1}, base); err == nil {
+			t.Fatalf("base %v: no error", base)
 		}
-	}()
-	Normalize([]float64{1}, 0)
+	}
 }
 
 func TestGeoMean(t *testing.T) {
@@ -35,13 +37,26 @@ func TestGeoMean(t *testing.T) {
 	}
 }
 
-func TestGeoMeanNonPositivePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+func TestGeoMeanSkipsDegenerateValues(t *testing.T) {
+	// Non-positive and non-finite cells are skipped, not fatal: the mean
+	// over the remaining usable values survives one bad cell.
+	if g := GeoMean([]float64{1, 0, 4, math.NaN(), math.Inf(1), -3}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean with degenerate cells = %v, want 2", g)
+	}
+	if g := GeoMean([]float64{0, math.NaN()}); !math.IsNaN(g) {
+		t.Fatalf("GeoMean with no usable cells = %v, want NaN", g)
+	}
+}
+
+func TestFormatDegenerate(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if F(v) != "n/a" || F2(v) != "n/a" {
+			t.Fatalf("F(%v) = %q, F2 = %q, want n/a", v, F(v), F2(v))
 		}
-	}()
-	GeoMean([]float64{1, 0})
+	}
+	if F(1.5) != "1.500" || F2(1.5) != "1.50" {
+		t.Fatalf("finite formatting changed: %q %q", F(1.5), F2(1.5))
+	}
 }
 
 func TestMean(t *testing.T) {

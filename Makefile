@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench figs figs-full fuzz crashfuzz check cover clean
+.PHONY: all build test bench figs figs-full fuzz crashfuzz check cover clean metrics-demo
 
 all: build test
 
@@ -35,14 +35,20 @@ crashfuzz:
 	go run ./cmd/crashfuzz -scheme scue -workload pers_queue -crashes 25 -seed 5 -q
 	go run ./cmd/crashfuzz -scheme bmt -workload pers_queue -crashes 40 -seed 6 -q
 
+# Phase-attribution + occupancy snapshots for one run and one sweep.
+metrics-demo:
+	go run ./cmd/steinssim -workload cactusADM -scheme Steins-GC -ops 20000 -metrics metrics_demo.json
+	go run ./cmd/benchfigs -fig 12 -metrics metrics_demo.csv
+
 # CI gate: vet, the crash harness, and the race-sensitive packages
-# (figure sweeps under both GOMAXPROCS settings).
+# (figure sweeps and parallel recovery under both GOMAXPROCS settings).
 check: crashfuzz
 	go vet ./...
-	go test -race -cpu 1,4 ./internal/crashfuzz ./internal/figures
+	go test -race -cpu 1,4 ./internal/crashfuzz ./internal/figures \
+		./internal/metrics ./internal/sim ./internal/multi
 
 cover:
 	go test -cover ./...
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt metrics_demo.json metrics_demo.csv

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"steins/internal/figures"
+	"steins/internal/metrics"
 	"steins/internal/stats"
 )
 
@@ -32,9 +33,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchfigs", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		figList = fs.String("fig", "all", "comma-separated figures: 9-17, config, storage, overflow, ablation, all")
-		scale   = fs.String("scale", "quick", "simulation scale: quick or full")
-		format  = fs.String("format", "text", "output format: text or json")
+		figList   = fs.String("fig", "all", "comma-separated figures: 9-17, config, storage, overflow, ablation, all")
+		scale     = fs.String("scale", "quick", "simulation scale: quick or full")
+		format    = fs.String("format", "text", "output format: text or json")
+		metricsTo = fs.String("metrics", "", "export per-run metrics snapshots of the comparison sweeps to this file; .csv selects CSV, anything else JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,6 +68,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "unknown scale %q\n", *scale)
 		return 2
 	}
+	var snaps []*metrics.Snapshot
+	if *metricsTo != "" {
+		mo := metrics.DefaultOptions()
+		sc.Metrics = &mo
+	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figList, ",") {
@@ -87,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
+		snaps = append(snaps, sw.Snapshots()...)
 		for _, f := range []struct {
 			name string
 			tab  func(*figures.Sweep) *stats.Table
@@ -109,6 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
+		snaps = append(snaps, sw.Snapshots()...)
 		for _, f := range []struct {
 			name string
 			tab  func(*figures.Sweep) *stats.Table
@@ -154,6 +163,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := emit(figures.OverflowTable()); err != nil {
 			return fail(err)
 		}
+	}
+	if *metricsTo != "" {
+		if len(snaps) == 0 {
+			fmt.Fprintln(stderr, "benchfigs: -metrics set but no comparison sweep selected; nothing to export")
+			return 2
+		}
+		if err := metrics.WriteSnapshotsFile(*metricsTo, snaps); err != nil {
+			return fail(fmt.Errorf("metrics export: %w", err))
+		}
+		fmt.Fprintf(stderr, "metrics snapshots written to %s\n", *metricsTo)
 	}
 	return 0
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -35,5 +37,44 @@ func TestRunBadInputs(t *testing.T) {
 	}
 	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
 		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestRunMetricsExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.csv")
+	var out, errb strings.Builder
+	if code := run([]string{"-fig", "12", "-metrics", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "type,scheme,workload,") {
+		t.Fatalf("missing CSV header: %q", lines[0])
+	}
+	arity := strings.Count(lines[0], ",")
+	body := strings.Join(lines[1:], "\n")
+	for _, want := range []string{"WB-SC", "Steins-SC", "phase", "series"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("CSV missing %q", want)
+		}
+	}
+	for i, l := range lines[1:] {
+		if strings.Count(l, ",") != arity {
+			t.Fatalf("row %d has wrong arity: %q", i+1, l)
+		}
+	}
+}
+
+func TestRunMetricsWithoutSweepRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "none.json")
+	var out, errb strings.Builder
+	if code := run([]string{"-fig", "config", "-metrics", path}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 when no sweep is selected", code)
+	}
+	if !strings.Contains(errb.String(), "no comparison sweep") {
+		t.Fatalf("missing diagnostic: %s", errb.String())
 	}
 }

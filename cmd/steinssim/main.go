@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"steins/internal/metrics"
 	"steins/internal/sim"
 	"steins/internal/stats"
 	"steins/internal/trace"
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list      = fs.Bool("list", false, "list workloads and schemes")
 		compare   = fs.Bool("compare", false, "run every scheme on the workload and tabulate")
 		tablePath = fs.Bool("v", false, "verbose per-class NVM breakdown")
+		metricsTo = fs.String("metrics", "", "export a metrics snapshot (phase attribution, latency histograms, occupancy time series) to this file; .csv selects CSV, anything else JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,8 +73,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "unknown workload %q (use -list)\n", *workload)
 		return 2
 	}
+	var mopt *metrics.Options
+	if *metricsTo != "" {
+		o := metrics.DefaultOptions()
+		mopt = &o
+	}
 	if *compare {
-		if err := compareSchemes(prof, sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10}, stdout); err != nil {
+		opt := sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10, Metrics: mopt}
+		if err := compareSchemes(prof, opt, *metricsTo, stdout); err != nil {
 			fmt.Fprintf(stderr, "compare failed: %v\n", err)
 			return 1
 		}
@@ -83,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "unknown scheme %q (use -list)\n", *scheme)
 		return 2
 	}
-	opt := sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10}
+	opt := sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10, Metrics: mopt}
 
 	sim1 := func() (sim.Result, error) {
 		if *crash {
@@ -102,6 +110,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "simulation failed: %v\n", err)
 		return 1
+	}
+	if *metricsTo != "" {
+		if err := metrics.WriteSnapshotsFile(*metricsTo, []*metrics.Snapshot{res.Snapshot}); err != nil {
+			fmt.Fprintf(stderr, "metrics export failed: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "metrics snapshot written to %s\n", *metricsTo)
 	}
 
 	t := stats.NewTable(fmt.Sprintf("%s on %s (%d ops)", s.Name, prof.Name, *ops), "metric", "value")
@@ -131,8 +146,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // compareSchemes runs every scheme on one workload in parallel and prints
-// a side-by-side table, normalised to WB-GC.
-func compareSchemes(prof trace.Profile, opt sim.Options, stdout io.Writer) error {
+// a side-by-side table, normalised to WB-GC. When metricsTo is set, the
+// per-scheme snapshots are exported to that file.
+func compareSchemes(prof trace.Profile, opt sim.Options, metricsTo string, stdout io.Writer) error {
 	schemes := []sim.Scheme{
 		sim.WBGC, sim.ASIT, sim.STAR, sim.SteinsGC,
 		sim.WBSC, sim.SteinsSC, sim.SCUEGC,
@@ -144,6 +160,16 @@ func compareSchemes(prof trace.Profile, opt sim.Options, stdout io.Writer) error
 	results, err := sim.RunParallel(jobs, 0)
 	if err != nil {
 		return err
+	}
+	if metricsTo != "" {
+		snaps := make([]*metrics.Snapshot, len(results))
+		for i := range results {
+			snaps[i] = results[i].Snapshot
+		}
+		if err := metrics.WriteSnapshotsFile(metricsTo, snaps); err != nil {
+			return fmt.Errorf("metrics export: %w", err)
+		}
+		fmt.Fprintf(stdout, "metrics snapshots written to %s\n", metricsTo)
 	}
 	base := results[0]
 	t := stats.NewTable(fmt.Sprintf("all schemes on %s (%d ops, vs WB-GC)", prof.Name, opt.Ops),

@@ -1,8 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
+
+	"steins/internal/metrics"
 )
 
 func TestRunCrashRecover(t *testing.T) {
@@ -43,5 +50,85 @@ func TestRunBadInputs(t *testing.T) {
 	}
 	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
 		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestRunMetricsExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	var out, errb strings.Builder
+	code := run([]string{
+		"-workload", "cactusADM", "-scheme", "steins-gc",
+		"-ops", "3000", "-cache", "16", "-metrics", path,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "metrics snapshot written to") {
+		t.Fatalf("missing export confirmation:\n%s", out.String())
+	}
+	m := regexp.MustCompile(`(\d+) cycles`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no execution time in output:\n%s", out.String())
+	}
+	printed, err := strconv.ParseUint(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Scheme != "Steins-GC" || snap.Workload != "cactusADM" {
+		t.Fatalf("snapshot identity %q/%q", snap.Scheme, snap.Workload)
+	}
+	if snap.ExecCycles != printed {
+		t.Fatalf("snapshot exec %d does not match printed %d cycles", snap.ExecCycles, printed)
+	}
+	if snap.Read.Ops+snap.Write.Ops != 3000 {
+		t.Fatalf("snapshot ops %d, want 3000", snap.Read.Ops+snap.Write.Ops)
+	}
+	if got := snap.MakespanCycles(); got != snap.ExecCycles {
+		t.Fatalf("phase buckets sum to %d, makespan %d", got, snap.ExecCycles)
+	}
+	if len(snap.Series) == 0 {
+		t.Fatal("snapshot has no time series")
+	}
+}
+
+func TestRunCompareMetricsExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snaps.json")
+	var out, errb strings.Builder
+	code := run([]string{
+		"-workload", "pers_queue", "-compare",
+		"-ops", "2000", "-cache", "16", "-metrics", path,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []metrics.Snapshot
+	if err := json.Unmarshal(data, &snaps); err != nil {
+		t.Fatalf("snapshot array is not valid JSON: %v", err)
+	}
+	if len(snaps) != 7 {
+		t.Fatalf("%d snapshots, want one per compared scheme (7)", len(snaps))
+	}
+	seen := map[string]bool{}
+	for i := range snaps {
+		seen[snaps[i].Scheme] = true
+		if got := snaps[i].MakespanCycles(); got != snaps[i].ExecCycles {
+			t.Fatalf("%s: phase buckets sum to %d, makespan %d",
+				snaps[i].Scheme, got, snaps[i].ExecCycles)
+		}
+	}
+	if !seen["WB-GC"] || !seen["Steins-SC"] {
+		t.Fatalf("schemes missing from export: %v", seen)
 	}
 }

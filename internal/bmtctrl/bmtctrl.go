@@ -34,8 +34,8 @@ import (
 	"steins/internal/counter"
 	"steins/internal/crypt"
 	"steins/internal/memctrl"
+	"steins/internal/metrics"
 	"steins/internal/nvmem"
-	"steins/internal/stats"
 )
 
 // Arity is the hash-tree fan-out.
@@ -90,8 +90,8 @@ type Stats struct {
 	WriteLatSum uint64
 	HashOps     uint64
 	AESOps      uint64
-	ReadHist    stats.Hist
-	WriteHist   stats.Hist
+	ReadHist    metrics.Hist
+	WriteHist   metrics.Hist
 }
 
 // AvgReadLatency returns the mean read latency in cycles.

@@ -243,3 +243,15 @@ func (c *Cache[P]) Len() int {
 	c.ForEach(func(*Entry[P]) { n++ })
 	return n
 }
+
+// DirtyLen returns the number of valid dirty lines; the metrics sampler
+// probes it for the cache's dirty fraction.
+func (c *Cache[P]) DirtyLen() int {
+	n := 0
+	c.ForEach(func(e *Entry[P]) {
+		if e.Dirty {
+			n++
+		}
+	})
+	return n
+}

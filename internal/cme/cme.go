@@ -24,18 +24,23 @@ type Tag struct {
 }
 
 // Engine performs data encryption and tagging with a fixed key.
+// Its methods reuse internal scratch buffers (stack buffers passed into
+// the OTP/MAC interfaces would escape to the heap on every call), so an
+// Engine must not be shared across goroutines — each controller owns one.
 type Engine struct {
 	Key crypt.Key
 	OTP crypt.OTPGen
 	MAC crypt.MAC
+
+	pad [64]byte // scratch: one-time pad
+	msg [80]byte // scratch: MAC message
 }
 
 // Apply XORs the one-time pad for (addr, encCounter) into buf; the same
 // operation encrypts and decrypts.
 func (e *Engine) Apply(buf *[64]byte, addr, encCounter uint64) {
-	var pad [64]byte
-	e.OTP.Pad(&pad, e.Key, addr, encCounter)
-	crypt.XOR64(buf, &pad)
+	e.OTP.Pad(&e.pad, e.Key, addr, encCounter)
+	crypt.XOR64(buf, &e.pad)
 }
 
 // GCHintMask selects the counter bits stored in a general-counter tag hint.
@@ -45,7 +50,7 @@ const GCHintMask = 0xffff
 // leaf counter.
 func (e *Engine) TagGC(ct *[64]byte, addr, encCounter uint64) Tag {
 	return Tag{
-		MAC:     sit.DataMAC(e.MAC, e.Key, addr, ct, encCounter),
+		MAC:     sit.DataMACInto(&e.msg, e.MAC, e.Key, addr, ct, encCounter),
 		Hint:    encCounter & GCHintMask,
 		Written: true,
 	}
@@ -56,7 +61,7 @@ func (e *Engine) TagGC(ct *[64]byte, addr, encCounter uint64) Tag {
 // field for recovery).
 func (e *Engine) TagSC(ct *[64]byte, addr, encCounter, major uint64) Tag {
 	return Tag{
-		MAC:     sit.DataMAC(e.MAC, e.Key, addr, ct, encCounter),
+		MAC:     sit.DataMACInto(&e.msg, e.MAC, e.Key, addr, ct, encCounter),
 		Hint:    major,
 		Written: true,
 	}
@@ -64,7 +69,7 @@ func (e *Engine) TagSC(ct *[64]byte, addr, encCounter, major uint64) Tag {
 
 // Verify checks a ciphertext against its tag under the given counter.
 func (e *Engine) Verify(ct *[64]byte, addr, encCounter uint64, tag Tag) bool {
-	return tag.Written && sit.DataMAC(e.MAC, e.Key, addr, ct, encCounter) == tag.MAC
+	return tag.Written && sit.DataMACInto(&e.msg, e.MAC, e.Key, addr, ct, encCounter) == tag.MAC
 }
 
 // RecoverCounterGC restores the encryption counter of a persisted data

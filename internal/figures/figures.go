@@ -15,6 +15,7 @@ import (
 
 	"steins/internal/counter"
 	"steins/internal/memctrl"
+	"steins/internal/metrics"
 	"steins/internal/scheme/steins"
 	"steins/internal/sim"
 	"steins/internal/stats"
@@ -27,6 +28,9 @@ type Scale struct {
 	Seed uint64
 	// Fig17Caches are the metadata cache sizes swept for recovery time.
 	Fig17Caches []int
+	// Metrics, when non-nil, attaches a metrics collector to every run of
+	// a sweep, filling each Result's Snapshot for export.
+	Metrics *metrics.Options
 }
 
 // Quick is the unit-test/bench scale: small traces, small caches.
@@ -59,7 +63,8 @@ func runSweep(schemes []sim.Scheme, sc Scale) (*Sweep, error) {
 		sw.Workloads = append(sw.Workloads, prof.Name)
 		sw.Results[prof.Name] = map[string]sim.Result{}
 		for _, s := range schemes {
-			jobs = append(jobs, sim.Job{Prof: prof, Scheme: s, Opt: sim.Options{Ops: sc.Ops, Seed: sc.Seed}})
+			jobs = append(jobs, sim.Job{Prof: prof, Scheme: s,
+				Opt: sim.Options{Ops: sc.Ops, Seed: sc.Seed, Metrics: sc.Metrics}})
 		}
 	}
 	results, err := sim.RunParallel(jobs, 0)
@@ -70,6 +75,21 @@ func runSweep(schemes []sim.Scheme, sc Scale) (*Sweep, error) {
 		sw.Results[job.Prof.Name][job.Scheme.Name] = results[i]
 	}
 	return sw, nil
+}
+
+// Snapshots returns the sweep's metrics snapshots in deterministic
+// (workload, scheme) order; runs without an attached collector (Scale
+// without Metrics) contribute nothing.
+func (sw *Sweep) Snapshots() []*metrics.Snapshot {
+	var snaps []*metrics.Snapshot
+	for _, w := range sw.Workloads {
+		for _, s := range sw.Schemes {
+			if snap := sw.Results[w][s.Name].Snapshot; snap != nil {
+				snaps = append(snaps, snap)
+			}
+		}
+	}
+	return snaps
 }
 
 // GCSweep runs the Fig. 9-11/13/15 scheme set (WB-GC, ASIT, STAR,

@@ -4,6 +4,7 @@ import (
 	"steins/internal/cache"
 	"steins/internal/cme"
 	"steins/internal/counter"
+	"steins/internal/metrics"
 	"steins/internal/nvmem"
 	"steins/internal/sit"
 )
@@ -37,8 +38,21 @@ type Controller struct {
 	warmupEnd uint64 // makespan at the last ResetStats
 	stats     Stats
 
+	// bd is the in-flight request's per-phase cycle split; attribution
+	// sites add raw (possibly overlapped) latencies, finishOp normalizes
+	// it against the request's actual service time.
+	bd metrics.Breakdown
+	// mx, when set, gathers the optional per-phase histograms and the
+	// occupancy time series; nil keeps the hot path alloc-free.
+	mx *metrics.Collector
+
 	// hooks, when set, observes fault-injection events (see fault.go).
 	hooks FaultHooks
+
+	// macMsg is the node-MAC scratch buffer (see sit.NodeMACInto): node
+	// seals and verifications run per eviction and per fetch, and a stack
+	// buffer would escape into the MAC interface on every call.
+	macMsg [72]byte
 }
 
 // New builds a controller with the given configuration and recovery
@@ -99,6 +113,9 @@ func (c *Controller) ResetStats() {
 	c.stats = Stats{}
 	c.dev.ResetStats()
 	c.meta.ResetStats()
+	if c.mx != nil {
+		c.mx.Reset()
+	}
 	c.warmupEnd = c.busyUntil
 }
 
@@ -149,12 +166,14 @@ func (c *Controller) CountHash(n uint64) {
 func (c *Controller) FetchNode(level int, index uint64) (*cache.Entry[*sit.Node], uint64, error) {
 	addr := c.lay.Geo.NodeAddr(level, index)
 	if e, ok := c.meta.Lookup(addr); ok {
+		c.Attribute(metrics.PhaseMetaFetch, c.cfg.CacheHitCycles)
 		return e, c.cfg.CacheHitCycles, nil
 	}
 	if n, ok := c.evicting[addr]; ok {
 		// The node's dirty eviction is in flight; its NVM image may be
 		// stale, so re-adopt the in-flight copy (still the newest
 		// version) instead of reading the device.
+		c.Attribute(metrics.PhaseMetaFetch, c.cfg.CacheHitCycles)
 		e, icyc, err := c.insertNode(addr, n, true)
 		return e, icyc + c.cfg.CacheHitCycles, err
 	}
@@ -174,6 +193,7 @@ func (c *Controller) FetchNode(level int, index uint64) (*cache.Entry[*sit.Node]
 		pc = pe.Payload.Counter(slot)
 	}
 	line, rlat := c.dev.Read(c.reqStart+cycles, addr, nvmem.ClassMeta)
+	c.Attribute(metrics.PhaseMetaFetch, rlat)
 	cycles += rlat
 	node, vcyc, err := c.VerifyNodeLine(level, index, counter.Block(line), pc)
 	cycles += vcyc
@@ -244,7 +264,8 @@ func (c *Controller) VerifyNodeLine(level int, index uint64, b counter.Block, pa
 	}
 	addr := c.lay.Geo.NodeAddr(level, index)
 	lat := c.ChargeHash(1)
-	if sit.NodeMAC(c.cfg.MAC, c.cfg.Key, addr, node.CounterBytes(), parentCounter) != node.HMAC() {
+	c.Attribute(metrics.PhaseVerify, lat)
+	if sit.NodeMACInto(&c.macMsg, c.cfg.MAC, c.cfg.Key, addr, node.CounterBytes(), parentCounter) != node.HMAC() {
 		return nil, lat, TamperAt("SIT node", level, index, "HMAC mismatch on fetch")
 	}
 	return node, lat, nil
@@ -254,7 +275,7 @@ func (c *Controller) VerifyNodeLine(level int, index uint64, b counter.Block, pa
 // counter.
 func (c *Controller) NodeMAC(n *sit.Node, parentCounter uint64) uint64 {
 	addr := c.lay.Geo.NodeAddr(n.Level, n.Index)
-	return sit.NodeMAC(c.cfg.MAC, c.cfg.Key, addr, n.CounterBytes(), parentCounter)
+	return sit.NodeMACInto(&c.macMsg, c.cfg.MAC, c.cfg.Key, addr, n.CounterBytes(), parentCounter)
 }
 
 // StaleNode decodes a node's current NVM image without timing or stats;
@@ -283,6 +304,8 @@ func (c *Controller) SealAndWriteNode(n *sit.Node, parentCounter uint64) uint64 
 	n.SetHMAC(c.NodeMAC(n, parentCounter))
 	addr := c.lay.Geo.NodeAddr(n.Level, n.Index)
 	stall := c.dev.Write(c.reqStart, addr, nvmem.Line(n.Encode()), nvmem.ClassMeta)
+	c.Attribute(metrics.PhaseVerify, lat)
+	c.Attribute(metrics.PhaseWriteDrain, stall)
 	return lat + stall
 }
 
@@ -375,23 +398,46 @@ func (c *Controller) arrive(gap uint64) {
 		c.arrival = c.busyUntil - c.cfg.RunAheadCycles
 	}
 	c.reqStart = max(c.arrival, c.busyUntil)
+	c.bd = metrics.Breakdown{}
 }
 
-func (c *Controller) completeRead(cycles uint64) {
-	c.busyUntil = c.reqStart + cycles
-	c.stats.DataReads++
-	lat := c.busyUntil - c.arrival
-	c.stats.ReadLatSum += lat
-	c.stats.ReadHist.Add(lat)
-	c.FaultEvent(EvOpRetired, 0)
-}
+func (c *Controller) completeRead(cycles uint64)  { c.finishOp(false, cycles) }
+func (c *Controller) completeWrite(cycles uint64) { c.finishOp(true, cycles) }
 
-func (c *Controller) completeWrite(cycles uint64) {
+// finishOp retires the request in flight: it advances the makespan clock,
+// normalizes the per-phase attribution against the actual service time, and
+// folds both the latency and the phase split into the per-path stats.
+//
+// The makespan identity the attribution rests on: busyUntil advances by
+// (idle + service) per request, where idle = reqStart - prevBusy, so the
+// service buckets plus PhaseIdle partition MeasuredExecCycles exactly.
+// PhaseQueueWait (reqStart - arrival) overlaps the service of preceding
+// requests and is kept out of that partition; it is the per-request
+// latency view.
+func (c *Controller) finishOp(isWrite bool, cycles uint64) {
+	prevBusy := c.busyUntil
 	c.busyUntil = c.reqStart + cycles
-	c.stats.DataWrites++
+	metrics.NormalizeService(&c.bd, cycles)
+	c.bd[metrics.PhaseQueueWait] = c.reqStart - c.arrival
+	c.bd[metrics.PhaseIdle] = c.reqStart - prevBusy
 	lat := c.busyUntil - c.arrival
-	c.stats.WriteLatSum += lat
-	c.stats.WriteHist.Add(lat)
+	phases := &c.stats.ReadPhases
+	if isWrite {
+		c.stats.DataWrites++
+		c.stats.WriteLatSum += lat
+		c.stats.WriteHist.Add(lat)
+		phases = &c.stats.WritePhases
+	} else {
+		c.stats.DataReads++
+		c.stats.ReadLatSum += lat
+		c.stats.ReadHist.Add(lat)
+	}
+	for ph := range phases {
+		phases[ph] += c.bd[ph]
+	}
+	if c.mx != nil && c.mx.Record(isWrite, &c.bd) {
+		c.sample()
+	}
 	c.FaultEvent(EvOpRetired, 0)
 }
 

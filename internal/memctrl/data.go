@@ -6,6 +6,7 @@ import (
 	"steins/internal/cache"
 	"steins/internal/cme"
 	"steins/internal/counter"
+	"steins/internal/metrics"
 	"steins/internal/nvmem"
 	"steins/internal/sit"
 )
@@ -89,8 +90,11 @@ func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
 		tag = c.eng.TagGC(&ct, addr, encCtr)
 	}
 	c.stats.HashOps++
+	c.Attribute(metrics.PhaseCrypto, c.cfg.AESCycles+c.cfg.HashCycles)
 	cycles += c.cfg.AESCycles + c.cfg.HashCycles
-	cycles += c.dev.Write(c.reqStart+cycles, addr, nvmem.Line(ct), nvmem.ClassData)
+	stall := c.dev.Write(c.reqStart+cycles, addr, nvmem.Line(ct), nvmem.ClassData)
+	c.Attribute(metrics.PhaseWriteDrain, stall)
+	cycles += stall
 	c.tags[addr] = tag
 	if writeThrough {
 		// §II-D write-through: persist the leaf (through the scheme's
@@ -135,6 +139,7 @@ func (c *Controller) ReadData(gap uint64, addr uint64) ([64]byte, error) {
 		encCtr = node.Gen.C[slot]
 	}
 	line, dataLat := c.dev.Read(c.reqStart+cycles, addr, nvmem.ClassData)
+	c.Attribute(metrics.PhaseNVMRead, dataLat)
 	tag := c.tags[addr]
 	if !tag.Written {
 		// A block is legitimately unwritten iff its own counter never
@@ -156,6 +161,9 @@ func (c *Controller) ReadData(gap uint64, addr uint64) ([64]byte, error) {
 	ct := [64]byte(line)
 	c.stats.AESOps++
 	otpReady := counterPath + c.cfg.AESCycles
+	// OTP generation overlaps the data fetch; both sides are attributed
+	// raw and finishOp's normalization reclaims the hidden cycles.
+	c.Attribute(metrics.PhaseCrypto, c.cfg.AESCycles+c.cfg.HashCycles)
 	cycles += max(dataLat, otpReady) + c.cfg.HashCycles
 	c.stats.HashOps++
 	if !c.eng.Verify(&ct, addr, encCtr, tag) {
@@ -191,9 +199,11 @@ func (c *Controller) reencrypt(le *cache.Entry[*sit.Node], pre *counter.Split, s
 		}
 		line, rlat := c.dev.Read(c.reqStart+cycles, daddr, nvmem.ClassData)
 		if first {
+			c.Attribute(metrics.PhaseNVMRead, rlat)
 			cycles += rlat
 			first = false
 		} else {
+			c.Attribute(metrics.PhaseNVMRead, pipelineGap)
 			cycles += pipelineGap
 		}
 		ct := [64]byte(line)
@@ -208,7 +218,9 @@ func (c *Controller) reencrypt(le *cache.Entry[*sit.Node], pre *counter.Split, s
 		c.stats.AESOps += 2
 		c.stats.HashOps++
 		c.tags[daddr] = c.eng.TagSC(&ct, daddr, newCtr, node.Split.Major)
-		cycles += c.dev.Write(c.reqStart+cycles, daddr, nvmem.Line(ct), nvmem.ClassData)
+		wstall := c.dev.Write(c.reqStart+cycles, daddr, nvmem.Line(ct), nvmem.ClassData)
+		c.Attribute(metrics.PhaseWriteDrain, wstall)
+		cycles += wstall
 		c.stats.Reencrypts++
 	}
 	return cycles, nil

@@ -1,0 +1,71 @@
+package memctrl
+
+import "steins/internal/metrics"
+
+// MetricsProber is implemented by policies that expose occupancy state to
+// the time-series sampler: the fill fraction of the scheme's dirty-tracking
+// structure and the per-level trust-base (LInc) magnitudes. Schemes without
+// such state simply don't implement it.
+type MetricsProber interface {
+	MetricsProbe() (trackFill float64, lincs []uint64)
+}
+
+// SetMetrics attaches a collector gathering per-phase per-request
+// histograms and the occupancy time series. The always-on phase totals in
+// Stats don't need one; pass the result of metrics.NewCollector, or nil to
+// detach.
+func (c *Controller) SetMetrics(mx *metrics.Collector) { c.mx = mx }
+
+// Metrics returns the attached collector, nil when none.
+func (c *Controller) Metrics() *metrics.Collector { return c.mx }
+
+// Attribute adds cycles of the request in flight to one attribution
+// bucket. Attribution sites record raw (possibly overlapped) latencies;
+// finishOp normalizes the split against the request's actual service time,
+// so over-attribution from latency hiding is reclaimed pro-rata and
+// unattributed bookkeeping lands in PhaseOther. Policies may call it for
+// their own device accesses.
+func (c *Controller) Attribute(ph metrics.Phase, cycles uint64) {
+	c.bd[ph] += cycles
+}
+
+// sample takes one time-series probe; finishOp calls it every
+// Options.SampleEvery retired requests when a collector is attached.
+func (c *Controller) sample() {
+	s := metrics.Sample{
+		Op:              c.stats.DataReads + c.stats.DataWrites,
+		Cycle:           c.MeasuredExecCycles(),
+		WriteQueueDepth: c.dev.QueueDepth(c.busyUntil),
+	}
+	if capacity := c.meta.Capacity(); capacity > 0 {
+		s.MetaDirtyFrac = float64(c.meta.DirtyLen()) / float64(capacity)
+	}
+	if p, ok := c.policy.(MetricsProber); ok {
+		s.TrackFill, s.LIncs = p.MetricsProbe()
+	}
+	c.mx.AddSample(s)
+}
+
+// MetricsSnapshot exports the controller's observability state: identity,
+// the always-on latency and phase accounting, and — when a collector is
+// attached — the per-phase distributions and the retained time series.
+func (c *Controller) MetricsSnapshot(workload string) *metrics.Snapshot {
+	st := &c.stats
+	s := &metrics.Snapshot{
+		Scheme:     c.policy.Name(),
+		Workload:   workload,
+		Ops:        st.DataReads + st.DataWrites,
+		ExecCycles: c.MeasuredExecCycles(),
+	}
+	var readPer, writePer *[metrics.NumPhases]metrics.Hist
+	if c.mx != nil {
+		readPer = c.mx.PathHists(false)
+		writePer = c.mx.PathHists(true)
+		s.SampleEvery = c.mx.Options().SampleEvery
+		s.Series = c.mx.Samples()
+		s.SamplesDropped = c.mx.SamplesTaken() - uint64(len(s.Series))
+	}
+	s.Read = metrics.BuildPath(st.DataReads, st.ReadLatSum, &st.ReadHist, &st.ReadPhases, readPer)
+	s.Write = metrics.BuildPath(st.DataWrites, st.WriteLatSum, &st.WriteHist, &st.WritePhases, writePer)
+	return s
+}

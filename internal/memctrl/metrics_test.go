@@ -1,0 +1,193 @@
+package memctrl_test
+
+import (
+	"testing"
+
+	"steins/internal/memctrl"
+	"steins/internal/metrics"
+	"steins/internal/scheme/steins"
+	"steins/internal/scheme/wb"
+)
+
+// churn drives n alternating writes and reads over a footprint wide enough
+// to provoke metadata-cache evictions.
+func churn(t *testing.T, c *memctrl.Controller, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		addr := uint64(i%512) * 64 * 17 % (1 << 20)
+		addr -= addr % 64
+		if i%3 != 0 {
+			if err := c.WriteData(5, addr, pattern(addr, byte(i))); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		} else {
+			if _, err := c.ReadData(5, addr); err != nil {
+				t.Fatalf("read %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	c1 := memctrl.New(testConfig(false), wb.Factory)
+	churn(t, c1, 400)
+	c2 := memctrl.New(testConfig(true), wb.Factory)
+	churn(t, c2, 200)
+
+	s1, s2 := c1.Stats(), c2.Stats()
+	agg := s1
+	agg.Merge(&s2)
+
+	if agg.DataReads != s1.DataReads+s2.DataReads ||
+		agg.DataWrites != s1.DataWrites+s2.DataWrites {
+		t.Fatalf("merged op counts wrong: %+v", agg)
+	}
+	if agg.ReadLatSum != s1.ReadLatSum+s2.ReadLatSum {
+		t.Fatal("merged latency sums wrong")
+	}
+	if agg.ReadHist.Count() != s1.ReadHist.Count()+s2.ReadHist.Count() {
+		t.Fatal("merged read histogram count wrong")
+	}
+	if agg.ReadHist.Max() < s1.ReadHist.Max() || agg.ReadHist.Max() < s2.ReadHist.Max() {
+		t.Fatal("merged histogram lost max")
+	}
+	for ph := metrics.Phase(0); ph < metrics.NumPhases; ph++ {
+		if agg.ReadPhases[ph] != s1.ReadPhases[ph]+s2.ReadPhases[ph] ||
+			agg.WritePhases[ph] != s1.WritePhases[ph]+s2.WritePhases[ph] {
+			t.Fatalf("phase %v not summed", ph)
+		}
+	}
+}
+
+func TestStatsMergeEmpty(t *testing.T) {
+	c := memctrl.New(testConfig(false), wb.Factory)
+	churn(t, c, 100)
+	populated := c.Stats()
+
+	// empty.Merge(populated) must equal populated; populated.Merge(empty)
+	// must be a no-op.
+	var fromEmpty memctrl.Stats
+	fromEmpty.Merge(&populated)
+	if fromEmpty != populated {
+		t.Fatal("merge into empty stats diverged")
+	}
+	var empty memctrl.Stats
+	both := populated
+	both.Merge(&empty)
+	if both != populated {
+		t.Fatal("merging empty stats changed totals")
+	}
+}
+
+// TestPhasePartitionExact is the attribution invariant at controller
+// grain: the makespan-partition buckets (service + idle, queue_wait
+// excluded) must sum to MeasuredExecCycles exactly — both over a whole run
+// and over a measured phase that starts at a warm-up reset.
+func TestPhasePartitionExact(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		factory memctrl.PolicyFactory
+		split   bool
+	}{
+		{"wb-gc", wb.Factory, false},
+		{"wb-sc", wb.Factory, true},
+		{"steins-gc", steins.Factory, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := memctrl.New(testConfig(tc.split), tc.factory)
+			churn(t, c, 300)
+			c.ResetStats()
+			churn(t, c, 700)
+			st := c.Stats()
+			if got, want := st.MakespanPhaseCycles(), c.MeasuredExecCycles(); got != want {
+				t.Fatalf("phase sum %d != measured makespan %d", got, want)
+			}
+			if st.ReadPhases[metrics.PhaseMetaFetch] == 0 {
+				t.Fatal("no cycles attributed to meta_fetch")
+			}
+			if st.WritePhases[metrics.PhaseCrypto] == 0 {
+				t.Fatal("no cycles attributed to crypto on writes")
+			}
+		})
+	}
+}
+
+func TestMetricsSnapshotMatchesStats(t *testing.T) {
+	c := memctrl.New(testConfig(false), steins.Factory)
+	c.SetMetrics(metrics.NewCollector(metrics.Options{SampleEvery: 64, RingCap: 128}))
+	churn(t, c, 200)
+	c.ResetStats()
+	churn(t, c, 600)
+
+	st := c.Stats()
+	snap := c.MetricsSnapshot("unit")
+	if snap.Ops != st.DataReads+st.DataWrites {
+		t.Fatalf("snapshot ops %d != stats %d", snap.Ops, st.DataReads+st.DataWrites)
+	}
+	if snap.ExecCycles != c.MeasuredExecCycles() {
+		t.Fatal("snapshot exec cycles diverge")
+	}
+	if snap.Read.LatSumCycles != st.ReadLatSum || snap.Write.LatSumCycles != st.WriteLatSum {
+		t.Fatal("snapshot latency sums diverge")
+	}
+	if got := snap.MakespanCycles(); got != snap.ExecCycles {
+		t.Fatalf("snapshot phase sum %d != exec %d", got, snap.ExecCycles)
+	}
+	if len(snap.Series) == 0 {
+		t.Fatal("no time-series samples despite collector")
+	}
+	for i := 1; i < len(snap.Series); i++ {
+		if snap.Series[i].Op <= snap.Series[i-1].Op {
+			t.Fatal("series not chronological")
+		}
+	}
+	last := snap.Series[len(snap.Series)-1]
+	if len(last.LIncs) == 0 {
+		t.Fatal("Steins run must expose LInc magnitudes")
+	}
+	// Per-op distributions ride along only where the phase saw cycles.
+	if snap.Write.Phases[metrics.PhaseCrypto].PerOp == nil {
+		t.Fatal("write crypto per-op histogram missing")
+	}
+}
+
+// TestNilMetricsAllocFree pins the hot-path contract: with no collector
+// attached, retiring requests must not allocate.
+func TestNilMetricsAllocFree(t *testing.T) {
+	c := memctrl.New(testConfig(false), wb.Factory)
+	churn(t, c, 2000) // warm caches, device maps and queue capacity
+	addr := uint64(64 * 1024)
+	data := pattern(addr, 9)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.WriteData(5, addr, data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.ReadData(5, addr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("nil-metrics hot path allocates %.1f per op pair", allocs)
+	}
+}
+
+// BenchmarkHotPathNilMetrics is the benchmark-shaped version of the alloc
+// guard; run with -benchmem to observe 0 allocs/op.
+func BenchmarkHotPathNilMetrics(b *testing.B) {
+	cfg := testConfig(false)
+	c := memctrl.New(cfg, wb.Factory)
+	addr := uint64(64 * 1024)
+	var data [64]byte
+	for i := 0; i < 2000; i++ {
+		if err := c.WriteData(5, addr, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.WriteData(5, addr, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

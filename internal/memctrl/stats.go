@@ -3,7 +3,7 @@ package memctrl
 import (
 	"fmt"
 
-	"steins/internal/stats"
+	"steins/internal/metrics"
 )
 
 // Stats aggregates controller-side activity for one run. NVM-side counters
@@ -20,8 +20,49 @@ type Stats struct {
 
 	// Latency distributions (cycles), for tail analysis beyond the means
 	// the paper reports.
-	ReadHist  stats.Hist
-	WriteHist stats.Hist
+	ReadHist  metrics.Hist
+	WriteHist metrics.Hist
+
+	// Per-phase cycle attribution, accumulated per path. For each retired
+	// request the controller splits its cycles across the metrics.Phase
+	// buckets; summed over a run, every bucket except PhaseQueueWait
+	// partitions MeasuredExecCycles exactly (idle gaps are attributed to
+	// the request that ended them). PhaseQueueWait is the latency view:
+	// it overlaps the service of preceding requests.
+	ReadPhases  metrics.Breakdown
+	WritePhases metrics.Breakdown
+}
+
+// Merge folds another controller's statistics into s; the multi-controller
+// system builds its system-wide view this way. Histograms merge
+// bucket-wise, counters and phase totals add.
+func (s *Stats) Merge(o *Stats) {
+	s.DataReads += o.DataReads
+	s.DataWrites += o.DataWrites
+	s.ReadLatSum += o.ReadLatSum
+	s.WriteLatSum += o.WriteLatSum
+	s.HashOps += o.HashOps
+	s.AESOps += o.AESOps
+	s.Overflows += o.Overflows
+	s.Reencrypts += o.Reencrypts
+	s.ReadHist.Merge(&o.ReadHist)
+	s.WriteHist.Merge(&o.WriteHist)
+	for ph := range s.ReadPhases {
+		s.ReadPhases[ph] += o.ReadPhases[ph]
+		s.WritePhases[ph] += o.WritePhases[ph]
+	}
+}
+
+// PhaseCycles returns the combined read+write cycles attributed to one
+// bucket.
+func (s *Stats) PhaseCycles(ph metrics.Phase) uint64 {
+	return s.ReadPhases[ph] + s.WritePhases[ph]
+}
+
+// MakespanPhaseCycles sums the makespan-partition buckets of both paths;
+// it equals MeasuredExecCycles by construction.
+func (s *Stats) MakespanPhaseCycles() uint64 {
+	return metrics.MakespanCycles(&s.ReadPhases) + metrics.MakespanCycles(&s.WritePhases)
 }
 
 // AvgReadLatency returns mean read latency in cycles.

@@ -1,0 +1,77 @@
+package metrics
+
+import "testing"
+
+func TestCollectorDefaults(t *testing.T) {
+	c := NewCollector(Options{})
+	if o := c.Options(); o.SampleEvery != 256 || o.RingCap != 4096 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestCollectorRecordCadence(t *testing.T) {
+	c := NewCollector(Options{SampleEvery: 4, RingCap: 8})
+	bd := Breakdown{}
+	bd[PhaseCrypto] = 10
+	due := 0
+	for i := 1; i <= 12; i++ {
+		if c.Record(i%2 == 0, &bd) {
+			due++
+			if i%4 != 0 {
+				t.Fatalf("probe due at op %d, want multiples of 4", i)
+			}
+		}
+	}
+	if due != 3 {
+		t.Fatalf("probes due = %d, want 3", due)
+	}
+	// 6 reads and 6 writes each touched PhaseCrypto; zero-cycle phases
+	// are not recorded.
+	if got := c.PhaseHist(false, PhaseCrypto).Count(); got != 6 {
+		t.Fatalf("read crypto count = %d, want 6", got)
+	}
+	if got := c.PhaseHist(true, PhaseCrypto).Count(); got != 6 {
+		t.Fatalf("write crypto count = %d, want 6", got)
+	}
+	if got := c.PhaseHist(false, PhaseNVMRead).Count(); got != 0 {
+		t.Fatalf("untouched phase count = %d, want 0", got)
+	}
+}
+
+func TestCollectorRingOverwrite(t *testing.T) {
+	c := NewCollector(Options{SampleEvery: 1, RingCap: 3})
+	for i := uint64(1); i <= 5; i++ {
+		c.AddSample(Sample{Op: i})
+	}
+	if c.SamplesTaken() != 5 {
+		t.Fatalf("taken = %d", c.SamplesTaken())
+	}
+	got := c.Samples()
+	if len(got) != 3 {
+		t.Fatalf("retained = %d, want 3", len(got))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if got[i].Op != want {
+			t.Fatalf("sample %d = op %d, want %d (chronological order)", i, got[i].Op, want)
+		}
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector(Options{SampleEvery: 1, RingCap: 4})
+	bd := Breakdown{}
+	bd[PhaseVerify] = 3
+	c.Record(false, &bd)
+	c.AddSample(Sample{Op: 1})
+	c.Reset()
+	if c.SamplesTaken() != 0 || len(c.Samples()) != 0 {
+		t.Fatal("samples survived reset")
+	}
+	if c.PhaseHist(false, PhaseVerify).Count() != 0 {
+		t.Fatal("histograms survived reset")
+	}
+	// The cadence counter restarts too.
+	if c.Record(false, &bd) != true {
+		t.Fatal("cadence counter not reset")
+	}
+}

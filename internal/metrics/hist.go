@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Hist is a power-of-two latency histogram: bucket i counts samples in
+// [2^(i-1), 2^i) (bucket 0 holds zeros). It gives tail-latency visibility
+// (p50/p95/p99) without storing samples; the zero value is ready to use.
+type Hist struct {
+	buckets [48]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Add records one sample.
+func (h *Hist) Add(v uint64) {
+	i := bits.Len64(v)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Sum returns the total of all samples.
+func (h *Hist) Sum() uint64 { return h.sum }
+
+// Mean returns the arithmetic mean of the samples.
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Hist) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound of the p-quantile (0 < p <= 1): the
+// top of the bucket containing it.
+func (h *Hist) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return percentileFromBuckets(h.buckets[:], h.count, h.max, p)
+}
+
+// percentileFromBuckets is the bucket-walk shared by live histograms and
+// decoded snapshots.
+func percentileFromBuckets(buckets []uint64, count, max uint64, p float64) uint64 {
+	target := uint64(p * float64(count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range buckets {
+		seen += c
+		if seen >= target {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return max
+}
+
+// String renders a compact summary.
+func (h *Hist) String() string {
+	if h.count == 0 {
+		return "hist: empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.0f p50<=%d p95<=%d p99<=%d max=%d",
+		h.count, h.Mean(), h.Percentile(0.5), h.Percentile(0.95), h.Percentile(0.99), h.max)
+	return b.String()
+}
+
+// Merge folds another histogram into h; the multi-controller system
+// aggregates per-controller histograms this way.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// HistSnapshot is the exportable form of a Hist: summary stats plus the
+// raw bucket counts (trailing zero buckets trimmed) so consumers can
+// recompute any quantile.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Max     uint64   `json:"max"`
+	P50     uint64   `json:"p50"`
+	P95     uint64   `json:"p95"`
+	P99     uint64   `json:"p99"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the histogram.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count, Sum: h.sum, Mean: h.Mean(), Max: h.max,
+		P50: h.Percentile(0.5), P95: h.Percentile(0.95), P99: h.Percentile(0.99),
+	}
+	last := -1
+	for i, c := range h.buckets {
+		if c != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = append([]uint64(nil), h.buckets[:last+1]...)
+	}
+	return s
+}
+
+// mergeHistSnapshots folds o into s bucket-wise and recomputes the
+// quantile bounds from the merged buckets.
+func mergeHistSnapshots(s, o *HistSnapshot) {
+	if len(o.Buckets) > len(s.Buckets) {
+		s.Buckets = append(s.Buckets, make([]uint64, len(o.Buckets)-len(s.Buckets))...)
+	}
+	for i, c := range o.Buckets {
+		s.Buckets[i] += c
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+		s.P50 = percentileFromBuckets(s.Buckets, s.Count, s.Max, 0.5)
+		s.P95 = percentileFromBuckets(s.Buckets, s.Count, s.Max, 0.95)
+		s.P99 = percentileFromBuckets(s.Buckets, s.Count, s.Max, 0.99)
+	}
+}

@@ -1,4 +1,4 @@
-package stats
+package metrics
 
 import (
 	"testing"
@@ -25,6 +25,9 @@ func TestHistBasics(t *testing.T) {
 	}
 	if h.Max() != 1000 {
 		t.Fatalf("Max = %d", h.Max())
+	}
+	if h.Sum() != 1106 {
+		t.Fatalf("Sum = %d", h.Sum())
 	}
 	if got, want := h.Mean(), float64(1106)/5; got != want {
 		t.Fatalf("Mean = %v, want %v", got, want)
@@ -92,5 +95,62 @@ func TestHistHugeValue(t *testing.T) {
 	h.Add(1 << 62)
 	if h.Percentile(1.0) == 0 {
 		t.Fatal("huge value lost")
+	}
+}
+
+func TestHistSnapshotRoundTrip(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 1, 5, 100, 100, 3000} {
+		h.Add(v)
+	}
+	s := h.Snapshot()
+	if s.Count != h.Count() || s.Sum != h.Sum() || s.Max != h.Max() {
+		t.Fatalf("snapshot totals mismatch: %+v", s)
+	}
+	if s.P50 != h.Percentile(0.5) || s.P99 != h.Percentile(0.99) {
+		t.Fatalf("snapshot percentiles mismatch: %+v", s)
+	}
+	// Trailing zeros are trimmed; the retained prefix must preserve mass.
+	var mass uint64
+	for _, c := range s.Buckets {
+		mass += c
+	}
+	if mass != s.Count {
+		t.Fatalf("bucket mass %d != count %d", mass, s.Count)
+	}
+}
+
+func TestHistSnapshotEmpty(t *testing.T) {
+	var h Hist
+	s := h.Snapshot()
+	if s.Count != 0 || s.Buckets != nil {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestMergeHistSnapshots(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 50; i++ {
+		a.Add(8)
+	}
+	for i := 0; i < 50; i++ {
+		b.Add(1 << 20)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	mergeHistSnapshots(&sa, &sb)
+
+	// The merged snapshot must agree with merging the live histograms.
+	a.Merge(&b)
+	want := a.Snapshot()
+	if sa.Count != want.Count || sa.Sum != want.Sum || sa.Max != want.Max ||
+		sa.P50 != want.P50 || sa.P95 != want.P95 || sa.P99 != want.P99 {
+		t.Fatalf("merged snapshot %+v, want %+v", sa, want)
+	}
+
+	// Merging into an empty snapshot (controller with no ops) must also work.
+	var empty HistSnapshot
+	mergeHistSnapshots(&empty, &want)
+	if empty.Count != want.Count || empty.P99 != want.P99 {
+		t.Fatalf("merge into empty = %+v, want %+v", empty, want)
 	}
 }

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		n := ph.String()
+		if n == "" || n == "phase(?)" {
+			t.Fatalf("phase %d has no name", ph)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate phase name %q", n)
+		}
+		seen[n] = true
+	}
+	if Phase(-1).String() != "phase(?)" || NumPhases.String() != "phase(?)" {
+		t.Fatal("out-of-range phases must render as phase(?)")
+	}
+}
+
+func TestNormalizeServiceExact(t *testing.T) {
+	bd := Breakdown{}
+	bd[PhaseMetaFetch] = 30
+	bd[PhaseCrypto] = 70
+	NormalizeService(&bd, 100)
+	if bd[PhaseMetaFetch] != 30 || bd[PhaseCrypto] != 70 || bd[PhaseOther] != 0 {
+		t.Fatalf("exact attribution changed: %v", bd)
+	}
+}
+
+func TestNormalizeServiceUnder(t *testing.T) {
+	bd := Breakdown{}
+	bd[PhaseMetaFetch] = 30
+	NormalizeService(&bd, 100)
+	if bd[PhaseOther] != 70 {
+		t.Fatalf("residual = %d, want 70", bd[PhaseOther])
+	}
+}
+
+func TestNormalizeServiceOver(t *testing.T) {
+	// Overlapped latencies: 150 attributed for 100 cycles of service.
+	bd := Breakdown{}
+	bd[PhaseNVMRead] = 100
+	bd[PhaseCrypto] = 50
+	NormalizeService(&bd, 100)
+	var total uint64
+	for ph := serviceFirst; ph <= serviceLast; ph++ {
+		total += bd[ph]
+	}
+	if total != 100 {
+		t.Fatalf("normalized total = %d, want 100", total)
+	}
+	// Pro-rata: the big bucket must stay dominant.
+	if bd[PhaseNVMRead] <= bd[PhaseCrypto] {
+		t.Fatalf("pro-rata scaling lost ordering: %v", bd)
+	}
+}
+
+func TestNormalizeServiceProperty(t *testing.T) {
+	// For any attribution and service time, the service buckets must sum
+	// to exactly the service time afterwards.
+	f := func(meta, verify, crypto, nvm, drain uint16, service uint32) bool {
+		bd := Breakdown{}
+		bd[PhaseMetaFetch] = uint64(meta)
+		bd[PhaseVerify] = uint64(verify)
+		bd[PhaseCrypto] = uint64(crypto)
+		bd[PhaseNVMRead] = uint64(nvm)
+		bd[PhaseWriteDrain] = uint64(drain)
+		NormalizeService(&bd, uint64(service))
+		var total uint64
+		for ph := serviceFirst; ph <= serviceLast; ph++ {
+			total += bd[ph]
+		}
+		return total == uint64(service)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakespanCycles(t *testing.T) {
+	bd := Breakdown{}
+	bd[PhaseQueueWait] = 1000 // excluded
+	bd[PhaseMetaFetch] = 10
+	bd[PhaseIdle] = 5
+	bd[PhaseOther] = 2
+	if got := MakespanCycles(&bd); got != 17 {
+		t.Fatalf("MakespanCycles = %d, want 17", got)
+	}
+}

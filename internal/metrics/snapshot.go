@@ -1,0 +1,246 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// PhaseSnapshot is one attribution bucket in a snapshot: the accumulated
+// cycles and, when a Collector was attached, the per-request distribution.
+type PhaseSnapshot struct {
+	Phase  string        `json:"phase"`
+	Cycles uint64        `json:"cycles"`
+	PerOp  *HistSnapshot `json:"per_op,omitempty"`
+}
+
+// PathSnapshot is one request path (read or write) in a snapshot.
+type PathSnapshot struct {
+	Ops          uint64         `json:"ops"`
+	LatSumCycles uint64         `json:"lat_sum_cycles"`
+	Latency      HistSnapshot   `json:"latency"`
+	Phases       []PhaseSnapshot `json:"phases"`
+}
+
+// PhaseCycles returns the accumulated cycles of one bucket by name, 0 if
+// absent.
+func (p *PathSnapshot) PhaseCycles(name string) uint64 {
+	for i := range p.Phases {
+		if p.Phases[i].Phase == name {
+			return p.Phases[i].Cycles
+		}
+	}
+	return 0
+}
+
+// Snapshot is the exportable metrics of one controller run: identity,
+// totals, per-path latency histograms and phase attribution, and (when
+// sampling was enabled) the occupancy time series.
+type Snapshot struct {
+	Scheme   string `json:"scheme"`
+	Workload string `json:"workload,omitempty"`
+	// Ops is the number of requests retired in the measured phase;
+	// ExecCycles the measured makespan they produced.
+	Ops        uint64       `json:"ops"`
+	ExecCycles uint64       `json:"exec_cycles"`
+	Read       PathSnapshot `json:"read"`
+	Write      PathSnapshot `json:"write"`
+	// Sampler state; zero/absent when no collector was attached.
+	SampleEvery    uint64   `json:"sample_every,omitempty"`
+	SamplesDropped uint64   `json:"samples_dropped,omitempty"`
+	Series         []Sample `json:"series,omitempty"`
+}
+
+// BuildPath assembles one path's snapshot from the controller's always-on
+// accounting plus (optionally) a collector's per-phase histograms.
+func BuildPath(ops, latSum uint64, lat *Hist, phases *Breakdown, perOp *[NumPhases]Hist) PathSnapshot {
+	p := PathSnapshot{Ops: ops, LatSumCycles: latSum, Latency: lat.Snapshot()}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		ps := PhaseSnapshot{Phase: ph.String(), Cycles: phases[ph]}
+		if perOp != nil && perOp[ph].Count() > 0 {
+			h := perOp[ph].Snapshot()
+			ps.PerOp = &h
+		}
+		p.Phases = append(p.Phases, ps)
+	}
+	return p
+}
+
+// MakespanCycles sums the makespan-partition buckets (everything except
+// queue_wait) across both paths; by construction it equals ExecCycles.
+func (s *Snapshot) MakespanCycles() uint64 {
+	var sum uint64
+	for _, p := range []*PathSnapshot{&s.Read, &s.Write} {
+		for i := range p.Phases {
+			if p.Phases[i].Phase == PhaseQueueWait.String() {
+				continue
+			}
+			sum += p.Phases[i].Cycles
+		}
+	}
+	return sum
+}
+
+// EncodeJSON writes the snapshot as indented JSON. Field order is fixed by
+// the struct definitions, so identical runs produce identical bytes.
+func (s *Snapshot) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// EncodeJSONAll writes several snapshots as one JSON array.
+func EncodeJSONAll(w io.Writer, snaps []*Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snaps)
+}
+
+// csvHeader is the flat column set shared by every CSV row kind.
+const csvHeader = "type,scheme,workload,path,phase,cycles,ops,op,cycle,meta_dirty_frac,track_fill,write_queue_depth,lincs"
+
+// WriteCSV writes the snapshot in a flat CSV form: one "summary" row per
+// path (ops + latency sum), one "phase" row per (path, bucket), and one
+// "series" row per retained sample. Columns not applicable to a row kind
+// are left empty; LIncs are joined with '|'.
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	return s.writeCSVRows(w)
+}
+
+// WriteCSVAll writes several snapshots under a single header.
+func WriteCSVAll(w io.Writer, snaps []*Snapshot) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		if err := s.writeCSVRows(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Snapshot) writeCSVRows(w io.Writer) error {
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	row := func(cells ...string) error {
+		_, err := fmt.Fprintln(w, strings.Join(cells, ","))
+		return err
+	}
+	if err := row("summary", s.Scheme, s.Workload, "", "exec",
+		fmt.Sprint(s.ExecCycles), fmt.Sprint(s.Ops), "", "", "", "", "", ""); err != nil {
+		return err
+	}
+	for _, p := range []struct {
+		name string
+		path *PathSnapshot
+	}{{"read", &s.Read}, {"write", &s.Write}} {
+		if err := row("summary", s.Scheme, s.Workload, p.name, "latency_sum",
+			fmt.Sprint(p.path.LatSumCycles), fmt.Sprint(p.path.Ops), "", "", "", "", "", ""); err != nil {
+			return err
+		}
+		for _, ph := range p.path.Phases {
+			if err := row("phase", s.Scheme, s.Workload, p.name, ph.Phase,
+				fmt.Sprint(ph.Cycles), "", "", "", "", "", "", ""); err != nil {
+				return err
+			}
+		}
+	}
+	for _, sm := range s.Series {
+		lincs := make([]string, len(sm.LIncs))
+		for i, v := range sm.LIncs {
+			lincs[i] = fmt.Sprint(v)
+		}
+		if err := row("series", s.Scheme, s.Workload, "", "", "", "",
+			fmt.Sprint(sm.Op), fmt.Sprint(sm.Cycle), ff(sm.MetaDirtyFrac),
+			ff(sm.TrackFill), fmt.Sprint(sm.WriteQueueDepth),
+			strings.Join(lincs, "|")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSnapshotsFile writes snapshots to path, the format chosen by
+// extension: ".csv" selects the flat CSV form, anything else indented
+// JSON — a single object for one snapshot, an array otherwise.
+func WriteSnapshotsFile(path string, snaps []*Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".csv" {
+		err = WriteCSVAll(f, snaps)
+	} else if len(snaps) == 1 {
+		err = snaps[0].EncodeJSON(f)
+	} else {
+		err = EncodeJSONAll(f, snaps)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SystemSnapshot aggregates a multi-controller system: one merged view
+// (histograms and phase totals folded together) plus the per-DIMM
+// snapshots, whose time series are deliberately kept separate — occupancy
+// trajectories of different DIMMs cannot be meaningfully interleaved.
+type SystemSnapshot struct {
+	Merged  Snapshot   `json:"merged"`
+	PerDIMM []Snapshot `json:"per_dimm"`
+}
+
+// MergeSnapshots builds the system view of per-DIMM snapshots: counters
+// summed, histograms merged bucket-wise, ExecCycles the parallel maximum,
+// per-op phase histograms dropped (they stay per DIMM), series kept per
+// DIMM.
+func MergeSnapshots(per []Snapshot) *SystemSnapshot {
+	sys := &SystemSnapshot{PerDIMM: per}
+	if len(per) == 0 {
+		return sys
+	}
+	m := &sys.Merged
+	m.Scheme = per[0].Scheme
+	m.Workload = "system"
+	for i := range per {
+		s := &per[i]
+		m.Ops += s.Ops
+		if s.ExecCycles > m.ExecCycles {
+			m.ExecCycles = s.ExecCycles
+		}
+		mergePath(&m.Read, &s.Read)
+		mergePath(&m.Write, &s.Write)
+	}
+	return sys
+}
+
+func mergePath(dst, src *PathSnapshot) {
+	dst.Ops += src.Ops
+	dst.LatSumCycles += src.LatSumCycles
+	mergeHistSnapshots(&dst.Latency, &src.Latency)
+	if dst.Phases == nil {
+		for _, ph := range src.Phases {
+			dst.Phases = append(dst.Phases, PhaseSnapshot{Phase: ph.Phase, Cycles: ph.Cycles})
+		}
+		return
+	}
+	for i, ph := range src.Phases {
+		if i < len(dst.Phases) && dst.Phases[i].Phase == ph.Phase {
+			dst.Phases[i].Cycles += ph.Cycles
+		}
+	}
+}
+
+// EncodeJSON writes the system snapshot as indented JSON.
+func (s *SystemSnapshot) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSnapshot builds a fully-populated snapshot with fixed values, the
+// fixture behind the golden-file encoding tests.
+func goldenSnapshot() *Snapshot {
+	var rl, wl Hist
+	for _, v := range []uint64{120, 130, 700} {
+		rl.Add(v)
+	}
+	for _, v := range []uint64{300, 2000} {
+		wl.Add(v)
+	}
+	rp := Breakdown{}
+	rp[PhaseQueueWait] = 40
+	rp[PhaseMetaFetch] = 300
+	rp[PhaseVerify] = 60
+	rp[PhaseCrypto] = 90
+	rp[PhaseNVMRead] = 400
+	rp[PhaseIdle] = 60
+	wp := Breakdown{}
+	wp[PhaseMetaFetch] = 500
+	wp[PhaseCrypto] = 120
+	wp[PhaseWriteDrain] = 1600
+	wp[PhaseOther] = 80
+	wp[PhaseIdle] = 0
+
+	var perOp [NumPhases]Hist
+	perOp[PhaseCrypto].Add(30)
+	perOp[PhaseCrypto].Add(60)
+
+	s := &Snapshot{
+		Scheme:      "Steins-GC",
+		Workload:    "cactusADM",
+		Ops:         5,
+		ExecCycles:  3210,
+		SampleEvery: 2,
+		Series: []Sample{
+			{Op: 2, Cycle: 1200, MetaDirtyFrac: 0.25, TrackFill: 0.5, WriteQueueDepth: 3, LIncs: []uint64{4, 2, 1}},
+			{Op: 4, Cycle: 2900, MetaDirtyFrac: 0.375, TrackFill: 0.75, WriteQueueDepth: 1, LIncs: []uint64{6, 3, 1}},
+		},
+	}
+	s.Read = BuildPath(3, 950, &rl, &rp, &perOp)
+	s.Write = BuildPath(2, 2300, &wl, &wp, nil)
+	return s
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestSnapshotJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSnapshot().EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.json", buf.Bytes())
+
+	// The golden bytes must decode back to an equivalent snapshot.
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("golden JSON does not round-trip: %v", err)
+	}
+	if back.Ops != 5 || back.ExecCycles != 3210 || len(back.Series) != 2 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+	if got := back.Read.PhaseCycles(PhaseNVMRead.String()); got != 400 {
+		t.Fatalf("round-trip nvm_read = %d, want 400", got)
+	}
+}
+
+func TestSnapshotCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSnapshot().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.csv", buf.Bytes())
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != csvHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 1 exec summary + 2 path summaries + 2*NumPhases phase rows + 2 series rows.
+	want := 1 + 2 + 2*int(NumPhases) + 2
+	if len(lines)-1 != want {
+		t.Fatalf("rows = %d, want %d", len(lines)-1, want)
+	}
+	cols := strings.Count(csvHeader, ",") + 1
+	for i, l := range lines {
+		if strings.Count(l, ",")+1 != cols {
+			t.Fatalf("row %d has wrong arity: %q", i, l)
+		}
+	}
+}
+
+func TestWriteCSVAllSharesHeader(t *testing.T) {
+	a, b := goldenSnapshot(), goldenSnapshot()
+	b.Scheme = "WB-GC"
+	var buf bytes.Buffer
+	if err := WriteCSVAll(&buf, []*Snapshot{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), csvHeader); got != 1 {
+		t.Fatalf("header appears %d times, want 1", got)
+	}
+	if !strings.Contains(buf.String(), "WB-GC") {
+		t.Fatal("second snapshot missing")
+	}
+}
+
+func TestMakespanCyclesSnapshot(t *testing.T) {
+	s := goldenSnapshot()
+	// Golden fixture: read 850 service + 60 idle, write 2300 service + 0
+	// idle; queue_wait excluded. Equals the fixture's ExecCycles.
+	if got := s.MakespanCycles(); got != s.ExecCycles {
+		t.Fatalf("MakespanCycles = %d, want %d", got, s.ExecCycles)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a, b := goldenSnapshot(), goldenSnapshot()
+	b.Workload = "dimm-1"
+	b.ExecCycles = 4000
+	sys := MergeSnapshots([]Snapshot{*a, *b})
+	m := &sys.Merged
+	if m.Workload != "system" || m.Scheme != "Steins-GC" {
+		t.Fatalf("merged identity = %q/%q", m.Scheme, m.Workload)
+	}
+	if m.Ops != 10 {
+		t.Fatalf("merged ops = %d", m.Ops)
+	}
+	if m.ExecCycles != 4000 {
+		t.Fatalf("merged exec = %d, want parallel max 4000", m.ExecCycles)
+	}
+	if got := m.Read.PhaseCycles(PhaseNVMRead.String()); got != 800 {
+		t.Fatalf("merged nvm_read = %d, want 800", got)
+	}
+	if m.Read.Latency.Count != 6 || m.Write.Latency.Count != 4 {
+		t.Fatalf("merged hist counts = %d/%d", m.Read.Latency.Count, m.Write.Latency.Count)
+	}
+	if len(m.Series) != 0 {
+		t.Fatal("merged view must not interleave per-DIMM series")
+	}
+	if len(sys.PerDIMM) != 2 || len(sys.PerDIMM[1].Series) != 2 {
+		t.Fatal("per-DIMM snapshots lost")
+	}
+}
+
+func TestMergeSnapshotsEmpty(t *testing.T) {
+	sys := MergeSnapshots(nil)
+	if sys.Merged.Ops != 0 || len(sys.PerDIMM) != 0 {
+		t.Fatalf("empty merge = %+v", sys)
+	}
+}
+
+func TestWriteSnapshotsFile(t *testing.T) {
+	dir := t.TempDir()
+	one := []*Snapshot{goldenSnapshot()}
+	two := []*Snapshot{goldenSnapshot(), goldenSnapshot()}
+
+	jpath := filepath.Join(dir, "one.json")
+	if err := WriteSnapshotsFile(jpath, one); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(jpath)
+	var single Snapshot
+	if err := json.Unmarshal(data, &single); err != nil {
+		t.Fatalf("single snapshot must encode as an object: %v", err)
+	}
+
+	jpath2 := filepath.Join(dir, "two.json")
+	if err := WriteSnapshotsFile(jpath2, two); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(jpath2)
+	var arr []Snapshot
+	if err := json.Unmarshal(data, &arr); err != nil || len(arr) != 2 {
+		t.Fatalf("two snapshots must encode as an array: %v", err)
+	}
+
+	cpath := filepath.Join(dir, "out.csv")
+	if err := WriteSnapshotsFile(cpath, two); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(cpath)
+	if !strings.HasPrefix(string(data), csvHeader) {
+		t.Fatal(".csv extension must select CSV")
+	}
+}

@@ -1,0 +1,158 @@
+package multi_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"steins/internal/memctrl"
+	"steins/internal/metrics"
+	"steins/internal/multi"
+	"steins/internal/nvmem"
+	"steins/internal/rng"
+	"steins/internal/scheme/steins"
+	"steins/internal/scheme/wb"
+)
+
+// fill drives n interleaved writes (and a few reads) through the system.
+func fill(t *testing.T, s *multi.System, n int, seed uint64) {
+	t.Helper()
+	r := rng.New(seed)
+	lines := s.DataBytes() / 64
+	for i := 0; i < n; i++ {
+		addr := r.Uint64n(lines) * 64
+		if err := s.WriteData(5, addr, pattern(addr, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if _, err := s.ReadData(2, addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestRecoverAllFailuresJoined(t *testing.T) {
+	// WB cannot recover: every controller must fail, and the joined error
+	// must name each of them instead of masking all but the first.
+	s := multi.New(3, template(), wb.Factory, 4096)
+	fill(t, s, 1500, 3)
+	s.Crash()
+	rep, err := s.Recover()
+	if err == nil {
+		t.Fatal("WB system recovered")
+	}
+	if !errors.Is(err, memctrl.ErrNoRecovery) {
+		t.Fatalf("error chain lost ErrNoRecovery: %v", err)
+	}
+	for _, want := range []string{"multi: controller 0", "multi: controller 1", "multi: controller 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error missing %q: %v", want, err)
+		}
+	}
+	if rep.NodesRecovered != 0 {
+		t.Fatalf("aggregate claims %d nodes recovered on total failure", rep.NodesRecovered)
+	}
+}
+
+func TestRecoverPartialFailure(t *testing.T) {
+	// Corrupt one DIMM's tree region after the crash: its recovery must
+	// fail verification while the other DIMMs still recover, and the
+	// aggregate must cover the survivors.
+	s := multi.New(3, template(), steins.Factory, 4096)
+	fill(t, s, 3000, 7)
+	s.Crash()
+	victim := s.Controllers()[1]
+	geo := victim.Layout().Geo
+	var garbage nvmem.Line
+	for i := range garbage {
+		garbage[i] = 0xA5
+	}
+	for off := uint64(0); off < geo.MetaBytes; off += 64 {
+		victim.Device().Poke(geo.MetaBase+off, garbage)
+	}
+	rep, err := s.Recover()
+	if err == nil {
+		t.Fatal("recovery succeeded with a corrupted DIMM")
+	}
+	if !strings.Contains(err.Error(), "multi: controller 1") {
+		t.Fatalf("error does not name the corrupted controller: %v", err)
+	}
+	for _, unwanted := range []string{"controller 0", "controller 2"} {
+		if strings.Contains(err.Error(), unwanted) {
+			t.Fatalf("healthy %s reported as failed: %v", unwanted, err)
+		}
+	}
+	if rep.NodesRecovered == 0 || rep.Scheme == "" {
+		t.Fatalf("aggregate dropped the surviving DIMMs: %+v", rep)
+	}
+}
+
+func TestSystemStatsAggregation(t *testing.T) {
+	s := multi.New(4, template(), steins.Factory, 64)
+	fill(t, s, 4000, 9)
+	agg := s.Stats()
+	var wantW, wantR, wantLat uint64
+	var maxExec uint64
+	for _, c := range s.Controllers() {
+		st := c.Stats()
+		wantW += st.DataWrites
+		wantR += st.DataReads
+		wantLat += st.WriteLatSum
+		maxExec = max(maxExec, c.MeasuredExecCycles())
+	}
+	if agg.DataWrites != wantW || agg.DataReads != wantR || agg.WriteLatSum != wantLat {
+		t.Fatalf("merged stats %d/%d/%d, want %d/%d/%d",
+			agg.DataWrites, agg.DataReads, agg.WriteLatSum, wantW, wantR, wantLat)
+	}
+	if agg.WriteHist.Count() != wantW {
+		t.Fatalf("merged write histogram count %d, want %d", agg.WriteHist.Count(), wantW)
+	}
+	if got := s.MeasuredExecCycles(); got != maxExec {
+		t.Fatalf("system makespan %d, want parallel max %d", got, maxExec)
+	}
+	// The merged phase totals still partition the summed per-DIMM makespan.
+	var wantSpan uint64
+	for _, c := range s.Controllers() {
+		wantSpan += c.MeasuredExecCycles()
+	}
+	if got := agg.MakespanPhaseCycles(); got != wantSpan {
+		t.Fatalf("merged phase buckets sum to %d, want %d", got, wantSpan)
+	}
+}
+
+func TestSystemMetricsSnapshot(t *testing.T) {
+	s := multi.New(2, template(), steins.Factory, 64)
+	s.SetMetrics(metrics.Options{SampleEvery: 64, RingCap: 256})
+	fill(t, s, 2000, 11)
+	sys := s.MetricsSnapshot()
+	if len(sys.PerDIMM) != 2 {
+		t.Fatalf("per-DIMM snapshots = %d, want 2", len(sys.PerDIMM))
+	}
+	var ops, span, maxExec uint64
+	for i := range sys.PerDIMM {
+		d := &sys.PerDIMM[i]
+		if want := "dimm-" + string(rune('0'+i)); d.Workload != want {
+			t.Fatalf("DIMM %d labelled %q", i, d.Workload)
+		}
+		if len(d.Series) == 0 {
+			t.Fatalf("DIMM %d exported no time series", i)
+		}
+		ops += d.Ops
+		span += d.MakespanCycles()
+		maxExec = max(maxExec, d.ExecCycles)
+	}
+	m := &sys.Merged
+	if m.Workload != "system" || m.Ops != ops {
+		t.Fatalf("merged identity/ops wrong: %q %d (want system/%d)", m.Workload, m.Ops, ops)
+	}
+	if m.ExecCycles != maxExec {
+		t.Fatalf("merged exec %d, want parallel max %d", m.ExecCycles, maxExec)
+	}
+	if got := m.MakespanCycles(); got != span {
+		t.Fatalf("merged phase cycles %d, want per-DIMM sum %d", got, span)
+	}
+	if len(m.Series) != 0 {
+		t.Fatal("merged snapshot interleaved per-DIMM time series")
+	}
+}

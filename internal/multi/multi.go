@@ -8,10 +8,12 @@
 package multi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"steins/internal/memctrl"
+	"steins/internal/metrics"
 	"steins/internal/nvmem"
 )
 
@@ -102,6 +104,10 @@ func (s *System) Crash() {
 // Recover rebuilds every DIMM's metadata concurrently, one goroutine per
 // controller (each owns disjoint state, so this is safe), and returns the
 // aggregated report: work summed, time the parallel maximum.
+//
+// Every controller is attempted even when some fail; the aggregate covers
+// the controllers that recovered, and the error joins every per-controller
+// failure (wrapped with its index) so none is masked.
 func (s *System) Recover() (memctrl.RecoveryReport, error) {
 	reports := make([]memctrl.RecoveryReport, len(s.ctrls))
 	errs := make([]error, len(s.ctrls))
@@ -115,10 +121,13 @@ func (s *System) Recover() (memctrl.RecoveryReport, error) {
 	}
 	wg.Wait()
 	var agg memctrl.RecoveryReport
-	agg.Scheme = reports[0].Scheme
 	for i := range reports {
 		if errs[i] != nil {
-			return agg, fmt.Errorf("multi: controller %d: %w", i, errs[i])
+			errs[i] = fmt.Errorf("multi: controller %d: %w", i, errs[i])
+			continue
+		}
+		if agg.Scheme == "" {
+			agg.Scheme = reports[i].Scheme
 		}
 		agg.NodesRecovered += reports[i].NodesRecovered
 		agg.NVMReads += reports[i].NVMReads
@@ -126,5 +135,54 @@ func (s *System) Recover() (memctrl.RecoveryReport, error) {
 		agg.MACOps += reports[i].MACOps
 		agg.TimeNS = max(agg.TimeNS, reports[i].TimeNS)
 	}
-	return agg, nil
+	return agg, errors.Join(errs...)
+}
+
+// Stats returns the system-wide controller statistics: per-DIMM stats
+// merged (counters summed, histograms and phase totals folded together).
+func (s *System) Stats() memctrl.Stats {
+	var agg memctrl.Stats
+	for _, c := range s.ctrls {
+		st := c.Stats()
+		agg.Merge(&st)
+	}
+	return agg
+}
+
+// NVMStats returns the merged device statistics of all DIMMs.
+func (s *System) NVMStats() nvmem.Stats {
+	var agg nvmem.Stats
+	for _, c := range s.ctrls {
+		st := c.Device().Stats()
+		agg.Merge(&st)
+	}
+	return agg
+}
+
+// MeasuredExecCycles is the measured system makespan (parallel maximum).
+func (s *System) MeasuredExecCycles() uint64 {
+	var m uint64
+	for _, c := range s.ctrls {
+		m = max(m, c.MeasuredExecCycles())
+	}
+	return m
+}
+
+// SetMetrics attaches one collector per controller; each DIMM samples its
+// own occupancy trajectory.
+func (s *System) SetMetrics(opt metrics.Options) {
+	for _, c := range s.ctrls {
+		c.SetMetrics(metrics.NewCollector(opt))
+	}
+}
+
+// MetricsSnapshot exports the system view: histograms and phase totals
+// merged across DIMMs, time series kept per DIMM (occupancy trajectories
+// of different DIMMs cannot be meaningfully interleaved).
+func (s *System) MetricsSnapshot() *metrics.SystemSnapshot {
+	per := make([]metrics.Snapshot, len(s.ctrls))
+	for i, c := range s.ctrls {
+		per[i] = *c.MetricsSnapshot(fmt.Sprintf("dimm-%d", i))
+	}
+	return metrics.MergeSnapshots(per)
 }

@@ -116,6 +116,16 @@ type Stats struct {
 	StallCycles uint64 // cycles requests waited on a full write queue
 }
 
+// Merge folds another device's statistics into s; the multi-controller
+// system builds its system-wide view this way.
+func (s *Stats) Merge(o *Stats) {
+	for i := range s.Reads {
+		s.Reads[i] += o.Reads[i]
+		s.Writes[i] += o.Writes[i]
+	}
+	s.StallCycles += o.StallCycles
+}
+
 // TotalReads returns reads across all classes.
 func (s Stats) TotalReads() uint64 { return total(&s.Reads) }
 

@@ -99,6 +99,17 @@ func (p *Policy) LIncs() []uint64 { return append([]uint64(nil), p.linc...) }
 // BufferedEntries returns the occupancy of the non-volatile buffer.
 func (p *Policy) BufferedEntries() int { return len(p.buf) }
 
+// MetricsProbe implements memctrl.MetricsProber: the record-line cache
+// fill fraction and a copy of the per-level trust bases, for the
+// time-series sampler.
+func (p *Policy) MetricsProbe() (float64, []uint64) {
+	var fill float64
+	if capacity := p.records.Capacity(); capacity > 0 {
+		fill = float64(p.records.Len()) / float64(capacity)
+	}
+	return fill, p.LIncs()
+}
+
 // OnModify implements memctrl.Policy: fold the counter delta into the
 // node's level increment (a register add) and, on a clean->dirty
 // transition, track the node's offset in the record lines (§III-C). Dirty

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"steins/internal/memctrl"
+	"steins/internal/metrics"
+	"steins/internal/scheme/wb"
+)
+
+func metricsOpt() Options {
+	opt := smallOpt()
+	mo := metrics.DefaultOptions()
+	opt.Metrics = &mo
+	return opt
+}
+
+// TestPhasePartitionAllSchemes is the PR's headline invariant at the sim
+// level: for every scheme, the exported phase buckets (minus queue_wait)
+// partition the measured makespan exactly — not just within the 1%
+// acceptance bound.
+func TestPhasePartitionAllSchemes(t *testing.T) {
+	for _, s := range []Scheme{WBGC, WBSC, ASIT, STAR, SteinsGC, SteinsSC, SCUEGC, SCUESC} {
+		opt := metricsOpt()
+		opt.WarmupOps = 500 // exercise the stats+collector reset path
+		res, err := Run(smallProfile(), s, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		snap := res.Snapshot
+		if snap == nil {
+			t.Fatalf("%s: Options.Metrics set but Result.Snapshot nil", s.Name)
+		}
+		if snap.Scheme != s.Name || snap.Workload != smallProfile().Name {
+			t.Fatalf("%s: snapshot identity %q/%q", s.Name, snap.Scheme, snap.Workload)
+		}
+		if got := snap.Read.Ops + snap.Write.Ops; got != uint64(opt.Ops) {
+			t.Fatalf("%s: snapshot ops %d, want %d", s.Name, got, opt.Ops)
+		}
+		if snap.ExecCycles != res.ExecCycles {
+			t.Fatalf("%s: snapshot exec %d != result exec %d", s.Name, snap.ExecCycles, res.ExecCycles)
+		}
+		if got := snap.MakespanCycles(); got != snap.ExecCycles {
+			diff := 100 * (float64(got) - float64(snap.ExecCycles)) / float64(snap.ExecCycles)
+			t.Fatalf("%s: phase buckets sum to %d, makespan %d (%+.3f%%)",
+				s.Name, got, snap.ExecCycles, diff)
+		}
+	}
+}
+
+// TestMetricsExportDeterministic: identical seeded runs must export
+// byte-identical JSON, so figure pipelines diff cleanly.
+func TestMetricsExportDeterministic(t *testing.T) {
+	export := func() []byte {
+		res, err := Run(smallProfile(), SteinsSC, metricsOpt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := res.Snapshot.EncodeJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical runs exported different JSON:\n%s\n---\n%s", a, b)
+	}
+}
+
+// --- RunParallel failure handling ---------------------------------------
+
+var errInjected = errors.New("injected policy fault")
+
+// failPolicy wraps a real policy and fails the failAt-th data read,
+// exercising the sweep error paths without touching real scheme code.
+type failPolicy struct {
+	memctrl.Policy
+	reads, failAt int
+}
+
+func (p *failPolicy) BeforeRead() (uint64, error) {
+	if p.reads++; p.reads > p.failAt {
+		return 0, errInjected
+	}
+	return p.Policy.BeforeRead()
+}
+
+func failScheme(name string, failAt int) Scheme {
+	return Scheme{Name: name, Factory: func(c *memctrl.Controller) memctrl.Policy {
+		return &failPolicy{Policy: wb.Factory(c), failAt: failAt}
+	}}
+}
+
+func TestRunParallelPartialResults(t *testing.T) {
+	// The failing job last: with one worker per job every job is dispatched
+	// before the failure lands, so the completed results must survive.
+	jobs := []Job{
+		{Prof: smallProfile(), Scheme: WBGC, Opt: smallOpt()},
+		{Prof: smallProfile(), Scheme: SteinsGC, Opt: smallOpt()},
+		{Prof: smallProfile(), Scheme: failScheme("fail-wb", 0), Opt: smallOpt()},
+	}
+	results, err := RunParallel(jobs, 3)
+	if err == nil {
+		t.Fatal("sweep with a failing job returned nil error")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("error chain lost the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "sim: job 2") ||
+		!strings.Contains(err.Error(), "fail-wb") {
+		t.Fatalf("error missing job identity: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		ser, serr := Run(jobs[i].Prof, jobs[i].Scheme, jobs[i].Opt)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if results[i] != ser {
+			t.Fatalf("job %d: completed result lost on sweep failure", i)
+		}
+	}
+	if results[2].ExecCycles != 0 {
+		t.Fatal("failed job left a non-zero result")
+	}
+}
+
+func TestRunParallelJoinsAllErrors(t *testing.T) {
+	// Two failing jobs on two workers: both dispatch immediately (the
+	// second long before the first's late fault), so both failures must
+	// appear in the joined error rather than the first masking the rest.
+	jobs := []Job{
+		{Prof: smallProfile(), Scheme: failScheme("fail-late", 1000), Opt: smallOpt()},
+		{Prof: smallProfile(), Scheme: failScheme("fail-early", 0), Opt: smallOpt()},
+	}
+	_, err := RunParallel(jobs, 2)
+	if err == nil {
+		t.Fatal("nil error from all-failing sweep")
+	}
+	for _, want := range []string{"sim: job 0", "sim: job 1", "fail-late", "fail-early"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestRunParallelStopsDispatchAfterFailure(t *testing.T) {
+	// One worker, first job fails: the dispatcher observes the failure via
+	// the send of job 1 (the store happens before that receive), so jobs
+	// 2.. are never dispatched and their slots stay zero.
+	jobs := []Job{{Prof: smallProfile(), Scheme: failScheme("fail-first", 0), Opt: smallOpt()}}
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, Job{Prof: smallProfile(), Scheme: WBGC, Opt: smallOpt()})
+	}
+	results, err := RunParallel(jobs, 1)
+	if err == nil {
+		t.Fatal("nil error from failing sweep")
+	}
+	completed := 0
+	for _, r := range results {
+		if r.ExecCycles != 0 {
+			completed++
+		}
+	}
+	if completed > 1 {
+		t.Fatalf("%d jobs completed after the first failed; dispatch did not stop", completed)
+	}
+}

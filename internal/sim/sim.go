@@ -6,11 +6,14 @@ package sim
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"steins/internal/memctrl"
+	"steins/internal/metrics"
 	"steins/internal/nvmem"
 	"steins/internal/scheme/asit"
 	"steins/internal/scheme/scue"
@@ -55,6 +58,9 @@ type Options struct {
 	DataBytes      uint64                // 0: twice the workload footprint
 	MetaCacheBytes int                   // 0: Table I 256 KB
 	Configure      func(*memctrl.Config) // optional extra knobs
+	// Metrics, when non-nil, attaches a metrics collector (per-phase
+	// histograms + occupancy time series) and fills Result.Snapshot.
+	Metrics *metrics.Options
 }
 
 // Result carries the metrics of one (workload, scheme) run.
@@ -70,6 +76,9 @@ type Result struct {
 	MetaHitRate float64
 	NVM         nvmem.Stats
 	Ctrl        memctrl.Stats
+	// Snapshot is the exportable observability view; nil unless
+	// Options.Metrics was set. A pointer keeps Result comparable.
+	Snapshot *metrics.Snapshot
 }
 
 // build constructs the controller for a run.
@@ -89,7 +98,11 @@ func build(prof trace.Profile, s Scheme, opt Options) *memctrl.Controller {
 	if opt.Configure != nil {
 		opt.Configure(&cfg)
 	}
-	return memctrl.New(cfg, s.Factory)
+	c := memctrl.New(cfg, s.Factory)
+	if opt.Metrics != nil {
+		c.SetMetrics(metrics.NewCollector(*opt.Metrics))
+	}
+	return c
 }
 
 // payload derives a deterministic data block for a write.
@@ -134,7 +147,13 @@ func driveStream(c *memctrl.Controller, s trace.Stream, warmupOps int) error {
 // collect snapshots the metrics.
 func collect(c *memctrl.Controller, prof trace.Profile, s Scheme, ops int) Result {
 	st := c.Stats()
+	var snap *metrics.Snapshot
+	if c.Metrics() != nil {
+		snap = c.MetricsSnapshot(prof.Name)
+		snap.Scheme = s.Name // display name, matching Result.Scheme
+	}
 	return Result{
+		Snapshot: snap,
 		Workload:    prof.Name,
 		Scheme:      s.Name,
 		Ops:         ops,
@@ -248,6 +267,11 @@ type Job struct {
 // RunParallel executes jobs across a worker pool (controllers are fully
 // independent, so the sweeps behind the paper's figures parallelise
 // perfectly). workers <= 0 selects GOMAXPROCS. Results are positional.
+//
+// On failure it still returns every result that completed (failed slots
+// are zero) together with all failures joined into one error, each wrapped
+// with its job identity; dispatch stops once a failure is observed, so a
+// broken sweep aborts quickly instead of burning through remaining jobs.
 func RunParallel(jobs []Job, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -258,26 +282,31 @@ func RunParallel(jobs []Job, workers int) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
 	idx := make(chan int)
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i], errs[i] = Run(jobs[i].Prof, jobs[i].Scheme, jobs[i].Opt)
+				res, err := Run(jobs[i].Prof, jobs[i].Scheme, jobs[i].Opt)
+				if err != nil {
+					errs[i] = fmt.Errorf("sim: job %d (%s/%s): %w",
+						i, jobs[i].Prof.Name, jobs[i].Scheme.Name, err)
+					failed.Store(true)
+					continue
+				}
+				results[i] = res
 			}
 		}()
 	}
 	for i := range jobs {
+		if failed.Load() {
+			break
+		}
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sim: job %d (%s/%s): %w",
-				i, jobs[i].Prof.Name, jobs[i].Scheme.Name, err)
-		}
-	}
-	return results, nil
+	return results, errors.Join(errs...)
 }

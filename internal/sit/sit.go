@@ -285,6 +285,14 @@ func (r *Root) SetCounter(idx uint64, v uint64) {
 // node's NVM address, and the counter its parent holds for it (Fig. 3).
 func NodeMAC(mac crypt.MAC, key crypt.Key, nodeAddr uint64, counters [56]byte, parentCounter uint64) uint64 {
 	var msg [72]byte
+	return NodeMACInto(&msg, mac, key, nodeAddr, counters, parentCounter)
+}
+
+// NodeMACInto is NodeMAC with a caller-provided message buffer. Passing a
+// stack buffer into the MAC interface forces it to the heap (the escape
+// analysis cannot see through the interface call), so per-request hot
+// paths hand in a reusable scratch buffer instead.
+func NodeMACInto(msg *[72]byte, mac crypt.MAC, key crypt.Key, nodeAddr uint64, counters [56]byte, parentCounter uint64) uint64 {
 	copy(msg[:56], counters[:])
 	binary.LittleEndian.PutUint64(msg[56:64], nodeAddr)
 	binary.LittleEndian.PutUint64(msg[64:72], parentCounter)
@@ -296,6 +304,12 @@ func NodeMAC(mac crypt.MAC, key crypt.Key, nodeAddr uint64, counters [56]byte, p
 // it (Osiris-style) to restore stale leaf counters.
 func DataMAC(mac crypt.MAC, key crypt.Key, dataAddr uint64, ciphertext *[64]byte, encCounter uint64) uint64 {
 	var msg [80]byte
+	return DataMACInto(&msg, mac, key, dataAddr, ciphertext, encCounter)
+}
+
+// DataMACInto is DataMAC with a caller-provided message buffer; see
+// NodeMACInto for why.
+func DataMACInto(msg *[80]byte, mac crypt.MAC, key crypt.Key, dataAddr uint64, ciphertext *[64]byte, encCounter uint64) uint64 {
 	copy(msg[:64], ciphertext[:])
 	binary.LittleEndian.PutUint64(msg[64:72], dataAddr)
 	binary.LittleEndian.PutUint64(msg[72:80], encCounter)

@@ -23,6 +23,8 @@ figs-full:
 fuzz:
 	go test -fuzz=FuzzSplitIncrementMonotone -fuzztime=20s ./internal/counter
 	go test -fuzz=FuzzReadFile -fuzztime=20s ./internal/trace
+	go test -fuzz=FuzzSplitterRoundTrip -fuzztime=20s ./internal/trace
+	go test -fuzz=FuzzRecordReplay -fuzztime=20s ./internal/crashfuzz
 
 # Short deterministic crash-point fault-injection sweep: every scheme,
 # pinned seeds, torn-write detection demo included.
@@ -42,10 +44,14 @@ metrics-demo:
 
 # CI gate: vet, the crash harness, and the race-sensitive packages
 # (figure sweeps and parallel recovery under both GOMAXPROCS settings).
+# The sharded engine and conformance suite additionally run at -cpu 1,2,8
+# to pin bit-identical results across worker-pool widths.
 check: crashfuzz
 	go vet ./...
 	go test -race -cpu 1,4 ./internal/crashfuzz ./internal/figures \
 		./internal/metrics ./internal/sim ./internal/multi
+	go test -race -cpu 1,2,8 -run 'Sharded|Conformance|Splitter|Interleave|NextEpoch|Replay|RecoverAll' \
+		./internal/sim ./internal/trace ./internal/multi ./internal/scheme/schemetest
 
 cover:
 	go test -cover ./...

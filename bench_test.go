@@ -262,6 +262,95 @@ func BenchmarkAblationSITvsBMT(b *testing.B) {
 	b.ReportMetric(sitLazyCycles, "sit_lazy_cycles_per_flush")
 }
 
+// --- sharded engine benches --------------------------------------------------
+
+// shardedBenchProfile is sized so the per-channel working set still
+// misses the metadata cache: the interesting regime for interleaving.
+func shardedBenchProfile() trace.Profile {
+	return trace.Profile{
+		Name: "sharded-bench", FootprintBytes: 4 << 20, WriteFrac: 0.5,
+		GapMean: 10, Pattern: trace.Uniform,
+	}
+}
+
+// BenchmarkRunUnsharded is the single-controller baseline for the
+// BenchmarkRunSharded series; compare ops_per_sec across the two.
+func BenchmarkRunUnsharded(b *testing.B) {
+	prof := shardedBenchProfile()
+	opt := sim.Options{Ops: 20000, Seed: 3, MetaCacheBytes: 64 << 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(prof, sim.SteinsSC, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(r.Ops)*float64(b.N)/b.Elapsed().Seconds(), "ops_per_sec")
+		}
+	}
+}
+
+// BenchmarkRunSharded drives the same trace through the channel-interleaved
+// engine at 1, 2 and 4 channels. On a multi-core host the 4-channel run
+// should beat BenchmarkRunUnsharded on wall clock; on one core it measures
+// the splitter + merge overhead instead.
+func BenchmarkRunSharded(b *testing.B) {
+	prof := shardedBenchProfile()
+	opt := sim.Options{Ops: 20000, Seed: 3, MetaCacheBytes: 64 << 10}
+	for _, ch := range []int{1, 2, 4} {
+		b.Run(strconv.Itoa(ch)+"ch", func(b *testing.B) {
+			so := sim.ShardOptions{Channels: ch, Interleave: trace.InterleaveLine}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := sim.RunSharded(prof, sim.SteinsSC, opt, so)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(r.Merged.Ops)*float64(b.N)/b.Elapsed().Seconds(), "ops_per_sec")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSplitterEpoch measures the trace splitter alone and enforces
+// the steady-state allocation ceiling: epoch batches are reused, so a warm
+// splitter must not allocate per epoch.
+func BenchmarkSplitterEpoch(b *testing.B) {
+	prof := shardedBenchProfile()
+	sp := trace.NewSplitter(nil, 4, trace.InterleaveLine)
+	sp.LimitLocalBytes = trace.ShardBytes(2*prof.FootprintBytes, 4, trace.InterleaveLine)
+	ops := make([]trace.Op, 4096)
+	src := trace.New(prof, 11, len(ops))
+	for i := range ops {
+		op, _ := src.Next()
+		ops[i] = op
+	}
+	rep := trace.NewReplay(prof.Name, ops)
+	sp.Rebind(rep)
+	if _, _, err := sp.NextEpoch(len(ops)); err != nil {
+		b.Fatal(err) // warm the per-shard buffers
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.Reset()
+		if _, _, err := sp.NextEpoch(len(ops)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(20, func() {
+		rep.Reset()
+		if _, _, err := sp.NextEpoch(len(ops)); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs > 0 {
+		b.Fatalf("warm splitter allocates %.1f times per epoch, want 0", allocs)
+	}
+}
+
 // BenchmarkAblationBMTSystem contrasts the full BMT-based controller with
 // the SIT-based WB controller under identical traffic — the system-level
 // version of the §II-C comparison (the per-update version is

@@ -21,6 +21,7 @@ import (
 	"steins/internal/figures"
 	"steins/internal/metrics"
 	"steins/internal/stats"
+	"steins/internal/trace"
 )
 
 func main() {
@@ -37,8 +38,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale     = fs.String("scale", "quick", "simulation scale: quick or full")
 		format    = fs.String("format", "text", "output format: text or json")
 		metricsTo = fs.String("metrics", "", "export per-run metrics snapshots of the comparison sweeps to this file; .csv selects CSV, anything else JSON")
+		channels  = fs.Int("channels", 1, "run the sweeps through the sharded engine with this many channels")
+		ivMode    = fs.String("interleave", "line", "address interleave granularity for -channels: line, page, or hash")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	iv, err := trace.ParseInterleave(*ivMode)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
+	if *channels < 1 {
+		fmt.Fprintf(stderr, "-channels must be >= 1\n")
 		return 2
 	}
 	emit := func(t *stats.Table) error {
@@ -68,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "unknown scale %q\n", *scale)
 		return 2
 	}
+	sc.Channels = *channels
+	sc.Interleave = iv
 	var snaps []*metrics.Snapshot
 	if *metricsTo != "" {
 		mo := metrics.DefaultOptions()

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"steins/internal/memctrl"
 	"steins/internal/metrics"
 	"steins/internal/sim"
 	"steins/internal/stats"
@@ -53,8 +54,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		compare   = fs.Bool("compare", false, "run every scheme on the workload and tabulate")
 		tablePath = fs.Bool("v", false, "verbose per-class NVM breakdown")
 		metricsTo = fs.String("metrics", "", "export a metrics snapshot (phase attribution, latency histograms, occupancy time series) to this file; .csv selects CSV, anything else JSON")
+		channels  = fs.Int("channels", 1, "interleave the trace across this many independent controllers (sharded engine)")
+		ivMode    = fs.String("interleave", "line", "address interleave granularity for -channels: line, page, or hash")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	iv, err := trace.ParseInterleave(*ivMode)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
+	if *channels < 1 {
+		fmt.Fprintf(stderr, "-channels must be >= 1\n")
 		return 2
 	}
 
@@ -78,9 +90,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		o := metrics.DefaultOptions()
 		mopt = &o
 	}
+	so := sim.ShardOptions{Channels: *channels, Interleave: iv}
 	if *compare {
 		opt := sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10, Metrics: mopt}
-		if err := compareSchemes(prof, opt, *metricsTo, stdout); err != nil {
+		if err := compareSchemes(prof, opt, so, *metricsTo, stdout); err != nil {
 			fmt.Fprintf(stderr, "compare failed: %v\n", err)
 			return 1
 		}
@@ -93,22 +106,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opt := sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10, Metrics: mopt}
 
-	sim1 := func() (sim.Result, error) {
-		if *crash {
-			res, rep, err := sim.RunWithCrash(prof, s, opt, *allDirty)
-			if err != nil {
-				return res, err
-			}
-			fmt.Fprintf(stdout, "recovery: %d nodes, %d NVM reads, %d writes, %d MAC ops -> %s\n",
-				rep.NodesRecovered, rep.NVMReads, rep.NVMWrites, rep.MACOps,
-				stats.Seconds(rep.TimeNS))
-			return res, nil
-		}
-		return sim.Run(prof, s, opt)
+	reportRecovery := func(rep memctrl.RecoveryReport) {
+		fmt.Fprintf(stdout, "recovery: %d nodes, %d NVM reads, %d writes, %d MAC ops -> %s\n",
+			rep.NodesRecovered, rep.NVMReads, rep.NVMWrites, rep.MACOps,
+			stats.Seconds(rep.TimeNS))
 	}
-	res, err := sim1()
-	if err != nil {
-		fmt.Fprintf(stderr, "simulation failed: %v\n", err)
+	var res sim.Result
+	var shards []sim.Result
+	var err2 error
+	switch {
+	case *channels > 1 && *crash:
+		var sres sim.ShardedResult
+		var rep memctrl.RecoveryReport
+		sres, rep, err2 = sim.RunShardedWithCrash(prof, s, opt, so, *allDirty)
+		if err2 == nil {
+			reportRecovery(rep)
+		}
+		res, shards = sres.Merged, sres.Shards
+	case *channels > 1:
+		var sres sim.ShardedResult
+		sres, err2 = sim.RunSharded(prof, s, opt, so)
+		res, shards = sres.Merged, sres.Shards
+	case *crash:
+		var rep memctrl.RecoveryReport
+		res, rep, err2 = sim.RunWithCrash(prof, s, opt, *allDirty)
+		if err2 == nil {
+			reportRecovery(rep)
+		}
+	default:
+		res, err2 = sim.Run(prof, s, opt)
+	}
+	if err2 != nil {
+		fmt.Fprintf(stderr, "simulation failed: %v\n", err2)
 		return 1
 	}
 	if *metricsTo != "" {
@@ -117,6 +146,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "metrics snapshot written to %s\n", *metricsTo)
+	}
+	if len(shards) > 1 {
+		ct := stats.NewTable(fmt.Sprintf("per-channel view (%d channels, %s interleave)", *channels, iv),
+			"channel", "ops", "exec cycles", "traffic", "hit%")
+		for k, sh := range shards {
+			ct.AddRow(fmt.Sprint(k), fmt.Sprint(sh.Ops), fmt.Sprint(sh.ExecCycles),
+				stats.Bytes(sh.WriteBytes), fmt.Sprintf("%.1f", sh.MetaHitRate*100))
+		}
+		fmt.Fprint(stdout, ct)
 	}
 
 	t := stats.NewTable(fmt.Sprintf("%s on %s (%d ops)", s.Name, prof.Name, *ops), "metric", "value")
@@ -145,21 +183,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// compareSchemes runs every scheme on one workload in parallel and prints
-// a side-by-side table, normalised to WB-GC. When metricsTo is set, the
-// per-scheme snapshots are exported to that file.
-func compareSchemes(prof trace.Profile, opt sim.Options, metricsTo string, stdout io.Writer) error {
+// compareSchemes runs every scheme on one workload and prints a
+// side-by-side table, normalised to WB-GC. With one channel the schemes
+// run in parallel; with more, each scheme runs through the sharded engine
+// (which parallelises internally) and the merged results are tabulated.
+// When metricsTo is set, the per-scheme snapshots are exported to that
+// file.
+func compareSchemes(prof trace.Profile, opt sim.Options, so sim.ShardOptions, metricsTo string, stdout io.Writer) error {
 	schemes := []sim.Scheme{
 		sim.WBGC, sim.ASIT, sim.STAR, sim.SteinsGC,
 		sim.WBSC, sim.SteinsSC, sim.SCUEGC,
 	}
-	jobs := make([]sim.Job, len(schemes))
-	for i, s := range schemes {
-		jobs[i] = sim.Job{Prof: prof, Scheme: s, Opt: opt}
-	}
-	results, err := sim.RunParallel(jobs, 0)
-	if err != nil {
-		return err
+	var results []sim.Result
+	if so.Channels > 1 {
+		results = make([]sim.Result, len(schemes))
+		for i, s := range schemes {
+			sres, err := sim.RunSharded(prof, s, opt, so)
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.Name, err)
+			}
+			results[i] = sres.Merged
+		}
+	} else {
+		jobs := make([]sim.Job, len(schemes))
+		for i, s := range schemes {
+			jobs[i] = sim.Job{Prof: prof, Scheme: s, Opt: opt}
+		}
+		var err error
+		results, err = sim.RunParallel(jobs, 0)
+		if err != nil {
+			return err
+		}
 	}
 	if metricsTo != "" {
 		snaps := make([]*metrics.Snapshot, len(results))

@@ -35,6 +35,15 @@ type Stats struct {
 	DirtyEvictions uint64
 }
 
+// Merge folds another controller's cache counters into s; multi-channel
+// runs sum per-channel metadata caches into one system-level hit rate.
+func (s *Stats) Merge(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.DirtyEvictions += o.DirtyEvictions
+}
+
 // HitRate returns hits/(hits+misses), or 0 before any access.
 func (s Stats) HitRate() float64 {
 	if s.Hits+s.Misses == 0 {

@@ -31,6 +31,13 @@ type Scale struct {
 	// Metrics, when non-nil, attaches a metrics collector to every run of
 	// a sweep, filling each Result's Snapshot for export.
 	Metrics *metrics.Options
+	// Channels > 1 runs every sweep point on the sharded engine, the trace
+	// interleaved across that many controllers; results are the merged
+	// system view. The sweep's outer job loop then runs serially — the
+	// parallelism budget moves inside each run.
+	Channels int
+	// Interleave selects the address-to-channel mapping when Channels > 1.
+	Interleave trace.Interleave
 }
 
 // Quick is the unit-test/bench scale: small traces, small caches.
@@ -54,8 +61,11 @@ type Sweep struct {
 	Results   map[string]map[string]sim.Result // [workload][scheme]
 }
 
-// runSweep simulates every workload under every scheme, in parallel:
-// every (workload, scheme) pair is an independent controller.
+// runSweep simulates every workload under every scheme. With one channel
+// the (workload, scheme) pairs run in parallel — every pair is an
+// independent controller. With Channels > 1 each pair is itself a
+// multi-goroutine sharded run, so the pairs run serially and each result
+// is the merged system view.
 func runSweep(schemes []sim.Scheme, sc Scale) (*Sweep, error) {
 	sw := &Sweep{Schemes: schemes, Results: map[string]map[string]sim.Result{}}
 	var jobs []sim.Job
@@ -66,6 +76,17 @@ func runSweep(schemes []sim.Scheme, sc Scale) (*Sweep, error) {
 			jobs = append(jobs, sim.Job{Prof: prof, Scheme: s,
 				Opt: sim.Options{Ops: sc.Ops, Seed: sc.Seed, Metrics: sc.Metrics}})
 		}
+	}
+	if sc.Channels > 1 {
+		so := sim.ShardOptions{Channels: sc.Channels, Interleave: sc.Interleave}
+		for _, job := range jobs {
+			res, err := sim.RunSharded(job.Prof, job.Scheme, job.Opt, so)
+			if err != nil {
+				return nil, fmt.Errorf("figures: %s/%s: %w", job.Prof.Name, job.Scheme.Name, err)
+			}
+			sw.Results[job.Prof.Name][job.Scheme.Name] = res.Merged
+		}
+		return sw, nil
 	}
 	results, err := sim.RunParallel(jobs, 0)
 	if err != nil {

@@ -1,0 +1,53 @@
+package figures
+
+import (
+	"reflect"
+	"testing"
+
+	"steins/internal/sim"
+	"steins/internal/trace"
+)
+
+// TestShardedSweepDeterministic reruns a channelised sweep: identical
+// Scale twice must produce bit-identical results (run with -cpu 1,4 so
+// the inner worker pools execute under both GOMAXPROCS settings).
+func TestShardedSweepDeterministic(t *testing.T) {
+	sc := Quick()
+	sc.Ops = 3000
+	sc.Channels = 4
+	sc.Interleave = trace.InterleaveLine
+	first, err := runSweep([]sim.Scheme{sim.SteinsGC, sim.SteinsSC}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := runSweep([]sim.Scheme{sim.SteinsGC, sim.SteinsSC}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatal("sharded sweep is not deterministic across reruns")
+	}
+}
+
+// TestShardedSweepMergesSystemView sanity-checks the channelised sweep
+// path: every result must carry the full trace's retired ops (nothing
+// lost in the split) and a non-trivial makespan.
+func TestShardedSweepMergesSystemView(t *testing.T) {
+	sc := Quick()
+	sc.Ops = 2000
+	sc.Channels = 2
+	sc.Interleave = trace.InterleavePage
+	sw, err := runSweep([]sim.Scheme{sim.SteinsGC}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range sw.Workloads {
+		r := sw.Results[w]["Steins-GC"]
+		if r.Ops != sc.Ops {
+			t.Fatalf("%s: merged result retired %d ops, want %d", w, r.Ops, sc.Ops)
+		}
+		if r.ExecCycles == 0 || r.Ctrl.DataWrites == 0 {
+			t.Fatalf("%s: implausible merged result %+v", w, r)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"steins/internal/memctrl"
 	"steins/internal/metrics"
 	"steins/internal/nvmem"
+	"steins/internal/trace"
 )
 
 // System is a set of independent secure memory controllers behind an
@@ -109,10 +110,24 @@ func (s *System) Crash() {
 // the controllers that recovered, and the error joins every per-controller
 // failure (wrapped with its index) so none is masked.
 func (s *System) Recover() (memctrl.RecoveryReport, error) {
-	reports := make([]memctrl.RecoveryReport, len(s.ctrls))
-	errs := make([]error, len(s.ctrls))
+	_, agg, err := RecoverAll(s.ctrls)
+	return agg, err
+}
+
+// RecoverAll rebuilds every controller's metadata concurrently, one
+// goroutine per controller (each owns disjoint state, so this is safe).
+// It returns the per-controller reports alongside the aggregate: work
+// summed, time the parallel maximum. Both the multi-DIMM system and the
+// sharded single-trace engine recover through it.
+//
+// Every controller is attempted even when some fail; the aggregate covers
+// the controllers that recovered, and the error joins every per-controller
+// failure (wrapped with its index) so none is masked.
+func RecoverAll(ctrls []*memctrl.Controller) ([]memctrl.RecoveryReport, memctrl.RecoveryReport, error) {
+	reports := make([]memctrl.RecoveryReport, len(ctrls))
+	errs := make([]error, len(ctrls))
 	var wg sync.WaitGroup
-	for i, c := range s.ctrls {
+	for i, c := range ctrls {
 		wg.Add(1)
 		go func(i int, c *memctrl.Controller) {
 			defer wg.Done()
@@ -135,7 +150,33 @@ func (s *System) Recover() (memctrl.RecoveryReport, error) {
 		agg.MACOps += reports[i].MACOps
 		agg.TimeNS = max(agg.TimeNS, reports[i].TimeNS)
 	}
-	return agg, errors.Join(errs...)
+	return reports, agg, errors.Join(errs...)
+}
+
+// Replay routes a global operation stream through the system sequentially,
+// op i writing payload(addr, i). It is the single-clock reference the
+// sharded engine's splitter is checked against: splitting the same stream
+// with trace.NewSplitter at the system's interleave must hand every
+// controller the exact local (address, gap) sequence Replay produces.
+// Returns the number of operations replayed.
+func (s *System) Replay(st trace.Stream, payload func(addr uint64, i int) [64]byte) (int, error) {
+	i := 0
+	for {
+		op, ok := st.Next()
+		if !ok {
+			return i, nil
+		}
+		var err error
+		if op.IsWrite {
+			err = s.WriteData(op.Gap, op.Addr, payload(op.Addr, i))
+		} else {
+			_, err = s.ReadData(op.Gap, op.Addr)
+		}
+		if err != nil {
+			return i, fmt.Errorf("multi: %s op %d (%v %#x): %w", st.Name(), i, op.IsWrite, op.Addr, err)
+		}
+		i++
+	}
 }
 
 // Stats returns the system-wide controller statistics: per-DIMM stats

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"steins/internal/memctrl"
@@ -129,18 +130,28 @@ func TestRunParallelPartialResults(t *testing.T) {
 }
 
 func TestRunParallelJoinsAllErrors(t *testing.T) {
-	// Two failing jobs on two workers: both dispatch immediately (the
-	// second long before the first's late fault), so both failures must
-	// appear in the joined error rather than the first masking the rest.
+	// Two failing jobs on two workers. The factories rendezvous, so
+	// neither job can fail before both are dispatched — regardless of
+	// GOMAXPROCS — and both failures must appear in the joined error
+	// rather than the first masking the rest.
+	var ready sync.WaitGroup
+	ready.Add(2)
+	rendezvousFail := func(name string) Scheme {
+		return Scheme{Name: name, Factory: func(c *memctrl.Controller) memctrl.Policy {
+			ready.Done()
+			ready.Wait()
+			return &failPolicy{Policy: wb.Factory(c)}
+		}}
+	}
 	jobs := []Job{
-		{Prof: smallProfile(), Scheme: failScheme("fail-late", 1000), Opt: smallOpt()},
-		{Prof: smallProfile(), Scheme: failScheme("fail-early", 0), Opt: smallOpt()},
+		{Prof: smallProfile(), Scheme: rendezvousFail("fail-a"), Opt: smallOpt()},
+		{Prof: smallProfile(), Scheme: rendezvousFail("fail-b"), Opt: smallOpt()},
 	}
 	_, err := RunParallel(jobs, 2)
 	if err == nil {
 		t.Fatal("nil error from all-failing sweep")
 	}
-	for _, want := range []string{"sim: job 0", "sim: job 1", "fail-late", "fail-early"} {
+	for _, want := range []string{"sim: job 0", "sim: job 1", "fail-a", "fail-b"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("joined error missing %q: %v", want, err)
 		}

@@ -1,0 +1,383 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"steins/internal/cache"
+	"steins/internal/memctrl"
+	"steins/internal/metrics"
+	"steins/internal/multi"
+	"steins/internal/nvmem"
+	"steins/internal/trace"
+)
+
+// ShardOptions parameterise the sharded (channel-interleaved) engine.
+type ShardOptions struct {
+	// Channels is the number of independent controllers the address space
+	// is interleaved across. 1 reproduces the unsharded run bit-for-bit.
+	Channels int
+	// Interleave selects the address-to-channel mapping.
+	Interleave trace.Interleave
+	// EpochOps is the number of source operations routed per epoch barrier
+	// (0: 4096). Each epoch is split sequentially — fixing the virtual
+	// clock — then the per-channel batches are driven in parallel and the
+	// engine barriers before the next epoch, so memory stays bounded and
+	// results are independent of GOMAXPROCS.
+	EpochOps int
+	// Workers bounds how many channels are driven concurrently per epoch
+	// (0: GOMAXPROCS). Purely a throughput knob; results are identical for
+	// any value because each channel's operation sequence is fixed by the
+	// sequential split.
+	Workers int
+	// DivideCache, when false (the default), splits Options.MetaCacheBytes
+	// evenly across channels so the total metadata-SRAM budget matches the
+	// unsharded configuration. Set KeepCachePerChannel to give every
+	// channel the full budget instead.
+	KeepCachePerChannel bool
+}
+
+func (so *ShardOptions) setDefaults() {
+	if so.Channels <= 0 {
+		so.Channels = 1
+	}
+	if so.EpochOps <= 0 {
+		so.EpochOps = 4096
+	}
+	if so.Workers <= 0 {
+		so.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// ShardedResult carries the merged system-level view of one sharded run
+// plus the per-channel results it was folded from.
+type ShardedResult struct {
+	// Merged is the system view: retired ops and traffic summed through the
+	// Stats/NVM Merge machinery, ExecCycles the parallel maximum across
+	// channels (channels drain concurrently, so the slowest bounds the
+	// makespan), latencies recomputed from the merged sums.
+	Merged Result
+	// Shards holds one Result per channel, in channel order.
+	Shards []Result
+	// System is the merged + per-channel metrics export; nil unless
+	// Options.Metrics was set.
+	System *metrics.SystemSnapshot
+}
+
+// Sharded is the channel-interleaved simulation engine: one trace
+// partitioned across N independent controllers by an address-interleave
+// function, driven in parallel under an epoch-barrier virtual clock.
+//
+// Determinism: the splitter is sequential and defines each channel's exact
+// operation sequence (local addresses, local gaps, payload identities)
+// before any parallel work happens; each channel is then driven by exactly
+// one goroutine per epoch over private state. Results are therefore
+// bit-identical for any GOMAXPROCS or Workers setting.
+//
+// Correctness of the split: a channel owns whole cache lines (every
+// interleave chunk is a multiple of the 64 B line), so a write-back and
+// all metadata derived from it — counter leaf, tree branch, records,
+// shadow slots, tags — live on that channel's controller. Each channel is
+// a complete secure-memory system with its own integrity tree and trust
+// base, which is exactly the per-DIMM model of §IV-F.
+type Sharded struct {
+	prof       trace.Profile
+	scheme     Scheme
+	opt        Options
+	so         ShardOptions
+	sp         *trace.Splitter
+	ctrls      []*memctrl.Controller
+	shardBytes uint64
+	driven     uint64 // source ops driven, including warm-up
+	warmupDone bool
+}
+
+// NewSharded builds the engine: Channels controllers, each owning a
+// 1/Channels slice of the (possibly rounded-up) data region, plus the
+// splitter that will route streams across them. Drive it with DriveStream
+// (or let RunSharded do everything).
+func NewSharded(prof trace.Profile, s Scheme, opt Options, so ShardOptions) *Sharded {
+	so.setDefaults()
+	dataBytes := opt.DataBytes
+	if dataBytes == 0 {
+		dataBytes = prof.FootprintBytes * 2
+	}
+	if dataBytes < prof.FootprintBytes {
+		panic(fmt.Sprintf("sim: data region %d smaller than %s footprint %d",
+			dataBytes, prof.Name, prof.FootprintBytes))
+	}
+	shardBytes := trace.ShardBytes(dataBytes, so.Channels, so.Interleave)
+	e := &Sharded{prof: prof, scheme: s, opt: opt, so: so, shardBytes: shardBytes}
+	for k := 0; k < so.Channels; k++ {
+		cfg := memctrl.DefaultConfig(shardBytes, s.Split)
+		cacheBytes := cfg.MetaCacheBytes
+		if opt.MetaCacheBytes != 0 {
+			cacheBytes = opt.MetaCacheBytes
+		}
+		if !so.KeepCachePerChannel {
+			// Divide the SRAM budget, rounding down to a whole number of
+			// sets (the cache requires a multiple of ways*lineSize) with a
+			// two-set floor so extreme channel counts stay functional.
+			set := cfg.MetaCacheWays * 64
+			cacheBytes = cacheBytes / so.Channels / set * set
+			if cacheBytes < 2*set {
+				cacheBytes = 2 * set
+			}
+		}
+		cfg.MetaCacheBytes = cacheBytes
+		if opt.Configure != nil {
+			opt.Configure(&cfg)
+		}
+		c := memctrl.New(cfg, s.Factory)
+		if opt.Metrics != nil {
+			c.SetMetrics(metrics.NewCollector(*opt.Metrics))
+		}
+		e.ctrls = append(e.ctrls, c)
+	}
+	return e
+}
+
+// Controllers returns the per-channel controllers, in channel order.
+func (e *Sharded) Controllers() []*memctrl.Controller { return e.ctrls }
+
+// Route maps a global data address to its (channel, local address) home.
+func (e *Sharded) Route(addr uint64) (int, uint64) {
+	e.lazySplitter()
+	return e.sp.Route(addr)
+}
+
+func (e *Sharded) lazySplitter() {
+	if e.sp == nil {
+		// DriveStream rebinds the source per call; routing state (virtual
+		// clock, first-touch maps) persists so multi-phase drives stay
+		// consistent.
+		e.sp = trace.NewSplitter(nil, e.so.Channels, e.so.Interleave)
+		e.sp.LimitLocalBytes = e.shardBytes
+	}
+}
+
+// DriveStream routes a global operation stream across the channels and
+// drives them in parallel, epoch by epoch. It may be called repeatedly;
+// the virtual clock and (hash-mode) address assignments carry over, so a
+// sequence of calls behaves like one concatenated stream. Payload identity
+// follows the unsharded engine exactly: op i (counted globally, across
+// calls) writing global address a stores Payload(a, i).
+func (e *Sharded) DriveStream(src trace.Stream) error {
+	e.lazySplitter()
+	e.sp.Rebind(src)
+	warm := uint64(e.opt.WarmupOps)
+	sem := make(chan struct{}, e.so.Workers)
+	for {
+		budget := e.so.EpochOps
+		// Force an epoch boundary exactly at the warm-up boundary so every
+		// channel resets its statistics at the same global-stream point.
+		if !e.warmupDone && warm > e.driven && uint64(budget) > warm-e.driven {
+			budget = int(warm - e.driven)
+		}
+		batches, n, serr := e.sp.NextEpoch(budget)
+		if n == 0 && serr == nil {
+			return nil
+		}
+		errs := make([]error, len(e.ctrls))
+		var wg sync.WaitGroup
+		for k := range e.ctrls {
+			if len(batches[k]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(k int) {
+				defer func() { <-sem; wg.Done() }()
+				errs[k] = driveShard(e.ctrls[k], batches[k])
+			}(k)
+		}
+		wg.Wait()
+		for k, err := range errs {
+			if err != nil {
+				errs[k] = fmt.Errorf("sim: sharded channel %d (%s/%s): %w",
+					k, e.prof.Name, e.scheme.Name, err)
+			}
+		}
+		if err := errors.Join(errs...); err != nil {
+			return err
+		}
+		if serr != nil {
+			return fmt.Errorf("sim: %w", serr)
+		}
+		e.driven += uint64(n)
+		if !e.warmupDone && warm > 0 && e.driven >= warm {
+			for _, c := range e.ctrls {
+				c.ResetStats()
+			}
+			e.warmupDone = true
+		}
+	}
+}
+
+// driveShard replays one channel's epoch batch on its controller.
+func driveShard(c *memctrl.Controller, batch []trace.ShardedOp) error {
+	for i := range batch {
+		op := &batch[i]
+		var err error
+		if op.IsWrite {
+			err = c.WriteData(op.Gap, op.Addr, Payload(op.GlobalAddr, int(op.Index)))
+		} else {
+			_, err = c.ReadData(op.Gap, op.Addr)
+		}
+		if err != nil {
+			return fmt.Errorf("op %d (%v global %#x local %#x): %w",
+				op.Index, op.IsWrite, op.GlobalAddr, op.Addr, err)
+		}
+	}
+	return nil
+}
+
+// ReadGlobal routes a read for a global address to its channel; tests and
+// post-recovery probes use it.
+func (e *Sharded) ReadGlobal(gap, addr uint64) ([64]byte, error) {
+	k, local := e.Route(addr)
+	return e.ctrls[k].ReadData(gap, local)
+}
+
+// DataCounter returns the current encryption-counter state of a global
+// address's leaf slot on its owning channel.
+func (e *Sharded) DataCounter(addr uint64) uint64 {
+	k, local := e.Route(addr)
+	return e.ctrls[k].DataCounter(local)
+}
+
+// ForceAllDirty dirties every cached node on every channel (§IV-D).
+func (e *Sharded) ForceAllDirty() {
+	for _, c := range e.ctrls {
+		c.ForceAllDirty()
+	}
+}
+
+// Crash fails the whole machine: every channel loses its volatile state.
+func (e *Sharded) Crash() {
+	for _, c := range e.ctrls {
+		c.Crash()
+	}
+}
+
+// Recover rebuilds every channel concurrently — each owns a disjoint tree,
+// so recovery is shard-by-shard — and returns the per-channel reports plus
+// the aggregate (work summed, time the parallel maximum).
+func (e *Sharded) Recover() ([]memctrl.RecoveryReport, memctrl.RecoveryReport, error) {
+	return multi.RecoverAll(e.ctrls)
+}
+
+// VerifyNVM runs the deep persisted-tree oracle on every channel.
+func (e *Sharded) VerifyNVM() error {
+	for k, c := range e.ctrls {
+		if err := c.VerifyNVM(); err != nil {
+			return fmt.Errorf("sim: sharded channel %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// Result assembles the merged and per-channel results of everything driven
+// so far.
+func (e *Sharded) Result() ShardedResult {
+	res := ShardedResult{}
+	var ctrl memctrl.Stats
+	var nvm nvmem.Stats
+	var cacheStats cache.Stats
+	var snaps []metrics.Snapshot
+	var energy float64
+	var ops, exec uint64
+	for k, c := range e.ctrls {
+		shardProf := e.prof
+		shardProf.Name = fmt.Sprintf("%s#%d", e.prof.Name, k)
+		st := c.Stats()
+		r := collect(c, shardProf, e.scheme, int(st.DataReads+st.DataWrites))
+		res.Shards = append(res.Shards, r)
+		ctrl.Merge(&st)
+		dst := c.Device().Stats()
+		nvm.Merge(&dst)
+		cacheStats.Merge(c.Meta().Stats())
+		energy += r.EnergyPJ
+		ops += st.DataReads + st.DataWrites
+		exec = max(exec, c.MeasuredExecCycles())
+		if r.Snapshot != nil {
+			snaps = append(snaps, *r.Snapshot)
+		}
+	}
+	res.Merged = Result{
+		Workload:    e.prof.Name,
+		Scheme:      e.scheme.Name,
+		Ops:         int(ops),
+		ExecCycles:  exec,
+		AvgReadLat:  ctrl.AvgReadLatency(),
+		AvgWriteLat: ctrl.AvgWriteLatency(),
+		WriteBytes:  nvm.WriteBytes(),
+		EnergyPJ:    energy,
+		MetaHitRate: cacheStats.HitRate(),
+		NVM:         nvm,
+		Ctrl:        ctrl,
+	}
+	if len(snaps) > 0 {
+		res.System = metrics.MergeSnapshots(snaps)
+		res.System.Merged.Workload = e.prof.Name
+		res.Merged.Snapshot = &res.System.Merged
+	}
+	return res
+}
+
+// RunSharded replays one workload through one scheme across Channels
+// interleaved controllers and returns the merged system result.
+func RunSharded(prof trace.Profile, s Scheme, opt Options, so ShardOptions) (ShardedResult, error) {
+	e := NewSharded(prof, s, opt, so)
+	if err := e.DriveStream(trace.New(prof, opt.Seed, opt.WarmupOps+opt.Ops)); err != nil {
+		return ShardedResult{}, err
+	}
+	return e.Result(), nil
+}
+
+// RunShardedStream replays an arbitrary operation stream across Channels
+// interleaved controllers. opt.DataBytes is required (streams carry no
+// footprint information); opt.Ops/Seed are ignored.
+func RunShardedStream(stream trace.Stream, s Scheme, opt Options, so ShardOptions) (ShardedResult, error) {
+	if opt.DataBytes == 0 {
+		panic("sim: RunShardedStream requires DataBytes")
+	}
+	prof := trace.Profile{Name: stream.Name(), FootprintBytes: opt.DataBytes}
+	e := NewSharded(prof, s, opt, so)
+	if err := e.DriveStream(stream); err != nil {
+		return ShardedResult{}, err
+	}
+	return e.Result(), nil
+}
+
+// RunShardedWithCrash mirrors RunWithCrash on the sharded engine: drive,
+// optionally force every cached node dirty, crash the whole machine,
+// recover every channel in parallel, and probe a read-only sample.
+func RunShardedWithCrash(prof trace.Profile, s Scheme, opt Options, so ShardOptions, forceAllDirty bool) (ShardedResult, memctrl.RecoveryReport, error) {
+	e := NewSharded(prof, s, opt, so)
+	if err := e.DriveStream(trace.New(prof, opt.Seed, opt.WarmupOps+opt.Ops)); err != nil {
+		return ShardedResult{}, memctrl.RecoveryReport{}, err
+	}
+	res := e.Result()
+	if forceAllDirty {
+		e.ForceAllDirty()
+	}
+	e.Crash()
+	_, agg, err := e.Recover()
+	if err != nil {
+		return res, agg, err
+	}
+	g := trace.New(prof, opt.Seed+1, 200)
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		if _, rerr := e.ReadGlobal(op.Gap, op.Addr); rerr != nil {
+			return res, agg, fmt.Errorf("sim: post-recovery read failed: %w", rerr)
+		}
+	}
+	return res, agg, nil
+}

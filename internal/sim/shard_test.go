@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"steins/internal/metrics"
+	"steins/internal/trace"
+)
+
+func shardProfile() trace.Profile {
+	return trace.Profile{
+		Name:           "shard-uniform",
+		FootprintBytes: 256 << 10,
+		WriteFrac:      0.5,
+		GapMean:        10,
+		Pattern:        trace.Uniform,
+	}
+}
+
+func shardOpt() Options {
+	return Options{Ops: 4000, Seed: 7, MetaCacheBytes: 16 << 10}
+}
+
+// TestRunShardedOneChannelMatchesRun pins the reduction property: one
+// channel, line interleave is the unsharded engine — identical Result,
+// field for field.
+func TestRunShardedOneChannelMatchesRun(t *testing.T) {
+	prof, opt := shardProfile(), shardOpt()
+	opt.WarmupOps = 500 // exercise the epoch-aligned warmup reset
+	ref, err := Run(prof, SteinsSC, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSharded(prof, SteinsSC, opt, ShardOptions{Channels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, res.Merged) {
+		t.Fatalf("1-channel sharded result diverges from Run:\nrun    %+v\nshard  %+v", ref, res.Merged)
+	}
+	if len(res.Shards) != 1 {
+		t.Fatalf("expected 1 shard result, got %d", len(res.Shards))
+	}
+}
+
+// TestRunShardedDeterministicAcrossWorkers is the seeded-RNG determinism
+// guard (run under -cpu 1,2,8 in make check): identical ShardedResults and
+// byte-identical metrics JSON regardless of worker count or GOMAXPROCS.
+func TestRunShardedDeterministicAcrossWorkers(t *testing.T) {
+	prof, opt := shardProfile(), shardOpt()
+	mo := metrics.DefaultOptions()
+	opt.Metrics = &mo
+	export := func(workers int) (ShardedResult, []byte) {
+		res, err := RunSharded(prof, SteinsGC, opt,
+			ShardOptions{Channels: 4, Interleave: trace.InterleaveLine, Workers: workers, EpochOps: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.System.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	refRes, refJSON := export(1)
+	for _, workers := range []int{2, 8} {
+		res, js := export(workers)
+		if !bytes.Equal(refJSON, js) {
+			t.Fatalf("metrics JSON diverges between 1 and %d workers", workers)
+		}
+		if !reflect.DeepEqual(refRes.Merged, res.Merged) {
+			t.Fatalf("merged result diverges between 1 and %d workers", workers)
+		}
+		for k := range refRes.Shards {
+			if !reflect.DeepEqual(refRes.Shards[k], res.Shards[k]) {
+				t.Fatalf("shard %d result diverges between 1 and %d workers", k, workers)
+			}
+		}
+	}
+}
+
+// TestRunShardedDeterministicAcrossEpochSizes: the epoch budget is a
+// batching knob, not a semantic one — any epoch size yields the same run.
+func TestRunShardedDeterministicAcrossEpochSizes(t *testing.T) {
+	prof, opt := shardProfile(), shardOpt()
+	run := func(epoch int) ShardedResult {
+		res, err := RunSharded(prof, SCUESC, opt,
+			ShardOptions{Channels: 4, Interleave: trace.InterleavePage, EpochOps: epoch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(64)
+	for _, epoch := range []int{1, 777, 100000} {
+		if got := run(epoch); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("results diverge between epoch sizes 64 and %d", epoch)
+		}
+	}
+}
+
+// TestShardedMatchesMultiSystem cross-checks the splitter against the
+// multi-DIMM reference: routing the same stream through multi.System at
+// the same interleave must leave every controller with the same stats as
+// the sharded engine's channels (the splitter replicates multi's clock and
+// chunk arithmetic exactly). Verified at the stats level in
+// internal/multi's tests; here we pin the address/gap agreement.
+func TestShardedSplitterAgreesWithMultiRoute(t *testing.T) {
+	sp := trace.NewSplitter(nil, 4, trace.InterleavePage)
+	for _, addr := range []uint64{0, 63, 64, 4095, 4096, 4097, 5 * 4096, 16*4096 + 123} {
+		shard, local := sp.Route(addr)
+		chunk := addr / 4096
+		wantShard := int(chunk % 4)
+		wantLocal := (chunk/4)*4096 + addr%4096
+		if shard != wantShard || local != wantLocal {
+			t.Fatalf("Route(%#x) = (%d, %#x), want (%d, %#x)", addr, shard, local, wantShard, wantLocal)
+		}
+	}
+}
+
+// TestRunShardedHashOverflowSurfaces: when hash scatter lands more lines
+// on a channel than its slice can hold, the run must fail loudly with the
+// capacity diagnostic, not mis-route or panic.
+func TestRunShardedHashOverflowSurfaces(t *testing.T) {
+	const channels = 4
+	prof := shardProfile()
+	prof.FootprintBytes = 256 << 10
+	opt := shardOpt()
+	opt.DataBytes = prof.FootprintBytes // zero slack per shard
+
+	// Oracle: scatter every line of the footprint the way the splitter
+	// will; overflow is expected iff some channel draws more lines than
+	// its exact 1/channels slice. (With thousands of lines hashed into a
+	// handful of channels a perfectly balanced draw is essentially
+	// impossible, but derive it rather than assume it.)
+	lines := prof.FootprintBytes / 64
+	perShard := trace.ShardBytes(prof.FootprintBytes, channels, trace.InterleaveHash) / 64
+	counts := make(map[int]uint64)
+	overflow := false
+	probe := trace.NewSplitter(nil, channels, trace.InterleaveHash)
+	for l := uint64(0); l < lines; l++ {
+		shard, _ := probe.Route(l * 64)
+		if counts[shard]++; counts[shard] > perShard {
+			overflow = true
+			break
+		}
+	}
+	if !overflow {
+		t.Skip("hash scatter happened to balance exactly; no overflow to provoke")
+	}
+
+	// Touch every line so the worst channel must exceed its slice.
+	ops := make([]trace.Op, lines)
+	for l := uint64(0); l < lines; l++ {
+		ops[l] = trace.Op{Addr: l * 64, IsWrite: true, Gap: 1}
+	}
+	_, err := RunShardedStream(trace.NewReplay("hash-overflow", ops), SteinsGC, opt,
+		ShardOptions{Channels: channels, Interleave: trace.InterleaveHash})
+	if err == nil {
+		t.Fatal("expected hash-scatter overflow error, got nil")
+	}
+	if !strings.Contains(err.Error(), "scatter imbalance") {
+		t.Fatalf("overflow error missing diagnostic: %v", err)
+	}
+}
+
+// TestRunShardedPropagatesShardErrors: a failure inside one channel's
+// controller must surface wrapped with the channel identity.
+func TestRunShardedPropagatesShardErrors(t *testing.T) {
+	prof, opt := shardProfile(), shardOpt()
+	opt.Ops = 200
+	_, err := RunSharded(prof, failScheme("fail-shard", 10), opt,
+		ShardOptions{Channels: 4, Interleave: trace.InterleaveLine})
+	if err == nil {
+		t.Fatal("expected injected fault to surface")
+	}
+	if !strings.Contains(err.Error(), "sharded channel") || !strings.Contains(err.Error(), "fail-shard") {
+		t.Fatalf("error missing channel identity: %v", err)
+	}
+}
+
+// TestRunShardedSpeedup measures the acceptance criterion — four channels
+// at least 2x faster than the unsharded run — when the host actually has
+// the parallelism; on smaller machines the ratio is meaningless, so skip.
+func TestRunShardedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement is slow")
+	}
+	if p := runtime.GOMAXPROCS(0); p < 4 {
+		t.Skipf("need >= 4 procs to demonstrate sharded speedup, have %d", p)
+	}
+	// -cpu can raise GOMAXPROCS past the hardware (e.g. -cpu 8 on a
+	// 1-core CI box); wall-clock speedup needs real cores.
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("need >= 4 hardware cores to demonstrate sharded speedup, have %d", n)
+	}
+	prof, opt := shardProfile(), shardOpt()
+	prof.FootprintBytes = 4 << 20
+	opt.Ops = 400000
+
+	start := time.Now()
+	if _, err := Run(prof, SteinsSC, opt); err != nil {
+		t.Fatal(err)
+	}
+	serial := time.Since(start)
+
+	start = time.Now()
+	if _, err := RunSharded(prof, SteinsSC, opt,
+		ShardOptions{Channels: 4, Interleave: trace.InterleaveLine}); err != nil {
+		t.Fatal(err)
+	}
+	sharded := time.Since(start)
+
+	if sharded*2 > serial {
+		t.Fatalf("4-channel run not >=2x faster: unsharded %v, sharded %v", serial, sharded)
+	}
+}

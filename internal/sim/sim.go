@@ -105,8 +105,11 @@ func build(prof trace.Profile, s Scheme, opt Options) *memctrl.Controller {
 	return c
 }
 
-// payload derives a deterministic data block for a write.
-func payload(addr uint64, i int) [64]byte {
+// Payload derives the deterministic data block op i writes to addr. It is
+// exported so the sharded engine (and differential tests) can reproduce the
+// exact bytes an unsharded run stores, keyed by global address and global
+// op ordinal.
+func Payload(addr uint64, i int) [64]byte {
 	var b [64]byte
 	binary.LittleEndian.PutUint64(b[:8], addr)
 	binary.LittleEndian.PutUint64(b[8:16], uint64(i))
@@ -130,7 +133,7 @@ func driveStream(c *memctrl.Controller, s trace.Stream, warmupOps int) error {
 		}
 		var err error
 		if op.IsWrite {
-			err = c.WriteData(op.Gap, op.Addr, payload(op.Addr, i))
+			err = c.WriteData(op.Gap, op.Addr, Payload(op.Addr, i))
 		} else {
 			_, err = c.ReadData(op.Gap, op.Addr)
 		}

@@ -137,6 +137,9 @@ func (r *Replay) Name() string { return r.name }
 // Remaining returns how many operations are left.
 func (r *Replay) Remaining() int { return len(r.ops) - r.pos }
 
+// Reset rewinds the replayer to the first operation.
+func (r *Replay) Reset() { r.pos = 0 }
+
 // Next returns the next recorded operation.
 func (r *Replay) Next() (Op, bool) {
 	if r.pos >= len(r.ops) {

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestParseInterleaveRoundTrip(t *testing.T) {
+	for _, iv := range []Interleave{InterleaveLine, InterleavePage, InterleaveHash} {
+		got, err := ParseInterleave(iv.String())
+		if err != nil || got != iv {
+			t.Fatalf("ParseInterleave(%q) = %v, %v", iv.String(), got, err)
+		}
+	}
+	if _, err := ParseInterleave("bogus"); err == nil {
+		t.Fatal("ParseInterleave accepted junk")
+	}
+}
+
+func TestShardBytesCoversEveryAddress(t *testing.T) {
+	for _, iv := range []Interleave{InterleaveLine, InterleavePage} {
+		for _, shards := range []int{1, 2, 3, 4, 7} {
+			const dataBytes = 1 << 20
+			sp := NewSplitter(nil, shards, iv)
+			limit := ShardBytes(dataBytes, shards, iv)
+			seen := make([]map[uint64]bool, shards)
+			for i := range seen {
+				seen[i] = make(map[uint64]bool)
+			}
+			for addr := uint64(0); addr < dataBytes; addr += 64 {
+				shard, local := sp.Route(addr)
+				if local >= limit {
+					t.Fatalf("iv %s shards %d: local %#x beyond ShardBytes %#x", iv, shards, local, limit)
+				}
+				if local%64 != 0 {
+					t.Fatalf("iv %s: line-aligned address routed to unaligned local %#x", iv, local)
+				}
+				if seen[shard][local] {
+					t.Fatalf("iv %s shards %d: two global lines share shard %d local %#x", iv, shards, shard, local)
+				}
+				seen[shard][local] = true
+			}
+		}
+	}
+}
+
+func TestRouteKeepsChunksTogether(t *testing.T) {
+	// Every address inside one interleave chunk must land on the same
+	// shard, contiguously: metadata derived from a line (counters, tree
+	// branch) must live with the line.
+	sp := NewSplitter(nil, 4, InterleavePage)
+	baseShard, baseLocal := sp.Route(3 * 4096)
+	for off := uint64(0); off < 4096; off += 64 {
+		shard, local := sp.Route(3*4096 + off)
+		if shard != baseShard || local != baseLocal+off {
+			t.Fatalf("offset %#x left its chunk: shard %d local %#x", off, shard, local)
+		}
+	}
+}
+
+func TestHashRouteFirstTouchStable(t *testing.T) {
+	sp := NewSplitter(nil, 3, InterleaveHash)
+	type home struct {
+		shard int
+		local uint64
+	}
+	homes := make(map[uint64]home)
+	addrs := []uint64{0, 64, 128, 4096, 64, 0, 9999 * 64, 128}
+	for _, a := range addrs {
+		shard, local := sp.Route(a)
+		if h, ok := homes[a]; ok && (h.shard != shard || h.local != local) {
+			t.Fatalf("address %#x moved: (%d,%#x) then (%d,%#x)", a, h.shard, h.local, shard, local)
+		}
+		homes[a] = home{shard, local}
+	}
+}
+
+// TestNextEpochLocalClock pins the virtual-clock contract: per-shard local
+// gaps telescope back to the global arrival times, matching what
+// multi.System's advance() would hand each controller.
+func TestNextEpochLocalClock(t *testing.T) {
+	ops := []Op{
+		{Addr: 0 * 64, IsWrite: true, Gap: 5},   // shard 0, t=5
+		{Addr: 1 * 64, IsWrite: false, Gap: 3},  // shard 1, t=8
+		{Addr: 2 * 64, IsWrite: true, Gap: 10},  // shard 0, t=18
+		{Addr: 3 * 64, IsWrite: false, Gap: 1},  // shard 1, t=19
+		{Addr: 0 * 64, IsWrite: false, Gap: 11}, // shard 0, t=30
+	}
+	sp := NewSplitter(NewReplay("clock", ops), 2, InterleaveLine)
+	batches, n, err := sp.NextEpoch(len(ops))
+	if err != nil || n != len(ops) {
+		t.Fatalf("NextEpoch = %d, %v", n, err)
+	}
+	wantGaps := map[int][]uint64{0: {5, 13, 12}, 1: {8, 11}}
+	for shard, gaps := range wantGaps {
+		if len(batches[shard]) != len(gaps) {
+			t.Fatalf("shard %d: %d ops, want %d", shard, len(batches[shard]), len(gaps))
+		}
+		for i, g := range gaps {
+			if batches[shard][i].Gap != g {
+				t.Fatalf("shard %d op %d: gap %d, want %d", shard, i, batches[shard][i].Gap, g)
+			}
+		}
+	}
+	if batches[0][1].GlobalAddr != 2*64 || batches[0][1].Index != 2 {
+		t.Fatalf("shard 0 op 1 identity wrong: %+v", batches[0][1])
+	}
+}
+
+func TestNextEpochBudgetAndExhaustion(t *testing.T) {
+	ops := make([]Op, 10)
+	for i := range ops {
+		ops[i] = Op{Addr: uint64(i) * 64, IsWrite: true, Gap: 1}
+	}
+	sp := NewSplitter(NewReplay("budget", ops), 2, InterleaveLine)
+	if _, n, _ := sp.NextEpoch(7); n != 7 {
+		t.Fatalf("first epoch consumed %d, want 7", n)
+	}
+	if _, n, _ := sp.NextEpoch(7); n != 3 {
+		t.Fatalf("second epoch consumed %d, want 3", n)
+	}
+	if _, n, _ := sp.NextEpoch(7); n != 0 {
+		t.Fatalf("exhausted source yielded %d ops", n)
+	}
+	if sp.Emitted() != 10 {
+		t.Fatalf("Emitted = %d, want 10", sp.Emitted())
+	}
+}
+
+// TestNextEpochSteadyStateAllocs is the allocation ceiling for the sharded
+// hot path: once the epoch buffers have grown, line/page splitting must
+// stay off the heap entirely.
+func TestNextEpochSteadyStateAllocs(t *testing.T) {
+	ops := make([]Op, 4096)
+	for i := range ops {
+		ops[i] = Op{Addr: uint64(i%512) * 64, IsWrite: i%2 == 0, Gap: 3}
+	}
+	sp := NewSplitter(nil, 4, InterleaveLine)
+	rep := NewReplay("alloc", ops)
+	sp.Rebind(rep)
+	if _, _, err := sp.NextEpoch(len(ops)); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		rep.Reset()
+		if _, n, err := sp.NextEpoch(len(ops)); n != len(ops) || err != nil {
+			t.Fatalf("epoch: %d, %v", n, err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state NextEpoch allocates %.1f objects per epoch, want 0", avg)
+	}
+}

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench figs figs-full fuzz crashfuzz check cover clean metrics-demo
+.PHONY: all build test bench figs figs-full fuzz crashfuzz faultfuzz check cover clean metrics-demo
 
 all: build test
 
@@ -25,6 +25,7 @@ fuzz:
 	go test -fuzz=FuzzReadFile -fuzztime=20s ./internal/trace
 	go test -fuzz=FuzzSplitterRoundTrip -fuzztime=20s ./internal/trace
 	go test -fuzz=FuzzRecordReplay -fuzztime=20s ./internal/crashfuzz
+	go test -fuzz=FuzzFaultRecovery -fuzztime=20s ./internal/crashfuzz
 
 # Short deterministic crash-point fault-injection sweep: every scheme,
 # pinned seeds, torn-write detection demo included.
@@ -37,19 +38,43 @@ crashfuzz:
 	go run ./cmd/crashfuzz -scheme scue -workload pers_queue -crashes 25 -seed 5 -q
 	go run ./cmd/crashfuzz -scheme bmt -workload pers_queue -crashes 40 -seed 6 -q
 
+# Differential media-fault sweep: seeded fault model (transient flips,
+# stuck cells, torn crash writes) + deliberate interior-node corruption,
+# pinned seeds. Steins schemes heal in degraded mode; the rest must
+# quarantine or reject with a classified error — never corrupt silently.
+faultfuzz:
+	go run ./cmd/crashfuzz -scheme steins-gc -workload pers_hash -crashes 5 -seed 3 \
+		-faults 'transient=1e-3,double=0.25,stuck=1e-4,torn=0.25' -corrupt 2 -degraded -q
+	go run ./cmd/crashfuzz -scheme steins-sc -workload pers_hash -crashes 5 -seed 4 -footprint 1048576 \
+		-faults 'transient=1e-3,double=0.25,stuck=1e-4' -corrupt 3 -degraded -q
+	go run ./cmd/crashfuzz -scheme steins-sc -workload pers_queue -crashes 6 -seed 5 \
+		-faults 'transient=2e-3,double=0.5,torn=0.5' -q
+	go run ./cmd/crashfuzz -scheme asit -workload pers_hash -crashes 4 -seed 6 \
+		-faults 'transient=1e-3,double=0.25' -corrupt 1 -degraded -q
+	go run ./cmd/crashfuzz -scheme star -workload pers_hash -crashes 4 -seed 7 \
+		-faults 'transient=1e-3,double=0.25' -corrupt 1 -degraded -q
+	go run ./cmd/crashfuzz -scheme scue -workload pers_queue -crashes 3 -seed 8 \
+		-faults 'transient=1e-3,double=0.25' -corrupt 1 -degraded -q
+	go run ./cmd/crashfuzz -scheme bmt -workload pers_queue -crashes 4 -seed 9 \
+		-faults 'transient=1e-3,double=0.25,stuck=1e-4' -q
+	go run ./cmd/crashfuzz -scheme steins-gc -workload pers_queue -crashes 6 -seed 10 \
+		-faults 'transient=5e-3' -ecc=false -q
+
 # Phase-attribution + occupancy snapshots for one run and one sweep.
 metrics-demo:
 	go run ./cmd/steinssim -workload cactusADM -scheme Steins-GC -ops 20000 -metrics metrics_demo.json
 	go run ./cmd/benchfigs -fig 12 -metrics metrics_demo.csv
 
-# CI gate: vet, the crash harness, and the race-sensitive packages
-# (figure sweeps and parallel recovery under both GOMAXPROCS settings).
-# The sharded engine and conformance suite additionally run at -cpu 1,2,8
-# to pin bit-identical results across worker-pool widths.
-check: crashfuzz
+# CI gate: vet, the crash harness, the media-fault sweep, and the
+# race-sensitive packages (figure sweeps and parallel recovery under both
+# GOMAXPROCS settings). The sharded engine and conformance suite
+# additionally run at -cpu 1,2,8 to pin bit-identical results across
+# worker-pool widths.
+check: crashfuzz faultfuzz
 	go vet ./...
 	go test -race -cpu 1,4 ./internal/crashfuzz ./internal/figures \
-		./internal/metrics ./internal/sim ./internal/multi
+		./internal/metrics ./internal/sim ./internal/multi \
+		./internal/nvmem ./internal/memctrl ./internal/attack
 	go test -race -cpu 1,2,8 -run 'Sharded|Conformance|Splitter|Interleave|NextEpoch|Replay|RecoverAll' \
 		./internal/sim ./internal/trace ./internal/multi ./internal/scheme/schemetest
 

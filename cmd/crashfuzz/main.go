@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"steins/internal/crashfuzz"
+	"steins/internal/nvmem"
 )
 
 func main() {
@@ -40,8 +41,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sample    = fs.Int("sample", 0, "differential readback sample per round (0: full shadow)")
 		torn      = fs.Bool("torn", true, "finish with a torn-write detection demonstration")
 		quiet     = fs.Bool("q", false, "suppress progress lines")
+		faultSpec = fs.String("faults", "", "run the differential media-fault mode with this fault model, e.g. transient=1e-3,double=0.25,stuck=1e-4,torn=0.5 (seed defaults to -seed)")
+		ecc       = fs.Bool("ecc", true, "model the SECDED ECC layer in fault mode (-ecc=false leaves detection to the integrity layer alone)")
+		corrupt   = fs.Int("corrupt", 0, "fault mode: bit-flip this many persisted interior SIT nodes at every crash (implies -degraded unless recovery should reject)")
+		degraded  = fs.Bool("degraded", false, "fault mode: enable degraded recovery (heal from children or quarantine instead of rejecting)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	faults, ferr := nvmem.ParseFaultSpec(*faultSpec)
+	if ferr != nil {
+		fmt.Fprintf(stderr, "%v\n", ferr)
 		return 2
 	}
 	if fs.NArg() > 0 {
@@ -63,6 +73,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(stdout, format+"\n", args...)
 		}
+	}
+
+	if *faultSpec != "" || *corrupt > 0 {
+		fcfg := crashfuzz.FaultFuzzConfig{
+			Config:       cfg,
+			Faults:       faults,
+			DisableECC:   !*ecc,
+			CorruptNodes: *corrupt,
+			Degraded:     *degraded,
+		}
+		frep, err := crashfuzz.RunFaults(fcfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "FAIL: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "PASS fault mode: %s\n", frep.String())
+		return 0
 	}
 
 	rep, err := crashfuzz.Run(cfg)

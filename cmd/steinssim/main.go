@@ -17,6 +17,7 @@ import (
 
 	"steins/internal/memctrl"
 	"steins/internal/metrics"
+	"steins/internal/nvmem"
 	"steins/internal/sim"
 	"steins/internal/stats"
 	"steins/internal/trace"
@@ -56,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsTo = fs.String("metrics", "", "export a metrics snapshot (phase attribution, latency histograms, occupancy time series) to this file; .csv selects CSV, anything else JSON")
 		channels  = fs.Int("channels", 1, "interleave the trace across this many independent controllers (sharded engine)")
 		ivMode    = fs.String("interleave", "line", "address interleave granularity for -channels: line, page, or hash")
+		faultSpec = fs.String("faults", "", "media-fault model, e.g. transient=1e-4,double=0.25,stuck=1e-6,torn=0.5,seed=7 (empty or 'off': disabled)")
+		ecc       = fs.Bool("ecc", true, "model the per-word SECDED ECC layer (with -ecc=false corrupted lines return silently and only the integrity layer can catch them)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,6 +71,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *channels < 1 {
 		fmt.Fprintf(stderr, "-channels must be >= 1\n")
 		return 2
+	}
+	faults, err := nvmem.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
+	configure := func(cfg *memctrl.Config) {
+		cfg.NVM.Faults = faults
+		cfg.NVM.ECC.Disable = !*ecc
 	}
 
 	if *list {
@@ -92,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	so := sim.ShardOptions{Channels: *channels, Interleave: iv}
 	if *compare {
-		opt := sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10, Metrics: mopt}
+		opt := sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10, Metrics: mopt, Configure: configure}
 		if err := compareSchemes(prof, opt, so, *metricsTo, stdout); err != nil {
 			fmt.Fprintf(stderr, "compare failed: %v\n", err)
 			return 1
@@ -104,12 +116,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "unknown scheme %q (use -list)\n", *scheme)
 		return 2
 	}
-	opt := sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10, Metrics: mopt}
+	opt := sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10, Metrics: mopt, Configure: configure}
 
 	reportRecovery := func(rep memctrl.RecoveryReport) {
 		fmt.Fprintf(stdout, "recovery: %d nodes, %d NVM reads, %d writes, %d MAC ops -> %s\n",
 			rep.NodesRecovered, rep.NVMReads, rep.NVMWrites, rep.MACOps,
 			stats.Seconds(rep.TimeNS))
+		if d := &rep.Degradation; d.Degraded() {
+			fmt.Fprintf(stdout, "degraded: %d healed, %d quarantined, %d unrecoverable, data-loss bound %s\n",
+				len(d.Healed), len(d.Quarantined), len(d.Unrecoverable), stats.Bytes(d.DataLossBoundBytes))
+		}
 	}
 	var res sim.Result
 	var shards []sim.Result
@@ -168,6 +184,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	t.AddRow("hash ops", fmt.Sprintf("%d", res.Ctrl.HashOps))
 	t.AddRow("minor overflows", fmt.Sprintf("%d (re-encrypted %d blocks)",
 		res.Ctrl.Overflows, res.Ctrl.Reencrypts))
+	if faults.Enabled() {
+		t.AddRow("media read path", fmt.Sprintf("%d corrected, %d retried, %d escalated, %d unrecoverable",
+			res.Ctrl.MediaCorrected, res.Ctrl.MediaRetried, res.Ctrl.MediaEscalated, res.Ctrl.MediaUnrecoverable))
+		f := res.NVM.Faults
+		t.AddRow("device fault events", fmt.Sprintf("%d transient flips, %d stuck bits, %d torn writes",
+			f.TransientFlips, f.StuckBits, f.TornWrites))
+	}
 	fmt.Fprint(stdout, t)
 
 	if *tablePath {

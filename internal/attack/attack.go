@@ -11,6 +11,7 @@ import (
 
 	"steins/internal/cme"
 	"steins/internal/memctrl"
+	"steins/internal/multi"
 	"steins/internal/nvmem"
 	"steins/internal/rng"
 )
@@ -34,6 +35,14 @@ const (
 	// EraseTracking zeroes the scheme's dirty-tracking state in NVM before
 	// recovery (records, bitmap, shadow table).
 	EraseTracking
+	// MediaTag models a media fault in the ECC-bits region holding a
+	// block's tag: the counter-recovery hint flips. Unlike TamperTag this
+	// damages the recovery side channel, not the authentication MAC.
+	MediaTag
+	// MediaRecord models a media fault in the dirty-tracking region: one
+	// bit flips in the first populated tracking line (record region,
+	// bitmap or shadow table, whichever the scheme uses).
+	MediaRecord
 	numScenarios
 )
 
@@ -61,6 +70,10 @@ func (s Scenario) String() string {
 		return "replay-node"
 	case EraseTracking:
 		return "erase-tracking"
+	case MediaTag:
+		return "media-tag"
+	case MediaRecord:
+		return "media-record"
 	default:
 		return fmt.Sprintf("scenario(%d)", int(s))
 	}
@@ -76,19 +89,50 @@ type Report struct {
 	Neutralized bool   // not detected but also ineffective: all data intact
 }
 
+// shardChunk is the sharded address-interleave granularity. It is one
+// split-leaf coverage (64 lines), so every leaf's covered data — and the
+// replay-node epoch construction around the target — stays on one channel
+// regardless of the channel count.
+const shardChunk = 4096
+
+// routeAddr maps a global data address onto (channel, local address) under
+// shardChunk interleaving; one channel is the identity.
+func routeAddr(channels int, addr uint64) (int, uint64) {
+	if channels == 1 {
+		return 0, addr
+	}
+	chunk := addr / shardChunk
+	return int(chunk % uint64(channels)), (chunk/uint64(channels))*shardChunk + addr%shardChunk
+}
+
 // Execute runs the scenario against a fresh system built by factory:
 // a write workload establishes state, the attack is injected around a
 // crash, and detection is checked first during recovery and then by
 // reading every attacked address back.
 func Execute(factory memctrl.PolicyFactory, split bool, s Scenario) (Report, error) {
+	return ExecuteSharded(factory, split, s, 1)
+}
+
+// ExecuteSharded is Execute over a channel-interleaved multi-controller
+// system: the same global workload is split across channels at shardChunk
+// granularity, the attack is injected into the channel owning the target,
+// every channel recovers (in parallel, as the deployment would), and the
+// differential readback spans the whole global space. Detection must not
+// depend on the sharding: a scenario classifies identically at any channel
+// count.
+func ExecuteSharded(factory memctrl.PolicyFactory, split bool, s Scenario, channels int) (Report, error) {
 	rep := Report{Scenario: s, Applicable: true}
-	cfg := memctrl.DefaultConfig(1<<20, split)
+	const totalBytes = 1 << 20
+	cfg := memctrl.DefaultConfig(totalBytes/uint64(channels), split)
 	cfg.MetaCacheBytes = 4 << 10
 	cfg.MetaCacheWays = 4
-	c := memctrl.New(cfg, factory)
+	ctrls := make([]*memctrl.Controller, channels)
+	for i := range ctrls {
+		ctrls[i] = memctrl.New(cfg, factory)
+	}
 
 	r := rng.New(99)
-	lines := cfg.DataBytes / 64
+	lines := uint64(totalBytes) / 64
 	expected := make(map[uint64][64]byte)
 	var order []uint64
 	write := func(addr uint64, v byte) error {
@@ -98,7 +142,12 @@ func Execute(factory memctrl.PolicyFactory, split bool, s Scenario) (Report, err
 			order = append(order, addr)
 		}
 		expected[addr] = b
-		return c.WriteData(5, addr, b)
+		ch, local := routeAddr(channels, addr)
+		return ctrls[ch].WriteData(5, local, b)
+	}
+	read := func(addr uint64) ([64]byte, error) {
+		ch, local := routeAddr(channels, addr)
+		return ctrls[ch].ReadData(1, local)
 	}
 	for i := 0; i < 3000; i++ {
 		if err := write(r.Uint64n(lines)*64, byte(i)); err != nil {
@@ -106,19 +155,21 @@ func Execute(factory memctrl.PolicyFactory, split bool, s Scenario) (Report, err
 		}
 	}
 	target := order[0]
+	co, lt := routeAddr(channels, target)
+	c := ctrls[co] // the channel the attack lands on
 
 	// Capture replay material before newer writes.
-	oldLine := c.Device().Peek(target)
-	oldTag := c.Tag(target)
+	oldLine := c.Device().Peek(lt)
+	oldTag := c.Tag(lt)
 	var oldNode nvmem.Line
-	leaf, _ := c.Layout().Geo.LeafOfData(target)
+	leaf, _ := c.Layout().Geo.LeafOfData(lt)
 	leafAddr := c.Layout().Geo.NodeAddr(0, leaf)
 	if s == ReplayNode {
 		// Build two flush epochs for the leaf covering target.
 		if _, err := c.FlushNode(0, leaf); err != nil {
 			return rep, err
 		}
-		if _, err := c.ReadData(1, target); err != nil {
+		if _, err := read(target); err != nil {
 			return rep, err
 		}
 		oldNode = c.Device().Peek(leafAddr)
@@ -128,7 +179,7 @@ func Execute(factory memctrl.PolicyFactory, split bool, s Scenario) (Report, err
 		if _, err := c.FlushNode(0, leaf); err != nil {
 			return rep, err
 		}
-		if _, err := c.ReadData(1, target); err != nil {
+		if _, err := read(target); err != nil {
 			return rep, err
 		}
 	}
@@ -136,10 +187,12 @@ func Execute(factory memctrl.PolicyFactory, split bool, s Scenario) (Report, err
 		return rep, err
 	}
 
-	c.Crash()
-	inject(c, s, target, oldLine, oldTag, oldNode, leafAddr)
+	for _, ctrl := range ctrls {
+		ctrl.Crash()
+	}
+	inject(c, s, lt, oldLine, oldTag, oldNode, leafAddr)
 
-	if _, err := c.Recover(); err != nil {
+	if _, _, err := multi.RecoverAll(ctrls); err != nil {
 		if errors.Is(err, memctrl.ErrNoRecovery) {
 			rep.Applicable = false
 			return rep, nil
@@ -155,7 +208,7 @@ func Execute(factory memctrl.PolicyFactory, split bool, s Scenario) (Report, err
 	// either catch the attack on access or every block must read back
 	// intact — silent corruption is the one unacceptable outcome.
 	for _, addr := range order {
-		got, err := c.ReadData(1, addr)
+		got, err := read(addr)
 		if err != nil {
 			rep.Detected, rep.Where, rep.Violation = true, "runtime", err
 			return rep, nil
@@ -200,6 +253,36 @@ func inject(c *memctrl.Controller, s Scenario, target uint64,
 		}
 		for off := uint64(0); off < lay.ShadowBytes; off += nvmem.LineSize {
 			dev.Poke(lay.ShadowBase+off, nvmem.Line{})
+		}
+	case MediaTag:
+		tag := c.Tag(target)
+		tag.Hint ^= 1
+		c.SetTag(target, tag)
+	case MediaRecord:
+		mediaRecordFlip(c)
+	}
+}
+
+// mediaRecordFlip flips one bit in the first populated line of the
+// scheme's dirty-tracking region (records, then bitmap, then shadow). A
+// scheme with no tracking state at all is untouched — the fault has
+// nothing to land on.
+func mediaRecordFlip(c *memctrl.Controller) {
+	dev := c.Device()
+	lay := c.Layout()
+	regions := []struct{ base, lines uint64 }{
+		{lay.RecordBase, lay.RecordLines()},
+		{lay.BitmapBase, lay.BitmapLines()},
+		{lay.ShadowBase, lay.ShadowBytes / nvmem.LineSize},
+	}
+	for _, reg := range regions {
+		for li := uint64(0); li < reg.lines; li++ {
+			addr := reg.base + li*nvmem.LineSize
+			if line := dev.Peek(addr); line != (nvmem.Line{}) {
+				line[2] ^= 0x20
+				dev.Poke(addr, line)
+				return
+			}
 		}
 	}
 }

@@ -59,6 +59,48 @@ func TestSteinsDetectsCoreAttacks(t *testing.T) {
 	}
 }
 
+func TestShardedClassificationMatchesSingleChannel(t *testing.T) {
+	// Sharding the address space across channels must not change what an
+	// attack classifies as: the channel owning the attacked state detects
+	// (or neutralizes) it exactly as a single-channel system would, and
+	// the other channels stay unaffected. Exercised for the tracking-
+	// erasure attack and the two media-fault scenarios across the
+	// recoverable schemes.
+	schemes := []sim.Scheme{
+		{Name: "Steins-GC", Factory: steins.Factory},
+		{Name: "Steins-SC", Factory: steins.Factory, Split: true},
+		{Name: "ASIT", Factory: asit.Factory},
+		{Name: "STAR", Factory: star.Factory},
+	}
+	scenarios := []attack.Scenario{attack.EraseTracking, attack.MediaTag, attack.MediaRecord}
+	for _, s := range schemes {
+		for _, sc := range scenarios {
+			base, err := attack.Execute(s.Factory, s.Split, sc)
+			if err != nil {
+				t.Errorf("%s/%v: 1 channel: %v", s.Name, sc, err)
+				continue
+			}
+			if !base.Detected && !base.Neutralized {
+				t.Errorf("%s/%v: neither detected nor neutralized", s.Name, sc)
+			}
+			for _, channels := range []int{2, 4} {
+				rep, err := attack.ExecuteSharded(s.Factory, s.Split, sc, channels)
+				if err != nil {
+					t.Errorf("%s/%v: %d channels: %v", s.Name, sc, channels, err)
+					continue
+				}
+				if rep.Detected != base.Detected || rep.Neutralized != base.Neutralized ||
+					rep.Where != base.Where {
+					t.Errorf("%s/%v: classification diverged at %d channels: 1ch detected=%v/%s neutralized=%v, %dch detected=%v/%s neutralized=%v",
+						s.Name, sc, channels,
+						base.Detected, base.Where, base.Neutralized,
+						channels, rep.Detected, rep.Where, rep.Neutralized)
+				}
+			}
+		}
+	}
+}
+
 func TestWBInapplicable(t *testing.T) {
 	rep, err := attack.Execute(wb.Factory, false, attack.TamperData)
 	if err != nil {

@@ -288,7 +288,10 @@ func (c *Controller) fetchLeaf(leaf uint64) (*cache.Entry[*counter.CME], uint64,
 	if e, ok := c.meta.Lookup(addr); ok {
 		return e, c.cfg.CacheHitCycles, nil
 	}
-	line, rlat := c.dev.Read(c.reqStart, addr, nvmem.ClassMeta)
+	line, rlat, err := c.dev.Read(c.reqStart, addr, nvmem.ClassMeta)
+	if err != nil {
+		return nil, rlat, err
+	}
 	blk := counter.Block(line)
 	vcyc, err := c.verifyLeaf(leaf, blk)
 	cycles := rlat + vcyc
@@ -305,7 +308,7 @@ func (c *Controller) fetchLeaf(leaf uint64) (*cache.Entry[*counter.CME], uint64,
 			return e, cycles, nil
 		}
 		blkOut := victim.Payload.Encode()
-		cycles += c.dev.Write(c.reqStart+cycles, victim.Addr, nvmem.Line(blkOut), nvmem.ClassMeta)
+		cycles += c.dev.MustWrite(c.reqStart+cycles, victim.Addr, nvmem.Line(blkOut), nvmem.ClassMeta)
 		c.FaultEvent(memctrl.EvEviction, victim.Addr)
 	}
 }
@@ -351,7 +354,7 @@ func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
 	c.stats.HashOps++
 	tag := c.eng.TagSC(&ct, addr, enc, blk.Major)
 	cycles += c.cfg.AESCycles + c.cfg.HashCycles
-	cycles += c.dev.Write(c.reqStart+cycles, addr, nvmem.Line(ct), nvmem.ClassData)
+	cycles += c.dev.MustWrite(c.reqStart+cycles, addr, nvmem.Line(ct), nvmem.ClassData)
 	c.tags[addr] = tag
 	c.completeWrite(cycles)
 	return nil
@@ -372,7 +375,11 @@ func (c *Controller) ReadData(gap uint64, addr uint64) ([64]byte, error) {
 	}
 	blk := e.Payload
 	enc := blk.EncCounter(slot)
-	line, dataLat := c.dev.Read(c.reqStart, addr, nvmem.ClassData)
+	line, dataLat, err := c.dev.Read(c.reqStart, addr, nvmem.ClassData)
+	if err != nil {
+		c.completeRead(max(dataLat, counterPath))
+		return [64]byte{}, err
+	}
 	tag := c.tags[addr]
 	if !tag.Written {
 		cycles := max(dataLat, counterPath)
@@ -410,7 +417,10 @@ func (c *Controller) reencrypt(leaf uint64, blk *counter.CME, skipSlot int) (uin
 		if !tag.Written {
 			continue
 		}
-		line, rlat := c.dev.Read(c.reqStart+cycles, daddr, nvmem.ClassData)
+		line, rlat, rerr := c.dev.Read(c.reqStart+cycles, daddr, nvmem.ClassData)
+		if rerr != nil {
+			return cycles + rlat, rerr
+		}
 		if first {
 			cycles += rlat
 			first = false
@@ -440,7 +450,7 @@ func (c *Controller) reencrypt(leaf uint64, blk *counter.CME, skipSlot int) (uin
 		c.stats.AESOps += 2
 		c.stats.HashOps++
 		c.tags[daddr] = c.eng.TagSC(&ct, daddr, newCtr, blk.Major)
-		cycles += c.dev.Write(c.reqStart+cycles, daddr, nvmem.Line(ct), nvmem.ClassData)
+		cycles += c.dev.MustWrite(c.reqStart+cycles, daddr, nvmem.Line(ct), nvmem.ClassData)
 	}
 	return cycles, nil
 }

@@ -1,0 +1,292 @@
+package crashfuzz
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+	"steins/internal/rng"
+	"steins/internal/trace"
+)
+
+// FaultFuzzConfig parameterises one differential media-fault run: the base
+// crash-fuzz knobs plus the device fault model and the recovery-hardening
+// switches under test.
+type FaultFuzzConfig struct {
+	Config
+	// Faults is the device media-fault model (transient flips, stuck cells,
+	// torn crash writes). A zero Seed inherits the run seed.
+	Faults nvmem.FaultConfig
+	// DisableECC removes the SECDED layer: corrupted lines return silently
+	// and only the cryptographic integrity machinery may catch them.
+	DisableECC bool
+	// CorruptNodes flips one bit in that many populated interior SIT node
+	// lines after every crash, modelling metadata media damage discovered at
+	// recovery time. Pair it with Degraded so recovery can heal or
+	// quarantine instead of rejecting outright.
+	CorruptNodes int
+	// Degraded enables the controllers' degraded-recovery mode (heal from
+	// children where the scheme supports it, quarantine otherwise).
+	Degraded bool
+}
+
+// FaultReport summarises a differential media-fault run. The invariant the
+// run enforces is printed nowhere because it never varies: zero silent
+// corruptions — every datum either reads back to its last-persisted value
+// or fails with a structured media/integrity error.
+type FaultReport struct {
+	Scheme, Workload string
+	Seed             uint64
+	Rounds           int
+	Ops              uint64
+
+	WriteFaults uint64 // runtime writes rejected with a structured error
+	ReadFaults  uint64 // runtime reads rejected with a structured error
+
+	LinesVerified uint64 // post-recovery readback checks that returned data
+	MediaLost     uint64 // readbacks failing with a structured media fault
+	IntegrityLost uint64 // readbacks failing with a tamper/replay violation
+
+	NodesCorrupted     int    // interior node lines bit-flipped at crashes
+	Healed             int    // nodes degraded recovery healed in place
+	Quarantined        int    // subtree roots degraded recovery fenced off
+	DataLossBoundBytes uint64 // summed quarantine coverage
+
+	// RecoveryRejected is set when a recovery refused the (genuinely
+	// damaged) state instead of degrading; the run ends there. Detection is
+	// a correct outcome, not a failure — but it bounds the rounds covered.
+	RecoveryRejected string
+
+	Media nvmem.FaultCounters // device-side fault activity
+}
+
+func (r *FaultReport) String() string {
+	s := fmt.Sprintf("%s/%s seed=%d: %d rounds, %d ops, faults r/w %d/%d, verified %d (media lost %d, integrity lost %d)",
+		r.Scheme, r.Workload, r.Seed, r.Rounds, r.Ops,
+		r.ReadFaults, r.WriteFaults, r.LinesVerified, r.MediaLost, r.IntegrityLost)
+	if r.NodesCorrupted > 0 || r.Healed > 0 || r.Quarantined > 0 {
+		s += fmt.Sprintf("; corrupted %d nodes → healed %d, quarantined %d (loss bound %d B)",
+			r.NodesCorrupted, r.Healed, r.Quarantined, r.DataLossBoundBytes)
+	}
+	if r.RecoveryRejected != "" {
+		s += "; recovery rejected damaged state: " + r.RecoveryRejected
+	}
+	return s
+}
+
+// structuredMedia reports whether err is a classified media failure: a
+// controller media fault (retry budget exhausted or quarantined) or a raw
+// detected-uncorrectable device error.
+func structuredMedia(err error) bool {
+	return errors.Is(err, memctrl.ErrMediaFault) || errors.Is(err, nvmem.ErrUncorrectable)
+}
+
+// structuredIntegrity reports whether err is a cryptographic integrity
+// verdict (tamper or replay violation).
+func structuredIntegrity(err error) bool {
+	return errors.Is(err, memctrl.ErrTamper) || errors.Is(err, memctrl.ErrReplay)
+}
+
+// faultFuzzer carries the per-run state of one differential media-fault
+// torture loop.
+type faultFuzzer struct {
+	cfg    FaultFuzzConfig
+	sys    System
+	r      *rng.Source
+	gen    *trace.Generator
+	shadow map[uint64][64]byte // last successfully persisted plaintext
+	seq    uint64
+	rep    FaultReport
+}
+
+// RunFaults drives the differential media-fault mode: the workload runs
+// over a device with the configured fault model, crashes are taken at
+// round boundaries (tearing the in-flight write per the model and
+// optionally bit-flipping persisted interior nodes), recovery runs in the
+// configured mode, and every line the shadow model holds is read back.
+//
+// The verdict is binary and the only way to fail: a read that returns
+// WRONG data without an error, or an error that is neither a structured
+// media fault nor an integrity violation, comes back as a *Failure with
+// the reproducing seed. Detected losses (quarantined or escalated lines)
+// and outright recovery rejections are legitimate outcomes and are only
+// counted in the report.
+func RunFaults(cfg FaultFuzzConfig) (FaultReport, error) {
+	cfg.setDefaults()
+	if cfg.Faults.Seed == 0 {
+		cfg.Faults.Seed = cfg.Seed
+	}
+	prof, ok := trace.ByName(cfg.Workload)
+	if !ok {
+		return FaultReport{}, fmt.Errorf("crashfuzz: unknown workload %q", cfg.Workload)
+	}
+	prof.FootprintBytes = cfg.FootprintBytes
+	sys, err := NewSystemWith(cfg.Scheme, cfg.FootprintBytes, SysOptions{
+		Faults:     cfg.Faults,
+		DisableECC: cfg.DisableECC,
+		Degraded:   cfg.Degraded,
+	})
+	if err != nil {
+		return FaultReport{}, err
+	}
+	f := &faultFuzzer{
+		cfg:    cfg,
+		sys:    sys,
+		r:      rng.New(cfg.Seed),
+		gen:    trace.New(prof, cfg.Seed, (cfg.Crashes+1)*cfg.OpsPerRound),
+		shadow: make(map[uint64][64]byte),
+		rep:    FaultReport{Scheme: sys.Name(), Workload: cfg.Workload, Seed: cfg.Seed},
+	}
+	for round := 0; round < cfg.Crashes; round++ {
+		f.rep.Rounds++
+		done, err := f.round(round)
+		if err != nil {
+			f.rep.Media = f.sys.Device().Stats().Faults
+			return f.rep, err
+		}
+		if done {
+			break
+		}
+		if round%10 == 9 {
+			cfg.Logf("fault round %d/%d: %s", round+1, cfg.Crashes, f.rep.String())
+		}
+	}
+	f.rep.Media = f.sys.Device().Stats().Faults
+	return f.rep, nil
+}
+
+// round drives one op window, crashes, corrupts, recovers and verifies.
+// done=true ends the run early (recovery rejected the damaged state).
+func (f *faultFuzzer) round(round int) (bool, error) {
+	for ops := 0; ops < f.cfg.OpsPerRound; ops++ {
+		op, more := f.gen.Next()
+		if !more {
+			break
+		}
+		if err := f.drive(round, op); err != nil {
+			return false, err
+		}
+		f.rep.Ops++
+	}
+
+	f.sys.Crash()
+	if f.cfg.CorruptNodes > 0 {
+		if c, ok := f.sys.(interface {
+			corruptInteriorNodes(*rng.Source, int) int
+		}); ok {
+			f.rep.NodesCorrupted += c.corruptInteriorNodes(f.r, f.cfg.CorruptNodes)
+		}
+	}
+
+	var rerr error
+	if dr, ok := f.sys.(interface {
+		recoverFull() (memctrl.RecoveryReport, error)
+	}); ok {
+		var rrep memctrl.RecoveryReport
+		rrep, rerr = dr.recoverFull()
+		if rerr == nil {
+			f.rep.Healed += len(rrep.Degradation.Healed)
+			f.rep.Quarantined += len(rrep.Degradation.Quarantined)
+			f.rep.DataLossBoundBytes += rrep.Degradation.DataLossBoundBytes
+		}
+	} else {
+		rerr = f.sys.Recover()
+	}
+	if rerr != nil {
+		// Refusing genuinely damaged state is detection, not failure — but
+		// the error must still be a classified verdict, and the run cannot
+		// continue past an unrecovered controller.
+		if !structuredMedia(rerr) && !structuredIntegrity(rerr) {
+			return true, f.failAt(round, fmt.Sprintf("recovery failed with an unclassified error: %v", rerr))
+		}
+		f.rep.RecoveryRejected = rerr.Error()
+		return true, nil
+	}
+	return false, f.verify(round)
+}
+
+// drive executes one request. Structured media rejections are tolerated
+// (the shadow is only updated on success); anything else fails the run.
+func (f *faultFuzzer) drive(round int, op trace.Op) error {
+	f.seq++
+	if op.IsWrite {
+		data := payload(op.Addr, f.seq)
+		err := f.sys.WriteData(op.Gap, op.Addr, data)
+		if err == nil {
+			f.shadow[op.Addr] = data
+			return nil
+		}
+		if structuredMedia(err) || structuredIntegrity(err) {
+			// A failed write may have landed partially; its line can no
+			// longer be trusted to hold either value, so drop it from the
+			// differential set rather than assert a value we cannot know.
+			delete(f.shadow, op.Addr)
+			f.rep.WriteFaults++
+			return nil
+		}
+		return f.failAt(round, fmt.Sprintf("write %#x rejected with an unclassified error: %v", op.Addr, err))
+	}
+	got, err := f.sys.ReadData(op.Gap, op.Addr)
+	if err != nil {
+		if structuredMedia(err) || structuredIntegrity(err) {
+			f.rep.ReadFaults++
+			return nil
+		}
+		return f.failAt(round, fmt.Sprintf("read %#x rejected with an unclassified error: %v", op.Addr, err))
+	}
+	if want, written := f.shadow[op.Addr]; written && got != want {
+		return f.failAt(round, fmt.Sprintf("SILENT CORRUPTION: runtime read %#x returned wrong data", op.Addr))
+	}
+	return nil
+}
+
+// verify reads back every shadowed line after a recovery: each must return
+// its last-persisted value or fail with a structured verdict.
+func (f *faultFuzzer) verify(round int) error {
+	addrs := make([]uint64, 0, len(f.shadow))
+	for addr := range f.shadow {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	if n := f.cfg.VerifySample; n > 0 && len(addrs) > n {
+		// Deterministic sample; the fault stream advances per read, so the
+		// subset must come from the run RNG, not map order.
+		for i := len(addrs) - 1; i > 0; i-- {
+			j := f.r.Intn(i + 1)
+			addrs[i], addrs[j] = addrs[j], addrs[i]
+		}
+		addrs = addrs[:n]
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	}
+	for _, addr := range addrs {
+		got, err := f.sys.ReadData(1, addr)
+		if err != nil {
+			switch {
+			case structuredMedia(err):
+				f.rep.MediaLost++
+			case structuredIntegrity(err):
+				f.rep.IntegrityLost++
+			default:
+				return f.failAt(round, fmt.Sprintf("post-recovery read %#x rejected with an unclassified error: %v", addr, err))
+			}
+			continue
+		}
+		f.rep.LinesVerified++
+		if got != f.shadow[addr] {
+			return f.failAt(round, fmt.Sprintf("SILENT CORRUPTION: post-recovery read %#x returned wrong data", addr))
+		}
+	}
+	return nil
+}
+
+func (f *faultFuzzer) failAt(round int, detail string) error {
+	return &Failure{
+		Scheme:   f.cfg.Scheme,
+		Workload: f.cfg.Workload,
+		Seed:     f.cfg.Seed,
+		Round:    round,
+		Detail:   detail,
+	}
+}

@@ -1,0 +1,145 @@
+package crashfuzz
+
+import (
+	"testing"
+
+	"steins/internal/nvmem"
+)
+
+// faultCfg is the shared small-footprint base for the fault sweeps.
+func faultCfg(scheme string, seed uint64, faults nvmem.FaultConfig) FaultFuzzConfig {
+	return FaultFuzzConfig{
+		Config: Config{
+			Scheme:         scheme,
+			Workload:       "pers_queue",
+			Seed:           seed,
+			Crashes:        4,
+			OpsPerRound:    150,
+			FootprintBytes: 256 << 10,
+		},
+		Faults: faults,
+	}
+}
+
+// TestFaultFuzzAllSchemes runs every scheme under the full media-fault
+// model — transient flips (some uncorrectable), sticky stuck-at cells and
+// torn crash writes — and demands zero silent corruptions: each datum
+// reads back correct or fails with a structured media/integrity verdict.
+func TestFaultFuzzAllSchemes(t *testing.T) {
+	faults := nvmem.FaultConfig{
+		TransientPerRead: 0.002,
+		DoubleBitFrac:    0.25,
+		StuckPerWrite:    1e-4,
+		TornOnCrash:      0.25,
+	}
+	var flips uint64
+	for i, scheme := range SchemeNames() {
+		t.Run(scheme, func(t *testing.T) {
+			rep, err := RunFaults(faultCfg(scheme, 100+uint64(i), faults))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Ops == 0 {
+				t.Fatal("no operations driven")
+			}
+			// A torn metadata write may legitimately end the run early with
+			// a rejection; the fault model still must have fired somewhere.
+			if rep.Media == (nvmem.FaultCounters{}) {
+				t.Fatalf("fault model never fired: %+v", rep.Media)
+			}
+			flips += rep.Media.TransientFlips
+			t.Log(rep.String())
+		})
+	}
+	if flips == 0 {
+		t.Fatal("no scheme ever drew a transient flip")
+	}
+}
+
+// TestFaultFuzzEccDisabled removes the SECDED layer so corrupted lines
+// return silently from the device; the cryptographic integrity machinery
+// must then be the backstop against silent corruption.
+func TestFaultFuzzEccDisabled(t *testing.T) {
+	faults := nvmem.FaultConfig{TransientPerRead: 0.001, DoubleBitFrac: 0.25}
+	for i, scheme := range []string{"steins-gc", "steins-sc", "bmt"} {
+		t.Run(scheme, func(t *testing.T) {
+			cfg := faultCfg(scheme, 200+uint64(i), faults)
+			cfg.DisableECC = true
+			rep, err := RunFaults(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(rep.String())
+		})
+	}
+}
+
+// TestFaultFuzzDegradedSteinsHeals bit-flips persisted interior nodes at
+// every crash with the fault model otherwise off. Steins' degraded
+// recovery must absorb the damage — healing from verified children or
+// quarantining — with zero silent corruptions; across the run at least
+// one node must actually have been healed in place.
+func TestFaultFuzzDegradedSteinsHeals(t *testing.T) {
+	for i, scheme := range []string{"steins-gc", "steins-sc"} {
+		t.Run(scheme, func(t *testing.T) {
+			cfg := faultCfg(scheme, 300+uint64(i), nvmem.FaultConfig{})
+			// pers_hash scatters accesses so dirty interior nodes actually
+			// evict to NVM — pers_queue persists too few to corrupt — and
+			// the 1 MB footprint keeps an interior level even under the
+			// shallower split-leaf geometry.
+			cfg.Workload = "pers_hash"
+			cfg.FootprintBytes = 1 << 20
+			cfg.Crashes = 6
+			cfg.OpsPerRound = 300
+			cfg.CorruptNodes = 3
+			cfg.Degraded = true
+			rep, err := RunFaults(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.NodesCorrupted == 0 {
+				t.Fatal("no interior nodes were corrupted")
+			}
+			if rep.Healed == 0 {
+				t.Fatalf("no corrupted node was healed: %s", rep.String())
+			}
+			t.Log(rep.String())
+		})
+	}
+}
+
+// TestFaultFuzzDegradedOtherSchemes drives the quarantine-only degraded
+// paths: the non-Steins schemes cannot heal interior damage, so they must
+// fence it off (or reject the state outright) without silent corruption.
+func TestFaultFuzzDegradedOtherSchemes(t *testing.T) {
+	for i, scheme := range []string{"asit", "star", "scue"} {
+		t.Run(scheme, func(t *testing.T) {
+			cfg := faultCfg(scheme, 400+uint64(i), nvmem.FaultConfig{})
+			cfg.Workload = "pers_hash"
+			cfg.CorruptNodes = 1
+			cfg.Degraded = true
+			rep, err := RunFaults(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(rep.String())
+		})
+	}
+}
+
+// TestFaultFuzzDeterministic pins the report (counters included) to the
+// seed: two identical runs must agree field for field.
+func TestFaultFuzzDeterministic(t *testing.T) {
+	faults := nvmem.FaultConfig{TransientPerRead: 0.002, DoubleBitFrac: 0.3, StuckPerWrite: 1e-4, TornOnCrash: 1}
+	a, err := RunFaults(faultCfg("steins-gc", 7, faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFaults(faultCfg("steins-gc", 7, faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

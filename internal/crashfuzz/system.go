@@ -29,6 +29,7 @@ import (
 	"steins/internal/bmtctrl"
 	"steins/internal/memctrl"
 	"steins/internal/nvmem"
+	"steins/internal/rng"
 	"steins/internal/scheme/asit"
 	"steins/internal/scheme/scue"
 	"steins/internal/scheme/star"
@@ -63,33 +64,51 @@ func SchemeNames() []string {
 	return names
 }
 
-var builders = map[string]func(dataBytes uint64) System{
-	"steins-gc": func(db uint64) System { return newSITSystem(db, false, steins.Factory) },
-	"steins-sc": func(db uint64) System { return newSITSystem(db, true, steins.Factory) },
-	"asit":      func(db uint64) System { return newSITSystem(db, false, asit.Factory) },
-	"star":      func(db uint64) System { return newSITSystem(db, false, star.Factory) },
-	"scue":      func(db uint64) System { return newSITSystem(db, false, scue.Factory) },
-	"scue-sc":   func(db uint64) System { return newSITSystem(db, true, scue.Factory) },
-	"bmt":       func(db uint64) System { return newBMTSystem(db) },
+// SysOptions tunes a built system beyond scheme and footprint: the media-
+// fault model on its NVM device and the controller's degraded-recovery
+// switch. The zero value reproduces the historical fault-free systems.
+type SysOptions struct {
+	Faults     nvmem.FaultConfig
+	DisableECC bool
+	Degraded   bool
+}
+
+var builders = map[string]func(dataBytes uint64, o SysOptions) System{
+	"steins-gc": func(db uint64, o SysOptions) System { return newSITSystem(db, false, steins.Factory, o) },
+	"steins-sc": func(db uint64, o SysOptions) System { return newSITSystem(db, true, steins.Factory, o) },
+	"asit":      func(db uint64, o SysOptions) System { return newSITSystem(db, false, asit.Factory, o) },
+	"star":      func(db uint64, o SysOptions) System { return newSITSystem(db, false, star.Factory, o) },
+	"scue":      func(db uint64, o SysOptions) System { return newSITSystem(db, false, scue.Factory, o) },
+	"scue-sc":   func(db uint64, o SysOptions) System { return newSITSystem(db, true, scue.Factory, o) },
+	"bmt":       func(db uint64, o SysOptions) System { return newBMTSystem(db, o) },
 }
 
 // NewSystem builds a named scheme over dataBytes of protected data with a
 // small metadata cache (4 KB, 4-way) so eviction churn — the interesting
 // crash surface — is constant even on tiny footprints.
 func NewSystem(scheme string, dataBytes uint64) (System, error) {
+	return NewSystemWith(scheme, dataBytes, SysOptions{})
+}
+
+// NewSystemWith is NewSystem with the media-fault and recovery options
+// applied; the fault fuzzer builds its systems through it.
+func NewSystemWith(scheme string, dataBytes uint64, o SysOptions) (System, error) {
 	b, ok := builders[scheme]
 	if !ok {
 		return nil, fmt.Errorf("crashfuzz: unknown scheme %q (have %v)", scheme, SchemeNames())
 	}
-	return b(dataBytes), nil
+	return b(dataBytes, o), nil
 }
 
 type sitSystem struct{ c *memctrl.Controller }
 
-func newSITSystem(dataBytes uint64, split bool, factory memctrl.PolicyFactory) System {
+func newSITSystem(dataBytes uint64, split bool, factory memctrl.PolicyFactory, o SysOptions) System {
 	cfg := memctrl.DefaultConfig(dataBytes, split)
 	cfg.MetaCacheBytes = 4 << 10
 	cfg.MetaCacheWays = 4
+	cfg.NVM.Faults = o.Faults
+	cfg.NVM.ECC.Disable = o.DisableECC
+	cfg.DegradedRecovery = o.Degraded
 	return &sitSystem{c: memctrl.New(cfg, factory)}
 }
 
@@ -104,12 +123,47 @@ func (s *sitSystem) SetFaultHooks(h memctrl.FaultHooks)          { s.c.SetFaultH
 func (s *sitSystem) Device() *nvmem.Device                       { return s.c.Device() }
 func (s *sitSystem) VerifyPersisted() error                      { return s.c.VerifyNVM() }
 
+// recoverFull exposes the structured recovery report (degradation
+// breakdown) to the fault fuzzer.
+func (s *sitSystem) recoverFull() (memctrl.RecoveryReport, error) { return s.c.Recover() }
+
+// corruptInteriorNodes flips one bit in up to n distinct populated
+// interior SIT node lines, chosen deterministically from r, modelling
+// media damage to persisted metadata discovered at recovery time. It
+// returns how many lines were actually hit.
+func (s *sitSystem) corruptInteriorNodes(r *rng.Source, n int) int {
+	geo := &s.c.Layout().Geo
+	dev := s.c.Device()
+	var addrs []uint64
+	for k := 1; k < geo.Levels; k++ {
+		for idx := uint64(0); idx < geo.LevelNodes[k]; idx++ {
+			addr := geo.NodeAddr(k, idx)
+			if dev.Peek(addr) != (nvmem.Line{}) {
+				addrs = append(addrs, addr)
+			}
+		}
+	}
+	hit := 0
+	for ; hit < n && len(addrs) > 0; hit++ {
+		i := r.Intn(len(addrs))
+		addr := addrs[i]
+		addrs = append(addrs[:i], addrs[i+1:]...)
+		line := dev.Peek(addr)
+		bit := r.Intn(nvmem.LineSize * 8)
+		line[bit/8] ^= 1 << (bit % 8)
+		dev.Poke(addr, line)
+	}
+	return hit
+}
+
 type bmtSystem struct{ c *bmtctrl.Controller }
 
-func newBMTSystem(dataBytes uint64) System {
+func newBMTSystem(dataBytes uint64, o SysOptions) System {
 	cfg := bmtctrl.DefaultConfig(dataBytes)
 	cfg.MetaCacheBytes = 4 << 10
 	cfg.MetaCacheWays = 4
+	cfg.NVM.Faults = o.Faults
+	cfg.NVM.ECC.Disable = o.DisableECC
 	return &bmtSystem{c: bmtctrl.New(cfg)}
 }
 

@@ -1,6 +1,8 @@
 package memctrl
 
 import (
+	"errors"
+
 	"steins/internal/cache"
 	"steins/internal/cme"
 	"steins/internal/counter"
@@ -31,6 +33,18 @@ type Controller struct {
 	// that lands on one must take the in-flight copy — the NVM image is
 	// stale until the eviction finishes.
 	evicting map[uint64]*sit.Node
+
+	// quar holds leaf indices degraded recovery gave up on; any data
+	// access under them returns a *MediaFault. Cleared at the next crash
+	// (the following recovery re-evaluates the damage).
+	quar map[uint64]struct{}
+
+	// crashed/recovered/lastRecovery make Recover idempotent: a repeated
+	// call after a completed recovery replays the cached report instead of
+	// re-running side effects.
+	crashed      bool
+	recovered    bool
+	lastRecovery RecoveryReport
 
 	arrival   uint64 // trace-time arrival of the current request
 	reqStart  uint64 // cycle the current request began service
@@ -71,6 +85,7 @@ func New(cfg Config, factory PolicyFactory) *Controller {
 		eng:      cme.Engine{Key: cfg.Key, OTP: cfg.OTP, MAC: cfg.MAC},
 		tags:     make(map[uint64]cme.Tag),
 		evicting: make(map[uint64]*sit.Node),
+		quar:     make(map[uint64]struct{}),
 	}
 	c.policy = factory(c)
 	if cfg.EagerUpdate && c.policy.CounterGen() {
@@ -102,8 +117,13 @@ func (c *Controller) Engine() *cme.Engine { return &c.eng }
 // Policy returns the active recovery scheme.
 func (c *Controller) Policy() Policy { return c.policy }
 
-// Stats returns a snapshot of controller statistics.
-func (c *Controller) Stats() Stats { return c.stats }
+// Stats returns a snapshot of controller statistics. MediaCorrected
+// mirrors the device's ECC correction count at snapshot time.
+func (c *Controller) Stats() Stats {
+	st := c.stats
+	st.MediaCorrected = c.dev.Stats().Faults.Corrected
+	return st
+}
 
 // ResetStats zeroes controller and device statistics without touching any
 // state; the simulator calls it at the end of the warm-up phase. The
@@ -157,6 +177,65 @@ func (c *Controller) CountHash(n uint64) {
 	c.stats.HashOps += n
 }
 
+// ReadLineRetried issues a timed device line read, reissuing it after a
+// detected-uncorrectable ECC event up to ReadRetries times with a linear
+// per-attempt backoff added to the latency (transient faults are redrawn
+// per attempt, so retries genuinely help). A read that exhausts the budget
+// escalates as a *MediaFault wrapping the device error; address errors
+// pass through unretried.
+func (c *Controller) ReadLineRetried(at uint64, addr uint64, cls nvmem.Class) (nvmem.Line, uint64, error) {
+	line, lat, err := c.dev.Read(at, addr, cls)
+	if err == nil || !errors.Is(err, nvmem.ErrUncorrectable) {
+		return line, lat, err
+	}
+	for try := 1; try <= c.cfg.ReadRetries; try++ {
+		c.stats.MediaRetried++
+		backoff := uint64(try) * c.cfg.RetryBackoffCycles
+		var rlat uint64
+		line, rlat, err = c.dev.Read(at+lat+backoff, addr, cls)
+		lat += backoff + rlat
+		if err == nil || !errors.Is(err, nvmem.ErrUncorrectable) {
+			return line, lat, err
+		}
+	}
+	c.stats.MediaEscalated++
+	return line, lat, &MediaFault{Addr: addr, Err: err}
+}
+
+// --- quarantine --------------------------------------------------------------
+
+// QuarantineLeaf marks a level-0 leaf's covered data as lost to degraded
+// recovery; subsequent accesses under it fail with a *MediaFault.
+func (c *Controller) QuarantineLeaf(index uint64) { c.quar[index] = struct{}{} }
+
+// LeafQuarantined reports whether a leaf is quarantined.
+func (c *Controller) LeafQuarantined(index uint64) bool {
+	_, ok := c.quar[index]
+	return ok
+}
+
+// QuarantinedLeaves returns the number of quarantined leaves.
+func (c *Controller) QuarantinedLeaves() int { return len(c.quar) }
+
+// QuarantineSubtree fences off the data coverage of the subtree rooted at
+// (level, index): every covered leaf is quarantined and the degradation
+// report records the root and the resulting data-loss bound. Schemes call
+// it when degraded recovery gives up on a region.
+func (c *Controller) QuarantineSubtree(level int, index uint64, d *DegradationReport) {
+	geo := &c.lay.Geo
+	span := uint64(1)
+	for k := 0; k < level; k++ {
+		span *= counter.Arity
+	}
+	lo := index * span
+	hi := min(lo+span, geo.LevelNodes[0])
+	for leaf := lo; leaf < hi; leaf++ {
+		c.QuarantineLeaf(leaf)
+	}
+	d.Quarantined = append(d.Quarantined, NodeRef{Level: level, Index: index})
+	d.DataLossBoundBytes += (hi - lo) * geo.LeafCover * nvmem.LineSize
+}
+
 // --- metadata fetch ----------------------------------------------------------
 
 // FetchNode returns the cached entry for tree node (level, index), loading
@@ -192,9 +271,12 @@ func (c *Controller) FetchNode(level int, index uint64) (*cache.Entry[*sit.Node]
 		}
 		pc = pe.Payload.Counter(slot)
 	}
-	line, rlat := c.dev.Read(c.reqStart+cycles, addr, nvmem.ClassMeta)
+	line, rlat, err := c.ReadLineRetried(c.reqStart+cycles, addr, nvmem.ClassMeta)
 	c.Attribute(metrics.PhaseMetaFetch, rlat)
 	cycles += rlat
+	if err != nil {
+		return nil, cycles, err
+	}
 	node, vcyc, err := c.VerifyNodeLine(level, index, counter.Block(line), pc)
 	cycles += vcyc
 	if err != nil {
@@ -303,7 +385,7 @@ func (c *Controller) SealAndWriteNode(n *sit.Node, parentCounter uint64) uint64 
 	lat := c.ChargeHash(1)
 	n.SetHMAC(c.NodeMAC(n, parentCounter))
 	addr := c.lay.Geo.NodeAddr(n.Level, n.Index)
-	stall := c.dev.Write(c.reqStart, addr, nvmem.Line(n.Encode()), nvmem.ClassMeta)
+	stall := c.dev.MustWrite(c.reqStart, addr, nvmem.Line(n.Encode()), nvmem.ClassMeta)
 	c.Attribute(metrics.PhaseVerify, lat)
 	c.Attribute(metrics.PhaseWriteDrain, stall)
 	return lat + stall
@@ -369,22 +451,39 @@ func (c *Controller) ForceAllDirty() {
 
 // --- crash and recovery ----------------------------------------------------------
 
-// Crash models a power failure: the policy flushes its ADR-domain lines,
-// then all volatile controller state (the metadata cache) is lost. The
-// NVM device, data tags (ECC bits), the on-chip root and the policy's
-// on-chip non-volatile state survive.
+// Crash models a power failure: the in-flight line write may tear at the
+// media level (fault model), the policy flushes its ADR-domain lines, then
+// all volatile controller state (the metadata cache) is lost. The NVM
+// device, data tags (ECC bits), the on-chip root and the policy's on-chip
+// non-volatile state survive.
 func (c *Controller) Crash() {
+	c.dev.CrashTear()
 	c.policy.OnCrash()
 	c.meta.Clear()
 	// In-flight eviction tracking is volatile controller state; a crash
 	// aborting a recovery pass can leave entries behind.
 	clear(c.evicting)
+	// Quarantine is a recovery-time verdict; the next recovery pass
+	// re-evaluates the damage from scratch.
+	clear(c.quar)
+	c.crashed = true
 }
 
 // Recover rebuilds and verifies the metadata lost in the last Crash using
-// the active scheme.
+// the active scheme. A repeated call after a completed recovery (with no
+// intervening crash) is idempotent: it returns the cached report without
+// re-running the scheme's side effects.
 func (c *Controller) Recover() (RecoveryReport, error) {
-	return c.policy.Recover()
+	if c.recovered && !c.crashed {
+		return c.lastRecovery, nil
+	}
+	rep, err := c.policy.Recover()
+	if err == nil {
+		c.lastRecovery = rep
+		c.recovered = true
+		c.crashed = false
+	}
+	return rep, err
 }
 
 // --- clocking -----------------------------------------------------------------

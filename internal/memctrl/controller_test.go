@@ -3,12 +3,14 @@ package memctrl_test
 import (
 	"encoding/binary"
 	"errors"
+	"reflect"
 	"testing"
 
 	"steins/internal/cme"
 	"steins/internal/counter"
 	"steins/internal/memctrl"
 	"steins/internal/nvmem"
+	"steins/internal/scheme/steins"
 	"steins/internal/scheme/wb"
 )
 
@@ -323,6 +325,40 @@ func TestWBRecoverUnsupported(t *testing.T) {
 	c.Crash()
 	if _, err := c.Recover(); !errors.Is(err, memctrl.ErrNoRecovery) {
 		t.Fatalf("WB recover error = %v, want ErrNoRecovery", err)
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	// Calling Recover twice (the second time without an intervening crash)
+	// must return the same report without re-running the recovery pass or
+	// touching the device again.
+	c := memctrl.New(testConfig(false), steins.Factory)
+	for i := uint64(0); i < 2000; i++ {
+		addr := (i * 64 * 3) % (1 << 20)
+		if err := c.WriteData(5, addr, pattern(addr, byte(i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	c.Crash()
+	rep1, err := c.Recover()
+	if err != nil {
+		t.Fatalf("first recover: %v", err)
+	}
+	devStats := c.Device().Stats()
+	rep2, err := c.Recover()
+	if err != nil {
+		t.Fatalf("second recover: %v", err)
+	}
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatalf("repeated recover reports differ:\n%+v\n%+v", rep1, rep2)
+	}
+	if got := c.Device().Stats(); got != devStats {
+		t.Fatal("second Recover touched the device (recovery re-ran)")
+	}
+	// A fresh crash invalidates the cache and recovery really runs again.
+	c.Crash()
+	if _, err := c.Recover(); err != nil {
+		t.Fatalf("recover after second crash: %v", err)
 	}
 }
 

@@ -11,14 +11,25 @@ import (
 	"steins/internal/sit"
 )
 
-// checkDataAddr validates a user-data address.
-func (c *Controller) checkDataAddr(addr uint64) {
+// checkDataAddr validates a user-data address, returning a wrapped
+// nvmem.ErrUnaligned/ErrOutOfRange on violation. A quarantined address
+// fails with a *MediaFault: its covering metadata was lost to degraded
+// recovery.
+func (c *Controller) checkDataAddr(addr uint64) error {
 	if addr%nvmem.LineSize != 0 {
-		panic(fmt.Sprintf("memctrl: unaligned data address %#x", addr))
+		return fmt.Errorf("memctrl: %w: data address %#x", nvmem.ErrUnaligned, addr)
 	}
 	if addr >= c.cfg.DataBytes {
-		panic(fmt.Sprintf("memctrl: data address %#x outside data region", addr))
+		return fmt.Errorf("memctrl: %w: data address %#x outside %#x data bytes",
+			nvmem.ErrOutOfRange, addr, c.cfg.DataBytes)
 	}
+	if len(c.quar) > 0 {
+		if leaf, _ := c.lay.Geo.LeafOfData(addr); c.LeafQuarantined(leaf) {
+			c.stats.MediaUnrecoverable++
+			return &MediaFault{Addr: addr, Quarantined: true}
+		}
+	}
+	return nil
 }
 
 // WriteData processes a dirty LLC eviction (§III-F): the covering leaf
@@ -26,7 +37,9 @@ func (c *Controller) checkDataAddr(addr uint64) {
 // tracking state is updated. gap is the trace time since the previous
 // request.
 func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
-	c.checkDataAddr(addr)
+	if err := c.checkDataAddr(addr); err != nil {
+		return err
+	}
 	c.arrive(gap)
 	var cycles uint64
 	leaf, slot := c.lay.Geo.LeafOfData(addr)
@@ -92,7 +105,7 @@ func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
 	c.stats.HashOps++
 	c.Attribute(metrics.PhaseCrypto, c.cfg.AESCycles+c.cfg.HashCycles)
 	cycles += c.cfg.AESCycles + c.cfg.HashCycles
-	stall := c.dev.Write(c.reqStart+cycles, addr, nvmem.Line(ct), nvmem.ClassData)
+	stall := c.dev.MustWrite(c.reqStart+cycles, addr, nvmem.Line(ct), nvmem.ClassData)
 	c.Attribute(metrics.PhaseWriteDrain, stall)
 	cycles += stall
 	c.tags[addr] = tag
@@ -116,7 +129,9 @@ func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
 // is generated in parallel with the NVM data fetch, hiding the decryption
 // latency when the counter hits in the metadata cache (§II-B).
 func (c *Controller) ReadData(gap uint64, addr uint64) ([64]byte, error) {
-	c.checkDataAddr(addr)
+	if err := c.checkDataAddr(addr); err != nil {
+		return [64]byte{}, err
+	}
 	c.arrive(gap)
 	var cycles uint64
 	bc, err := c.policy.BeforeRead()
@@ -138,8 +153,13 @@ func (c *Controller) ReadData(gap uint64, addr uint64) ([64]byte, error) {
 	} else {
 		encCtr = node.Gen.C[slot]
 	}
-	line, dataLat := c.dev.Read(c.reqStart+cycles, addr, nvmem.ClassData)
+	line, dataLat, err := c.ReadLineRetried(c.reqStart+cycles, addr, nvmem.ClassData)
 	c.Attribute(metrics.PhaseNVMRead, dataLat)
+	if err != nil {
+		c.stats.MediaUnrecoverable++
+		c.completeRead(cycles + dataLat)
+		return [64]byte{}, err
+	}
 	tag := c.tags[addr]
 	if !tag.Written {
 		// A block is legitimately unwritten iff its own counter never
@@ -197,7 +217,10 @@ func (c *Controller) reencrypt(le *cache.Entry[*sit.Node], pre *counter.Split, s
 		if !tag.Written {
 			continue
 		}
-		line, rlat := c.dev.Read(c.reqStart+cycles, daddr, nvmem.ClassData)
+		line, rlat, rerr := c.ReadLineRetried(c.reqStart+cycles, daddr, nvmem.ClassData)
+		if rerr != nil {
+			return cycles + rlat, rerr
+		}
 		if first {
 			c.Attribute(metrics.PhaseNVMRead, rlat)
 			cycles += rlat
@@ -218,7 +241,7 @@ func (c *Controller) reencrypt(le *cache.Entry[*sit.Node], pre *counter.Split, s
 		c.stats.AESOps += 2
 		c.stats.HashOps++
 		c.tags[daddr] = c.eng.TagSC(&ct, daddr, newCtr, node.Split.Major)
-		wstall := c.dev.Write(c.reqStart+cycles, daddr, nvmem.Line(ct), nvmem.ClassData)
+		wstall := c.dev.MustWrite(c.reqStart+cycles, daddr, nvmem.Line(ct), nvmem.ClassData)
 		c.Attribute(metrics.PhaseWriteDrain, wstall)
 		cycles += wstall
 		c.stats.Reencrypts++

@@ -1,0 +1,120 @@
+package memctrl_test
+
+import (
+	"errors"
+	"testing"
+
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+	"steins/internal/scheme/wb"
+)
+
+func faultyTestConfig(mut func(*nvmem.FaultConfig)) memctrl.Config {
+	cfg := testConfig(false)
+	cfg.NVM.Faults.Seed = 17
+	mut(&cfg.NVM.Faults)
+	return cfg
+}
+
+func TestReadRetryRecoversTransientDoubleBits(t *testing.T) {
+	// Every read suffers a flip, 30% of them double-bit (uncorrectable).
+	// With transients redrawn per attempt, the 3-retry budget turns almost
+	// every uncorrectable event into a success — and never into silently
+	// wrong data.
+	cfg := faultyTestConfig(func(f *nvmem.FaultConfig) {
+		f.TransientPerRead = 1
+		f.DoubleBitFrac = 0.3
+	})
+	c := memctrl.New(cfg, wb.Factory)
+	want := pattern(0, 5)
+	if err := c.WriteData(0, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	okReads := 0
+	for i := 0; i < 200; i++ {
+		got, err := c.ReadData(5, 0)
+		if err != nil {
+			if !errors.Is(err, memctrl.ErrMediaFault) || !errors.Is(err, nvmem.ErrUncorrectable) {
+				t.Fatalf("read %d: unstructured media failure: %v", i, err)
+			}
+			continue
+		}
+		okReads++
+		if got != want {
+			t.Fatalf("read %d: silently corrupted data", i)
+		}
+	}
+	st := c.Stats()
+	if okReads < 150 {
+		t.Fatalf("only %d/200 reads survived the retry budget", okReads)
+	}
+	if st.MediaRetried == 0 {
+		t.Fatal("no retries counted despite forced double-bit events")
+	}
+	if st.MediaCorrected == 0 {
+		t.Fatal("single-bit corrections not mirrored into controller stats")
+	}
+	if st.MediaUnrecoverable != uint64(200-okReads) {
+		t.Fatalf("MediaUnrecoverable = %d, want %d", st.MediaUnrecoverable, 200-okReads)
+	}
+}
+
+func TestReadEscalatesAfterRetryBudget(t *testing.T) {
+	cfg := faultyTestConfig(func(f *nvmem.FaultConfig) {
+		f.TransientPerRead = 1
+		f.DoubleBitFrac = 1 // every attempt uncorrectable: retries cannot help
+	})
+	c := memctrl.New(cfg, wb.Factory)
+	c.Device().Poke(0, nvmem.Line{1, 2, 3})
+	_, _, err := c.ReadLineRetried(0, 0, nvmem.ClassData)
+	if !errors.Is(err, memctrl.ErrMediaFault) || !errors.Is(err, nvmem.ErrUncorrectable) {
+		t.Fatalf("read error = %v, want MediaFault wrapping ErrUncorrectable", err)
+	}
+	var mf *memctrl.MediaFault
+	if !errors.As(err, &mf) || mf.Quarantined || mf.Addr != 0 {
+		t.Fatalf("structured fault = %+v", mf)
+	}
+	st := c.Stats()
+	if st.MediaEscalated != 1 {
+		t.Fatalf("MediaEscalated = %d, want 1", st.MediaEscalated)
+	}
+	if st.MediaRetried != uint64(cfg.ReadRetries) {
+		t.Fatalf("MediaRetried = %d, want the full budget %d", st.MediaRetried, cfg.ReadRetries)
+	}
+}
+
+func TestQuarantinedLeafFailsFast(t *testing.T) {
+	c := memctrl.New(testConfig(false), wb.Factory)
+	if err := c.WriteData(0, 0, pattern(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	c.QuarantineLeaf(0)
+	if _, err := c.ReadData(1, 0); !errors.Is(err, memctrl.ErrMediaFault) {
+		t.Fatalf("read of quarantined leaf = %v, want ErrMediaFault", err)
+	}
+	if werr := c.WriteData(1, 0, pattern(0, 4)); !errors.Is(werr, memctrl.ErrMediaFault) {
+		t.Fatalf("write to quarantined leaf = %v, want ErrMediaFault", werr)
+	}
+	if st := c.Stats(); st.MediaUnrecoverable != 2 {
+		t.Fatalf("MediaUnrecoverable = %d, want 2", st.MediaUnrecoverable)
+	}
+	// Uncovered addresses are unaffected.
+	other := c.Layout().Geo.DataAddr(1, 0)
+	if err := c.WriteData(1, other, pattern(other, 5)); err != nil {
+		t.Fatalf("write outside quarantine: %v", err)
+	}
+	// A crash resets the quarantine; the next recovery re-derives it.
+	c.Crash()
+	if c.LeafQuarantined(0) {
+		t.Fatal("quarantine survived the crash")
+	}
+}
+
+func TestMediaStatsMergeAcrossControllers(t *testing.T) {
+	a := memctrl.Stats{MediaCorrected: 1, MediaRetried: 2, MediaEscalated: 3, MediaUnrecoverable: 4}
+	b := memctrl.Stats{MediaCorrected: 10, MediaRetried: 20, MediaEscalated: 30, MediaUnrecoverable: 40}
+	a.Merge(&b)
+	if a.MediaCorrected != 11 || a.MediaRetried != 22 || a.MediaEscalated != 33 || a.MediaUnrecoverable != 44 {
+		t.Fatalf("merged media stats wrong: %+v", a)
+	}
+}

@@ -13,6 +13,7 @@ package memctrl
 
 import (
 	"errors"
+	"fmt"
 
 	"steins/internal/crypt"
 	"steins/internal/nvmem"
@@ -70,34 +71,51 @@ type Config struct {
 	NVBufferBytes    int // Steins: non-volatile parent-counter buffer (128 B)
 	AuxCacheWays     int // associativity of record/bitmap line caches
 	CacheTreeLevels  int // ASIT/STAR cache-tree height above its leaves (4)
+
+	// ReadRetries bounds how often a detected-uncorrectable NVM read is
+	// reissued (transient flips are redrawn per attempt) before the error
+	// escalates to the caller.
+	ReadRetries int
+	// RetryBackoffCycles is the linear per-attempt backoff added to the
+	// access latency of each retry.
+	RetryBackoffCycles uint64
+	// DegradedRecovery lets recovery continue past corrupted metadata:
+	// Steins heals corrupted interior nodes from their self-verifying
+	// children, other schemes quarantine the affected subtree, and the
+	// RecoveryReport carries a DegradationReport. Off (the default), any
+	// corruption aborts recovery with the integrity error, the pre-fault
+	// behaviour.
+	DegradedRecovery bool
 }
 
 // DefaultConfig returns the Table I configuration over the given data
 // capacity and leaf kind.
 func DefaultConfig(dataBytes uint64, splitLeaf bool) Config {
 	return Config{
-		DataBytes:         dataBytes,
-		SplitLeaf:         splitLeaf,
-		MetaCacheBytes:    256 << 10,
-		MetaCacheWays:     8,
-		HashCycles:        40,
-		AESCycles:         40,
-		CacheHitCycles:    2,
-		RunAheadCycles:    500,
-		HashPJ:            220,
-		AESPJ:             180,
-		NVM:               nvmem.DefaultConfig(),
-		Key:               crypt.NewKey(0x57e1_4ab5),
-		MAC:               crypt.SipMAC{},
-		OTP:               crypt.FastPad{},
-		RecoveryReadNS:    100,
-		RecoveryWriteNS:   300,
-		RecoveryHashNS:    20,
-		WriteThroughEvery: 60000,
-		RecordCacheLines:  16,
-		NVBufferBytes:     128,
-		AuxCacheWays:      4,
-		CacheTreeLevels:   4,
+		DataBytes:          dataBytes,
+		SplitLeaf:          splitLeaf,
+		MetaCacheBytes:     256 << 10,
+		MetaCacheWays:      8,
+		HashCycles:         40,
+		AESCycles:          40,
+		CacheHitCycles:     2,
+		RunAheadCycles:     500,
+		HashPJ:             220,
+		AESPJ:              180,
+		NVM:                nvmem.DefaultConfig(),
+		Key:                crypt.NewKey(0x57e1_4ab5),
+		MAC:                crypt.SipMAC{},
+		OTP:                crypt.FastPad{},
+		RecoveryReadNS:     100,
+		RecoveryWriteNS:    300,
+		RecoveryHashNS:     20,
+		WriteThroughEvery:  60000,
+		RecordCacheLines:   16,
+		NVBufferBytes:      128,
+		AuxCacheWays:       4,
+		CacheTreeLevels:    4,
+		ReadRetries:        3,
+		RetryBackoffCycles: 32,
 	}
 }
 
@@ -166,4 +184,36 @@ var (
 	// ErrUnrecoverable marks metadata that could not be restored (e.g. a
 	// counter outside the recovery search window).
 	ErrUnrecoverable = errors.New("metadata unrecoverable")
+	// ErrMediaFault marks an access that failed on the NVM media itself:
+	// a detected-uncorrectable ECC event that survived the retry budget,
+	// or an access to a leaf quarantined by degraded recovery.
+	ErrMediaFault = errors.New("media fault: uncorrectable NVM error")
 )
+
+// MediaFault is the structured media error; it matches ErrMediaFault via
+// errors.Is and errors.As yields the failing address.
+type MediaFault struct {
+	// Addr is the NVM line address that failed (for a quarantined access,
+	// the data address the request targeted).
+	Addr uint64
+	// Quarantined is set when the address belongs to a subtree degraded
+	// recovery gave up on, rather than a live ECC escalation.
+	Quarantined bool
+	// Err is the underlying device error, if any.
+	Err error
+}
+
+func (e *MediaFault) Error() string {
+	if e.Quarantined {
+		return fmt.Sprintf("media fault: address %#x is quarantined by degraded recovery", e.Addr)
+	}
+	return fmt.Sprintf("media fault: uncorrectable NVM error at %#x after retries: %v", e.Addr, e.Err)
+}
+
+// Unwrap lets errors.Is classify the failure.
+func (e *MediaFault) Unwrap() []error {
+	if e.Err == nil {
+		return []error{ErrMediaFault}
+	}
+	return []error{ErrMediaFault, e.Err}
+}

@@ -18,6 +18,13 @@ type Stats struct {
 	Overflows   uint64 // split-leaf minor overflows (re-encryption events)
 	Reencrypts  uint64 // data blocks re-encrypted by overflows
 
+	// Media-fault read-path counters (the device's own Stats.Faults hold
+	// the raw event counts; these count the controller's responses).
+	MediaCorrected     uint64 // reads the device ECC silently repaired
+	MediaRetried       uint64 // read retries issued after uncorrectable events
+	MediaEscalated     uint64 // reads that exhausted the retry budget
+	MediaUnrecoverable uint64 // user-visible requests failed by media faults
+
 	// Latency distributions (cycles), for tail analysis beyond the means
 	// the paper reports.
 	ReadHist  metrics.Hist
@@ -45,6 +52,10 @@ func (s *Stats) Merge(o *Stats) {
 	s.AESOps += o.AESOps
 	s.Overflows += o.Overflows
 	s.Reencrypts += o.Reencrypts
+	s.MediaCorrected += o.MediaCorrected
+	s.MediaRetried += o.MediaRetried
+	s.MediaEscalated += o.MediaEscalated
+	s.MediaUnrecoverable += o.MediaUnrecoverable
 	s.ReadHist.Merge(&o.ReadHist)
 	s.WriteHist.Merge(&o.WriteHist)
 	for ph := range s.ReadPhases {
@@ -91,6 +102,41 @@ type RecoveryReport struct {
 	NVMWrites      uint64
 	MACOps         uint64
 	TimeNS         float64
+	// Degradation describes what degraded recovery healed, quarantined or
+	// lost; empty on a clean recovery or with DegradedRecovery off.
+	Degradation DegradationReport
+}
+
+// NodeRef names one tree node in a DegradationReport. Level -1 refers to a
+// data-leaf region identified by Index (the leaf index).
+type NodeRef struct {
+	Level int
+	Index uint64
+}
+
+// DegradationReport is the structured outcome of a degraded recovery:
+// which nodes were healed in place, which subtrees were quarantined (their
+// data remains stored but every access returns a MediaFault), and which
+// were entirely unrecoverable, plus the resulting worst-case data-loss
+// bound in bytes.
+type DegradationReport struct {
+	Healed             []NodeRef
+	Quarantined        []NodeRef
+	Unrecoverable      []NodeRef
+	DataLossBoundBytes uint64
+}
+
+// Degraded reports whether anything deviated from a clean recovery.
+func (d *DegradationReport) Degraded() bool {
+	return len(d.Healed) > 0 || len(d.Quarantined) > 0 || len(d.Unrecoverable) > 0
+}
+
+// Fold accumulates another report (another channel's, under RecoverAll).
+func (d *DegradationReport) Fold(o *DegradationReport) {
+	d.Healed = append(d.Healed, o.Healed...)
+	d.Quarantined = append(d.Quarantined, o.Quarantined...)
+	d.Unrecoverable = append(d.Unrecoverable, o.Unrecoverable...)
+	d.DataLossBoundBytes += o.DataLossBoundBytes
 }
 
 // StorageOverhead itemises a scheme's §IV-E storage costs.

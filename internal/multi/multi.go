@@ -149,6 +149,7 @@ func RecoverAll(ctrls []*memctrl.Controller) ([]memctrl.RecoveryReport, memctrl.
 		agg.NVMWrites += reports[i].NVMWrites
 		agg.MACOps += reports[i].MACOps
 		agg.TimeNS = max(agg.TimeNS, reports[i].TimeNS)
+		agg.Degradation.Fold(&reports[i].Degradation)
 	}
 	return reports, agg, errors.Join(errs...)
 }

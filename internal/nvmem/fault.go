@@ -1,0 +1,268 @@
+// Media-fault model: seeded transient read flips, sticky stuck-at cells,
+// torn line writes at a crash boundary, and a modeled SECDED-style ECC
+// layer that silently corrects single-bit words, flags multi-bit words as
+// detected-uncorrectable, and charges a correction latency penalty.
+//
+// All randomness comes from one device-private xoshiro256** stream seeded
+// by FaultConfig.Seed, so the same access sequence reproduces the same
+// faults bit for bit. With the zero FaultConfig the model is off and every
+// path short-circuits to the fault-free behaviour.
+
+package nvmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"steins/internal/rng"
+)
+
+// Address and media errors returned by Read/Write.
+var (
+	// ErrUnaligned marks an access not aligned to the line size.
+	ErrUnaligned = errors.New("nvmem: unaligned address")
+	// ErrOutOfRange marks an access beyond CapacityBytes.
+	ErrOutOfRange = errors.New("nvmem: address beyond capacity")
+	// ErrUncorrectable marks a detected-uncorrectable ECC event: the line
+	// had two or more flipped bits in one code word, so the ECC layer can
+	// flag but not repair it.
+	ErrUncorrectable = errors.New("nvmem: uncorrectable ECC error")
+)
+
+// FaultError is the structured detected-uncorrectable media error; it
+// matches ErrUncorrectable via errors.Is.
+type FaultError struct {
+	Addr  uint64
+	Class Class
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("nvmem: uncorrectable ECC error at %#x (%s)", e.Addr, e.Class)
+}
+
+// Unwrap lets errors.Is(err, ErrUncorrectable) classify the failure.
+func (e *FaultError) Unwrap() error { return ErrUncorrectable }
+
+// FaultConfig parameterises the media-fault model. The zero value disables
+// it entirely.
+type FaultConfig struct {
+	// Seed drives the device-private fault stream.
+	Seed uint64
+	// TransientPerRead is the probability a timed Read suffers a transient
+	// bit flip (redrawn per attempt, so retries help).
+	TransientPerRead float64
+	// DoubleBitFrac is the fraction of transient events that flip a second
+	// bit in the same 64-bit code word, producing a detected-uncorrectable
+	// error instead of a silently corrected one.
+	DoubleBitFrac float64
+	// StuckPerWrite is the probability a timed Write creates a new sticky
+	// stuck-at cell (a random bit of the line freezes at a random value).
+	StuckPerWrite float64
+	// TornOnCrash is the probability CrashTear tears the in-flight line
+	// write at a power failure (new first half, old second half).
+	TornOnCrash float64
+}
+
+// Enabled reports whether any fault class can fire.
+func (f FaultConfig) Enabled() bool {
+	return f.TransientPerRead > 0 || f.StuckPerWrite > 0 || f.TornOnCrash > 0
+}
+
+// ECCConfig models the per-word SECDED code protecting every line.
+type ECCConfig struct {
+	// Disable turns correction and detection off: raw (possibly corrupted)
+	// contents return silently and only the cryptographic integrity layer
+	// can catch them.
+	Disable bool
+	// CorrectCycles is the extra read latency charged when the ECC logic
+	// repairs a line.
+	CorrectCycles uint64
+}
+
+// DefaultECC returns the default SECDED model.
+func DefaultECC() ECCConfig { return ECCConfig{CorrectCycles: 4} }
+
+// FaultCounters breaks down media-fault activity.
+type FaultCounters struct {
+	TransientFlips uint64 // transient bits flipped on timed reads
+	StuckBits      uint64 // sticky stuck-at cells created
+	TornWrites     uint64 // line writes torn at a crash boundary
+	Corrected      uint64 // words silently repaired by ECC
+	Uncorrectable  uint64 // detected-uncorrectable reads flagged
+}
+
+// Merge folds another device's fault counters into c.
+func (c *FaultCounters) Merge(o *FaultCounters) {
+	c.TransientFlips += o.TransientFlips
+	c.StuckBits += o.StuckBits
+	c.TornWrites += o.TornWrites
+	c.Corrected += o.Corrected
+	c.Uncorrectable += o.Uncorrectable
+}
+
+// ParseFaultSpec parses the CLI fault syntax, a comma-separated key=value
+// list: "transient=1e-4,double=0.25,stuck=1e-6,torn=0.5,seed=7". The empty
+// string and "off" yield the disabled zero value.
+func ParseFaultSpec(spec string) (FaultConfig, error) {
+	var f FaultConfig
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return f, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return f, fmt.Errorf("nvmem: fault spec field %q is not key=value", field)
+		}
+		var err error
+		switch k {
+		case "seed":
+			f.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "transient":
+			f.TransientPerRead, err = strconv.ParseFloat(v, 64)
+		case "double":
+			f.DoubleBitFrac, err = strconv.ParseFloat(v, 64)
+		case "stuck":
+			f.StuckPerWrite, err = strconv.ParseFloat(v, 64)
+		case "torn":
+			f.TornOnCrash, err = strconv.ParseFloat(v, 64)
+		default:
+			return f, fmt.Errorf("nvmem: unknown fault spec key %q (want seed, transient, double, stuck, torn)", k)
+		}
+		if err != nil {
+			return f, fmt.Errorf("nvmem: fault spec %s=%q: %w", k, v, err)
+		}
+	}
+	return f, nil
+}
+
+// stuckLine is the sticky-cell overlay of one line: where mask has a bit
+// set, the cell reads as the corresponding bit of val regardless of what
+// was stored.
+type stuckLine struct {
+	mask Line
+	val  Line
+}
+
+// lastWrite remembers the most recent timed line write, the candidate for
+// tearing at the next crash boundary.
+type lastWrite struct {
+	valid bool
+	addr  uint64
+	prev  Line
+	next  Line
+}
+
+// corrupt applies the persistent stuck-cell overlay and, for timed reads,
+// draws transient flips. The caller guarantees d.frng != nil.
+func (d *Device) corrupt(addr uint64, intended Line, timed bool) Line {
+	raw := intended
+	if s, ok := d.stuck[addr]; ok {
+		for i := range raw {
+			raw[i] = raw[i]&^s.mask[i] | s.val[i]&s.mask[i]
+		}
+	}
+	if timed && d.frng.Bool(d.cfg.Faults.TransientPerRead) {
+		bit := d.frng.Intn(LineSize * 8)
+		raw[bit/8] ^= 1 << (bit % 8)
+		d.stats.Faults.TransientFlips++
+		if d.frng.Float64() < d.cfg.Faults.DoubleBitFrac {
+			// Second flip lands in the same 64-bit code word: detected but
+			// uncorrectable by the SECDED model.
+			word := bit / 64
+			off := (bit%64 + 1 + d.frng.Intn(63)) % 64
+			j := word*64 + off
+			raw[j/8] ^= 1 << (j % 8)
+			d.stats.Faults.TransientFlips++
+		}
+	}
+	return raw
+}
+
+// decode models per-word SECDED: each 8-byte word corrects one flipped bit
+// and detects (but cannot repair) two or more. It returns the delivered
+// contents, the extra correction latency, and the detected-uncorrectable
+// error if any word is beyond repair. count selects whether the event is
+// charged to the statistics (timed reads yes, Peek no).
+func (d *Device) decode(addr uint64, cls Class, intended, raw Line, count bool) (Line, uint64, error) {
+	if raw == intended {
+		return intended, 0, nil
+	}
+	if d.cfg.ECC.Disable {
+		return raw, 0, nil
+	}
+	var corrected uint64
+	for w := 0; w < LineSize/8; w++ {
+		a := binary.LittleEndian.Uint64(intended[w*8:])
+		b := binary.LittleEndian.Uint64(raw[w*8:])
+		switch n := bits.OnesCount64(a ^ b); {
+		case n == 0:
+		case n == 1:
+			corrected++
+		default:
+			if count {
+				d.stats.Faults.Uncorrectable++
+			}
+			return raw, 0, &FaultError{Addr: addr, Class: cls}
+		}
+	}
+	if count {
+		d.stats.Faults.Corrected += corrected
+	}
+	return intended, d.cfg.ECC.CorrectCycles, nil
+}
+
+// addStuckBit freezes one random cell of addr at a random value.
+func (d *Device) addStuckBit(addr uint64) {
+	s := d.stuck[addr]
+	if s == nil {
+		s = &stuckLine{}
+		d.stuck[addr] = s
+	}
+	bit := d.frng.Intn(LineSize * 8)
+	s.mask[bit/8] |= 1 << (bit % 8)
+	if d.frng.Bool(0.5) {
+		s.val[bit/8] |= 1 << (bit % 8)
+	} else {
+		s.val[bit/8] &^= 1 << (bit % 8)
+	}
+	d.stats.Faults.StuckBits++
+}
+
+// CrashTear models the line write in flight at a power failure: with
+// probability TornOnCrash the most recent timed write is torn — its first
+// 32 bytes land, its last 32 bytes keep the pre-write contents. The
+// controller calls it once per crash; it reports the torn address so
+// harnesses can track the injection.
+func (d *Device) CrashTear() (uint64, bool) {
+	if d.frng == nil || !d.last.valid {
+		return 0, false
+	}
+	lw := d.last
+	d.last.valid = false
+	if !d.frng.Bool(d.cfg.Faults.TornOnCrash) {
+		return 0, false
+	}
+	var torn Line
+	copy(torn[:LineSize/2], lw.next[:LineSize/2])
+	copy(torn[LineSize/2:], lw.prev[LineSize/2:])
+	d.store(lw.addr, torn)
+	d.stats.Faults.TornWrites++
+	return lw.addr, true
+}
+
+// StuckLines reports how many lines carry at least one stuck-at cell.
+func (d *Device) StuckLines() int { return len(d.stuck) }
+
+// faultRNG builds the per-device fault stream, or nil when the model is
+// off.
+func faultRNG(cfg Config) *rng.Source {
+	if !cfg.Faults.Enabled() {
+		return nil
+	}
+	return rng.New(cfg.Faults.Seed)
+}

@@ -1,0 +1,198 @@
+package nvmem
+
+import (
+	"errors"
+	"testing"
+)
+
+func faultyConfig(mut func(*Config)) Config {
+	c := smallConfig()
+	c.Faults.Seed = 7
+	mut(&c)
+	return c
+}
+
+func TestTransientSingleBitCorrected(t *testing.T) {
+	d := New(faultyConfig(func(c *Config) { c.Faults.TransientPerRead = 1 }))
+	want := Line{1, 2, 3, 4}
+	if _, err := d.Write(0, 0, want, ClassData); err != nil {
+		t.Fatal(err)
+	}
+	clean := d.Config().ReadCycles()
+	for i := 0; i < 50; i++ {
+		got, lat, err := d.Read(uint64(i)*1000, 0, ClassData)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("read %d: ECC did not deliver the intended contents", i)
+		}
+		if lat != clean+d.Config().ECC.CorrectCycles {
+			t.Fatalf("read %d: latency %d missing the correction penalty", i, lat)
+		}
+	}
+	f := d.Stats().Faults
+	if f.TransientFlips != 50 || f.Corrected != 50 || f.Uncorrectable != 0 {
+		t.Fatalf("fault counters = %+v", f)
+	}
+}
+
+func TestDoubleBitUncorrectable(t *testing.T) {
+	d := New(faultyConfig(func(c *Config) {
+		c.Faults.TransientPerRead = 1
+		c.Faults.DoubleBitFrac = 1
+	}))
+	if _, err := d.Write(0, 0, Line{9}, ClassData); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := d.Read(0, 0, ClassData)
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("double-bit read error = %v, want ErrUncorrectable", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Addr != 0 || fe.Class != ClassData {
+		t.Fatalf("structured fault error = %+v", fe)
+	}
+	if d.Stats().Faults.Uncorrectable != 1 {
+		t.Fatalf("Uncorrectable = %d", d.Stats().Faults.Uncorrectable)
+	}
+}
+
+func TestECCDisabledReturnsRawSilently(t *testing.T) {
+	d := New(faultyConfig(func(c *Config) {
+		c.Faults.TransientPerRead = 1
+		c.ECC.Disable = true
+	}))
+	want := Line{1, 2, 3}
+	if _, err := d.Write(0, 0, want, ClassData); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := d.Read(0, 0, ClassData)
+	if err != nil {
+		t.Fatalf("disabled ECC must not flag: %v", err)
+	}
+	if got == want {
+		t.Fatal("transient flip with ECC off still delivered clean data")
+	}
+	if f := d.Stats().Faults; f.Corrected != 0 || f.Uncorrectable != 0 {
+		t.Fatalf("ECC counters moved with ECC off: %+v", f)
+	}
+}
+
+func TestStuckBitsPersistAcrossWrites(t *testing.T) {
+	d := New(faultyConfig(func(c *Config) { c.Faults.StuckPerWrite = 1 }))
+	for i := 0; i < 5; i++ {
+		if _, err := d.Write(uint64(i)*1000, 0, Line{byte(i + 1)}, ClassData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.StuckLines() != 1 {
+		t.Fatalf("StuckLines = %d, want 1", d.StuckLines())
+	}
+	if got := d.Stats().Faults.StuckBits; got != 5 {
+		t.Fatalf("StuckBits = %d, want 5", got)
+	}
+	// The stored value still reads back: single stuck bits per word are
+	// corrected, multi-bit words come back flagged — never silently wrong.
+	got, _, err := d.Read(10000, 0, ClassData)
+	if err == nil && got != (Line{5}) {
+		t.Fatal("stuck cells silently corrupted a read")
+	}
+}
+
+func TestCrashTearMergesHalves(t *testing.T) {
+	d := New(faultyConfig(func(c *Config) { c.Faults.TornOnCrash = 1 }))
+	var old, next Line
+	for i := range old {
+		old[i], next[i] = 0xAA, 0xBB
+	}
+	if _, err := d.Write(0, 64, old, ClassData); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(1000, 64, next, ClassData); err != nil {
+		t.Fatal(err)
+	}
+	addr, torn := d.CrashTear()
+	if !torn || addr != 64 {
+		t.Fatalf("CrashTear = (%#x, %v), want (0x40, true)", addr, torn)
+	}
+	got := d.Peek(64)
+	for i := 0; i < LineSize/2; i++ {
+		if got[i] != 0xBB {
+			t.Fatalf("byte %d = %#x, want new half", i, got[i])
+		}
+	}
+	for i := LineSize / 2; i < LineSize; i++ {
+		if got[i] != 0xAA {
+			t.Fatalf("byte %d = %#x, want old half", i, got[i])
+		}
+	}
+	if d.Stats().Faults.TornWrites != 1 {
+		t.Fatalf("TornWrites = %d", d.Stats().Faults.TornWrites)
+	}
+	// One-shot: a second crash without an intervening write tears nothing.
+	if _, torn := d.CrashTear(); torn {
+		t.Fatal("CrashTear fired twice for one write")
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	run := func() Stats {
+		d := New(faultyConfig(func(c *Config) {
+			c.Faults.TransientPerRead = 0.3
+			c.Faults.DoubleBitFrac = 0.25
+			c.Faults.StuckPerWrite = 0.1
+			c.Faults.TornOnCrash = 0.5
+		}))
+		for i := uint64(0); i < 500; i++ {
+			addr := (i % 64) * LineSize
+			if i%3 == 0 {
+				d.Read(i*100, addr, ClassData)
+			} else {
+				d.Write(i*100, addr, Line{byte(i)}, ClassData)
+			}
+			if i%97 == 0 {
+				d.CrashTear()
+			}
+		}
+		return d.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a.Faults, b.Faults)
+	}
+}
+
+func TestFaultCountersMerge(t *testing.T) {
+	a := Stats{Faults: FaultCounters{TransientFlips: 1, StuckBits: 2, TornWrites: 3, Corrected: 4, Uncorrectable: 5}}
+	b := Stats{Faults: FaultCounters{TransientFlips: 10, StuckBits: 20, TornWrites: 30, Corrected: 40, Uncorrectable: 50}}
+	a.Merge(&b)
+	want := FaultCounters{TransientFlips: 11, StuckBits: 22, TornWrites: 33, Corrected: 44, Uncorrectable: 55}
+	if a.Faults != want {
+		t.Fatalf("merged = %+v, want %+v", a.Faults, want)
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	f, err := ParseFaultSpec("transient=1e-4,double=0.25,stuck=1e-6,torn=0.5,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultConfig{Seed: 7, TransientPerRead: 1e-4, DoubleBitFrac: 0.25, StuckPerWrite: 1e-6, TornOnCrash: 0.5}
+	if f != want {
+		t.Fatalf("parsed = %+v, want %+v", f, want)
+	}
+	if !f.Enabled() {
+		t.Fatal("parsed spec not enabled")
+	}
+	for _, spec := range []string{"", "off"} {
+		f, err := ParseFaultSpec(spec)
+		if err != nil || f.Enabled() {
+			t.Fatalf("spec %q: %+v, %v", spec, f, err)
+		}
+	}
+	for _, bad := range []string{"transient", "bogus=1", "torn=x"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Fatalf("spec %q did not error", bad)
+		}
+	}
+}

@@ -11,7 +11,11 @@
 // the (non-ADR parts of the) memory controller.
 package nvmem
 
-import "fmt"
+import (
+	"fmt"
+
+	"steins/internal/rng"
+)
 
 // LineSize is the access granularity in bytes, matching the cache line.
 const LineSize = 64
@@ -82,6 +86,11 @@ type Config struct {
 	// parallel; PCM write recovery (tWR) is per bank, so effective write
 	// bandwidth is WriteBanks per tWR window.
 	WriteBanks int
+	// Faults enables the seeded media-fault model (fault.go); the zero
+	// value keeps the device perfectly reliable.
+	Faults FaultConfig
+	// ECC models the SECDED layer repairing single-bit events.
+	ECC ECCConfig
 }
 
 // DefaultConfig returns the Table I device: 16 GB PCM behind a 64-entry
@@ -94,6 +103,7 @@ func DefaultConfig() Config {
 		Energy:            DefaultEnergy(),
 		WriteQueueEntries: 64,
 		WriteBanks:        4,
+		ECC:               DefaultECC(),
 	}
 }
 
@@ -114,6 +124,9 @@ type Stats struct {
 	Reads       [numClasses]uint64
 	Writes      [numClasses]uint64
 	StallCycles uint64 // cycles requests waited on a full write queue
+	// Faults breaks down media-fault and ECC activity; all zero when the
+	// fault model is off.
+	Faults FaultCounters
 }
 
 // Merge folds another device's statistics into s; the multi-controller
@@ -124,6 +137,7 @@ func (s *Stats) Merge(o *Stats) {
 		s.Writes[i] += o.Writes[i]
 	}
 	s.StallCycles += o.StallCycles
+	s.Faults.Merge(&o.Faults)
 }
 
 // TotalReads returns reads across all classes.
@@ -160,6 +174,12 @@ type Device struct {
 	// observer, when set, sees every durable line write (fault-injection
 	// harnesses count events through it). It runs after the store commits.
 	observer func(addr uint64, cls Class)
+	// frng is the media-fault stream; nil keeps every access fault-free.
+	frng *rng.Source
+	// stuck holds the sticky stuck-at overlays keyed by line address.
+	stuck map[uint64]*stuckLine
+	// last is the tear candidate for the next crash boundary.
+	last lastWrite
 }
 
 // New creates a Device. Lines read before any write return the zero line,
@@ -179,6 +199,8 @@ func New(cfg Config) *Device {
 		lines: make(map[uint64]*Line),
 		wear:  make(map[uint64]uint64),
 		banks: make([]uint64, cfg.WriteBanks),
+		frng:  faultRNG(cfg),
+		stuck: make(map[uint64]*stuckLine),
 	}
 }
 
@@ -191,32 +213,55 @@ func (d *Device) Stats() Stats { return d.stats }
 // ResetStats zeroes the statistics without touching contents.
 func (d *Device) ResetStats() { d.stats = Stats{} }
 
-func (d *Device) checkAddr(addr uint64) {
+// checkAddr validates alignment and range, returning a wrapped
+// ErrUnaligned/ErrOutOfRange on violation.
+func (d *Device) checkAddr(addr uint64) error {
 	if addr%LineSize != 0 {
-		panic(fmt.Sprintf("nvmem: unaligned address %#x", addr))
+		return fmt.Errorf("%w: %#x", ErrUnaligned, addr)
 	}
 	if addr >= d.cfg.CapacityBytes {
-		panic(fmt.Sprintf("nvmem: address %#x beyond capacity %#x", addr, d.cfg.CapacityBytes))
+		return fmt.Errorf("%w: %#x >= %#x", ErrOutOfRange, addr, d.cfg.CapacityBytes)
+	}
+	return nil
+}
+
+// mustAddr is checkAddr for the untimed inspection paths (Peek/Poke/
+// WearOf), where a bad address is a harness programming error.
+func (d *Device) mustAddr(addr uint64) {
+	if err := d.checkAddr(addr); err != nil {
+		panic(err)
 	}
 }
 
 // Read fetches the line at addr. It returns the contents and the access
-// latency in cycles.
-func (d *Device) Read(now uint64, addr uint64, cls Class) (Line, uint64) {
-	d.checkAddr(addr)
+// latency in cycles. A misaligned or out-of-range address returns a
+// wrapped ErrUnaligned/ErrOutOfRange; under the media-fault model a line
+// whose damage exceeds the ECC correction capability returns the raw
+// contents together with a *FaultError matching ErrUncorrectable.
+func (d *Device) Read(now uint64, addr uint64, cls Class) (Line, uint64, error) {
+	if err := d.checkAddr(addr); err != nil {
+		return Line{}, 0, err
+	}
 	d.drain(now)
 	d.stats.Reads[cls]++
-	if l, ok := d.lines[addr]; ok {
-		return *l, d.cfg.ReadCycles()
+	intended := d.peekIntended(addr)
+	lat := d.cfg.ReadCycles()
+	if d.frng == nil {
+		return intended, lat, nil
 	}
-	return Line{}, d.cfg.ReadCycles()
+	raw := d.corrupt(addr, intended, true)
+	out, extra, err := d.decode(addr, cls, intended, raw, true)
+	return out, lat + extra, err
 }
 
 // Write stores the line at addr through the write queue. It returns the
 // cycles the caller stalled waiting for a free queue entry (zero when the
-// queue has room). The write is durable on return.
-func (d *Device) Write(now uint64, addr uint64, line Line, cls Class) uint64 {
-	d.checkAddr(addr)
+// queue has room) and a wrapped ErrUnaligned/ErrOutOfRange for a bad
+// address. The write is durable on return.
+func (d *Device) Write(now uint64, addr uint64, line Line, cls Class) (uint64, error) {
+	if err := d.checkAddr(addr); err != nil {
+		return 0, err
+	}
 	d.drain(now)
 	var stall uint64
 	if len(d.queue) >= d.cfg.WriteQueueEntries {
@@ -244,9 +289,25 @@ func (d *Device) Write(now uint64, addr uint64, line Line, cls Class) uint64 {
 	d.stats.Writes[cls]++
 	d.stats.StallCycles += stall
 	d.wear[addr]++
+	if d.frng != nil {
+		if d.frng.Bool(d.cfg.Faults.StuckPerWrite) {
+			d.addStuckBit(addr)
+		}
+		d.last = lastWrite{valid: true, addr: addr, prev: d.peekIntended(addr), next: line}
+	}
 	d.store(addr, line)
 	if d.observer != nil {
 		d.observer(addr, cls)
+	}
+	return stall, nil
+}
+
+// MustWrite is Write for internal, layout-derived addresses that are
+// correct by construction; an address error panics.
+func (d *Device) MustWrite(now uint64, addr uint64, line Line, cls Class) uint64 {
+	stall, err := d.Write(now, addr, line, cls)
+	if err != nil {
+		panic(err)
 	}
 	return stall
 }
@@ -298,21 +359,36 @@ func (d *Device) store(addr uint64, line Line) {
 	*l = line
 }
 
-// Peek returns the current contents of addr without timing or stats;
-// recovery code uses it together with its own read accounting, and tests
-// use it to inspect durable state.
-func (d *Device) Peek(addr uint64) Line {
-	d.checkAddr(addr)
+// peekIntended returns the stored (pre-overlay) contents of addr.
+func (d *Device) peekIntended(addr uint64) Line {
 	if l, ok := d.lines[addr]; ok {
 		return *l
 	}
 	return Line{}
 }
 
+// Peek returns the current contents of addr without timing or stats;
+// recovery code uses it together with its own read accounting, and tests
+// use it to inspect durable state. Under the media-fault model Peek sees
+// what a fresh read would deliver: the stuck-cell overlay applied and then
+// silently best-effort ECC-decoded (corrected where possible, raw where
+// not) — the cryptographic layer is what catches uncorrectable content.
+func (d *Device) Peek(addr uint64) Line {
+	d.mustAddr(addr)
+	intended := d.peekIntended(addr)
+	if d.frng == nil {
+		return intended
+	}
+	raw := d.corrupt(addr, intended, false)
+	out, _, _ := d.decode(addr, ClassOther, intended, raw, false)
+	return out
+}
+
 // Poke overwrites addr without timing or stats. Attack injection uses it
-// to model an adversary with physical access to the DIMM.
+// to model an adversary with physical access to the DIMM (who writes the
+// line together with matching ECC bits, so Poked content is ECC-clean).
 func (d *Device) Poke(addr uint64, line Line) {
-	d.checkAddr(addr)
+	d.mustAddr(addr)
 	d.store(addr, line)
 }
 
@@ -352,6 +428,6 @@ func (d *Device) WearStats() Wear {
 
 // WearOf returns one line's write count.
 func (d *Device) WearOf(addr uint64) uint64 {
-	d.checkAddr(addr)
+	d.mustAddr(addr)
 	return d.wear[addr]
 }

@@ -1,6 +1,7 @@
 package nvmem
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -13,7 +14,10 @@ func smallConfig() Config {
 
 func TestReadUnwrittenIsZero(t *testing.T) {
 	d := New(smallConfig())
-	line, lat := d.Read(0, 128, ClassData)
+	line, lat, err := d.Read(0, 128, ClassData)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if line != (Line{}) {
 		t.Fatal("unwritten line not zero")
 	}
@@ -28,8 +32,10 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	for i := range l {
 		l[i] = byte(i)
 	}
-	d.Write(0, 64, l, ClassData)
-	got, _ := d.Read(10, 64, ClassData)
+	if _, err := d.Write(0, 64, l, ClassData); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := d.Read(10, 64, ClassData)
 	if got != l {
 		t.Fatal("read did not return written contents")
 	}
@@ -59,7 +65,7 @@ func TestTimingDerivation(t *testing.T) {
 func TestWriteQueueNoStallWhenSlack(t *testing.T) {
 	d := New(smallConfig())
 	for i := 0; i < d.Config().WriteQueueEntries; i++ {
-		if stall := d.Write(0, uint64(i)*64, Line{byte(i + 1)}, ClassData); stall != 0 {
+		if stall, _ := d.Write(0, uint64(i)*64, Line{byte(i + 1)}, ClassData); stall != 0 {
 			t.Fatalf("write %d stalled %d cycles with queue not yet full", i, stall)
 		}
 	}
@@ -71,7 +77,7 @@ func TestWriteQueueStallsWhenFull(t *testing.T) {
 	for i := 0; i < n; i++ {
 		d.Write(0, uint64(i)*64, Line{1}, ClassData)
 	}
-	stall := d.Write(0, uint64(n)*64, Line{1}, ClassData)
+	stall, _ := d.Write(0, uint64(n)*64, Line{1}, ClassData)
 	if stall == 0 {
 		t.Fatal("write into full queue did not stall")
 	}
@@ -98,7 +104,7 @@ func TestWriteQueueDrainsOverTime(t *testing.T) {
 		t.Fatalf("depth after full drain window: %d, want 0", got)
 	}
 	// A write after the drain must not stall.
-	if stall := d.Write(far, 0, Line{2}, ClassData); stall != 0 {
+	if stall, _ := d.Write(far, 0, Line{2}, ClassData); stall != 0 {
 		t.Fatalf("post-drain write stalled %d cycles", stall)
 	}
 }
@@ -200,24 +206,34 @@ func TestZeroLineStaysSparse(t *testing.T) {
 	}
 }
 
-func TestUnalignedPanics(t *testing.T) {
+func TestUnalignedAccessError(t *testing.T) {
 	d := New(smallConfig())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unaligned read did not panic")
-		}
-	}()
-	d.Read(0, 3, ClassData)
+	if _, _, err := d.Read(0, 3, ClassData); !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("unaligned read error = %v, want ErrUnaligned", err)
+	}
+	if _, err := d.Write(0, 7, Line{}, ClassData); !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("unaligned write error = %v, want ErrUnaligned", err)
+	}
 }
 
-func TestOutOfRangePanics(t *testing.T) {
+func TestOutOfRangeAccessError(t *testing.T) {
+	// Regression: an address beyond CapacityBytes must come back as a
+	// wrapped ErrOutOfRange, not a panic or a silent success.
 	d := New(smallConfig())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range write did not panic")
-		}
-	}()
-	d.Write(0, d.Config().CapacityBytes, Line{}, ClassData)
+	capb := d.Config().CapacityBytes
+	if _, err := d.Write(0, capb, Line{}, ClassData); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out-of-range write error = %v, want ErrOutOfRange", err)
+	}
+	if _, _, err := d.Read(0, capb+64, ClassData); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out-of-range read error = %v, want ErrOutOfRange", err)
+	}
+	// The failed accesses must not have been counted or stored.
+	if d.Stats().TotalWrites() != 0 || d.Stats().TotalReads() != 0 {
+		t.Fatalf("rejected accesses were counted: %+v", d.Stats())
+	}
+	if d.PopulatedLines() != 0 {
+		t.Fatal("rejected write stored a line")
+	}
 }
 
 func TestBadConfigPanics(t *testing.T) {
@@ -244,9 +260,11 @@ func TestWriteReadPropertyRoundTrip(t *testing.T) {
 	cap64 := d.Config().CapacityBytes / LineSize
 	f := func(slot uint64, val Line) bool {
 		addr := (slot % cap64) * LineSize
-		d.Write(0, addr, val, ClassData)
-		got, _ := d.Read(0, addr, ClassData)
-		return got == val && d.Peek(addr) == val
+		if _, err := d.Write(0, addr, val, ClassData); err != nil {
+			return false
+		}
+		got, _, err := d.Read(0, addr, ClassData)
+		return err == nil && got == val && d.Peek(addr) == val
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)

@@ -140,7 +140,7 @@ func (p *Policy) rebuildTree() (root uint64, hashes uint64) {
 // through the cache-tree to the on-chip root.
 func (p *Policy) OnModify(e *cache.Entry[*sit.Node], _ bool, _ uint64) uint64 {
 	content := p.slotContent(e.Payload)
-	stall := p.c.Device().Write(p.c.Now(), p.slotAddr(e.Slot()), content, nvmem.ClassShadow)
+	stall := p.c.Device().MustWrite(p.c.Now(), p.slotAddr(e.Slot()), content, nvmem.ClassShadow)
 	hashes := p.updatePath(e.Slot(), content)
 	p.c.CountHash(hashes)
 	// The cache-tree engine pipelines the path; the request waits for the
@@ -174,6 +174,7 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 	lay := p.c.Layout()
 	geo := &lay.Geo
 	slots := p.c.Meta().Capacity()
+	degraded := p.c.Config().DegradedRecovery
 
 	// A node that moved cache slots leaves a stale entry in its old shadow
 	// slot; both images are authentic, so keep the one with the larger
@@ -193,6 +194,15 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 		}
 		level, index, ok := geo.NodeAtOffset(off - 1)
 		if !ok {
+			if degraded {
+				// The slot content was corrupted on media: which node it
+				// held is unknowable, so the node it shadowed cannot be
+				// restored. Record the loss and keep going; the cache-tree
+				// root check below decides whether the rest is trustworthy.
+				rep.Degradation.Unrecoverable = append(rep.Degradation.Unrecoverable,
+					memctrl.NodeRef{Level: -1, Index: uint64(s)})
+				continue
+			}
 			return rep, memctrl.TamperAt("shadow slot", -1, uint64(s), "invalid offset field")
 		}
 		var blk counter.Block
@@ -205,6 +215,18 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 	recomputed, hashes := p.rebuildTree()
 	rep.MACOps += hashes
 	if recomputed != p.root {
+		if degraded {
+			// The cache-tree proof is broken, so no shadow image can be
+			// trusted for restoration: quarantine everything the table
+			// recorded and restore nothing. (This trades replay fail-stop
+			// for availability — the report makes the degradation visible.)
+			for level := range byLevel {
+				for index := range byLevel[level] {
+					p.c.QuarantineSubtree(level, index, &rep.Degradation)
+				}
+			}
+			return rep, nil
+		}
 		return rep, memctrl.ReplayAt("shadow table", -1, 0, "cache-tree root mismatch")
 	}
 

@@ -96,6 +96,7 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 	rep := memctrl.RecoveryReport{Scheme: p.Name()}
 	geo := &p.c.Layout().Geo
 	eng := p.c.Engine()
+	degraded := p.c.Config().DegradedRecovery
 
 	prev := make([]*sit.Node, geo.LevelNodes[0])
 	var total uint64
@@ -103,10 +104,9 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 		rep.NVMReads++ // stale leaf
 		stale := p.c.StaleNode(0, idx)
 		node := &sit.Node{Level: 0, Index: idx, IsSplit: geo.SplitLeaf}
+		var lerr error
 		if node.IsSplit {
-			if err := p.recoverSplitLeaf(&rep, node, stale); err != nil {
-				return rep, err
-			}
+			lerr = p.recoverSplitLeaf(&rep, node, stale)
 		} else {
 			for i := 0; i < int(geo.LeafCover); i++ {
 				daddr := geo.DataAddr(idx, i)
@@ -115,15 +115,31 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 				ctr, macOps, ok := eng.RecoverCounterGC(&ct, daddr, p.c.Tag(daddr), stale.Counter(i))
 				rep.MACOps += macOps
 				if !ok {
-					return rep, memctrl.TamperData(daddr, "during SCUE rebuild")
+					lerr = memctrl.TamperData(daddr, "during SCUE rebuild")
+					break
 				}
 				node.SetCounter(i, ctr)
 			}
 		}
+		if lerr != nil {
+			if degraded {
+				// The leaf's covered blocks cannot all be matched to a
+				// counter: fence off its coverage and carry the stale
+				// (authentic but possibly old) counters so the interior
+				// summation stays well-defined.
+				p.c.QuarantineSubtree(0, idx, &rep.Degradation)
+				prev[idx] = stale
+				total += stale.FValue()
+				continue
+			}
+			return rep, lerr
+		}
 		total += node.FValue()
 		prev[idx] = node
 	}
-	if total != p.recoveryRoot {
+	// With quarantined leaves in the sum, their true counters are unknown
+	// and the Recovery_root equality cannot be checked exactly.
+	if total != p.recoveryRoot && len(rep.Degradation.Quarantined) == 0 {
 		return rep, memctrl.ReplayAt("leaf level", 0, 0,
 			fmt.Sprintf("leaf sum %d != Recovery_root %d", total, p.recoveryRoot))
 	}

@@ -239,14 +239,19 @@ func (p *Policy) bitmapLine(addr uint64) (*cache.Entry[*bitmapLine], uint64) {
 		// Bitmap maintenance is fire-and-forget: the miss read occupies
 		// NVM bandwidth (traffic, energy) but the eviction does not block
 		// on it; only the issue slot is on the critical path.
-		line, _ := p.c.Device().Read(p.c.Now(), addr, nvmem.ClassBitmap)
+		line, _, err := p.c.ReadLineRetried(p.c.Now(), addr, nvmem.ClassBitmap)
+		if err != nil {
+			// Losing a bitmap line only loses dirty marks; recovery treats
+			// a lost mark as data loss, runtime continues with a fresh line.
+			line = nvmem.Line{}
+		}
 		cycles += trackingIssueCycles
 		bl := bitmapLine(line)
 		var victim cache.Entry[*bitmapLine]
 		var evicted bool
 		be, victim, evicted = p.bitmap.Insert(addr, &bl, false)
 		if evicted && victim.Dirty {
-			cycles += p.c.Device().Write(p.c.Now()+cycles, victim.Addr,
+			cycles += p.c.Device().MustWrite(p.c.Now()+cycles, victim.Addr,
 				nvmem.Line(*victim.Payload), nvmem.ClassBitmap)
 		}
 	}
@@ -390,21 +395,43 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 	})
 
 	// 2. Rebuild each dirty node from the LSBs its children carry.
+	degraded := p.c.Config().DegradedRecovery
 	recovered := make(map[nodeKey]*sit.Node)
+	kept := dirty[:0]
 	for _, k := range dirty {
 		node, err := p.recoverNode(&rep, k)
 		if err != nil {
+			if degraded {
+				// The node cannot be rebuilt from its children; fence off
+				// its coverage and keep recovering the rest.
+				p.c.QuarantineSubtree(k.level, k.index, &rep.Degradation)
+				continue
+			}
 			return rep, err
 		}
+		kept = append(kept, k)
 		recovered[k] = node
 		rep.NodesRecovered++
 		p.c.FaultEvent(memctrl.EvRecoveryStep, p.c.Layout().Geo.NodeAddr(k.level, k.index))
 	}
+	dirty = kept
 
 	// 3. Verify against the cache-tree root: recompute the per-set MACs
 	//    from the recovered nodes (sorted by address within each set).
-	if err := p.verifyRecovered(&rep, recovered); err != nil {
-		return rep, err
+	//    With nodes dropped by quarantine the recorded set is incomplete
+	//    and the proof cannot pass; with no quarantines a degraded-mode
+	//    mismatch means no recovered node can be trusted, so everything
+	//    recorded dirty is fenced off and nothing is reinstated.
+	if len(rep.Degradation.Quarantined) == 0 {
+		if err := p.verifyRecovered(&rep, recovered); err != nil {
+			if degraded {
+				for _, k := range dirty {
+					p.c.QuarantineSubtree(k.level, k.index, &rep.Degradation)
+				}
+				return rep, nil
+			}
+			return rep, err
+		}
 	}
 
 	// 4. Reinstate the recovered nodes into the metadata cache marked

@@ -1,0 +1,175 @@
+package steins
+
+import (
+	"steins/internal/counter"
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+	"steins/internal/sit"
+)
+
+// Degraded recovery (media-fault tolerance). Steins' sealing discipline
+// gives every persisted node a self-verifying image: EvictDirty seals each
+// victim under its OWN generated counter (FValue), so a node n persisted by
+// any scheme path satisfies NodeMAC(n, n.FValue()) == n.HMAC(). A node
+// whose image fails that check was corrupted on the media (or tampered
+// with), and — uniquely under counter generation — its counters are pure
+// functions of its children (Eq. 1/2), so an interior node with intact
+// children can be rebuilt in place: regenerate every counter from the
+// persisted child images, re-derive the HMAC under the node's own new
+// FValue, and write the healed line back. The healed image is checked for
+// chain consistency against the trusted parent-side counter when one is
+// available; a mismatch means the children themselves are suspect and the
+// whole subtree is quarantined instead.
+//
+// Corrupted leaves cannot be healed (their counters live nowhere else:
+// data-block tag hints only bound a search window) and are quarantined.
+
+// selfConsistent reports whether a persisted node image verifies under its
+// own generated counter — the Steins sealing invariant. The all-zero image
+// of a never-persisted node is trivially consistent.
+func (p *Policy) selfConsistent(st *recoveryState, n *sit.Node) bool {
+	if n.Encode() == (counter.Block{}) {
+		return true
+	}
+	st.report.MACOps++
+	return p.c.NodeMAC(n, n.FValue()) == n.HMAC()
+}
+
+// healNode attempts to rebuild a corrupted persisted node from its children
+// and returns the healed image, or the original corrupt image after
+// quarantining its subtree when healing is impossible. Child reads go
+// through staleOf, so corrupted non-leaf children heal recursively first.
+func (p *Policy) healNode(st *recoveryState, n *sit.Node) *sit.Node {
+	key := nodeKey{n.Level, n.Index}
+	if n.Level == 0 {
+		// Leaf counters are not a function of other persisted state;
+		// nothing to regenerate from.
+		p.quarantineSubtree(st, n.Level, n.Index)
+		return n
+	}
+	if len(st.rollback[key]) > 0 {
+		// A buffered flush still targets this node: its persisted image
+		// predates the child's flush, so regeneration from the current
+		// children cannot reproduce the lost pre-flush slot values.
+		p.quarantineSubtree(st, n.Level, n.Index)
+		return n
+	}
+	geo := &p.c.Layout().Geo
+	healed := &sit.Node{Level: n.Level, Index: n.Index}
+	for i := 0; i < counter.Arity; i++ {
+		childIdx := n.Index*counter.Arity + uint64(i)
+		if childIdx >= geo.LevelNodes[n.Level-1] {
+			continue
+		}
+		child := p.staleOf(st, n.Level-1, childIdx)
+		if st.quarRoots[nodeKey{n.Level - 1, childIdx}] {
+			// The child could not be healed either; the regenerated
+			// counter would be garbage.
+			p.quarantineSubtree(st, n.Level, n.Index)
+			return n
+		}
+		healed.SetCounter(i, child.FValue())
+	}
+	if st.dirty[n.Level][n.Index] {
+		// The node was dirty in the crash-time cache: children may have
+		// been flushed after this image was persisted, so the regenerated
+		// counters describe the cache image, not the lost stale snapshot.
+		// The LInc delta for this level can no longer be validated exactly.
+		st.relaxLInc(n.Level)
+	} else if pc, ok := p.trustedCounterNoHeal(st, n.Level, n.Index); ok && pc != 0 {
+		// Chain consistency: an untracked clean node's parent slot holds
+		// f(node at its last persist) = f(current persisted children).
+		if pc != healed.FValue() {
+			p.quarantineSubtree(st, n.Level, n.Index)
+			return n
+		}
+	}
+	st.report.MACOps++
+	healed.SetHMAC(p.c.NodeMAC(healed, healed.FValue()))
+	st.report.NVMWrites++
+	p.c.Device().Poke(geo.NodeAddr(n.Level, n.Index), nvmem.Line(healed.Encode()))
+	st.report.Degradation.Healed = append(st.report.Degradation.Healed,
+		memctrl.NodeRef{Level: n.Level, Index: n.Index})
+	st.healedSet[key] = true
+	st.verified[key] = true
+	return healed
+}
+
+// trustedCounterNoHeal fetches the parent-side counter for (level, index)
+// from sources that need no upward healing: the NV buffer override, the
+// on-chip root, an already-recovered parent, a memoised (and healed) stale
+// parent, or a self-consistent parent peek. ok is false when the parent
+// itself is corrupt and not yet healed — the caller defers the check.
+func (p *Policy) trustedCounterNoHeal(st *recoveryState, level int, index uint64) (uint64, bool) {
+	geo := &p.c.Layout().Geo
+	if ov, ok := p.ParentCounterOverride(level, index); ok {
+		return ov, true
+	}
+	if geo.IsTop(level) {
+		return p.c.Root().Counter(index), true
+	}
+	pl, pi, slot := geo.Parent(level, index)
+	if n, ok := st.recovered[pl][pi]; ok {
+		return n.Counter(slot), true
+	}
+	if n, ok := st.stales[nodeKey{pl, pi}]; ok {
+		if st.quarRoots[nodeKey{pl, pi}] {
+			return 0, false
+		}
+		return n.Counter(slot), true
+	}
+	parent := p.c.StaleNode(pl, pi)
+	if p.selfConsistent(st, parent) {
+		return parent.Counter(slot), true
+	}
+	return 0, false
+}
+
+// quarantineSubtree gives up on the subtree rooted at (level, index): every
+// covered data leaf is quarantined on the controller (accesses return a
+// MediaFault), the report records the root and the data-loss bound, and the
+// LInc equality for the affected levels is relaxed (the skipped nodes'
+// increments are unknowable).
+func (p *Policy) quarantineSubtree(st *recoveryState, level int, index uint64) {
+	key := nodeKey{level, index}
+	if st.quarRoots[key] {
+		return
+	}
+	st.quarRoots[key] = true
+	p.c.QuarantineSubtree(level, index, &st.report.Degradation)
+	st.relaxLInc(level)
+}
+
+// underQuarantine reports whether the node or any ancestor is a quarantined
+// subtree root.
+func (p *Policy) underQuarantine(st *recoveryState, level int, index uint64) bool {
+	geo := &p.c.Layout().Geo
+	for {
+		if st.quarRoots[nodeKey{level, index}] {
+			return true
+		}
+		if geo.IsTop(level) {
+			return false
+		}
+		level, index, _ = geo.Parent(level, index)
+	}
+}
+
+// scrub is the degraded-mode self-healing sweep: after the tracked nodes
+// are reconstructed, every persisted interior node is checked against the
+// sealing invariant and corrupted ones are healed (or their subtrees
+// quarantined). Levels run top-down so a healed parent is in place before
+// its children consult it; corrupted leaves need no sweep — a corrupt leaf
+// fails verification on its first runtime fetch, which is detection, not
+// silent corruption.
+func (p *Policy) scrub(st *recoveryState) {
+	geo := &p.c.Layout().Geo
+	for k := geo.Levels - 1; k >= 1; k-- {
+		for idx := uint64(0); idx < geo.LevelNodes[k]; idx++ {
+			if p.underQuarantine(st, k, idx) {
+				continue
+			}
+			p.staleOf(st, k, idx)
+		}
+	}
+}

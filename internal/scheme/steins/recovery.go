@@ -24,6 +24,21 @@ type recoveryState struct {
 	rollback  map[nodeKey][]int      // parent slots with pending buffered flushes
 	stales    map[nodeKey]*sit.Node  // memoised stale reads
 	verified  map[nodeKey]bool       // stale nodes already chain-verified
+
+	// Degraded-mode bookkeeping (heal.go); inert when degraded is false.
+	degraded   bool
+	healedSet  map[nodeKey]bool // nodes rebuilt in place from their children
+	quarRoots  map[nodeKey]bool // quarantined subtree roots
+	relaxLevel int              // LInc equality relaxed for levels <= this
+}
+
+// relaxLInc widens the band of levels whose LInc equality cannot be checked
+// exactly: a quarantined subtree (or a healed dirty base) hides increments
+// from every level at and below its root.
+func (st *recoveryState) relaxLInc(level int) {
+	if level > st.relaxLevel {
+		st.relaxLevel = level
+	}
 }
 
 // Recover implements memctrl.Policy: the root-to-leaf recovery of §III-G.
@@ -50,13 +65,17 @@ type recoveryState struct {
 func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 	geo := &p.c.Layout().Geo
 	st := &recoveryState{
-		report:    memctrl.RecoveryReport{Scheme: p.Name()},
-		dirty:     make([]map[uint64]bool, geo.Levels),
-		recovered: make([]map[uint64]*sit.Node, geo.Levels),
-		place:     make(map[nodeKey]int),
-		rollback:  make(map[nodeKey][]int),
-		stales:    make(map[nodeKey]*sit.Node),
-		verified:  make(map[nodeKey]bool),
+		report:     memctrl.RecoveryReport{Scheme: p.Name()},
+		dirty:      make([]map[uint64]bool, geo.Levels),
+		recovered:  make([]map[uint64]*sit.Node, geo.Levels),
+		place:      make(map[nodeKey]int),
+		rollback:   make(map[nodeKey][]int),
+		stales:     make(map[nodeKey]*sit.Node),
+		verified:   make(map[nodeKey]bool),
+		degraded:   p.c.Config().DegradedRecovery,
+		healedSet:  make(map[nodeKey]bool),
+		quarRoots:  make(map[nodeKey]bool),
+		relaxLevel: -1,
 	}
 	for k := range st.dirty {
 		st.dirty[k] = make(map[uint64]bool)
@@ -81,8 +100,17 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 	for k := geo.Levels - 1; k >= 0; k-- {
 		var calc int64
 		for _, idx := range sortedKeys(st.dirty[k]) {
+			if st.degraded && p.underQuarantine(st, k, idx) {
+				continue
+			}
 			node, inc, err := p.recoverNode(st, k, idx)
 			if err != nil {
+				if st.degraded {
+					// The node (or a child it regenerates from) is beyond
+					// repair; give up on its coverage and keep going.
+					p.quarantineSubtree(st, k, idx)
+					continue
+				}
 				return st.report, err
 			}
 			st.recovered[k][idx] = node
@@ -97,12 +125,17 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 		calc += p.bufferedIncrements(st, k, bufByParent)
 		// Steps ③-④/⑨-⑩: replay detection. With no dirty nodes and no
 		// pending flushes the level increment must be exactly zero (§III-G).
-		if calc != int64(p.linc[k]) {
+		// A level inside the degraded-relax band hides increments behind
+		// quarantined subtrees and cannot be checked exactly.
+		if calc != int64(p.linc[k]) && !(st.degraded && k <= st.relaxLevel) {
 			return st.report, memctrl.ReplayAt("SIT level", k, 0,
 				fmt.Sprintf("increment %d != LInc %d", calc, int64(p.linc[k])))
 		}
 	}
 
+	if st.degraded {
+		p.scrub(st)
+	}
 	p.reinstate(st)
 
 	cfg := p.c.Config()
@@ -196,6 +229,9 @@ func (p *Policy) staleOf(st *recoveryState, level int, index uint64) *sit.Node {
 	}
 	st.report.NVMReads++
 	n := p.c.StaleNode(level, index)
+	if st.degraded && !p.selfConsistent(st, n) {
+		n = p.healNode(st, n)
+	}
 	st.stales[key] = n
 	return n
 }
@@ -386,6 +422,11 @@ func (p *Policy) reinstate(st *recoveryState) {
 	for k := geo.Levels - 1; k >= 0; k-- {
 		for _, idx := range sortedKeys(st.dirty[k]) {
 			node := st.recovered[k][idx]
+			if node == nil {
+				// Quarantined in degraded mode: no crash-time image exists
+				// to reinstate.
+				continue
+			}
 			addr := geo.NodeAddr(k, idx)
 			meta.PlaceAt(st.place[nodeKey{k, idx}], addr, node, true)
 			p.c.FaultEvent(memctrl.EvRecoveryStep, addr)

@@ -141,14 +141,19 @@ func (p *Policy) trackDirty(e *cache.Entry[*sit.Node]) uint64 {
 		// Record maintenance is fire-and-forget (§III-C): the line fill
 		// occupies NVM bandwidth but the write does not block on it.
 		const trackingIssueCycles = 20
-		line, _ := p.c.Device().Read(p.c.Now(), recAddr, nvmem.ClassRecord)
+		line, _, err := p.c.ReadLineRetried(p.c.Now(), recAddr, nvmem.ClassRecord)
+		if err != nil {
+			// A lost record line only widens the recovery search (clean
+			// nodes treated as dirty are harmless, §III-H); start fresh.
+			line = nvmem.Line{}
+		}
 		cycles += trackingIssueCycles
 		rl := decodeRecordLine(nvmem.Line(line))
 		var victim cache.Entry[*recordLine]
 		var evicted bool
 		re, victim, evicted = p.records.Insert(recAddr, rl, false)
 		if evicted && victim.Dirty {
-			cycles += p.c.Device().Write(p.c.Now()+cycles, victim.Addr,
+			cycles += p.c.Device().MustWrite(p.c.Now()+cycles, victim.Addr,
 				encodeRecordLine(victim.Payload), nvmem.ClassRecord)
 		}
 	}

@@ -26,6 +26,8 @@ fuzz:
 	go test -fuzz=FuzzSplitterRoundTrip -fuzztime=20s ./internal/trace
 	go test -fuzz=FuzzRecordReplay -fuzztime=20s ./internal/crashfuzz
 	go test -fuzz=FuzzFaultRecovery -fuzztime=20s ./internal/crashfuzz
+	go test -fuzz=FuzzSnapshotRoundTrip -fuzztime=20s ./internal/snapshot
+	go test -fuzz=FuzzReadEnvelope -fuzztime=20s ./internal/snapshot
 
 # Short deterministic crash-point fault-injection sweep: every scheme,
 # pinned seeds, torn-write detection demo included.
@@ -69,7 +71,8 @@ metrics-demo:
 # race-sensitive packages (figure sweeps and parallel recovery under both
 # GOMAXPROCS settings). The sharded engine and conformance suite
 # additionally run at -cpu 1,2,8 to pin bit-identical results across
-# worker-pool widths.
+# worker-pool widths. The checkpoint/resume suites run raced and twice
+# (-count=2) to pin byte-determinism of the snapshot wire format.
 check: crashfuzz faultfuzz
 	go vet ./...
 	go test -race -cpu 1,4 ./internal/crashfuzz ./internal/figures \
@@ -77,6 +80,9 @@ check: crashfuzz faultfuzz
 		./internal/nvmem ./internal/memctrl ./internal/attack
 	go test -race -cpu 1,2,8 -run 'Sharded|Conformance|Splitter|Interleave|NextEpoch|Replay|RecoverAll' \
 		./internal/sim ./internal/trace ./internal/multi ./internal/scheme/schemetest
+	go test -race -cpu 1,4 -run 'Resume|Snapshot|Campaign' \
+		./internal/snapshot ./internal/scheme/schemetest ./internal/crashfuzz ./cmd/steinssim
+	go test -count=2 ./internal/snapshot ./internal/scheme/schemetest
 
 cover:
 	go test -cover ./...

@@ -10,6 +10,7 @@ package steins
 // paper-scale tables.
 
 import (
+	"bytes"
 	"strconv"
 	"testing"
 
@@ -19,10 +20,12 @@ import (
 	"steins/internal/crypt"
 	"steins/internal/figures"
 	"steins/internal/memctrl"
+	"steins/internal/metrics"
 	"steins/internal/rng"
 	"steins/internal/scheme/steins"
 	"steins/internal/scheme/wb"
 	"steins/internal/sim"
+	"steins/internal/snapshot"
 	"steins/internal/trace"
 )
 
@@ -348,6 +351,108 @@ func BenchmarkSplitterEpoch(b *testing.B) {
 		}
 	}); allocs > 0 {
 		b.Fatalf("warm splitter allocates %.1f times per epoch, want 0", allocs)
+	}
+}
+
+// --- snapshot benches --------------------------------------------------------
+
+// snapshotBenchProfile keeps the captured state realistic: the working set
+// misses the metadata cache, so the dirty sets and device overlays are
+// populated when the snapshot is taken.
+func snapshotBenchProfile() trace.Profile {
+	return trace.Profile{
+		Name: "snapshot-bench", FootprintBytes: 1 << 20, WriteFrac: 0.5,
+		GapMean: 10, Pattern: trace.Uniform,
+	}
+}
+
+func init() {
+	trace.Register(snapshotBenchProfile())
+}
+
+// snapshotBenchEngine drives a run to the middle and hands back everything
+// a capture needs.
+func snapshotBenchEngine(b *testing.B) (snapshot.RunHeader, *trace.Generator, *sim.Single) {
+	b.Helper()
+	h := snapshot.RunHeader{
+		Workload: "snapshot-bench", Scheme: "Steins-SC",
+		TotalOps: 4000, WarmupOps: 500, Seed: 21,
+		MetaCacheBytes: 32 << 10, Channels: 1,
+		HasMetrics: true, Metrics: metrics.Options{SampleEvery: 64, RingCap: 64},
+	}
+	prof, _ := trace.ByName(h.Workload)
+	s, ok := sim.SchemeByName(h.Scheme)
+	if !ok {
+		b.Fatalf("unknown scheme %q", h.Scheme)
+	}
+	opt, _ := h.Options()
+	g := trace.New(prof, opt.Seed, opt.WarmupOps+opt.Ops)
+	e := sim.NewSingle(prof, s, opt)
+	if _, err := e.DriveN(g, 2500); err != nil {
+		b.Fatal(err)
+	}
+	return h, g, e
+}
+
+// BenchmarkSnapshotSave measures the warm save path (capture + serialize)
+// and enforces its allocation ceiling: the per-save allocation count must
+// not grow past the budget even as state capture touches every layer.
+func BenchmarkSnapshotSave(b *testing.B) {
+	h, g, e := snapshotBenchEngine(b)
+	save := func(buf *bytes.Buffer) int {
+		buf.Reset()
+		st, err := snapshot.CaptureSingle(h, g, e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := snapshot.Write(buf, st); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Len()
+	}
+	var buf bytes.Buffer
+	size := save(&buf) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		save(&buf)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(size), "snapshot_bytes")
+	// Ceiling with ~2x headroom over the measured warm path; a regression
+	// that makes capture allocate per cache line or per device block blows
+	// straight through it.
+	allocs := testing.AllocsPerRun(10, func() { save(&buf) })
+	b.ReportMetric(allocs, "allocs_per_save")
+	if ceiling := 2_000.0; allocs > ceiling {
+		b.Fatalf("warm save path allocates %.0f times, ceiling %.0f", allocs, ceiling)
+	}
+}
+
+// BenchmarkSnapshotLoad measures the full load path: envelope decode,
+// state rebuild, and engine restore into a fresh system.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	h, g, e := snapshotBenchEngine(b)
+	st, err := snapshot.CaptureSingle(h, g, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, st); err != nil {
+		b.Fatal(err)
+	}
+	wire := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		back, err := snapshot.Read(bytes.NewReader(wire))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := back.Resume(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -45,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ecc       = fs.Bool("ecc", true, "model the SECDED ECC layer in fault mode (-ecc=false leaves detection to the integrity layer alone)")
 		corrupt   = fs.Int("corrupt", 0, "fault mode: bit-flip this many persisted interior SIT nodes at every crash (implies -degraded unless recovery should reject)")
 		degraded  = fs.Bool("degraded", false, "fault mode: enable degraded recovery (heal from children or quarantine instead of rejecting)")
+		snapPath  = fs.String("snapshot", "", "checkpoint the campaign to this file after every round, making a long run restartable with -resume")
+		resume    = fs.String("resume", "", "resume a campaign from this snapshot file and keep it current (other campaign flags are ignored)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,6 +77,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *resume != "" {
+		rep, err := crashfuzz.ResumeCheckpointed(*resume, cfg.Logf)
+		if err != nil {
+			fmt.Fprintf(stderr, "FAIL: resume %s: %v\n", *resume, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "PASS resumed torture: %v\n", &rep)
+		return 0
+	}
+
 	if *faultSpec != "" || *corrupt > 0 {
 		fcfg := crashfuzz.FaultFuzzConfig{
 			Config:       cfg,
@@ -92,7 +104,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	rep, err := crashfuzz.Run(cfg)
+	var rep crashfuzz.Report
+	var err error
+	if *snapPath != "" {
+		rep, err = crashfuzz.RunCheckpointed(cfg, *snapPath)
+	} else {
+		rep, err = crashfuzz.Run(cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "FAIL: %v\n", err)
 		return 1

@@ -1,0 +1,181 @@
+// Checkpoint/resume wiring: -checkpoint N writes a snapshot of the whole
+// run every N operations; -resume continues a snapshotted run to
+// completion in a fresh process, producing byte-identical metrics to the
+// uninterrupted run.
+
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"steins/internal/memctrl"
+	"steins/internal/metrics"
+	"steins/internal/nvmem"
+	"steins/internal/sim"
+	"steins/internal/snapshot"
+	"steins/internal/trace"
+)
+
+// makeHeader records the flag-derived run configuration in the snapshot
+// header, so a fresh process can rebuild the identical run from the file
+// alone.
+func makeHeader(prof trace.Profile, s sim.Scheme, opt sim.Options, channels int, iv trace.Interleave, faults nvmem.FaultConfig, eccDisable bool) snapshot.RunHeader {
+	h := snapshot.RunHeader{
+		Workload:       prof.Name,
+		Scheme:         s.Name,
+		TotalOps:       opt.Ops,
+		WarmupOps:      opt.WarmupOps,
+		Seed:           opt.Seed,
+		DataBytes:      opt.DataBytes,
+		MetaCacheBytes: opt.MetaCacheBytes,
+		Channels:       channels,
+		Interleave:     iv,
+		Faults:         faults,
+		ECCDisable:     eccDisable,
+	}
+	if opt.Metrics != nil {
+		h.HasMetrics = true
+		h.Metrics = *opt.Metrics
+	}
+	return h
+}
+
+// buildResumable constructs the engines a checkpointable run uses: the
+// generator positioned at the start and a Single (1 channel) or Sharded
+// (N channels) engine.
+func buildResumable(h snapshot.RunHeader) (*snapshot.Resumed, error) {
+	prof, ok := trace.ByName(h.Workload)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", h.Workload)
+	}
+	s, ok := sim.SchemeByName(h.Scheme)
+	if !ok {
+		return nil, fmt.Errorf("unknown scheme %q", h.Scheme)
+	}
+	opt, so := h.Options()
+	r := &snapshot.Resumed{Profile: prof, Scheme: s,
+		Gen: trace.New(prof, opt.Seed, opt.WarmupOps+opt.Ops)}
+	if h.Channels > 1 {
+		r.Sharded = sim.NewSharded(prof, s, opt, so)
+	} else {
+		r.Single = sim.NewSingle(prof, s, opt)
+	}
+	return r, nil
+}
+
+// driveResumable drives the run to trace exhaustion; with every > 0 it
+// snapshots the complete system to path each time that many further ops
+// retire. It returns how many snapshots were written.
+func driveResumable(r *snapshot.Resumed, h snapshot.RunHeader, every int, path string) (int, error) {
+	chunk := -1
+	if every > 0 {
+		chunk = every
+	}
+	saved := 0
+	for {
+		var n int
+		var err error
+		if r.Single != nil {
+			n, err = r.Single.DriveN(r.Gen, chunk)
+		} else {
+			n, err = r.Sharded.DriveStreamN(r.Gen, chunk)
+		}
+		if err != nil {
+			return saved, err
+		}
+		if every > 0 && n > 0 {
+			var st *snapshot.RunState
+			if r.Single != nil {
+				st, err = snapshot.CaptureSingle(h, r.Gen, r.Single)
+			} else {
+				st, err = snapshot.CaptureSharded(h, r.Gen, r.Sharded)
+			}
+			if err != nil {
+				return saved, err
+			}
+			if err := snapshot.SaveFile(path, st); err != nil {
+				return saved, err
+			}
+			saved++
+		}
+		if chunk < 0 || n < chunk {
+			return saved, nil
+		}
+	}
+}
+
+// resumableResults folds either engine into the (merged, per-shard) shape
+// the printing code consumes.
+func resumableResults(r *snapshot.Resumed) (sim.Result, []sim.Result) {
+	if r.Single != nil {
+		return r.Single.Result(), nil
+	}
+	sres := r.Sharded.Result()
+	return sres.Merged, sres.Shards
+}
+
+// crashRecoverResumable crashes and recovers either engine, returning the
+// aggregate recovery report.
+func crashRecoverResumable(r *snapshot.Resumed, allDirty bool) (memctrl.RecoveryReport, error) {
+	if r.Single != nil {
+		c := r.Single.Controller()
+		if allDirty {
+			c.ForceAllDirty()
+		}
+		c.Crash()
+		return c.Recover()
+	}
+	if allDirty {
+		r.Sharded.ForceAllDirty()
+	}
+	r.Sharded.Crash()
+	_, agg, err := r.Sharded.Recover()
+	return agg, err
+}
+
+// runResume is the -resume entry point: load the snapshot, rebuild the
+// run, drive it to completion (keeping the snapshot current when every >
+// 0), optionally crash/recover, and print through the same tables as a
+// fresh run. Exit codes match run(): 0 success, 1 failure.
+func runResume(path string, every int, crash, allDirty bool, metricsTo string, verbose bool, stdout, stderr io.Writer) int {
+	st, err := snapshot.LoadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "resume %s: %v\n", path, err)
+		return 1
+	}
+	r, err := st.Resume()
+	if err != nil {
+		fmt.Fprintf(stderr, "resume %s: %v\n", path, err)
+		return 1
+	}
+	h := st.Header
+	fmt.Fprintf(stdout, "resumed %s/%s at op %d of %d (+%d warm-up)\n",
+		h.Workload, h.Scheme, r.Driven(), h.TotalOps+h.WarmupOps, h.WarmupOps)
+	if _, err := driveResumable(r, h, every, path); err != nil {
+		fmt.Fprintf(stderr, "simulation failed: %v\n", err)
+		return 1
+	}
+	if crash {
+		rep, err := crashRecoverResumable(r, allDirty)
+		if err != nil {
+			fmt.Fprintf(stderr, "recovery failed: %v\n", err)
+			return 1
+		}
+		printRecovery(stdout, rep)
+	}
+	res, shards := resumableResults(r)
+	if metricsTo != "" {
+		if res.Snapshot == nil {
+			fmt.Fprintf(stderr, "metrics export failed: the snapshot was captured without metrics collection\n")
+			return 1
+		}
+		if err := metrics.WriteSnapshotsFile(metricsTo, []*metrics.Snapshot{res.Snapshot}); err != nil {
+			fmt.Fprintf(stderr, "metrics export failed: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "metrics snapshot written to %s\n", metricsTo)
+	}
+	printRun(stdout, h.Scheme, h.Workload, h.TotalOps, h.Channels, h.Interleave, h.Faults.Enabled(), verbose, res, shards)
+	return 0
+}

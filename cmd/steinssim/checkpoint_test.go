@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tableOf strips everything before the first table ("== title =="), so
+// resumed output can be compared to straight output without the resume or
+// checkpoint banners.
+func tableOf(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "== ")
+	if i < 0 {
+		t.Fatalf("no table in output:\n%s", out)
+	}
+	return out[i:]
+}
+
+// TestCheckpointResumeMatchesStraight runs the same configuration three
+// ways — straight, checkpointed, and checkpoint-then-resume — and
+// requires identical summary tables: the resumed run's metrics must be
+// bit-identical to the uninterrupted run's.
+func TestCheckpointResumeMatchesStraight(t *testing.T) {
+	for _, channels := range []string{"1", "2"} {
+		channels := channels
+		t.Run(channels+"ch", func(t *testing.T) {
+			t.Parallel()
+			snap := filepath.Join(t.TempDir(), "run.snap")
+			base := []string{
+				"-workload", "pers_queue", "-scheme", "steins-sc",
+				"-ops", "2000", "-cache", "16", "-seed", "3",
+				"-channels", channels,
+				"-faults", "transient=1e-3,stuck=1e-4,seed=9",
+			}
+
+			var straight, errb strings.Builder
+			if code := run(base, &straight, &errb); code != 0 {
+				t.Fatalf("straight: exit %d, stderr: %s", code, errb.String())
+			}
+
+			// Checkpoint every 700 ops: the final snapshot on disk is from
+			// the last boundary before exhaustion, so -resume has a real
+			// remainder to drive.
+			var ck strings.Builder
+			errb.Reset()
+			ckArgs := append(append([]string{}, base...), "-checkpoint", "700", "-checkpoint-file", snap)
+			if code := run(ckArgs, &ck, &errb); code != 0 {
+				t.Fatalf("checkpointed: exit %d, stderr: %s", code, errb.String())
+			}
+			if tableOf(t, ck.String()) != tableOf(t, straight.String()) {
+				t.Fatalf("checkpointing changed the results\nstraight:\n%s\ncheckpointed:\n%s",
+					straight.String(), ck.String())
+			}
+			if _, err := os.Stat(snap); err != nil {
+				t.Fatalf("no snapshot written: %v", err)
+			}
+
+			var resumed strings.Builder
+			errb.Reset()
+			if code := run([]string{"-resume", snap}, &resumed, &errb); code != 0 {
+				t.Fatalf("resume: exit %d, stderr: %s", code, errb.String())
+			}
+			if !strings.Contains(resumed.String(), "resumed pers_queue/Steins-SC at op") {
+				t.Fatalf("missing resume banner:\n%s", resumed.String())
+			}
+			if tableOf(t, resumed.String()) != tableOf(t, straight.String()) {
+				t.Fatalf("resumed run diverges from straight run\nstraight:\n%s\nresumed:\n%s",
+					straight.String(), resumed.String())
+			}
+		})
+	}
+}
+
+// TestResumeFailures is the negative CLI table: a missing, truncated or
+// corrupted snapshot must exit 1 with a structured diagnostic on stderr,
+// and -resume -compare is a flag error.
+func TestResumeFailures(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "run.snap")
+	var out, errb strings.Builder
+	if code := run([]string{
+		"-workload", "pers_queue", "-scheme", "steins-gc",
+		"-ops", "800", "-cache", "16", "-checkpoint", "300", "-checkpoint-file", snap,
+	}, &out, &errb); code != 0 {
+		t.Fatalf("seed run: exit %d, stderr: %s", code, errb.String())
+	}
+	good, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truncated := filepath.Join(dir, "trunc.snap")
+	if err := os.WriteFile(truncated, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flipped := filepath.Join(dir, "flip.snap")
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x40
+	if err := os.WriteFile(flipped, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name, path, diag string
+	}{
+		{"missing file", filepath.Join(dir, "nope.snap"), "no such file"},
+		{"truncated", truncated, "truncated"},
+		{"bit flip", flipped, "checksum"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb strings.Builder
+			if code := run([]string{"-resume", tc.path}, &out, &errb); code != 1 {
+				t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.diag) {
+				t.Fatalf("diagnostic %q missing from stderr: %s", tc.diag, errb.String())
+			}
+		})
+	}
+
+	errb.Reset()
+	if code := run([]string{"-resume", snap, "-compare"}, &out, &errb); code != 2 {
+		t.Fatalf("-resume -compare: exit %d, want 2 (stderr: %s)", code, errb.String())
+	}
+}

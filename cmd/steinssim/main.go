@@ -19,6 +19,7 @@ import (
 	"steins/internal/metrics"
 	"steins/internal/nvmem"
 	"steins/internal/sim"
+	"steins/internal/snapshot"
 	"steins/internal/stats"
 	"steins/internal/trace"
 )
@@ -44,21 +45,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("steinssim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		workload  = fs.String("workload", "cactusADM", "workload name (see -list)")
-		scheme    = fs.String("scheme", "Steins-GC", "scheme name (see -list)")
-		ops       = fs.Int("ops", 100000, "trace length in memory requests")
-		seed      = fs.Uint64("seed", 1, "trace seed")
-		cacheKB   = fs.Int("cache", 256, "metadata cache size in KiB")
-		crash     = fs.Bool("crash", false, "crash and recover after the run")
-		allDirty  = fs.Bool("alldirty", false, "force all cached metadata dirty before the crash")
-		list      = fs.Bool("list", false, "list workloads and schemes")
-		compare   = fs.Bool("compare", false, "run every scheme on the workload and tabulate")
-		tablePath = fs.Bool("v", false, "verbose per-class NVM breakdown")
-		metricsTo = fs.String("metrics", "", "export a metrics snapshot (phase attribution, latency histograms, occupancy time series) to this file; .csv selects CSV, anything else JSON")
-		channels  = fs.Int("channels", 1, "interleave the trace across this many independent controllers (sharded engine)")
-		ivMode    = fs.String("interleave", "line", "address interleave granularity for -channels: line, page, or hash")
-		faultSpec = fs.String("faults", "", "media-fault model, e.g. transient=1e-4,double=0.25,stuck=1e-6,torn=0.5,seed=7 (empty or 'off': disabled)")
-		ecc       = fs.Bool("ecc", true, "model the per-word SECDED ECC layer (with -ecc=false corrupted lines return silently and only the integrity layer can catch them)")
+		workload   = fs.String("workload", "cactusADM", "workload name (see -list)")
+		scheme     = fs.String("scheme", "Steins-GC", "scheme name (see -list)")
+		ops        = fs.Int("ops", 100000, "trace length in memory requests")
+		seed       = fs.Uint64("seed", 1, "trace seed")
+		cacheKB    = fs.Int("cache", 256, "metadata cache size in KiB")
+		crash      = fs.Bool("crash", false, "crash and recover after the run")
+		allDirty   = fs.Bool("alldirty", false, "force all cached metadata dirty before the crash")
+		list       = fs.Bool("list", false, "list workloads and schemes")
+		compare    = fs.Bool("compare", false, "run every scheme on the workload and tabulate")
+		tablePath  = fs.Bool("v", false, "verbose per-class NVM breakdown")
+		metricsTo  = fs.String("metrics", "", "export a metrics snapshot (phase attribution, latency histograms, occupancy time series) to this file; .csv selects CSV, anything else JSON")
+		channels   = fs.Int("channels", 1, "interleave the trace across this many independent controllers (sharded engine)")
+		ivMode     = fs.String("interleave", "line", "address interleave granularity for -channels: line, page, or hash")
+		faultSpec  = fs.String("faults", "", "media-fault model, e.g. transient=1e-4,double=0.25,stuck=1e-6,torn=0.5,seed=7 (empty or 'off': disabled)")
+		ecc        = fs.Bool("ecc", true, "model the per-word SECDED ECC layer (with -ecc=false corrupted lines return silently and only the integrity layer can catch them)")
+		ckptEvery  = fs.Int("checkpoint", 0, "snapshot the complete run state every N ops to -checkpoint-file (0: never)")
+		ckptFile   = fs.String("checkpoint-file", "steinssim.snap", "snapshot file for -checkpoint (and the file -resume keeps current)")
+		resumeFrom = fs.String("resume", "", "resume a run from this snapshot file; workload/scheme/ops flags are taken from the snapshot")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -92,6 +96,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *resumeFrom != "" {
+		if *compare {
+			fmt.Fprintf(stderr, "-resume is incompatible with -compare\n")
+			return 2
+		}
+		return runResume(*resumeFrom, *ckptEvery, *crash, *allDirty, *metricsTo, *tablePath, stdout, stderr)
+	}
+
 	prof, ok := trace.ByName(*workload)
 	if !ok {
 		fmt.Fprintf(stderr, "unknown workload %q (use -list)\n", *workload)
@@ -118,19 +130,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opt := sim.Options{Ops: *ops, Seed: *seed, MetaCacheBytes: *cacheKB << 10, Metrics: mopt, Configure: configure}
 
-	reportRecovery := func(rep memctrl.RecoveryReport) {
-		fmt.Fprintf(stdout, "recovery: %d nodes, %d NVM reads, %d writes, %d MAC ops -> %s\n",
-			rep.NodesRecovered, rep.NVMReads, rep.NVMWrites, rep.MACOps,
-			stats.Seconds(rep.TimeNS))
-		if d := &rep.Degradation; d.Degraded() {
-			fmt.Fprintf(stdout, "degraded: %d healed, %d quarantined, %d unrecoverable, data-loss bound %s\n",
-				len(d.Healed), len(d.Quarantined), len(d.Unrecoverable), stats.Bytes(d.DataLossBoundBytes))
-		}
-	}
+	reportRecovery := func(rep memctrl.RecoveryReport) { printRecovery(stdout, rep) }
 	var res sim.Result
 	var shards []sim.Result
 	var err2 error
 	switch {
+	case *ckptEvery > 0:
+		h := makeHeader(prof, s, opt, *channels, iv, faults, !*ecc)
+		var r *snapshot.Resumed
+		r, err2 = buildResumable(h)
+		if err2 == nil {
+			_, err2 = driveResumable(r, h, *ckptEvery, *ckptFile)
+		}
+		if err2 == nil && *crash {
+			var rep memctrl.RecoveryReport
+			rep, err2 = crashRecoverResumable(r, *allDirty)
+			if err2 == nil {
+				reportRecovery(rep)
+			}
+		}
+		if err2 == nil {
+			res, shards = resumableResults(r)
+			fmt.Fprintf(stdout, "checkpoints written to %s every %d ops\n", *ckptFile, *ckptEvery)
+		}
 	case *channels > 1 && *crash:
 		var sres sim.ShardedResult
 		var rep memctrl.RecoveryReport
@@ -163,8 +185,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "metrics snapshot written to %s\n", *metricsTo)
 	}
+	printRun(stdout, s.Name, prof.Name, *ops, *channels, iv, faults.Enabled(), *tablePath, res, shards)
+	return 0
+}
+
+// printRecovery renders an aggregate recovery report.
+func printRecovery(stdout io.Writer, rep memctrl.RecoveryReport) {
+	fmt.Fprintf(stdout, "recovery: %d nodes, %d NVM reads, %d writes, %d MAC ops -> %s\n",
+		rep.NodesRecovered, rep.NVMReads, rep.NVMWrites, rep.MACOps,
+		stats.Seconds(rep.TimeNS))
+	if d := &rep.Degradation; d.Degraded() {
+		fmt.Fprintf(stdout, "degraded: %d healed, %d quarantined, %d unrecoverable, data-loss bound %s\n",
+			len(d.Healed), len(d.Quarantined), len(d.Unrecoverable), stats.Bytes(d.DataLossBoundBytes))
+	}
+}
+
+// printRun renders the per-channel view and the summary tables for one
+// finished run; resumed runs share it with fresh ones.
+func printRun(stdout io.Writer, schemeName, workloadName string, ops, channels int, iv trace.Interleave, faultsEnabled, verbose bool, res sim.Result, shards []sim.Result) {
 	if len(shards) > 1 {
-		ct := stats.NewTable(fmt.Sprintf("per-channel view (%d channels, %s interleave)", *channels, iv),
+		ct := stats.NewTable(fmt.Sprintf("per-channel view (%d channels, %s interleave)", channels, iv),
 			"channel", "ops", "exec cycles", "traffic", "hit%")
 		for k, sh := range shards {
 			ct.AddRow(fmt.Sprint(k), fmt.Sprint(sh.Ops), fmt.Sprint(sh.ExecCycles),
@@ -173,7 +213,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, ct)
 	}
 
-	t := stats.NewTable(fmt.Sprintf("%s on %s (%d ops)", s.Name, prof.Name, *ops), "metric", "value")
+	t := stats.NewTable(fmt.Sprintf("%s on %s (%d ops)", schemeName, workloadName, ops), "metric", "value")
 	t.AddRow("execution time", fmt.Sprintf("%d cycles (%.2f ms simulated)",
 		res.ExecCycles, float64(res.ExecCycles)/2e6))
 	t.AddRow("avg read latency", fmt.Sprintf("%.1f cycles", res.AvgReadLat))
@@ -184,7 +224,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	t.AddRow("hash ops", fmt.Sprintf("%d", res.Ctrl.HashOps))
 	t.AddRow("minor overflows", fmt.Sprintf("%d (re-encrypted %d blocks)",
 		res.Ctrl.Overflows, res.Ctrl.Reencrypts))
-	if faults.Enabled() {
+	if faultsEnabled {
 		t.AddRow("media read path", fmt.Sprintf("%d corrected, %d retried, %d escalated, %d unrecoverable",
 			res.Ctrl.MediaCorrected, res.Ctrl.MediaRetried, res.Ctrl.MediaEscalated, res.Ctrl.MediaUnrecoverable))
 		f := res.NVM.Faults
@@ -193,7 +233,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprint(stdout, t)
 
-	if *tablePath {
+	if verbose {
 		bt := stats.NewTable("NVM accesses by class", "class", "reads", "writes")
 		for cls := 0; cls < len(res.NVM.Reads); cls++ {
 			if res.NVM.Reads[cls] == 0 && res.NVM.Writes[cls] == 0 {
@@ -203,7 +243,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprint(stdout, bt)
 	}
-	return 0
 }
 
 // compareSchemes runs every scheme on one workload and prints a

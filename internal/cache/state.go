@@ -1,0 +1,64 @@
+package cache
+
+import "fmt"
+
+// EntryState is the serializable image of one valid cache line, including
+// the replacement bookkeeping (Stamp, Slot) that Lookup/Insert normally
+// manage. Snapshots must carry it so a restored cache makes the same future
+// LRU victim choices as the original.
+type EntryState[P any] struct {
+	Addr    uint64
+	Slot    int
+	Stamp   uint64
+	Dirty   bool
+	Payload P
+}
+
+// State is the full serializable image of a cache: every valid line plus
+// the global recency stamp and the counters. Entries are listed in
+// deterministic (set, way) order.
+type State[P any] struct {
+	Stamp   uint64
+	Stats   Stats
+	Entries []EntryState[P]
+}
+
+// State captures the cache contents, LRU stamps and statistics. The
+// returned payloads alias the live entries; callers that need isolation
+// (e.g. pointer payloads) must deep-copy them before mutating the cache.
+func (c *Cache[P]) State() State[P] {
+	st := State[P]{Stamp: c.stamp, Stats: c.stats}
+	c.ForEach(func(e *Entry[P]) {
+		st.Entries = append(st.Entries, EntryState[P]{
+			Addr: e.Addr, Slot: e.slot, Stamp: e.stamp, Dirty: e.Dirty, Payload: e.Payload,
+		})
+	})
+	return st
+}
+
+// SetState clears the cache and rebuilds it bit-exactly from a captured
+// State: every line lands in its original slot with its original recency
+// stamp, and the global stamp and counters are restored, so subsequent
+// hits, misses and evictions replay identically. Geometry mismatches and
+// slot conflicts panic: they mean the state belongs to a different cache.
+func (c *Cache[P]) SetState(st State[P]) {
+	c.Clear()
+	for _, e := range st.Entries {
+		setIdx, way := e.Slot/c.ways, e.Slot%c.ways
+		if setIdx < 0 || setIdx >= len(c.sets) || way < 0 || way >= c.ways {
+			panic(fmt.Sprintf("cache: SetState slot %d outside %d sets x %d ways", e.Slot, len(c.sets), c.ways))
+		}
+		if setIdx != c.SetOf(e.Addr) {
+			panic(fmt.Sprintf("cache: SetState slot %d not in set of address %#x", e.Slot, e.Addr))
+		}
+		if c.sets[setIdx][way].valid {
+			panic(fmt.Sprintf("cache: SetState slot %d restored twice", e.Slot))
+		}
+		c.sets[setIdx][way] = Entry[P]{
+			Addr: e.Addr, Payload: e.Payload, Dirty: e.Dirty,
+			valid: true, stamp: e.Stamp, slot: e.Slot,
+		}
+	}
+	c.stamp = st.Stamp
+	c.stats = st.Stats
+}

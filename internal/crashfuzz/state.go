@@ -1,0 +1,245 @@
+// Campaign snapshots: a long torture run can be checkpointed after any
+// round — fuzzer RNG, trace position, golden shadow model, event-rate
+// calibration, the report so far, and the controller's full state — and
+// restarted in a fresh process from exactly that round. Snapshots reuse
+// the internal/snapshot envelope (magic, version, CRC) with its own
+// payload kind, so a campaign file cannot be misread as a simulation run.
+
+package crashfuzz
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sort"
+
+	"steins/internal/memctrl"
+	"steins/internal/snapshot"
+	"steins/internal/trace"
+)
+
+// shadowEntry is one golden-model line, address-sorted for deterministic
+// encoding.
+type shadowEntry struct {
+	Addr uint64
+	Data [64]byte
+}
+
+// CampaignState is the serializable image of a paused torture campaign.
+// Only the SIT-based systems support it: the BMT baseline controller has
+// no state capture, and its volatile tree would have to be rebuilt.
+type CampaignState struct {
+	// Config scalars; the Logf hook is process-local and not captured.
+	Scheme, Workload string
+	Seed             uint64
+	Crashes          int
+	OpsPerRound      int
+	FootprintBytes   uint64
+	RecrashEvery     int
+	VerifySample     int
+
+	// RoundsDone is how many crash rounds (plus the calibration round)
+	// already ran; resume continues at this round index.
+	RoundsDone int
+
+	RNG         [4]uint64
+	Gen         trace.GeneratorState
+	Shadow      []shadowEntry
+	Recent      []uint64
+	Seq         uint64
+	TotalEvents [memctrl.NumEvents]uint64
+	TotalOps    uint64
+	RecSteps    uint64
+	Report      Report
+
+	Ctrl *memctrl.ControllerState
+}
+
+// state captures the fuzzer between rounds (the system is quiescent: the
+// last round's recovery and verification completed).
+func (f *fuzzer) state(roundsDone int) (*CampaignState, error) {
+	sit, ok := f.sys.(*sitSystem)
+	if !ok {
+		return nil, fmt.Errorf("crashfuzz: scheme %q does not support campaign snapshots", f.cfg.Scheme)
+	}
+	cs, err := sit.c.State()
+	if err != nil {
+		return nil, fmt.Errorf("crashfuzz: capture controller: %w", err)
+	}
+	st := &CampaignState{
+		Scheme:         f.cfg.Scheme,
+		Workload:       f.cfg.Workload,
+		Seed:           f.cfg.Seed,
+		Crashes:        f.cfg.Crashes,
+		OpsPerRound:    f.cfg.OpsPerRound,
+		FootprintBytes: f.cfg.FootprintBytes,
+		RecrashEvery:   f.cfg.RecrashEvery,
+		VerifySample:   f.cfg.VerifySample,
+		RoundsDone:     roundsDone,
+		RNG:            f.r.State(),
+		Gen:            f.gen.State(),
+		Recent:         append([]uint64(nil), f.recent...),
+		Seq:            f.seq,
+		TotalEvents:    f.totalEvents,
+		TotalOps:       f.totalOps,
+		RecSteps:       f.recSteps,
+		Report:         f.rep,
+		Ctrl:           cs,
+	}
+	for addr, data := range f.shadow {
+		st.Shadow = append(st.Shadow, shadowEntry{Addr: addr, Data: data})
+	}
+	sort.Slice(st.Shadow, func(i, j int) bool { return st.Shadow[i].Addr < st.Shadow[j].Addr })
+	return st, nil
+}
+
+// config rebuilds the Config the state was captured under.
+func (st *CampaignState) config() Config {
+	return Config{
+		Scheme:         st.Scheme,
+		Workload:       st.Workload,
+		Seed:           st.Seed,
+		Crashes:        st.Crashes,
+		OpsPerRound:    st.OpsPerRound,
+		FootprintBytes: st.FootprintBytes,
+		RecrashEvery:   st.RecrashEvery,
+		VerifySample:   st.VerifySample,
+	}
+}
+
+// restore rebuilds a fuzzer from the state: a fresh system and generator
+// via the normal constructor, then every layer overwritten in place.
+func (st *CampaignState) restore(logf func(string, ...any)) (*fuzzer, error) {
+	cfg := st.config()
+	cfg.Logf = logf
+	cfg.setDefaults()
+	f, err := newFuzzer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sit, ok := f.sys.(*sitSystem)
+	if !ok {
+		return nil, fmt.Errorf("crashfuzz: scheme %q does not support campaign snapshots", cfg.Scheme)
+	}
+	if st.Ctrl == nil {
+		return nil, fmt.Errorf("%w: campaign has no controller state", snapshot.ErrCorrupt)
+	}
+	if err := sit.c.Restore(st.Ctrl); err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	f.r.Restore(st.RNG)
+	f.gen.Restore(st.Gen)
+	f.shadow = make(map[uint64][64]byte, len(st.Shadow))
+	for _, e := range st.Shadow {
+		f.shadow[e.Addr] = e.Data
+	}
+	f.recent = append([]uint64(nil), st.Recent...)
+	f.seq = st.Seq
+	f.totalEvents = st.TotalEvents
+	f.totalOps = st.TotalOps
+	f.recSteps = st.RecSteps
+	f.rep = st.Report
+	return f, nil
+}
+
+// WriteCampaign serializes the state into the shared snapshot envelope.
+func WriteCampaign(path string, st *CampaignState) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		return fmt.Errorf("crashfuzz: encode campaign: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("crashfuzz: %w", err)
+	}
+	if err := snapshot.WriteEnvelope(f, snapshot.KindCampaign, payload.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("crashfuzz: %w", err)
+	}
+	return nil
+}
+
+// ReadCampaign deserializes a campaign snapshot; failures wrap the
+// snapshot.Err* sentinels.
+func ReadCampaign(path string) (*CampaignState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("crashfuzz: %w", err)
+	}
+	defer f.Close()
+	payload, err := snapshot.ReadEnvelope(f, snapshot.KindCampaign)
+	if err != nil {
+		return nil, err
+	}
+	st := new(CampaignState)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(st); err != nil {
+		return nil, fmt.Errorf("%w: gob decode: %v", snapshot.ErrCorrupt, err)
+	}
+	return st, nil
+}
+
+// RunCheckpointed is Run with a campaign snapshot written to path after
+// the calibration round and after every crash round, so a long campaign
+// survives interruption. The final snapshot on disk reflects the completed
+// campaign.
+func RunCheckpointed(cfg Config, path string) (Report, error) {
+	cfg.setDefaults()
+	f, err := newFuzzer(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.sys.SetFaultHooks(nil)
+	if err := f.round(-1); err != nil {
+		return f.rep, err
+	}
+	return f.loopCheckpointed(0, path)
+}
+
+// ResumeCheckpointed continues a checkpointed campaign from its snapshot,
+// driving the remaining rounds and keeping the snapshot current.
+func ResumeCheckpointed(path string, logf func(string, ...any)) (Report, error) {
+	st, err := ReadCampaign(path)
+	if err != nil {
+		return Report{}, err
+	}
+	f, err := st.restore(logf)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.sys.SetFaultHooks(nil)
+	return f.loopCheckpointed(st.RoundsDone, path)
+}
+
+// loopCheckpointed drives rounds start..Crashes, snapshotting after each.
+func (f *fuzzer) loopCheckpointed(start int, path string) (Report, error) {
+	save := func(done int) error {
+		st, err := f.state(done)
+		if err != nil {
+			return err
+		}
+		return WriteCampaign(path, st)
+	}
+	if start == 0 {
+		if err := save(0); err != nil {
+			return f.rep, err
+		}
+	}
+	for round := start; round < f.cfg.Crashes; round++ {
+		f.rep.Rounds++
+		if err := f.round(round); err != nil {
+			return f.rep, err
+		}
+		if err := save(round + 1); err != nil {
+			return f.rep, err
+		}
+		if round%50 == 49 {
+			f.cfg.Logf("round %d/%d: %d crashes, %d re-crashes, %d lines verified",
+				round+1, f.cfg.Crashes, f.rep.TotalCrashes(), f.rep.Recrashes, f.rep.LinesVerified)
+		}
+	}
+	return f.rep, nil
+}

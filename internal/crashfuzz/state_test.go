@@ -1,0 +1,79 @@
+package crashfuzz
+
+import (
+	"errors"
+	"testing"
+
+	"steins/internal/snapshot"
+)
+
+// TestCampaignResumeMatchesStraight interrupts a checkpointed campaign
+// after two crash rounds, resumes it from the snapshot in a rebuilt
+// fuzzer, and requires the final report to be identical to the same
+// campaign run straight through — RNG stream, trace position, shadow
+// model, event-rate calibration and controller state all round-tripped.
+func TestCampaignResumeMatchesStraight(t *testing.T) {
+	t.Parallel()
+	base := Config{
+		Scheme:       "steins-gc",
+		Workload:     "pers_queue",
+		Seed:         5,
+		Crashes:      6,
+		OpsPerRound:  150,
+		RecrashEvery: 3,
+	}
+	straight, err := Run(base)
+	if err != nil {
+		t.Fatalf("straight campaign: %v", err)
+	}
+
+	path := t.TempDir() + "/campaign.snap"
+	short := base
+	short.Crashes = 2
+	if _, err := RunCheckpointed(short, path); err != nil {
+		t.Fatalf("checkpointed prefix: %v", err)
+	}
+	// Extend the interrupted campaign to the full length and resume.
+	st, err := ReadCampaign(path)
+	if err != nil {
+		t.Fatalf("read campaign: %v", err)
+	}
+	if st.RoundsDone != 2 {
+		t.Fatalf("snapshot records %d rounds done, want 2", st.RoundsDone)
+	}
+	st.Crashes = base.Crashes
+	if err := WriteCampaign(path, st); err != nil {
+		t.Fatalf("rewrite campaign: %v", err)
+	}
+	resumed, err := ResumeCheckpointed(path, nil)
+	if err != nil {
+		t.Fatalf("resume campaign: %v", err)
+	}
+	if resumed != straight {
+		t.Fatalf("resumed campaign diverges from straight run\nstraight %+v\nresumed  %+v", straight, resumed)
+	}
+}
+
+// TestCampaignSnapshotRejectsBMT documents the support boundary: the BMT
+// baseline controller has no state capture, so checkpointing fails loudly
+// instead of writing a partial snapshot.
+func TestCampaignSnapshotRejectsBMT(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Scheme: "bmt", Workload: "pers_queue", Seed: 1, Crashes: 1, OpsPerRound: 50}
+	if _, err := RunCheckpointed(cfg, t.TempDir()+"/bmt.snap"); err == nil {
+		t.Fatalf("RunCheckpointed accepted the BMT baseline")
+	}
+}
+
+// TestReadCampaignRejectsRunSnapshot checks the envelope kind gate: a
+// simulation-run snapshot must not load as a campaign.
+func TestReadCampaignRejectsRunSnapshot(t *testing.T) {
+	t.Parallel()
+	path := t.TempDir() + "/run.snap"
+	if err := snapshot.SaveFile(path, &snapshot.RunState{}); err != nil {
+		t.Fatalf("save run snapshot: %v", err)
+	}
+	if _, err := ReadCampaign(path); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("ReadCampaign = %v, want ErrCorrupt (kind mismatch)", err)
+	}
+}

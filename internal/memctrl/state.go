@@ -1,0 +1,166 @@
+// Snapshot support: the controller's complete state as a serializable
+// value, captured at a retired-op boundary (no request or eviction in
+// flight). Everything a resumed run needs to be bit-identical rides along:
+// data tags, quarantine set, clocks, statistics, the metadata cache with
+// its exact LRU stamps, the root register file, the full device image, the
+// scheme's own state, and the optional metrics collector.
+
+package memctrl
+
+import (
+	"fmt"
+	"sort"
+
+	"steins/internal/cache"
+	"steins/internal/cme"
+	"steins/internal/metrics"
+	"steins/internal/nvmem"
+	"steins/internal/sit"
+)
+
+// PolicyState is implemented by schemes that carry state beyond the shared
+// controller structures (LInc registers, record/bitmap caches, volatile
+// cache trees, recovery roots). A scheme without any such state (WB)
+// simply doesn't implement it.
+type PolicyState interface {
+	// SaveState serializes the scheme's complete state.
+	SaveState() ([]byte, error)
+	// LoadState restores state saved by SaveState on a freshly built
+	// policy of the same scheme and configuration.
+	LoadState(data []byte) error
+}
+
+// TagState is one data line's co-located authentication tag.
+type TagState struct {
+	Addr uint64
+	Tag  cme.Tag
+}
+
+// ControllerState is the full serializable controller image. The
+// configuration and the crypto engine are not captured: the restoring side
+// rebuilds the controller via New from the same Config.
+type ControllerState struct {
+	Tags        []TagState // sorted by address
+	Quarantined []uint64   // sorted leaf indices
+
+	Crashed      bool
+	Recovered    bool
+	LastRecovery RecoveryReport
+
+	Arrival   uint64
+	ReqStart  uint64
+	BusyUntil uint64
+	WarmupEnd uint64
+	Stats     Stats
+
+	Meta   cache.State[*sit.Node]
+	Root   sit.Root
+	Device nvmem.State
+
+	// Policy is the scheme's SaveState blob; PolicyStateful records whether
+	// the scheme implements PolicyState at all (so a mismatch on restore is
+	// an error rather than silent loss).
+	PolicyStateful bool
+	Policy         []byte
+
+	HasCollector bool
+	Collector    metrics.CollectorState
+}
+
+// State captures the controller at a retired-op boundary. It fails if an
+// eviction is in flight (the caller checkpointed mid-request) or the
+// scheme's state cannot be serialized. Cached nodes are deep-copied, so
+// the state stays valid if the controller keeps running.
+func (c *Controller) State() (*ControllerState, error) {
+	if len(c.evicting) != 0 {
+		return nil, fmt.Errorf("memctrl: snapshot with %d evictions in flight (not a retired-op boundary)", len(c.evicting))
+	}
+	st := &ControllerState{
+		Crashed:      c.crashed,
+		Recovered:    c.recovered,
+		LastRecovery: c.lastRecovery,
+		Arrival:      c.arrival,
+		ReqStart:     c.reqStart,
+		BusyUntil:    c.busyUntil,
+		WarmupEnd:    c.warmupEnd,
+		Stats:        c.stats,
+		Root:         c.root,
+		Device:       c.dev.State(),
+	}
+	for addr, t := range c.tags {
+		st.Tags = append(st.Tags, TagState{Addr: addr, Tag: t})
+	}
+	sort.Slice(st.Tags, func(i, j int) bool { return st.Tags[i].Addr < st.Tags[j].Addr })
+	for idx := range c.quar {
+		st.Quarantined = append(st.Quarantined, idx)
+	}
+	sort.Slice(st.Quarantined, func(i, j int) bool { return st.Quarantined[i] < st.Quarantined[j] })
+	st.Meta = c.meta.State()
+	for i, e := range st.Meta.Entries {
+		st.Meta.Entries[i].Payload = e.Payload.Clone()
+	}
+	if ps, ok := c.policy.(PolicyState); ok {
+		blob, err := ps.SaveState()
+		if err != nil {
+			return nil, fmt.Errorf("memctrl: scheme %s state: %w", c.policy.Name(), err)
+		}
+		st.PolicyStateful = true
+		st.Policy = blob
+	}
+	if c.mx != nil {
+		st.HasCollector = true
+		st.Collector = c.mx.State()
+	}
+	return st, nil
+}
+
+// Restore rebuilds the controller from a captured state. The controller
+// must have been built by New from the same Config and scheme factory as
+// the captured one; mismatches surface as scheme-state errors or later
+// divergence. The metrics collector is re-created when the state carries
+// one; fault hooks are left for the harness to re-register.
+func (c *Controller) Restore(st *ControllerState) error {
+	c.dev.Restore(st.Device)
+	c.tags = make(map[uint64]cme.Tag, len(st.Tags))
+	for _, t := range st.Tags {
+		c.tags[t.Addr] = t.Tag
+	}
+	c.quar = make(map[uint64]struct{}, len(st.Quarantined))
+	for _, idx := range st.Quarantined {
+		c.quar[idx] = struct{}{}
+	}
+	c.crashed = st.Crashed
+	c.recovered = st.Recovered
+	c.lastRecovery = st.LastRecovery
+	c.arrival = st.Arrival
+	c.reqStart = st.ReqStart
+	c.busyUntil = st.BusyUntil
+	c.warmupEnd = st.WarmupEnd
+	c.stats = st.Stats
+	c.root = st.Root
+	meta := st.Meta
+	meta.Entries = append([]cache.EntryState[*sit.Node](nil), st.Meta.Entries...)
+	for i, e := range meta.Entries {
+		meta.Entries[i].Payload = e.Payload.Clone()
+	}
+	c.meta.SetState(meta)
+	clear(c.evicting)
+	ps, ok := c.policy.(PolicyState)
+	if ok != st.PolicyStateful {
+		return fmt.Errorf("memctrl: scheme %s state mismatch (snapshot stateful=%v, scheme stateful=%v)",
+			c.policy.Name(), st.PolicyStateful, ok)
+	}
+	if ok {
+		if err := ps.LoadState(st.Policy); err != nil {
+			return fmt.Errorf("memctrl: scheme %s state: %w", c.policy.Name(), err)
+		}
+	}
+	if st.HasCollector {
+		mx := metrics.NewCollector(st.Collector.Opt)
+		mx.Restore(st.Collector)
+		c.mx = mx
+	} else {
+		c.mx = nil
+	}
+	return nil
+}

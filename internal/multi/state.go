@@ -1,0 +1,51 @@
+// Snapshot support: the system's routing clock plus every controller's
+// image, captured at a retired-op boundary.
+
+package multi
+
+import (
+	"fmt"
+
+	"steins/internal/memctrl"
+)
+
+// SystemState is the serializable image of a System. The interleave
+// granularity and controller count are construction parameters; the
+// restoring side rebuilds the system via New from the same configuration.
+type SystemState struct {
+	Now         uint64
+	LastArrival []uint64
+	Ctrls       []*memctrl.ControllerState
+}
+
+// State captures the system at a retired-op boundary.
+func (s *System) State() (*SystemState, error) {
+	st := &SystemState{
+		Now:         s.now,
+		LastArrival: append([]uint64(nil), s.lastArrival...),
+	}
+	for i, c := range s.ctrls {
+		cs, err := c.State()
+		if err != nil {
+			return nil, fmt.Errorf("multi: controller %d: %w", i, err)
+		}
+		st.Ctrls = append(st.Ctrls, cs)
+	}
+	return st, nil
+}
+
+// Restore rebuilds the system from a captured state. The system must have
+// been built by New with the same controller count, template and factory.
+func (s *System) Restore(st *SystemState) error {
+	if len(st.Ctrls) != len(s.ctrls) || len(st.LastArrival) != len(s.lastArrival) {
+		return fmt.Errorf("multi: state has %d controllers, system has %d", len(st.Ctrls), len(s.ctrls))
+	}
+	s.now = st.Now
+	copy(s.lastArrival, st.LastArrival)
+	for i, c := range s.ctrls {
+		if err := c.Restore(st.Ctrls[i]); err != nil {
+			return fmt.Errorf("multi: controller %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// Snapshot support: the device's complete durable and model state as a
+// serializable value. Maps are flattened to address-sorted slices so gob
+// encoding is deterministic, and the media-fault RNG position rides along —
+// the fault stream is entangled with the access sequence, so a resumed run
+// must continue drawing from the exact point the original stopped.
+
+package nvmem
+
+import (
+	"sort"
+
+	"steins/internal/rng"
+)
+
+// LineState is one populated (non-zero) line.
+type LineState struct {
+	Addr uint64
+	Data Line
+}
+
+// WearState is one line's write count.
+type WearState struct {
+	Addr  uint64
+	Count uint64
+}
+
+// StuckState is one line's sticky stuck-at overlay.
+type StuckState struct {
+	Addr uint64
+	Mask Line
+	Val  Line
+}
+
+// LastWriteState is the tear candidate for the next crash boundary.
+type LastWriteState struct {
+	Valid bool
+	Addr  uint64
+	Prev  Line
+	Next  Line
+}
+
+// State is the full serializable device image. The configuration is not
+// captured: the restoring side rebuilds the device from the same Config and
+// the snapshot header's knobs.
+type State struct {
+	Lines []LineState // non-zero lines, sorted by address
+	Wear  []WearState // per-line write counts, sorted by address
+	Queue []uint64    // pending write completions, FIFO by completion
+	Banks []uint64    // per-bank next-free times
+	Stats Stats
+	// FaultRNG is the media-fault stream position; FaultRNGValid
+	// distinguishes "model off" from a zero state.
+	FaultRNGValid bool
+	FaultRNG      [4]uint64
+	Stuck         []StuckState // stuck-cell overlays, sorted by address
+	LastWrite     LastWriteState
+}
+
+// State captures the device. The observer callback is not part of the
+// state; harnesses re-register theirs after Restore.
+func (d *Device) State() State {
+	st := State{
+		Queue: append([]uint64(nil), d.queue...),
+		Banks: append([]uint64(nil), d.banks...),
+		Stats: d.stats,
+		LastWrite: LastWriteState{
+			Valid: d.last.valid, Addr: d.last.addr, Prev: d.last.prev, Next: d.last.next,
+		},
+	}
+	for addr, l := range d.lines {
+		st.Lines = append(st.Lines, LineState{Addr: addr, Data: *l})
+	}
+	sort.Slice(st.Lines, func(i, j int) bool { return st.Lines[i].Addr < st.Lines[j].Addr })
+	for addr, n := range d.wear {
+		st.Wear = append(st.Wear, WearState{Addr: addr, Count: n})
+	}
+	sort.Slice(st.Wear, func(i, j int) bool { return st.Wear[i].Addr < st.Wear[j].Addr })
+	for addr, s := range d.stuck {
+		st.Stuck = append(st.Stuck, StuckState{Addr: addr, Mask: s.mask, Val: s.val})
+	}
+	sort.Slice(st.Stuck, func(i, j int) bool { return st.Stuck[i].Addr < st.Stuck[j].Addr })
+	if d.frng != nil {
+		st.FaultRNGValid = true
+		st.FaultRNG = d.frng.State()
+	}
+	return st
+}
+
+// Restore overwrites the device's contents, wear, queue, statistics and
+// fault-model state from a captured State. The device must have been built
+// from the same Config (bank count in particular); the observer callback is
+// left as-is.
+func (d *Device) Restore(st State) {
+	d.lines = make(map[uint64]*Line, len(st.Lines))
+	for _, l := range st.Lines {
+		line := l.Data
+		d.lines[l.Addr] = &line
+	}
+	d.wear = make(map[uint64]uint64, len(st.Wear))
+	for _, w := range st.Wear {
+		d.wear[w.Addr] = w.Count
+	}
+	d.queue = append(d.queue[:0], st.Queue...)
+	d.banks = append(d.banks[:0], st.Banks...)
+	d.stats = st.Stats
+	d.stuck = make(map[uint64]*stuckLine, len(st.Stuck))
+	for _, s := range st.Stuck {
+		d.stuck[s.Addr] = &stuckLine{mask: s.Mask, val: s.Val}
+	}
+	if st.FaultRNGValid {
+		if d.frng == nil {
+			d.frng = rng.New(d.cfg.Faults.Seed)
+		}
+		d.frng.Restore(st.FaultRNG)
+	} else {
+		d.frng = nil
+	}
+	d.last = lastWrite{valid: st.LastWrite.Valid, addr: st.LastWrite.Addr,
+		prev: st.LastWrite.Prev, next: st.LastWrite.Next}
+}

@@ -1,0 +1,11 @@
+package rng
+
+// State returns the generator's internal xoshiro256** state so a snapshot
+// can capture the exact position of the stream. Restoring it with Restore
+// resumes the sequence bit-exactly — required both for trace generators and
+// for the device's media-fault stream, whose draws are entangled with the
+// access sequence.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// Restore overwrites the generator state with a previously captured State.
+func (r *Source) Restore(s [4]uint64) { r.s = s }

@@ -1,0 +1,51 @@
+// Snapshot support: ASIT's state beyond the shared controller structures is
+// the volatile cache-tree over shadow slots plus its on-chip NV root. The
+// tree is serialized rather than recomputed from the shadow table: under an
+// active media-fault seed, Peeked shadow contents could diverge from the
+// incrementally maintained hashes.
+
+package asit
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// policyState is the gob image of the scheme state.
+type policyState struct {
+	Tree [][]uint64
+	Root uint64
+}
+
+// SaveState implements memctrl.PolicyState.
+func (p *Policy) SaveState() ([]byte, error) {
+	st := policyState{Tree: make([][]uint64, len(p.tree)), Root: p.root}
+	for i, lvl := range p.tree {
+		st.Tree[i] = append([]uint64(nil), lvl...)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("asit: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadState implements memctrl.PolicyState.
+func (p *Policy) LoadState(data []byte) error {
+	var st policyState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("asit: decode state: %w", err)
+	}
+	if len(st.Tree) != len(p.tree) {
+		return fmt.Errorf("asit: state has %d tree levels, scheme has %d", len(st.Tree), len(p.tree))
+	}
+	for i := range p.tree {
+		if len(st.Tree[i]) != len(p.tree[i]) {
+			return fmt.Errorf("asit: state tree level %d has %d nodes, scheme has %d", i, len(st.Tree[i]), len(p.tree[i]))
+		}
+		copy(p.tree[i], st.Tree[i])
+	}
+	p.root = st.Root
+	return nil
+}

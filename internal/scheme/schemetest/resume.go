@@ -1,0 +1,278 @@
+package schemetest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"steins/internal/memctrl"
+	"steins/internal/metrics"
+	"steins/internal/nvmem"
+	"steins/internal/sim"
+	"steins/internal/snapshot"
+	"steins/internal/trace"
+)
+
+// This file is the resume-equivalence differential harness: the same run
+// is checkpointed every k retired ops, each checkpoint serialized through
+// the snapshot wire format, reloaded into a fresh system, and driven over
+// the trace remainder. The invariant is bit-exact: the resumed run's
+// comparable result fields and its serialized metrics JSON must equal the
+// straight run's byte for byte, and a crash after the run must produce an
+// identical recovery report.
+
+// resumeProfile is the dedicated trace: smaller than the conformance
+// footprint so the repeated remainder-replays stay fast, registered by
+// name so snapshot resume can rebuild it like a fresh process would.
+func resumeProfile() trace.Profile {
+	return trace.Profile{
+		Name:           "resume-conformance",
+		FootprintBytes: 128 << 10,
+		WriteFrac:      0.6,
+		GapMean:        12,
+		Pattern:        trace.Zipf,
+		ZipfS:          0.9,
+	}
+}
+
+func init() {
+	trace.Register(resumeProfile())
+}
+
+// resumeHeader describes one resume-equivalence run, including a metrics
+// collector with a small ring so sample rotation crosses the checkpoint.
+func resumeHeader(s sim.Scheme, channels, ops int, faults nvmem.FaultConfig) snapshot.RunHeader {
+	return snapshot.RunHeader{
+		Workload:       resumeProfile().Name,
+		Scheme:         s.Name,
+		TotalOps:       ops,
+		WarmupOps:      ops / 8,
+		Seed:           77,
+		MetaCacheBytes: 16 << 10,
+		Channels:       channels,
+		EpochOps:       128,
+		Faults:         faults,
+		HasMetrics:     true,
+		Metrics:        metrics.Options{SampleEvery: 32, RingCap: 32},
+	}
+}
+
+// resumeRun couples either engine with its generator behind the handful
+// of operations the harness sweeps.
+type resumeRun struct {
+	h      snapshot.RunHeader
+	gen    *trace.Generator
+	single *sim.Single
+	shard  *sim.Sharded
+}
+
+func newResumeRun(t *testing.T, h snapshot.RunHeader) *resumeRun {
+	t.Helper()
+	prof, ok := trace.ByName(h.Workload)
+	if !ok {
+		t.Fatalf("workload %q not registered", h.Workload)
+	}
+	s, ok := sim.SchemeByName(h.Scheme)
+	if !ok {
+		t.Fatalf("unknown scheme %q", h.Scheme)
+	}
+	opt, so := h.Options()
+	r := &resumeRun{h: h, gen: trace.New(prof, opt.Seed, opt.WarmupOps+opt.Ops)}
+	if h.Channels > 1 {
+		r.shard = sim.NewSharded(prof, s, opt, so)
+	} else {
+		r.single = sim.NewSingle(prof, s, opt)
+	}
+	return r
+}
+
+// drive advances up to n ops (n < 0: to exhaustion) and returns how many
+// were consumed.
+func (r *resumeRun) drive(t *testing.T, n int) int {
+	t.Helper()
+	var done int
+	var err error
+	if r.single != nil {
+		done, err = r.single.DriveN(r.gen, n)
+	} else {
+		done, err = r.shard.DriveStreamN(r.gen, n)
+	}
+	if err != nil {
+		t.Fatalf("drive: %v", err)
+	}
+	return done
+}
+
+// capture serializes the run through the wire format and reloads it into
+// a completely fresh system.
+func (r *resumeRun) capture(t *testing.T) *resumeRun {
+	t.Helper()
+	var st *snapshot.RunState
+	var err error
+	if r.single != nil {
+		st, err = snapshot.CaptureSingle(r.h, r.gen, r.single)
+	} else {
+		st, err = snapshot.CaptureSharded(r.h, r.gen, r.shard)
+	}
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, st); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := snapshot.Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	res, err := back.Resume()
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	return &resumeRun{h: r.h, gen: res.Gen, single: res.Single, shard: res.Sharded}
+}
+
+// fingerprint reduces a finished run to the comparison payload: the
+// comparable result fields and the deterministic metrics JSON.
+type fingerprint struct {
+	merged sim.Result
+	shards []sim.Result
+	json   []byte
+}
+
+func (r *resumeRun) fingerprint(t *testing.T) fingerprint {
+	t.Helper()
+	var fp fingerprint
+	var buf bytes.Buffer
+	if r.single != nil {
+		fp.merged = r.single.Result()
+		if fp.merged.Snapshot == nil {
+			t.Fatalf("no metrics snapshot collected")
+		}
+		if err := fp.merged.Snapshot.EncodeJSON(&buf); err != nil {
+			t.Fatalf("encode metrics: %v", err)
+		}
+	} else {
+		sres := r.shard.Result()
+		fp.merged, fp.shards = sres.Merged, sres.Shards
+		if sres.System == nil {
+			t.Fatalf("no system snapshot collected")
+		}
+		if err := sres.System.EncodeJSON(&buf); err != nil {
+			t.Fatalf("encode system metrics: %v", err)
+		}
+	}
+	fp.json = buf.Bytes()
+	fp.merged.Snapshot = nil
+	for i := range fp.shards {
+		fp.shards[i].Snapshot = nil
+	}
+	return fp
+}
+
+// recoveryReports crashes the run with every cached node forced dirty and
+// returns the per-channel recovery reports; ok is false for schemes with
+// no recovery path.
+func (r *resumeRun) recoveryReports(t *testing.T) ([]memctrl.RecoveryReport, bool) {
+	t.Helper()
+	if r.single != nil {
+		c := r.single.Controller()
+		c.ForceAllDirty()
+		c.Crash()
+		rep, err := c.Recover()
+		if errors.Is(err, memctrl.ErrNoRecovery) {
+			return nil, false
+		}
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		return []memctrl.RecoveryReport{rep}, true
+	}
+	r.shard.ForceAllDirty()
+	r.shard.Crash()
+	reports, _, err := r.shard.Recover()
+	if errors.Is(err, memctrl.ErrNoRecovery) {
+		return nil, false
+	}
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return reports, true
+}
+
+// DiffResume is the suite body: checkpoint the run every k retired ops,
+// reload each checkpoint into a fresh system, drive the remainder, and
+// demand a bit-identical fingerprint — then crash both the straight and
+// the last resumed run and demand identical recovery reports.
+func DiffResume(t *testing.T, s sim.Scheme, channels int, faults nvmem.FaultConfig) {
+	t.Helper()
+	const ops, every = 1600, 500
+	h := resumeHeader(s, channels, ops, faults)
+
+	straight := newResumeRun(t, h)
+	straight.drive(t, -1)
+	want := straight.fingerprint(t)
+
+	var lastResumed *resumeRun
+	walker := newResumeRun(t, h)
+	for bound := every; ; bound += every {
+		if walker.drive(t, every) == 0 {
+			break
+		}
+		resumed := walker.capture(t)
+		remainder := resumed.capture(t) // double round trip: resume of a resume
+		remainder.drive(t, -1)
+		got := remainder.fingerprint(t)
+		if !reflect.DeepEqual(want.merged, got.merged) || !reflect.DeepEqual(want.shards, got.shards) {
+			t.Fatalf("checkpoint at op %d: resumed results diverge\nstraight %+v\nresumed  %+v",
+				bound, want.merged, got.merged)
+		}
+		if !bytes.Equal(want.json, got.json) {
+			t.Fatalf("checkpoint at op %d: metrics JSON diverges (%d vs %d bytes)",
+				bound, len(want.json), len(got.json))
+		}
+		// Keep walking the original run from the resumed copy, so later
+		// checkpoints sit on top of earlier restores.
+		walker = resumed
+		lastResumed = remainder
+	}
+	if lastResumed == nil {
+		t.Fatalf("trace shorter than one checkpoint interval")
+	}
+
+	wantReps, ok := straight.recoveryReports(t)
+	if !ok {
+		return // write-back baseline: no recovery path to compare
+	}
+	gotReps, _ := lastResumed.recoveryReports(t)
+	if !reflect.DeepEqual(wantReps, gotReps) {
+		t.Fatalf("recovery reports diverge\nstraight %+v\nresumed  %+v", wantReps, gotReps)
+	}
+}
+
+// ResumeCases enumerates the sweep: every scheme at 1, 2 and 4 channels.
+func ResumeCases() []struct {
+	Scheme   sim.Scheme
+	Channels int
+} {
+	var cases []struct {
+		Scheme   sim.Scheme
+		Channels int
+	}
+	for _, s := range Schemes() {
+		for _, ch := range []int{1, 2, 4} {
+			cases = append(cases, struct {
+				Scheme   sim.Scheme
+				Channels int
+			}{s, ch})
+		}
+	}
+	return cases
+}
+
+// ResumeCaseName labels one sweep entry.
+func ResumeCaseName(s sim.Scheme, channels int) string {
+	return fmt.Sprintf("%s/%dch", s.Name, channels)
+}

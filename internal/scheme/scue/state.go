@@ -1,0 +1,25 @@
+// Snapshot support: SCUE's only state beyond the shared controller
+// structures is the on-chip NV Recovery_root register.
+
+package scue
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SaveState implements memctrl.PolicyState.
+func (p *Policy) SaveState() ([]byte, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], p.recoveryRoot)
+	return b[:], nil
+}
+
+// LoadState implements memctrl.PolicyState.
+func (p *Policy) LoadState(data []byte) error {
+	if len(data) != 8 {
+		return fmt.Errorf("scue: state is %d bytes, want 8", len(data))
+	}
+	p.recoveryRoot = binary.LittleEndian.Uint64(data)
+	return nil
+}

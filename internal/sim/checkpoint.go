@@ -1,0 +1,170 @@
+// Checkpoint support: a resumable single-controller engine mirroring the
+// sharded one, plus the serializable state of both. A run checkpointed at
+// any retired-op boundary and resumed in a fresh process produces
+// byte-identical metrics to the uninterrupted run.
+
+package sim
+
+import (
+	"fmt"
+
+	"steins/internal/memctrl"
+	"steins/internal/trace"
+)
+
+// SchemeByName resolves a scheme display name ("Steins-GC", "WB-SC", ...)
+// case-sensitively against the canonical scheme set; snapshot resume uses
+// it to rebuild the policy factory recorded in a run header.
+func SchemeByName(name string) (Scheme, bool) {
+	for _, s := range []Scheme{WBGC, WBSC, ASIT, STAR, SteinsGC, SteinsSC, SCUEGC, SCUESC} {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scheme{}, false
+}
+
+// Single is the resumable single-controller engine: the same replay loop
+// Run uses, but driven in bounded increments with the global op ordinal and
+// warm-up boundary tracked across calls so a checkpointed run numbers
+// payloads exactly like a straight run.
+type Single struct {
+	prof       trace.Profile
+	scheme     Scheme
+	opt        Options
+	c          *memctrl.Controller
+	driven     uint64 // source ops driven, including warm-up
+	warmupDone bool
+}
+
+// NewSingle builds the engine; drive it with DriveN.
+func NewSingle(prof trace.Profile, s Scheme, opt Options) *Single {
+	return &Single{prof: prof, scheme: s, opt: opt, c: build(prof, s, opt)}
+}
+
+// Controller returns the underlying controller.
+func (e *Single) Controller() *memctrl.Controller { return e.c }
+
+// Driven returns the number of source ops driven so far, warm-up included.
+func (e *Single) Driven() uint64 { return e.driven }
+
+// DriveN replays up to n further operations from src (n < 0 drives it to
+// exhaustion), returning the number consumed. Op i (counted globally,
+// across calls) writing addr stores Payload(addr, i); statistics reset
+// exactly once, when the warm-up boundary is crossed.
+func (e *Single) DriveN(src trace.Stream, n int) (int, error) {
+	warm := uint64(e.opt.WarmupOps)
+	done := 0
+	for n < 0 || done < n {
+		op, ok := src.Next()
+		if !ok {
+			return done, nil
+		}
+		i := int(e.driven)
+		var err error
+		if op.IsWrite {
+			err = e.c.WriteData(op.Gap, op.Addr, Payload(op.Addr, i))
+		} else {
+			_, err = e.c.ReadData(op.Gap, op.Addr)
+		}
+		if err != nil {
+			return done, fmt.Errorf("sim: %s op %d (%v %#x): %w", src.Name(), i, op.IsWrite, op.Addr, err)
+		}
+		e.driven++
+		done++
+		if !e.warmupDone && warm > 0 && e.driven >= warm {
+			e.c.ResetStats()
+			e.warmupDone = true
+		}
+	}
+	return done, nil
+}
+
+// Result assembles the run result from everything driven so far; after the
+// full trace it matches Run's result exactly.
+func (e *Single) Result() Result { return collect(e.c, e.prof, e.scheme, e.opt.Ops) }
+
+// SingleState is the serializable image of a Single engine (minus the
+// trace position, which the snapshot carries separately).
+type SingleState struct {
+	Driven     uint64
+	WarmupDone bool
+	Ctrl       *memctrl.ControllerState
+}
+
+// State captures the engine at a retired-op boundary.
+func (e *Single) State() (*SingleState, error) {
+	cs, err := e.c.State()
+	if err != nil {
+		return nil, err
+	}
+	return &SingleState{Driven: e.driven, WarmupDone: e.warmupDone, Ctrl: cs}, nil
+}
+
+// Restore rebuilds the engine from a captured state; it must have been
+// built by NewSingle from the same profile, scheme and options.
+func (e *Single) Restore(st *SingleState) error {
+	if st.Ctrl == nil {
+		return fmt.Errorf("sim: single-engine state has no controller")
+	}
+	if err := e.c.Restore(st.Ctrl); err != nil {
+		return err
+	}
+	e.driven = st.Driven
+	e.warmupDone = st.WarmupDone
+	return nil
+}
+
+// Driven returns the number of source ops driven so far, warm-up included.
+func (e *Sharded) Driven() uint64 { return e.driven }
+
+// ShardedState is the serializable image of a Sharded engine (minus the
+// trace position, which the snapshot carries separately): the drive
+// bookkeeping, the splitter's routing state, and every channel controller.
+type ShardedState struct {
+	Driven      uint64
+	WarmupDone  bool
+	HasSplitter bool
+	Splitter    trace.SplitterState
+	Ctrls       []*memctrl.ControllerState
+}
+
+// State captures the engine at an epoch barrier (every routed op retired).
+func (e *Sharded) State() (*ShardedState, error) {
+	st := &ShardedState{Driven: e.driven, WarmupDone: e.warmupDone}
+	if e.sp != nil {
+		st.HasSplitter = true
+		st.Splitter = e.sp.State()
+	}
+	for k, c := range e.ctrls {
+		cs, err := c.State()
+		if err != nil {
+			return nil, fmt.Errorf("sim: sharded channel %d: %w", k, err)
+		}
+		st.Ctrls = append(st.Ctrls, cs)
+	}
+	return st, nil
+}
+
+// Restore rebuilds the engine from a captured state; it must have been
+// built by NewSharded from the same profile, scheme and options.
+func (e *Sharded) Restore(st *ShardedState) error {
+	if len(st.Ctrls) != len(e.ctrls) {
+		return fmt.Errorf("sim: state has %d channels, engine has %d", len(st.Ctrls), len(e.ctrls))
+	}
+	if st.HasSplitter {
+		e.lazySplitter()
+		e.sp.Restore(st.Splitter)
+	}
+	for k, c := range e.ctrls {
+		if st.Ctrls[k] == nil {
+			return fmt.Errorf("sim: sharded channel %d: state has no controller", k)
+		}
+		if err := c.Restore(st.Ctrls[k]); err != nil {
+			return fmt.Errorf("sim: sharded channel %d: %w", k, err)
+		}
+	}
+	e.driven = st.Driven
+	e.warmupDone = st.WarmupDone
+	return nil
+}

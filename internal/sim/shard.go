@@ -165,12 +165,31 @@ func (e *Sharded) lazySplitter() {
 // follows the unsharded engine exactly: op i (counted globally, across
 // calls) writing global address a stores Payload(a, i).
 func (e *Sharded) DriveStream(src trace.Stream) error {
+	_, err := e.DriveStreamN(src, -1)
+	return err
+}
+
+// DriveStreamN is DriveStream bounded to at most maxOps source operations
+// (maxOps < 0 drives the stream to exhaustion). It returns the number of
+// source ops consumed, stopping exactly at the bound on an epoch barrier —
+// the engine is then at a retired-op boundary and can be snapshotted.
+// Epoch placement never changes results (each channel's op sequence is
+// fixed by the sequential split), so a run checkpointed at an arbitrary
+// boundary stays bit-identical to the straight run.
+func (e *Sharded) DriveStreamN(src trace.Stream, maxOps int) (int, error) {
 	e.lazySplitter()
 	e.sp.Rebind(src)
 	warm := uint64(e.opt.WarmupOps)
 	sem := make(chan struct{}, e.so.Workers)
+	total := 0
 	for {
 		budget := e.so.EpochOps
+		if maxOps >= 0 && budget > maxOps-total {
+			budget = maxOps - total
+		}
+		if budget == 0 {
+			return total, nil
+		}
 		// Force an epoch boundary exactly at the warm-up boundary so every
 		// channel resets its statistics at the same global-stream point.
 		if !e.warmupDone && warm > e.driven && uint64(budget) > warm-e.driven {
@@ -178,7 +197,7 @@ func (e *Sharded) DriveStream(src trace.Stream) error {
 		}
 		batches, n, serr := e.sp.NextEpoch(budget)
 		if n == 0 && serr == nil {
-			return nil
+			return total, nil
 		}
 		errs := make([]error, len(e.ctrls))
 		var wg sync.WaitGroup
@@ -201,12 +220,13 @@ func (e *Sharded) DriveStream(src trace.Stream) error {
 			}
 		}
 		if err := errors.Join(errs...); err != nil {
-			return err
+			return total, err
 		}
 		if serr != nil {
-			return fmt.Errorf("sim: %w", serr)
+			return total, fmt.Errorf("sim: %w", serr)
 		}
 		e.driven += uint64(n)
+		total += n
 		if !e.warmupDone && warm > 0 && e.driven >= warm {
 			for _, c := range e.ctrls {
 				c.ResetStats()

@@ -1,0 +1,90 @@
+package snapshot
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"steins/internal/sim"
+	"steins/internal/trace"
+)
+
+// fuzzSchemes indexes the canonical schemes for the fuzzer.
+var fuzzSchemes = []string{
+	"WB-GC", "WB-SC", "ASIT", "STAR", "Steins-GC", "Steins-SC", "SCUE-GC", "SCUE-SC",
+}
+
+// FuzzSnapshotRoundTrip drives a random trace prefix, saves, loads, and
+// drives the remainder, comparing against the uninterrupted stream-order
+// oracle: the resumed run must be bit-identical in result fields and
+// metrics JSON for any (seed, boundary, scheme) triple.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(0))
+	f.Add(uint64(42), uint64(37), uint64(4))
+	f.Add(uint64(7), uint64(199), uint64(5))
+	f.Add(uint64(999), uint64(450), uint64(3))
+	f.Add(uint64(3), uint64(1<<63), uint64(7))
+	f.Fuzz(func(t *testing.T, seed, boundRaw, schemeRaw uint64) {
+		const ops = 400
+		h := testHeader(fuzzSchemes[schemeRaw%uint64(len(fuzzSchemes))], 1, ops)
+		h.Seed = seed
+		if schemeRaw%3 == 0 {
+			// Every third scheme draw also runs the media-fault model, so
+			// the fault RNG stream crosses the snapshot boundary.
+			h.Faults = faultHeader(h.Scheme, 1, ops).Faults
+		}
+		total := h.WarmupOps + h.TotalOps
+		bound := int(boundRaw % uint64(total+1))
+
+		want, wantJSON := straightSingle(t, h)
+		got, gotJSON := checkpointSingle(t, h, bound)
+		want.Snapshot, got.Snapshot = nil, nil
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d bound %d %s: results diverge\nstraight %+v\nresumed  %+v",
+				seed, bound, h.Scheme, want, got)
+		}
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Fatalf("seed %d bound %d %s: metrics JSON diverges", seed, bound, h.Scheme)
+		}
+	})
+}
+
+// FuzzReadEnvelope throws arbitrary bytes at the decoder: it must reject
+// or accept without ever panicking, and anything it accepts must resume
+// or fail with a structured error.
+func FuzzReadEnvelope(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("STEINSNP"))
+	f.Add(bytes.Repeat([]byte{0xFF}, headerLen+32))
+	// Seed one valid snapshot so the mutator starts from decodable bytes.
+	valid := func() []byte {
+		h := testHeader("Steins-GC", 1, 100)
+		prof, _ := trace.ByName(h.Workload)
+		s, _ := sim.SchemeByName(h.Scheme)
+		opt, _ := h.Options()
+		g := trace.New(prof, opt.Seed, opt.WarmupOps+opt.Ops)
+		e := sim.NewSingle(prof, s, opt)
+		if _, err := e.DriveN(g, 25); err != nil {
+			f.Fatal(err)
+		}
+		st, err := CaptureSingle(h, g, e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, st); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A decodable state must either resume cleanly or fail with a
+		// structured error — never panic.
+		_, _ = st.Resume()
+	})
+}

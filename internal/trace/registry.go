@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Extra profiles beyond the canonical evaluation set, registered by name.
+// Snapshot resume resolves workloads through ByName, so any profile that
+// can be checkpointed must be resolvable in a fresh process; tests and
+// tools register their synthetic profiles here (typically from init).
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Profile{}
+)
+
+// Register makes a profile resolvable through ByName. Registering a name
+// already in use (canonical or registered) with a different profile
+// panics — a silently shadowed workload would desynchronize snapshot
+// resume. Re-registering an identical profile is a no-op.
+func Register(p Profile) {
+	if _, ok := byCanonicalName(p.Name); ok {
+		panic(fmt.Sprintf("trace: %q is a canonical workload", p.Name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if old, ok := registry[p.Name]; ok {
+		if old != p {
+			panic(fmt.Sprintf("trace: %q already registered with a different profile", p.Name))
+		}
+		return
+	}
+	registry[p.Name] = p
+}
+
+func byCanonicalName(name string) (Profile, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

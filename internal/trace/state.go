@@ -1,0 +1,108 @@
+// Snapshot support for the generator and the splitter. Neither captures its
+// construction parameters: the restoring side rebuilds with New/NewSplitter
+// from the snapshot header (profile name, seed, op count, shard count,
+// interleave mode) — which deterministically reconstructs the Zipf CDF — and
+// then applies the captured cursor state on top.
+
+package trace
+
+import "sort"
+
+// GeneratorState is the serializable position of a Generator within its
+// stream. The RNG state covers the Zipf sampler too: it draws through the
+// same source.
+type GeneratorState struct {
+	RNG     [4]uint64
+	Emit    int
+	Cursor  uint64
+	Head    uint64
+	Phase   int
+	Random  bool
+	RunLeft int
+	RunBase uint64
+}
+
+// State captures the generator's position.
+func (g *Generator) State() GeneratorState {
+	return GeneratorState{
+		RNG:     g.r.State(),
+		Emit:    g.emit,
+		Cursor:  g.cursor,
+		Head:    g.head,
+		Phase:   g.phase,
+		Random:  g.random,
+		RunLeft: g.runLeft,
+		RunBase: g.runBase,
+	}
+}
+
+// Restore repositions the generator. It must have been built by New with
+// the same profile, seed and op count as the captured one.
+func (g *Generator) Restore(st GeneratorState) {
+	g.r.Restore(st.RNG)
+	g.emit = st.Emit
+	g.cursor = st.Cursor
+	g.head = st.Head
+	g.phase = st.Phase
+	g.random = st.Random
+	g.runLeft = st.RunLeft
+	g.runBase = st.RunBase
+}
+
+// LocalLineState is one hash-mode first-touch assignment: global line ->
+// shard-local line.
+type LocalLineState struct {
+	Global uint64
+	Local  uint64
+}
+
+// SplitterState is the serializable routing state of a Splitter: the
+// virtual clock, per-shard arrival times, the emitted-op counter (the
+// global op ordinal of the next routed op) and the hash-mode first-touch
+// tables, flattened to sorted slices for deterministic encoding.
+type SplitterState struct {
+	Now       uint64
+	Last      []uint64
+	Emitted   uint64
+	LocalLine [][]LocalLineState // per shard, sorted by global line; nil unless hash mode
+	NextLine  []uint64
+}
+
+// State captures the splitter's routing state.
+func (sp *Splitter) State() SplitterState {
+	st := SplitterState{
+		Now:     sp.now,
+		Last:    append([]uint64(nil), sp.last...),
+		Emitted: sp.emitted,
+	}
+	if sp.localLine != nil {
+		st.LocalLine = make([][]LocalLineState, len(sp.localLine))
+		for i, m := range sp.localLine {
+			for g, l := range m {
+				st.LocalLine[i] = append(st.LocalLine[i], LocalLineState{Global: g, Local: l})
+			}
+			sort.Slice(st.LocalLine[i], func(a, b int) bool {
+				return st.LocalLine[i][a].Global < st.LocalLine[i][b].Global
+			})
+		}
+		st.NextLine = append([]uint64(nil), sp.nextLine...)
+	}
+	return st
+}
+
+// Restore rebuilds the splitter's routing state. The splitter must have
+// been built by NewSplitter with the same shard count and interleave mode.
+func (sp *Splitter) Restore(st SplitterState) {
+	sp.now = st.Now
+	copy(sp.last, st.Last)
+	sp.emitted = st.Emitted
+	if sp.localLine != nil {
+		for i := range sp.localLine {
+			sp.localLine[i] = make(map[uint64]uint64)
+			for _, p := range st.LocalLine[i] {
+				sp.localLine[i][p.Global] = p.Local
+			}
+		}
+		copy(sp.nextLine, st.NextLine)
+	}
+}

@@ -71,14 +71,16 @@ func Persistent() []Profile {
 // All returns every evaluation workload in figure order.
 func All() []Profile { return append(SPEC(), Persistent()...) }
 
-// ByName returns the named profile.
+// ByName returns the named profile, consulting the canonical evaluation
+// set first and then the Register'd extras.
 func ByName(name string) (Profile, bool) {
-	for _, p := range All() {
-		if p.Name == name {
-			return p, true
-		}
+	if p, ok := byCanonicalName(name); ok {
+		return p, true
 	}
-	return Profile{}, false
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
 }
 
 // Generator streams the requests of one profile. Deterministic per seed.

@@ -1,6 +1,11 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench figs figs-full fuzz crashfuzz faultfuzz check cover clean metrics-demo
+.PHONY: all build test bench bench-json figs figs-full fuzz crashfuzz faultfuzz check cover clean metrics-demo
+
+# The canonical benchmark set persisted to BENCH_$(BENCH_REV).json; keep in
+# sync with the `canonical` list in cmd/benchjson.
+BENCH_REV ?= 1
+BENCH_PATTERN = HotWritePath|HotReadPath|MACBatchWindow|RunUnsharded|RunSharded|SplitterEpoch|SnapshotSave|SnapshotLoad|GCSweepBuild|SCSweepBuild
 
 all: build test
 
@@ -13,6 +18,14 @@ test:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Persist the canonical hot-path benchmark series as a machine-readable
+# trajectory point, then verify the document is complete before it can be
+# committed.
+bench-json:
+	go test -run NONE -bench '$(BENCH_PATTERN)' -benchmem . \
+		| go run ./cmd/benchjson -o BENCH_$(BENCH_REV).json
+	go run ./cmd/benchjson -verify BENCH_$(BENCH_REV).json
 
 figs:
 	go run ./cmd/benchfigs
@@ -72,17 +85,21 @@ metrics-demo:
 # GOMAXPROCS settings). The sharded engine and conformance suite
 # additionally run at -cpu 1,2,8 to pin bit-identical results across
 # worker-pool widths. The checkpoint/resume suites run raced and twice
-# (-count=2) to pin byte-determinism of the snapshot wire format.
+# (-count=2) to pin byte-determinism of the snapshot wire format. The
+# committed BENCH document is re-verified so the persisted trajectory can
+# never drift out of sync with the canonical benchmark set.
 check: crashfuzz faultfuzz
 	go vet ./...
 	go test -race -cpu 1,4 ./internal/crashfuzz ./internal/figures \
 		./internal/metrics ./internal/sim ./internal/multi \
 		./internal/nvmem ./internal/memctrl ./internal/attack
-	go test -race -cpu 1,2,8 -run 'Sharded|Conformance|Splitter|Interleave|NextEpoch|Replay|RecoverAll' \
+	go test -race -cpu 1,2,8 -run 'Sharded|Conformance|Splitter|Interleave|NextEpoch|Replay|RecoverAll|DriveStream' \
 		./internal/sim ./internal/trace ./internal/multi ./internal/scheme/schemetest
 	go test -race -cpu 1,4 -run 'Resume|Snapshot|Campaign' \
 		./internal/snapshot ./internal/scheme/schemetest ./internal/crashfuzz ./cmd/steinssim
 	go test -count=2 ./internal/snapshot ./internal/scheme/schemetest
+	go test ./cmd/benchjson
+	go run ./cmd/benchjson -verify BENCH_$(BENCH_REV).json
 
 cover:
 	go test -cover ./...

@@ -88,9 +88,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sc.Metrics = &mo
 	}
 
+	// Validate every requested figure name up front: a typo like -fig 18
+	// used to fall through every selector and silently emit nothing.
+	known := []string{"9", "10", "11", "12", "13", "14", "15", "16", "17",
+		"config", "storage", "overflow", "ablation", "all"}
+	valid := map[string]bool{}
+	for _, k := range known {
+		valid[k] = true
+	}
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figList, ",") {
-		want[strings.TrimSpace(f)] = true
+		name := strings.TrimSpace(f)
+		if !valid[name] {
+			fmt.Fprintf(stderr, "unknown figure %q (have %s)\n", name, strings.Join(known, ", "))
+			return 2
+		}
+		want[name] = true
 	}
 	all := want["all"]
 	sel := func(name string) bool { return all || want[name] }

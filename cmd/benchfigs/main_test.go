@@ -38,6 +38,13 @@ func TestRunBadInputs(t *testing.T) {
 	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
 		t.Fatalf("bad flag: exit %d, want 2", code)
 	}
+	errb.Reset()
+	if code := run([]string{"-fig", "18"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown figure: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown figure "18"`) {
+		t.Fatalf("missing diagnostic: %s", errb.String())
+	}
 }
 
 func TestRunMetricsExport(t *testing.T) {

@@ -44,8 +44,11 @@ type General struct {
 // DecodeGeneral unpacks a 64-byte line into a General node.
 func DecodeGeneral(b Block) General {
 	var g General
+	// Each counter spans 7 bytes; an 8-byte load at its offset reads one
+	// byte of the next field, masked off. The last load (offset 49) still
+	// fits inside the 64-byte block.
 	for i := 0; i < Arity; i++ {
-		g.C[i] = get56(b[:], i)
+		g.C[i] = binary.LittleEndian.Uint64(b[i*7:]) & CounterMask
 	}
 	g.HMAC = binary.LittleEndian.Uint64(b[56:64])
 	return g
@@ -54,8 +57,16 @@ func DecodeGeneral(b Block) General {
 // Encode packs the node into its 64-byte line form.
 func (g *General) Encode() Block {
 	var b Block
+	var or uint64
+	// Overlapping 8-byte stores: counter i writes bytes [7i, 7i+8); the
+	// top byte is zero (values are 56-bit) and is overwritten by the next
+	// counter's low byte, and byte 56 by the HMAC store below.
 	for i := 0; i < Arity; i++ {
-		put56(b[:], i, g.C[i])
+		or |= g.C[i]
+		binary.LittleEndian.PutUint64(b[i*7:], g.C[i]&CounterMask)
+	}
+	if or > CounterMask {
+		panic(fmt.Sprintf("counter: value %#x exceeds 56 bits", or))
 	}
 	binary.LittleEndian.PutUint64(b[56:64], g.HMAC)
 	return b
@@ -104,9 +115,7 @@ type Split struct {
 func DecodeSplit(b Block) Split {
 	var s Split
 	s.Major = binary.LittleEndian.Uint64(b[0:8])
-	for i := 0; i < SplitArity; i++ {
-		s.Minor[i] = getPacked(b[8:56], i, MinorBits)
-	}
+	unpack6(b[8:56], &s.Minor)
 	s.HMAC = binary.LittleEndian.Uint64(b[56:64])
 	return s
 }
@@ -115,9 +124,7 @@ func DecodeSplit(b Block) Split {
 func (s *Split) Encode() Block {
 	var b Block
 	binary.LittleEndian.PutUint64(b[0:8], s.Major)
-	for i := 0; i < SplitArity; i++ {
-		putPacked(b[8:56], i, MinorBits, s.Minor[i])
-	}
+	pack6(b[8:56], &s.Minor)
 	binary.LittleEndian.PutUint64(b[56:64], s.HMAC)
 	return b
 }
@@ -154,11 +161,13 @@ func (s *Split) Parent() uint64 {
 // covered blocks) occurred.
 func (s *Split) Increment(i int) (delta uint64, overflow bool) {
 	checkIndex(i, SplitArity)
-	old := s.Parent()
 	if s.Minor[i] < MinorMax {
+		// Parent = (Major·2^6 + Σminors) mod 2^56, so a minor bump moves
+		// it by exactly 1 — no need to evaluate Eq. 2 twice per write.
 		s.Minor[i]++
-		return (s.Parent() - old) & CounterMask, false
+		return 1, false
 	}
+	old := s.Parent()
 	// Overflow: sum with the overflowing minor counted at 2^6.
 	sum := s.minorSum() + 1
 	inc := (sum + MinorRange - 1) / MinorRange // ceil(sum / 2^6)
@@ -180,11 +189,12 @@ func (s *Split) ParentNaive() uint64 {
 // ablation comparing parent-counter headroom.
 func (s *Split) IncrementNaive(i int) (delta uint64, overflow bool) {
 	checkIndex(i, SplitArity)
-	old := s.ParentNaive()
 	if s.Minor[i] < MinorMax {
+		// Minors weigh 1 in ParentNaive, so the delta is exactly 1.
 		s.Minor[i]++
-		return (s.ParentNaive() - old) & CounterMask, false
+		return 1, false
 	}
+	old := s.ParentNaive()
 	s.Major++
 	for j := range s.Minor {
 		s.Minor[j] = 0
@@ -212,9 +222,7 @@ type CME struct {
 func DecodeCME(b Block) CME {
 	var c CME
 	c.Major = binary.LittleEndian.Uint64(b[0:8])
-	for i := 0; i < SplitArity; i++ {
-		c.Minor[i] = getPacked(b[8:64], i, 7)
-	}
+	unpack7(b[8:64], &c.Minor)
 	return c
 }
 
@@ -222,9 +230,7 @@ func DecodeCME(b Block) CME {
 func (c *CME) Encode() Block {
 	var b Block
 	binary.LittleEndian.PutUint64(b[0:8], c.Major)
-	for i := 0; i < SplitArity; i++ {
-		putPacked(b[8:64], i, 7, c.Minor[i])
-	}
+	pack7(b[8:64], &c.Minor)
 	return b
 }
 
@@ -254,6 +260,76 @@ func (c *CME) EncCounter(i int) uint64 {
 func checkIndex(i, n int) {
 	if i < 0 || i >= n {
 		panic(fmt.Sprintf("counter: index %d out of range [0,%d)", i, n))
+	}
+}
+
+// pack6 packs 64 six-bit minors into 48 bytes, 24 aligned bits (four
+// fields, three bytes) at a time. The layout is the LSB-first bitstream
+// of putPacked: field i occupies bits [6i, 6i+6), bit k living in byte
+// k/8 at position k%8.
+func pack6(dst []byte, m *[SplitArity]uint8) {
+	_ = dst[47]
+	var or uint8
+	for g := 0; g < SplitArity/4; g++ {
+		or |= m[4*g] | m[4*g+1] | m[4*g+2] | m[4*g+3]
+		v := uint32(m[4*g]) | uint32(m[4*g+1])<<6 | uint32(m[4*g+2])<<12 | uint32(m[4*g+3])<<18
+		dst[3*g] = byte(v)
+		dst[3*g+1] = byte(v >> 8)
+		dst[3*g+2] = byte(v >> 16)
+	}
+	if or > MinorMax {
+		panic(fmt.Sprintf("counter: value %d exceeds %d bits", or, MinorBits))
+	}
+}
+
+// unpack6 is the inverse of pack6.
+func unpack6(src []byte, m *[SplitArity]uint8) {
+	_ = src[47]
+	for g := 0; g < SplitArity/4; g++ {
+		v := uint32(src[3*g]) | uint32(src[3*g+1])<<8 | uint32(src[3*g+2])<<16
+		m[4*g] = uint8(v & MinorMax)
+		m[4*g+1] = uint8(v >> 6 & MinorMax)
+		m[4*g+2] = uint8(v >> 12 & MinorMax)
+		m[4*g+3] = uint8(v >> 18 & MinorMax)
+	}
+}
+
+// pack7 packs 64 seven-bit minors into 56 bytes, 56 aligned bits (eight
+// fields, seven bytes) at a time, same bitstream layout as putPacked.
+func pack7(dst []byte, m *[SplitArity]uint8) {
+	_ = dst[55]
+	var or uint8
+	for g := 0; g < SplitArity/8; g++ {
+		var v uint64
+		for j := 0; j < 8; j++ {
+			or |= m[8*g+j]
+			v |= uint64(m[8*g+j]) << uint(7*j)
+		}
+		off := 7 * g
+		dst[off] = byte(v)
+		dst[off+1] = byte(v >> 8)
+		dst[off+2] = byte(v >> 16)
+		dst[off+3] = byte(v >> 24)
+		dst[off+4] = byte(v >> 32)
+		dst[off+5] = byte(v >> 40)
+		dst[off+6] = byte(v >> 48)
+	}
+	if or > CMEMinorMax {
+		panic(fmt.Sprintf("counter: value %d exceeds 7 bits", or))
+	}
+}
+
+// unpack7 is the inverse of pack7.
+func unpack7(src []byte, m *[SplitArity]uint8) {
+	_ = src[55]
+	for g := 0; g < SplitArity/8; g++ {
+		off := 7 * g
+		v := uint64(src[off]) | uint64(src[off+1])<<8 | uint64(src[off+2])<<16 |
+			uint64(src[off+3])<<24 | uint64(src[off+4])<<32 | uint64(src[off+5])<<40 |
+			uint64(src[off+6])<<48
+		for j := 0; j < 8; j++ {
+			m[8*g+j] = uint8(v >> uint(7*j) & CMEMinorMax)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package memctrl
 import (
 	"errors"
 
+	"steins/internal/arena"
 	"steins/internal/cache"
 	"steins/internal/cme"
 	"steins/internal/counter"
@@ -25,19 +26,30 @@ type Controller struct {
 	meta   *cache.Cache[*sit.Node]
 	root   sit.Root
 	eng    cme.Engine
-	tags   map[uint64]cme.Tag
 	policy Policy
+
+	// tags holds the per-data-line authentication tags, indexed by line
+	// number (addr/64). An arena instead of a map: the tag store sits on
+	// every data read and write. A zero Tag means "never written", exactly
+	// as a map miss did. Beware that the CME engine may hold a deferred
+	// (batched) MAC for a line — read tags through tagFor/Tag, which flush
+	// the pending window first.
+	tags arena.T[cme.Tag]
 
 	// evicting tracks nodes whose dirty eviction is in flight: removed
 	// from the cache but (for classic schemes) not yet persisted. A fetch
 	// that lands on one must take the in-flight copy — the NVM image is
-	// stale until the eviction finishes.
-	evicting map[uint64]*sit.Node
+	// stale until the eviction finishes. At most a handful are ever in
+	// flight (eviction cascades), so a linear slice beats a map.
+	evicting []evictingNode
 
-	// quar holds leaf indices degraded recovery gave up on; any data
-	// access under them returns a *MediaFault. Cleared at the next crash
-	// (the following recovery re-evaluates the damage).
-	quar map[uint64]struct{}
+	// quarBits is a bitset over leaf indices degraded recovery gave up
+	// on (quarN set bits); any data access under them returns a
+	// *MediaFault. Cleared at the next crash (the following recovery
+	// re-evaluates the damage). Allocated on first quarantine — the
+	// common fault-free run never touches it.
+	quarBits []uint64
+	quarN    int
 
 	// crashed/recovered/lastRecovery make Recover idempotent: a repeated
 	// call after a completed recovery replays the cached report instead of
@@ -78,14 +90,11 @@ func New(cfg Config, factory PolicyFactory) *Controller {
 	lay := NewLayout(cfg)
 	cfg.NVM.CapacityBytes = lay.Capacity
 	c := &Controller{
-		cfg:      cfg,
-		lay:      lay,
-		dev:      nvmem.New(cfg.NVM),
-		meta:     cache.New[*sit.Node](cfg.MetaCacheBytes, cfg.MetaCacheWays, nvmem.LineSize),
-		eng:      cme.Engine{Key: cfg.Key, OTP: cfg.OTP, MAC: cfg.MAC},
-		tags:     make(map[uint64]cme.Tag),
-		evicting: make(map[uint64]*sit.Node),
-		quar:     make(map[uint64]struct{}),
+		cfg:  cfg,
+		lay:  lay,
+		dev:  nvmem.New(cfg.NVM),
+		meta: cache.New[*sit.Node](cfg.MetaCacheBytes, cfg.MetaCacheWays, nvmem.LineSize),
+		eng:  cme.Engine{Key: cfg.Key, OTP: cfg.OTP, MAC: cfg.MAC, BatchWindow: cfg.MACBatchWindow},
 	}
 	c.policy = factory(c)
 	if cfg.EagerUpdate && c.policy.CounterGen() {
@@ -158,11 +167,31 @@ func (c *Controller) EnergyPJ() float64 {
 func (c *Controller) Now() uint64 { return c.reqStart }
 
 // Tag returns the co-located authentication tag of a data line.
-func (c *Controller) Tag(addr uint64) cme.Tag { return c.tags[addr] }
+func (c *Controller) Tag(addr uint64) cme.Tag { return c.tagFor(addr) }
+
+// tagFor reads a line's tag, flushing the deferred-MAC window first if it
+// holds a pending tag for this address (the simulated machine computed
+// and stored that tag at write time; only the host-side MAC was deferred).
+func (c *Controller) tagFor(addr uint64) cme.Tag {
+	if c.eng.PendingTagFor(addr) {
+		c.eng.FlushTags()
+	}
+	if p := c.tags.Probe(addr / nvmem.LineSize); p != nil {
+		return *p
+	}
+	return cme.Tag{}
+}
 
 // SetTag overwrites a data line's tag; attack injection uses it to model
 // an adversary rewriting ECC bits.
-func (c *Controller) SetTag(addr uint64, t cme.Tag) { c.tags[addr] = t }
+func (c *Controller) SetTag(addr uint64, t cme.Tag) {
+	// A pending deferred MAC for this line must land first, or its flush
+	// would overwrite the explicit tag.
+	if c.eng.PendingTagFor(addr) {
+		c.eng.FlushTags()
+	}
+	*c.tags.Ptr(addr / nvmem.LineSize) = t
+}
 
 // ChargeHash accounts n MAC-engine operations and returns their latency.
 func (c *Controller) ChargeHash(n uint64) uint64 {
@@ -202,20 +231,62 @@ func (c *Controller) ReadLineRetried(at uint64, addr uint64, cls nvmem.Class) (n
 	return line, lat, &MediaFault{Addr: addr, Err: err}
 }
 
+// --- in-flight evictions ------------------------------------------------------
+
+// evictingNode is one dirty eviction in flight, keyed by NVM node address.
+type evictingNode struct {
+	addr uint64
+	node *sit.Node
+}
+
+// evictingNode returns the in-flight copy of the node at addr, if any.
+// The slice holds at most an eviction cascade's worth of entries, so a
+// linear scan wins over any keyed structure.
+func (c *Controller) evictingNode(addr uint64) (*sit.Node, bool) {
+	for i := range c.evicting {
+		if c.evicting[i].addr == addr {
+			return c.evicting[i].node, true
+		}
+	}
+	return nil, false
+}
+
+// dropEvicting removes the newest in-flight entry for addr (evictions
+// nest LIFO: a cascade finishes inner entries first).
+func (c *Controller) dropEvicting(addr uint64) {
+	for i := len(c.evicting) - 1; i >= 0; i-- {
+		if c.evicting[i].addr == addr {
+			c.evicting = append(c.evicting[:i], c.evicting[i+1:]...)
+			return
+		}
+	}
+}
+
 // --- quarantine --------------------------------------------------------------
 
 // QuarantineLeaf marks a level-0 leaf's covered data as lost to degraded
 // recovery; subsequent accesses under it fail with a *MediaFault.
-func (c *Controller) QuarantineLeaf(index uint64) { c.quar[index] = struct{}{} }
+func (c *Controller) QuarantineLeaf(index uint64) {
+	if c.quarBits == nil {
+		c.quarBits = make([]uint64, (c.lay.Geo.LevelNodes[0]+63)/64)
+	}
+	w, b := index/64, index%64
+	if c.quarBits[w]&(1<<b) == 0 {
+		c.quarBits[w] |= 1 << b
+		c.quarN++
+	}
+}
 
 // LeafQuarantined reports whether a leaf is quarantined.
 func (c *Controller) LeafQuarantined(index uint64) bool {
-	_, ok := c.quar[index]
-	return ok
+	if c.quarN == 0 {
+		return false
+	}
+	return c.quarBits[index/64]&(1<<(index%64)) != 0
 }
 
 // QuarantinedLeaves returns the number of quarantined leaves.
-func (c *Controller) QuarantinedLeaves() int { return len(c.quar) }
+func (c *Controller) QuarantinedLeaves() int { return c.quarN }
 
 // QuarantineSubtree fences off the data coverage of the subtree rooted at
 // (level, index): every covered leaf is quarantined and the degradation
@@ -248,7 +319,7 @@ func (c *Controller) FetchNode(level int, index uint64) (*cache.Entry[*sit.Node]
 		c.Attribute(metrics.PhaseMetaFetch, c.cfg.CacheHitCycles)
 		return e, c.cfg.CacheHitCycles, nil
 	}
-	if n, ok := c.evicting[addr]; ok {
+	if n, ok := c.evictingNode(addr); ok {
 		// The node's dirty eviction is in flight; its NVM image may be
 		// stale, so re-adopt the in-flight copy (still the newest
 		// version) instead of reading the device.
@@ -318,9 +389,9 @@ func (c *Controller) insertNode(addr uint64, node *sit.Node, dirty bool) (*cache
 // back into the cache.
 func (c *Controller) EvictDirtyNode(node *sit.Node) (uint64, error) {
 	addr := c.lay.Geo.NodeAddr(node.Level, node.Index)
-	c.evicting[addr] = node
+	c.evicting = append(c.evicting, evictingNode{addr: addr, node: node})
 	cycles, err := c.policy.EvictDirty(node)
-	delete(c.evicting, addr)
+	c.dropEvicting(addr)
 	if err != nil {
 		return cycles, err
 	}
@@ -457,15 +528,20 @@ func (c *Controller) ForceAllDirty() {
 // device, data tags (ECC bits), the on-chip root and the policy's on-chip
 // non-volatile state survive.
 func (c *Controller) Crash() {
+	// Deferred tag MACs were computed and stored (in the simulated
+	// machine) at write time; land the host-side values so the surviving
+	// ECC bits are complete before recovery reads them.
+	c.eng.FlushTags()
 	c.dev.CrashTear()
 	c.policy.OnCrash()
 	c.meta.Clear()
 	// In-flight eviction tracking is volatile controller state; a crash
 	// aborting a recovery pass can leave entries behind.
-	clear(c.evicting)
+	c.evicting = c.evicting[:0]
 	// Quarantine is a recovery-time verdict; the next recovery pass
 	// re-evaluates the damage from scratch.
-	clear(c.quar)
+	clear(c.quarBits)
+	c.quarN = 0
 	c.crashed = true
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"steins/internal/cache"
-	"steins/internal/cme"
 	"steins/internal/counter"
 	"steins/internal/metrics"
 	"steins/internal/nvmem"
@@ -23,7 +22,7 @@ func (c *Controller) checkDataAddr(addr uint64) error {
 		return fmt.Errorf("memctrl: %w: data address %#x outside %#x data bytes",
 			nvmem.ErrOutOfRange, addr, c.cfg.DataBytes)
 	}
-	if len(c.quar) > 0 {
+	if c.quarN > 0 {
 		if leaf, _ := c.lay.Geo.LeafOfData(addr); c.LeafQuarantined(leaf) {
 			c.stats.MediaUnrecoverable++
 			return &MediaFault{Addr: addr, Quarantined: true}
@@ -96,11 +95,15 @@ func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
 	ct := data
 	c.eng.Apply(&ct, addr, encCtr)
 	c.stats.AESOps++
-	var tag cme.Tag
+	// The tag's host-side MAC is deferred into the engine's batch window
+	// (the simulated machine computes and stores it now — latency and
+	// HashOps are charged here); the queue copies the message, so ct can
+	// keep moving.
+	dst := c.tags.Ptr(addr / nvmem.LineSize)
 	if node.IsSplit {
-		tag = c.eng.TagSC(&ct, addr, encCtr, major)
+		c.eng.QueueTagSC(dst, &ct, addr, encCtr, major)
 	} else {
-		tag = c.eng.TagGC(&ct, addr, encCtr)
+		c.eng.QueueTagGC(dst, &ct, addr, encCtr)
 	}
 	c.stats.HashOps++
 	c.Attribute(metrics.PhaseCrypto, c.cfg.AESCycles+c.cfg.HashCycles)
@@ -108,7 +111,6 @@ func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
 	stall := c.dev.MustWrite(c.reqStart+cycles, addr, nvmem.Line(ct), nvmem.ClassData)
 	c.Attribute(metrics.PhaseWriteDrain, stall)
 	cycles += stall
-	c.tags[addr] = tag
 	if writeThrough {
 		// §II-D write-through: persist the leaf (through the scheme's
 		// normal write-back) before its counters run beyond the recovery
@@ -160,7 +162,7 @@ func (c *Controller) ReadData(gap uint64, addr uint64) ([64]byte, error) {
 		c.completeRead(cycles + dataLat)
 		return [64]byte{}, err
 	}
-	tag := c.tags[addr]
+	tag := c.tagFor(addr)
 	if !tag.Written {
 		// A block is legitimately unwritten iff its own counter never
 		// advanced: a zero minor under a split leaf (majors advance for
@@ -213,7 +215,7 @@ func (c *Controller) reencrypt(le *cache.Entry[*sit.Node], pre *counter.Split, s
 			continue
 		}
 		daddr := c.lay.Geo.DataAddr(node.Index, j)
-		tag := c.tags[daddr]
+		tag := c.tagFor(daddr)
 		if !tag.Written {
 			continue
 		}
@@ -240,7 +242,7 @@ func (c *Controller) reencrypt(le *cache.Entry[*sit.Node], pre *counter.Split, s
 		c.eng.Apply(&ct, daddr, newCtr) // re-encrypt
 		c.stats.AESOps += 2
 		c.stats.HashOps++
-		c.tags[daddr] = c.eng.TagSC(&ct, daddr, newCtr, node.Split.Major)
+		c.eng.QueueTagSC(c.tags.Ptr(daddr/nvmem.LineSize), &ct, daddr, newCtr, node.Split.Major)
 		wstall := c.dev.MustWrite(c.reqStart+cycles, daddr, nvmem.Line(ct), nvmem.ClassData)
 		c.Attribute(metrics.PhaseWriteDrain, wstall)
 		cycles += wstall

@@ -15,7 +15,7 @@ func (c *Controller) DataCounter(addr uint64) uint64 {
 	var node *sit.Node
 	if e, ok := c.meta.Probe(naddr); ok {
 		node = e.Payload
-	} else if n, ok := c.evicting[naddr]; ok {
+	} else if n, ok := c.evictingNode(naddr); ok {
 		node = n
 	} else {
 		node = c.StaleNode(0, leaf)

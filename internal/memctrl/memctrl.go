@@ -86,6 +86,13 @@ type Config struct {
 	// corruption aborts recovery with the integrity error, the pre-fault
 	// behaviour.
 	DegradedRecovery bool
+
+	// MACBatchWindow bounds the deferred data-tag MAC queue: the host
+	// defers up to this many write-path tag MACs and computes them in one
+	// batch (see cme.Engine.BatchWindow). Purely a host-side optimization:
+	// simulated latency, energy and every result are bit-identical at any
+	// window. <= 1 disables batching.
+	MACBatchWindow int
 }
 
 // DefaultConfig returns the Table I configuration over the given data
@@ -116,6 +123,7 @@ func DefaultConfig(dataBytes uint64, splitLeaf bool) Config {
 		CacheTreeLevels:    4,
 		ReadRetries:        3,
 		RetryBackoffCycles: 32,
+		MACBatchWindow:     16,
 	}
 }
 

@@ -9,7 +9,7 @@ package memctrl
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"steins/internal/cache"
 	"steins/internal/cme"
@@ -75,6 +75,9 @@ func (c *Controller) State() (*ControllerState, error) {
 	if len(c.evicting) != 0 {
 		return nil, fmt.Errorf("memctrl: snapshot with %d evictions in flight (not a retired-op boundary)", len(c.evicting))
 	}
+	// Land any deferred tag MACs so the captured tag image is complete
+	// (the snapshot does not serialize the engine's batch window).
+	c.eng.FlushTags()
 	st := &ControllerState{
 		Crashed:      c.crashed,
 		Recovered:    c.recovered,
@@ -87,14 +90,21 @@ func (c *Controller) State() (*ControllerState, error) {
 		Root:         c.root,
 		Device:       c.dev.State(),
 	}
-	for addr, t := range c.tags {
-		st.Tags = append(st.Tags, TagState{Addr: addr, Tag: t})
+	// Arena iteration is ascending by construction, matching the sorted
+	// order the map-backed implementation produced. Zero tags (never
+	// written, or an arena slot allocated but untouched) are omitted, as
+	// map misses were; Tag() returns the zero value either way.
+	c.tags.ForEach(func(line uint64, t *cme.Tag) {
+		if *t != (cme.Tag{}) {
+			st.Tags = append(st.Tags, TagState{Addr: line * nvmem.LineSize, Tag: *t})
+		}
+	})
+	for w, set := range c.quarBits {
+		for set != 0 {
+			st.Quarantined = append(st.Quarantined, uint64(w)*64+uint64(bits.TrailingZeros64(set)))
+			set &= set - 1
+		}
 	}
-	sort.Slice(st.Tags, func(i, j int) bool { return st.Tags[i].Addr < st.Tags[j].Addr })
-	for idx := range c.quar {
-		st.Quarantined = append(st.Quarantined, idx)
-	}
-	sort.Slice(st.Quarantined, func(i, j int) bool { return st.Quarantined[i] < st.Quarantined[j] })
 	st.Meta = c.meta.State()
 	for i, e := range st.Meta.Entries {
 		st.Meta.Entries[i].Payload = e.Payload.Clone()
@@ -121,13 +131,17 @@ func (c *Controller) State() (*ControllerState, error) {
 // one; fault hooks are left for the harness to re-register.
 func (c *Controller) Restore(st *ControllerState) error {
 	c.dev.Restore(st.Device)
-	c.tags = make(map[uint64]cme.Tag, len(st.Tags))
+	// Drop any deferred tag MACs of the pre-restore run; they belong to
+	// tag slots the restore is about to overwrite.
+	c.eng.DropPendingTags()
+	c.tags.Reset()
 	for _, t := range st.Tags {
-		c.tags[t.Addr] = t.Tag
+		*c.tags.Ptr(t.Addr / nvmem.LineSize) = t.Tag
 	}
-	c.quar = make(map[uint64]struct{}, len(st.Quarantined))
+	c.quarBits = nil
+	c.quarN = 0
 	for _, idx := range st.Quarantined {
-		c.quar[idx] = struct{}{}
+		c.QuarantineLeaf(idx)
 	}
 	c.crashed = st.Crashed
 	c.recovered = st.Recovered
@@ -144,7 +158,7 @@ func (c *Controller) Restore(st *ControllerState) error {
 		meta.Entries[i].Payload = e.Payload.Clone()
 	}
 	c.meta.SetState(meta)
-	clear(c.evicting)
+	c.evicting = c.evicting[:0]
 	ps, ok := c.policy.(PolicyState)
 	if ok != st.PolicyStateful {
 		return fmt.Errorf("memctrl: scheme %s state mismatch (snapshot stateful=%v, scheme stateful=%v)",

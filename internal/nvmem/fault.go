@@ -161,7 +161,7 @@ type lastWrite struct {
 // draws transient flips. The caller guarantees d.frng != nil.
 func (d *Device) corrupt(addr uint64, intended Line, timed bool) Line {
 	raw := intended
-	if s, ok := d.stuck[addr]; ok {
+	if s := d.stuck.Probe(addr / LineSize); s != nil && s.mask != (Line{}) {
 		for i := range raw {
 			raw[i] = raw[i]&^s.mask[i] | s.val[i]&s.mask[i]
 		}
@@ -218,10 +218,9 @@ func (d *Device) decode(addr uint64, cls Class, intended, raw Line, count bool) 
 
 // addStuckBit freezes one random cell of addr at a random value.
 func (d *Device) addStuckBit(addr uint64) {
-	s := d.stuck[addr]
-	if s == nil {
-		s = &stuckLine{}
-		d.stuck[addr] = s
+	s := d.stuck.Ptr(addr / LineSize)
+	if s.mask == (Line{}) {
+		d.stuckN++
 	}
 	bit := d.frng.Intn(LineSize * 8)
 	s.mask[bit/8] |= 1 << (bit % 8)
@@ -256,7 +255,7 @@ func (d *Device) CrashTear() (uint64, bool) {
 }
 
 // StuckLines reports how many lines carry at least one stuck-at cell.
-func (d *Device) StuckLines() int { return len(d.stuck) }
+func (d *Device) StuckLines() int { return d.stuckN }
 
 // faultRNG builds the per-device fault stream, or nil when the model is
 // off.

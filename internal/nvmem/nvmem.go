@@ -14,6 +14,7 @@ package nvmem
 import (
 	"fmt"
 
+	"steins/internal/arena"
 	"steins/internal/rng"
 )
 
@@ -160,12 +161,18 @@ func total(a *[numClasses]uint64) uint64 {
 // Device is the NVM device. It is not safe for concurrent use; the memory
 // controller serialises requests to one DIMM exactly as §IV-F describes.
 type Device struct {
-	cfg   Config
-	lines map[uint64]*Line
-	// wear counts writes per line; PCM's limited write endurance (§I) is
-	// a first-class concern, and recovery schemes that concentrate writes
-	// (shadow tables, record lines) show up here.
-	wear map[uint64]uint64
+	cfg Config
+	// lines holds contents indexed by line number (addr/LineSize) in a
+	// chunked arena: device reads and writes are the innermost operations
+	// of every simulated request, and a map lookup per access dominated
+	// the profile. A zero slot equals an absent line (fresh memory reads
+	// zero); populated counts the non-zero slots.
+	lines     arena.T[Line]
+	populated int
+	// wear counts writes per line (same indexing); PCM's limited write
+	// endurance (§I) is a first-class concern, and recovery schemes that
+	// concentrate writes (shadow tables, record lines) show up here.
+	wear arena.T[uint64]
 	// queue holds completion times (in cycles) of pending writes, FIFO
 	// by completion; banks tracks when each bank next frees up.
 	queue []uint64
@@ -176,8 +183,10 @@ type Device struct {
 	observer func(addr uint64, cls Class)
 	// frng is the media-fault stream; nil keeps every access fault-free.
 	frng *rng.Source
-	// stuck holds the sticky stuck-at overlays keyed by line address.
-	stuck map[uint64]*stuckLine
+	// stuck holds the sticky stuck-at overlays (same indexing); a zero
+	// mask equals no overlay, stuckN counts lines with one.
+	stuck  arena.T[stuckLine]
+	stuckN int
 	// last is the tear candidate for the next crash boundary.
 	last lastWrite
 }
@@ -196,11 +205,8 @@ func New(cfg Config) *Device {
 	}
 	return &Device{
 		cfg:   cfg,
-		lines: make(map[uint64]*Line),
-		wear:  make(map[uint64]uint64),
 		banks: make([]uint64, cfg.WriteBanks),
 		frng:  faultRNG(cfg),
-		stuck: make(map[uint64]*stuckLine),
 	}
 }
 
@@ -288,7 +294,7 @@ func (d *Device) Write(now uint64, addr uint64, line Line, cls Class) (uint64, e
 	d.insertCompletion(done)
 	d.stats.Writes[cls]++
 	d.stats.StallCycles += stall
-	d.wear[addr]++
+	*d.wear.Ptr(addr / LineSize)++
 	if d.frng != nil {
 		if d.frng.Bool(d.cfg.Faults.StuckPerWrite) {
 			d.addStuckBit(addr)
@@ -346,22 +352,23 @@ func (d *Device) QueueDepth(now uint64) int {
 }
 
 func (d *Device) store(addr uint64, line Line) {
-	if line == (Line{}) {
-		// Keep the sparse map sparse: a zero line equals absent.
-		delete(d.lines, addr)
-		return
+	p := d.lines.Ptr(addr / LineSize)
+	// A zero line equals absent; track the populated count across the
+	// zero/non-zero transitions so PopulatedLines stays O(1).
+	wasZero := *p == (Line{})
+	isZero := line == (Line{})
+	switch {
+	case wasZero && !isZero:
+		d.populated++
+	case !wasZero && isZero:
+		d.populated--
 	}
-	l, ok := d.lines[addr]
-	if !ok {
-		l = new(Line)
-		d.lines[addr] = l
-	}
-	*l = line
+	*p = line
 }
 
 // peekIntended returns the stored (pre-overlay) contents of addr.
 func (d *Device) peekIntended(addr uint64) Line {
-	if l, ok := d.lines[addr]; ok {
+	if l := d.lines.Probe(addr / LineSize); l != nil {
 		return *l
 	}
 	return Line{}
@@ -401,7 +408,7 @@ func (d *Device) EnergyPJ() float64 {
 
 // PopulatedLines reports how many distinct non-zero lines the device holds;
 // tests use it to bound simulator footprints.
-func (d *Device) PopulatedLines() int { return len(d.lines) }
+func (d *Device) PopulatedLines() int { return d.populated }
 
 // Wear summarises write endurance consumption.
 type Wear struct {
@@ -414,20 +421,27 @@ type Wear struct {
 // WearStats scans the per-line write counts. With PCM endurance around
 // 10^8 writes, MaxPerLine bounds device lifetime; schemes that hammer a
 // fixed region (ASIT's shadow slots, Steins' record lines) surface here.
+// The scan runs in ascending address order, so HotAddr is the lowest
+// address among max-count ties — the map-backed version picked an
+// arbitrary tie, silently breaking the deterministic-output contract of
+// every emitter built on it.
 func (d *Device) WearStats() Wear {
 	var w Wear
-	for addr, n := range d.wear {
-		w.LinesWritten++
-		w.TotalWrites += n
-		if n > w.MaxPerLine {
-			w.MaxPerLine, w.HotAddr = n, addr
+	d.wear.ForEach(func(idx uint64, n *uint64) {
+		if *n == 0 {
+			return
 		}
-	}
+		w.LinesWritten++
+		w.TotalWrites += *n
+		if *n > w.MaxPerLine {
+			w.MaxPerLine, w.HotAddr = *n, idx*LineSize
+		}
+	})
 	return w
 }
 
 // WearOf returns one line's write count.
 func (d *Device) WearOf(addr uint64) uint64 {
 	d.mustAddr(addr)
-	return d.wear[addr]
+	return d.wear.Get(addr / LineSize)
 }

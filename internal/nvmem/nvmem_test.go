@@ -1,9 +1,13 @@
 package nvmem
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"testing"
 	"testing/quick"
+
+	"steins/internal/rng"
 )
 
 func smallConfig() Config {
@@ -321,5 +325,56 @@ func TestWearTracking(t *testing.T) {
 	d.Poke(128, Line{9})
 	if d.WearOf(128) != 0 {
 		t.Fatal("Poke consumed endurance")
+	}
+}
+
+// TestWearStatsHotAddrDeterministic pins the tie-breaking rule the
+// map-backed implementation left to iteration order: among lines sharing
+// the maximum write count, HotAddr is the lowest address, regardless of
+// the order the writes arrived in.
+func TestWearStatsHotAddrDeterministic(t *testing.T) {
+	d := New(smallConfig())
+	// Touch the higher address first so insertion order disagrees with
+	// address order.
+	for i := 0; i < 3; i++ {
+		d.Write(uint64(i*10), 256, Line{1}, ClassData)
+	}
+	for i := 0; i < 3; i++ {
+		d.Write(uint64(100+i*10), 64, Line{2}, ClassData)
+	}
+	w := d.WearStats()
+	if w.MaxPerLine != 3 || w.HotAddr != 64 {
+		t.Fatalf("hottest = %+v, want MaxPerLine 3 at HotAddr 64 (lowest tied address)", w)
+	}
+	if got := d.WearStats(); got != w {
+		t.Fatalf("WearStats not stable across calls: %+v then %+v", w, got)
+	}
+}
+
+// TestStateDoubleRenderByteIdentical renders the device state twice and
+// demands byte-identical gob encodings: every emitter must walk its
+// backing store in a deterministic (ascending-address) order.
+func TestStateDoubleRenderByteIdentical(t *testing.T) {
+	d := New(smallConfig())
+	// Populate lines and wear at scattered, non-monotonic addresses.
+	for _, addr := range []uint64{4096, 64, 1 << 19, 128, 0, 640} {
+		if _, err := d.Write(0, addr, Line{byte(addr)}, ClassData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sticky stuck-at overlays, again out of address order.
+	d.frng = rng.New(7)
+	d.addStuckBit(4096)
+	d.addStuckBit(64)
+	encode := func(st State) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := encode(d.State()), encode(d.State())
+	if !bytes.Equal(a, b) {
+		t.Fatal("two renders of the same device state differ byte-wise")
 	}
 }

@@ -7,8 +7,6 @@
 package nvmem
 
 import (
-	"sort"
-
 	"steins/internal/rng"
 )
 
@@ -67,18 +65,23 @@ func (d *Device) State() State {
 			Valid: d.last.valid, Addr: d.last.addr, Prev: d.last.prev, Next: d.last.next,
 		},
 	}
-	for addr, l := range d.lines {
-		st.Lines = append(st.Lines, LineState{Addr: addr, Data: *l})
-	}
-	sort.Slice(st.Lines, func(i, j int) bool { return st.Lines[i].Addr < st.Lines[j].Addr })
-	for addr, n := range d.wear {
-		st.Wear = append(st.Wear, WearState{Addr: addr, Count: n})
-	}
-	sort.Slice(st.Wear, func(i, j int) bool { return st.Wear[i].Addr < st.Wear[j].Addr })
-	for addr, s := range d.stuck {
-		st.Stuck = append(st.Stuck, StuckState{Addr: addr, Mask: s.mask, Val: s.val})
-	}
-	sort.Slice(st.Stuck, func(i, j int) bool { return st.Stuck[i].Addr < st.Stuck[j].Addr })
+	// Arena iteration ascends by address, matching the sorted order the
+	// map-backed implementation produced; zero slots equal absent entries.
+	d.lines.ForEach(func(idx uint64, l *Line) {
+		if *l != (Line{}) {
+			st.Lines = append(st.Lines, LineState{Addr: idx * LineSize, Data: *l})
+		}
+	})
+	d.wear.ForEach(func(idx uint64, n *uint64) {
+		if *n != 0 {
+			st.Wear = append(st.Wear, WearState{Addr: idx * LineSize, Count: *n})
+		}
+	})
+	d.stuck.ForEach(func(idx uint64, s *stuckLine) {
+		if s.mask != (Line{}) {
+			st.Stuck = append(st.Stuck, StuckState{Addr: idx * LineSize, Mask: s.mask, Val: s.val})
+		}
+	})
 	if d.frng != nil {
 		st.FaultRNGValid = true
 		st.FaultRNG = d.frng.State()
@@ -91,21 +94,28 @@ func (d *Device) State() State {
 // from the same Config (bank count in particular); the observer callback is
 // left as-is.
 func (d *Device) Restore(st State) {
-	d.lines = make(map[uint64]*Line, len(st.Lines))
+	d.lines.Reset()
+	d.populated = 0
 	for _, l := range st.Lines {
-		line := l.Data
-		d.lines[l.Addr] = &line
+		if l.Data != (Line{}) {
+			*d.lines.Ptr(l.Addr / LineSize) = l.Data
+			d.populated++
+		}
 	}
-	d.wear = make(map[uint64]uint64, len(st.Wear))
+	d.wear.Reset()
 	for _, w := range st.Wear {
-		d.wear[w.Addr] = w.Count
+		*d.wear.Ptr(w.Addr / LineSize) = w.Count
 	}
 	d.queue = append(d.queue[:0], st.Queue...)
 	d.banks = append(d.banks[:0], st.Banks...)
 	d.stats = st.Stats
-	d.stuck = make(map[uint64]*stuckLine, len(st.Stuck))
+	d.stuck.Reset()
+	d.stuckN = 0
 	for _, s := range st.Stuck {
-		d.stuck[s.Addr] = &stuckLine{mask: s.Mask, val: s.Val}
+		if s.Mask != (Line{}) {
+			*d.stuck.Ptr(s.Addr / LineSize) = stuckLine{mask: s.Mask, val: s.Val}
+			d.stuckN++
+		}
 	}
 	if st.FaultRNGValid {
 		if d.frng == nil {

@@ -92,6 +92,11 @@ type Sharded struct {
 	shardBytes uint64
 	driven     uint64 // source ops driven, including warm-up
 	warmupDone bool
+
+	// Double-buffered epoch batches: the splitter fills one set while the
+	// workers drive the other, so the sequential split of epoch e+1
+	// overlaps the parallel drive of epoch e.
+	bufA, bufB [][]trace.ShardedOp
 }
 
 // NewSharded builds the engine: Channels controllers, each owning a
@@ -169,6 +174,15 @@ func (e *Sharded) DriveStream(src trace.Stream) error {
 	return err
 }
 
+// epochRun is one dispatched epoch in flight: the goroutines driving its
+// per-channel batches, their error slots, and the source-op count to fold
+// into the totals once it retires.
+type epochRun struct {
+	n    int
+	errs []error
+	wg   sync.WaitGroup
+}
+
 // DriveStreamN is DriveStream bounded to at most maxOps source operations
 // (maxOps < 0 drives the stream to exhaustion). It returns the number of
 // source ops consumed, stopping exactly at the bound on an epoch barrier —
@@ -176,63 +190,124 @@ func (e *Sharded) DriveStream(src trace.Stream) error {
 // Epoch placement never changes results (each channel's op sequence is
 // fixed by the sequential split), so a run checkpointed at an arbitrary
 // boundary stays bit-identical to the straight run.
+//
+// The loop is a depth-1 pipeline: while epoch e's batches drive on the
+// worker goroutines, the sequential splitter routes epoch e+1 into the
+// idle buffer set. Epoch e+1 is only dispatched after epoch e has fully
+// retired (wait-before-dispatch), so each controller still sees its ops
+// strictly in split order and the warm-up statistics reset still lands on
+// an exact epoch boundary — results stay bit-identical to the serial
+// loop; only the split latency is hidden.
 func (e *Sharded) DriveStreamN(src trace.Stream, maxOps int) (int, error) {
 	e.lazySplitter()
 	e.sp.Rebind(src)
+	if e.bufA == nil {
+		e.bufA = make([][]trace.ShardedOp, e.so.Channels)
+		e.bufB = make([][]trace.ShardedOp, e.so.Channels)
+	}
 	warm := uint64(e.opt.WarmupOps)
 	sem := make(chan struct{}, e.so.Workers)
 	total := 0
-	for {
-		budget := e.so.EpochOps
-		if maxOps >= 0 && budget > maxOps-total {
-			budget = maxOps - total
+	var inflight *epochRun
+
+	// finish retires the in-flight epoch: wait for its workers, surface
+	// their errors, fold its op count, and apply the warm-up reset when the
+	// boundary is crossed. No-op when the pipeline is empty.
+	finish := func() error {
+		if inflight == nil {
+			return nil
 		}
-		if budget == 0 {
-			return total, nil
-		}
-		// Force an epoch boundary exactly at the warm-up boundary so every
-		// channel resets its statistics at the same global-stream point.
-		if !e.warmupDone && warm > e.driven && uint64(budget) > warm-e.driven {
-			budget = int(warm - e.driven)
-		}
-		batches, n, serr := e.sp.NextEpoch(budget)
-		if n == 0 && serr == nil {
-			return total, nil
-		}
-		errs := make([]error, len(e.ctrls))
-		var wg sync.WaitGroup
-		for k := range e.ctrls {
-			if len(batches[k]) == 0 {
-				continue
-			}
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(k int) {
-				defer func() { <-sem; wg.Done() }()
-				errs[k] = driveShard(e.ctrls[k], batches[k])
-			}(k)
-		}
-		wg.Wait()
-		for k, err := range errs {
+		r := inflight
+		inflight = nil
+		r.wg.Wait()
+		for k, err := range r.errs {
 			if err != nil {
-				errs[k] = fmt.Errorf("sim: sharded channel %d (%s/%s): %w",
+				r.errs[k] = fmt.Errorf("sim: sharded channel %d (%s/%s): %w",
 					k, e.prof.Name, e.scheme.Name, err)
 			}
 		}
-		if err := errors.Join(errs...); err != nil {
-			return total, err
+		if err := errors.Join(r.errs...); err != nil {
+			return err
 		}
-		if serr != nil {
-			return total, fmt.Errorf("sim: %w", serr)
-		}
-		e.driven += uint64(n)
-		total += n
+		e.driven += uint64(r.n)
+		total += r.n
 		if !e.warmupDone && warm > 0 && e.driven >= warm {
 			for _, c := range e.ctrls {
 				c.ResetStats()
 			}
 			e.warmupDone = true
 		}
+		return nil
+	}
+
+	// dispatch launches one goroutine per non-empty channel batch; the
+	// worker semaphore is acquired inside the goroutine so dispatch never
+	// blocks the splitting thread.
+	dispatch := func(batches [][]trace.ShardedOp, n int) {
+		r := &epochRun{n: n, errs: make([]error, len(e.ctrls))}
+		for k := range e.ctrls {
+			if len(batches[k]) == 0 {
+				continue
+			}
+			r.wg.Add(1)
+			go func(k int) {
+				defer r.wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				r.errs[k] = driveShard(e.ctrls[k], batches[k])
+			}(k)
+		}
+		inflight = r
+	}
+
+	cur, idle := e.bufA, e.bufB
+	for {
+		// Budget arithmetic counts the in-flight epoch as already consumed:
+		// its ops are committed to the controllers even though finish has
+		// not folded them yet.
+		consumedCall, consumedLife := total, e.driven
+		if inflight != nil {
+			consumedCall += inflight.n
+			consumedLife += uint64(inflight.n)
+		}
+		budget := e.so.EpochOps
+		if maxOps >= 0 && budget > maxOps-consumedCall {
+			budget = maxOps - consumedCall
+		}
+		if budget == 0 {
+			err := finish()
+			return total, err
+		}
+		// Force an epoch boundary exactly at the warm-up boundary so every
+		// channel resets its statistics at the same global-stream point.
+		if warm > consumedLife && uint64(budget) > warm-consumedLife {
+			budget = int(warm - consumedLife)
+		}
+		batches, n, serr := e.sp.NextEpochInto(budget, cur)
+		if serr != nil {
+			// Mirror the serial loop: retire the previous epoch, drive the
+			// partial one (its ops reached the controllers) without counting
+			// it, then surface the split error.
+			if err := finish(); err != nil {
+				return total, err
+			}
+			if n > 0 {
+				dispatch(batches, 0)
+				if err := finish(); err != nil {
+					return total, err
+				}
+			}
+			return total, fmt.Errorf("sim: %w", serr)
+		}
+		if n == 0 {
+			err := finish()
+			return total, err
+		}
+		if err := finish(); err != nil {
+			return total, err
+		}
+		dispatch(batches, n)
+		cur, idle = idle, cur
 	}
 }
 

@@ -310,8 +310,29 @@ func DataMAC(mac crypt.MAC, key crypt.Key, dataAddr uint64, ciphertext *[64]byte
 // DataMACInto is DataMAC with a caller-provided message buffer; see
 // NodeMACInto for why.
 func DataMACInto(msg *[80]byte, mac crypt.MAC, key crypt.Key, dataAddr uint64, ciphertext *[64]byte, encCounter uint64) uint64 {
+	PutDataMACMsg(msg, dataAddr, ciphertext, encCounter)
+	return mac.Sum64(key, msg[:])
+}
+
+// DataMACMsgSize is the byte length of a DataMAC message: 64-byte
+// ciphertext, 8-byte address, 8-byte encryption counter.
+const DataMACMsgSize = 80
+
+// PutDataMACMsg packs the DataMAC message into msg. Deferred-MAC callers
+// (the CME tag window) pack messages with it and batch the MAC later;
+// keeping the layout here means the synchronous and batched paths cannot
+// drift apart.
+func PutDataMACMsg(msg *[DataMACMsgSize]byte, dataAddr uint64, ciphertext *[64]byte, encCounter uint64) {
 	copy(msg[:64], ciphertext[:])
 	binary.LittleEndian.PutUint64(msg[64:72], dataAddr)
 	binary.LittleEndian.PutUint64(msg[72:80], encCounter)
-	return mac.Sum64(key, msg[:])
+}
+
+// AppendDataMACMsg appends the 80-byte DataMAC message for
+// (dataAddr, ciphertext, encCounter) to dst and returns the extended
+// slice, for callers accumulating a packed batch.
+func AppendDataMACMsg(dst []byte, dataAddr uint64, ciphertext *[64]byte, encCounter uint64) []byte {
+	var msg [DataMACMsgSize]byte
+	PutDataMACMsg(&msg, dataAddr, ciphertext, encCounter)
+	return append(dst, msg[:]...)
 }

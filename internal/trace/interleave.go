@@ -192,8 +192,20 @@ func (sp *Splitter) Route(addr uint64) (int, uint64) {
 // is exhausted. A non-nil error reports hash-mode local-address overflow
 // (LimitLocalBytes exceeded); the epoch is unusable then.
 func (sp *Splitter) NextEpoch(budget int) (batches [][]ShardedOp, n int, err error) {
-	for i := range sp.bufs {
-		sp.bufs[i] = sp.bufs[i][:0]
+	return sp.NextEpochInto(budget, sp.bufs)
+}
+
+// NextEpochInto is NextEpoch routing into caller-provided per-shard
+// buffers (len(bufs) must equal Shards(); each is resliced to empty and
+// grown as needed). A pipelined driver alternates two buffer sets so the
+// split of epoch e+1 can overlap the drive of epoch e without aliasing
+// the batches the workers are still reading.
+func (sp *Splitter) NextEpochInto(budget int, bufs [][]ShardedOp) (batches [][]ShardedOp, n int, err error) {
+	if len(bufs) != len(sp.last) {
+		panic(fmt.Sprintf("trace: NextEpochInto with %d buffers for %d shards", len(bufs), len(sp.last)))
+	}
+	for i := range bufs {
+		bufs[i] = bufs[i][:0]
 	}
 	for sp.src != nil && n < budget {
 		op, ok := sp.src.Next()
@@ -202,12 +214,12 @@ func (sp *Splitter) NextEpoch(budget int) (batches [][]ShardedOp, n int, err err
 		}
 		shard, local := sp.Route(op.Addr)
 		if sp.LimitLocalBytes != 0 && local >= sp.LimitLocalBytes {
-			return sp.bufs, n, fmt.Errorf(
+			return bufs, n, fmt.Errorf(
 				"trace: shard %d local address %#x beyond capacity %#x (hash scatter imbalance; raise DataBytes)",
 				shard, local, sp.LimitLocalBytes)
 		}
 		sp.now += op.Gap
-		sp.bufs[shard] = append(sp.bufs[shard], ShardedOp{
+		bufs[shard] = append(bufs[shard], ShardedOp{
 			Op:         Op{Addr: local, IsWrite: op.IsWrite, Gap: sp.now - sp.last[shard]},
 			GlobalAddr: op.Addr,
 			Index:      sp.emitted,
@@ -216,5 +228,5 @@ func (sp *Splitter) NextEpoch(budget int) (batches [][]ShardedOp, n int, err err
 		sp.emitted++
 		n++
 	}
-	return sp.bufs, n, nil
+	return bufs, n, nil
 }

@@ -4,8 +4,8 @@
 
 # The canonical benchmark set persisted to BENCH_$(BENCH_REV).json; keep in
 # sync with the `canonical` list in cmd/benchjson.
-BENCH_REV ?= 1
-BENCH_PATTERN = HotWritePath|HotReadPath|MACBatchWindow|RunUnsharded|RunSharded|SplitterEpoch|SnapshotSave|SnapshotLoad|GCSweepBuild|SCSweepBuild
+BENCH_REV ?= 2
+BENCH_PATTERN = HotWritePath|HotReadPath|MACBatchWindow|RunUnsharded|RunSchemes|RunSharded|SplitterEpoch|SnapshotSave|SnapshotLoad|GCSweepBuild|SCSweepBuild
 
 all: build test
 
@@ -52,6 +52,10 @@ crashfuzz:
 	go run ./cmd/crashfuzz -scheme star -workload pers_queue -crashes 40 -seed 4 -q
 	go run ./cmd/crashfuzz -scheme scue -workload pers_queue -crashes 25 -seed 5 -q
 	go run ./cmd/crashfuzz -scheme bmt -workload pers_queue -crashes 40 -seed 6 -q
+	go run ./cmd/crashfuzz -scheme pipesit -workload pers_queue -crashes 25 -seed 7 -q
+	go run ./cmd/crashfuzz -scheme pipesit-sc -workload pers_hash -crashes 20 -seed 8 -q
+	go run ./cmd/crashfuzz -scheme triad -workload pers_queue -crashes 40 -seed 9 -q
+	go run ./cmd/crashfuzz -scheme triad-sc -workload pers_hash -crashes 30 -seed 10 -q
 
 # Differential media-fault sweep: seeded fault model (transient flips,
 # stuck cells, torn crash writes) + deliberate interior-node corruption,
@@ -74,6 +78,10 @@ faultfuzz:
 		-faults 'transient=1e-3,double=0.25,stuck=1e-4' -q
 	go run ./cmd/crashfuzz -scheme steins-gc -workload pers_queue -crashes 6 -seed 10 \
 		-faults 'transient=5e-3' -ecc=false -q
+	go run ./cmd/crashfuzz -scheme pipesit -workload pers_queue -crashes 3 -seed 11 \
+		-faults 'transient=1e-3,double=0.25' -corrupt 1 -degraded -q
+	go run ./cmd/crashfuzz -scheme triad-sc -workload pers_queue -crashes 3 -seed 12 \
+		-faults 'transient=1e-3,double=0.25' -corrupt 1 -degraded -q
 
 # Phase-attribution + occupancy snapshots for one run and one sweep.
 metrics-demo:

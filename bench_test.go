@@ -448,6 +448,28 @@ func BenchmarkRunUnsharded(b *testing.B) {
 	}
 }
 
+// BenchmarkRunSchemes tracks the relaxed-persistence scheme family on the
+// same trace and options as BenchmarkRunUnsharded, so their host-time cost
+// relative to the Steins baseline is part of the persisted trajectory.
+func BenchmarkRunSchemes(b *testing.B) {
+	prof := shardedBenchProfile()
+	opt := sim.Options{Ops: 20000, Seed: 3, MetaCacheBytes: 64 << 10}
+	for _, s := range []sim.Scheme{sim.PipeSITGC, sim.PipeSITSC, sim.TriadGC, sim.TriadSC} {
+		b.Run(s.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(prof, s, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(r.Ops)*float64(b.N)/b.Elapsed().Seconds(), "ops_per_sec")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRunSharded drives the same trace through the channel-interleaved
 // engine at 1, 2 and 4 channels. On a multi-core host the 4-channel run
 // should beat BenchmarkRunUnsharded on wall clock; on one core it measures

@@ -60,6 +60,10 @@ var canonical = []string{
 	"BenchmarkMACBatchWindow/window1",
 	"BenchmarkMACBatchWindow/window16",
 	"BenchmarkRunUnsharded",
+	"BenchmarkRunSchemes/PipeSIT-GC",
+	"BenchmarkRunSchemes/PipeSIT-SC",
+	"BenchmarkRunSchemes/Triad-GC",
+	"BenchmarkRunSchemes/Triad-SC",
 	"BenchmarkRunSharded/1ch",
 	"BenchmarkRunSharded/2ch",
 	"BenchmarkRunSharded/4ch",

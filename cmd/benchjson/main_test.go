@@ -18,6 +18,10 @@ BenchmarkHotReadPath-8           	  700000	      1640 ns/op	       0 B/op	      
 BenchmarkMACBatchWindow/window1-8 	 1000000	       823.0 ns/op	       0 B/op	       0 allocs/op
 BenchmarkMACBatchWindow/window16-8	 1200000	       715.0 ns/op	       0 B/op	       0 allocs/op
 BenchmarkRunUnsharded-8          	      79	  14919836 ns/op	         1340 ops_per_sec	 3597904 B/op	   13242 allocs/op
+BenchmarkRunSchemes/PipeSIT-GC-8 	      80	  14500000 ns/op	         1379 ops_per_sec	 3500000 B/op	   13000 allocs/op
+BenchmarkRunSchemes/PipeSIT-SC-8 	      78	  15100000 ns/op	         1324 ops_per_sec	 3600000 B/op	   13300 allocs/op
+BenchmarkRunSchemes/Triad-GC-8   	      70	  16800000 ns/op	         1190 ops_per_sec	 3700000 B/op	   13500 allocs/op
+BenchmarkRunSchemes/Triad-SC-8   	      68	  17200000 ns/op	         1163 ops_per_sec	 3800000 B/op	   13600 allocs/op
 BenchmarkRunSharded/1ch-8        	      60	  19000000 ns/op	 4000000 B/op	   14000 allocs/op
 BenchmarkRunSharded/2ch-8        	      62	  18600000 ns/op	 4100000 B/op	   14100 allocs/op
 BenchmarkRunSharded/4ch-8        	      64	  18763867 ns/op	 4200000 B/op	   14200 allocs/op
@@ -38,8 +42,8 @@ func TestParseSample(t *testing.T) {
 	if doc.Goos != "linux" || doc.Pkg != "steins" || doc.CPU != "Example CPU @ 2.70GHz" {
 		t.Fatalf("header = %+v", doc)
 	}
-	if len(doc.Benchmarks) != 13 {
-		t.Fatalf("parsed %d benchmarks, want 13", len(doc.Benchmarks))
+	if len(doc.Benchmarks) != 17 {
+		t.Fatalf("parsed %d benchmarks, want 17", len(doc.Benchmarks))
 	}
 	byName := map[string]Benchmark{}
 	for _, b := range doc.Benchmarks {

@@ -29,6 +29,7 @@ func schemes() map[string]sim.Scheme {
 	for _, s := range []sim.Scheme{
 		sim.WBGC, sim.WBSC, sim.ASIT, sim.STAR,
 		sim.SteinsGC, sim.SteinsSC, sim.SCUEGC, sim.SCUESC,
+		sim.PipeSITGC, sim.PipeSITSC, sim.TriadGC, sim.TriadSC,
 	} {
 		out[strings.ToLower(s.Name)] = s
 	}
@@ -92,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  %-14s footprint %-10s writes %.0f%%\n",
 				p.Name, stats.Bytes(p.FootprintBytes), p.WriteFrac*100)
 		}
-		fmt.Fprintln(stdout, "schemes: WB-GC WB-SC ASIT STAR Steins-GC Steins-SC SCUE-GC SCUE-SC")
+		fmt.Fprintln(stdout, "schemes: WB-GC WB-SC ASIT STAR Steins-GC Steins-SC SCUE-GC SCUE-SC PipeSIT-GC PipeSIT-SC Triad-GC Triad-SC")
 		return 0
 	}
 
@@ -255,6 +256,7 @@ func compareSchemes(prof trace.Profile, opt sim.Options, so sim.ShardOptions, me
 	schemes := []sim.Scheme{
 		sim.WBGC, sim.ASIT, sim.STAR, sim.SteinsGC,
 		sim.WBSC, sim.SteinsSC, sim.SCUEGC,
+		sim.PipeSITGC, sim.TriadGC,
 	}
 	var results []sim.Result
 	if so.Channels > 1 {

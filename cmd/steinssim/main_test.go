@@ -117,8 +117,8 @@ func TestRunCompareMetricsExport(t *testing.T) {
 	if err := json.Unmarshal(data, &snaps); err != nil {
 		t.Fatalf("snapshot array is not valid JSON: %v", err)
 	}
-	if len(snaps) != 7 {
-		t.Fatalf("%d snapshots, want one per compared scheme (7)", len(snaps))
+	if len(snaps) != 9 {
+		t.Fatalf("%d snapshots, want one per compared scheme (9)", len(snaps))
 	}
 	seen := map[string]bool{}
 	for i := range snaps {

@@ -6,24 +6,40 @@ import (
 	"steins/internal/memctrl"
 )
 
-// FuzzRecordReplay fuzzes the record-line offset replay path: crashes
-// pinned to the n-th record append (the commit point of Steins' dirty
-// tracking, where a stale or torn record line would replay old offsets
-// into recovery) and to the n-th recovery step (the mid-recovery re-crash,
-// which restarts the offset scan over a partially restored tree). Both
-// leaf layouts run; any lost update, stale restore, or false integrity
-// violation fails the differential readback inside CrashAt.
+// FuzzRecordReplay fuzzes the dirty-tracking commit/replay path across the
+// recoverable scheme families: crashes pinned to the n-th record append
+// (the commit point of Steins' dirty tracking, where a stale or torn
+// record line would replay old offsets into recovery) and to the n-th
+// recovery step (the mid-recovery re-crash, which restarts reconstruction
+// over a partially restored tree). The relaxed-persistence family has no
+// record lines, so its record-append countdown is never reached and runs
+// as a full round, while its recovery-step crashes exercise the restart-
+// ability of the shared bottom-up rebuild. Both leaf layouts run; any
+// lost update, stale restore, or false integrity violation fails the
+// differential readback inside CrashAt.
 func FuzzRecordReplay(f *testing.F) {
-	f.Add(uint64(1), uint8(1), false, false)
-	f.Add(uint64(2), uint8(3), true, false)
-	f.Add(uint64(3), uint8(7), false, true)
-	f.Add(uint64(4), uint8(40), true, true)
-	f.Add(uint64(99), uint8(0), false, false)
+	f.Add(uint64(1), uint8(1), false, false, uint8(0))
+	f.Add(uint64(2), uint8(3), true, false, uint8(0))
+	f.Add(uint64(3), uint8(7), false, true, uint8(0))
+	f.Add(uint64(4), uint8(40), true, true, uint8(0))
+	f.Add(uint64(99), uint8(0), false, false, uint8(0))
+	f.Add(uint64(5), uint8(9), false, true, uint8(1))
+	f.Add(uint64(6), uint8(25), true, true, uint8(1))
+	f.Add(uint64(7), uint8(4), false, true, uint8(2))
+	f.Add(uint64(8), uint8(33), true, true, uint8(2))
+	f.Add(uint64(9), uint8(12), false, true, uint8(3))
 
-	f.Fuzz(func(t *testing.T, seed uint64, nth uint8, split, midRecovery bool) {
-		scheme := "steins-gc"
+	f.Fuzz(func(t *testing.T, seed uint64, nth uint8, split, midRecovery bool, family uint8) {
+		families := [...][2]string{
+			{"steins-gc", "steins-sc"},
+			{"pipesit", "pipesit-sc"},
+			{"triad", "triad-sc"},
+			{"scue", "scue-sc"},
+		}
+		pair := families[family%uint8(len(families))]
+		scheme := pair[0]
 		if split {
-			scheme = "steins-sc"
+			scheme = pair[1]
 		}
 		ev := memctrl.EvRecordAppend
 		if midRecovery {

@@ -31,9 +31,11 @@ import (
 	"steins/internal/nvmem"
 	"steins/internal/rng"
 	"steins/internal/scheme/asit"
+	"steins/internal/scheme/pipesit"
 	"steins/internal/scheme/scue"
 	"steins/internal/scheme/star"
 	"steins/internal/scheme/steins"
+	"steins/internal/scheme/triad"
 )
 
 // System abstracts the two controller families (the SIT-based memctrl
@@ -80,7 +82,13 @@ var builders = map[string]func(dataBytes uint64, o SysOptions) System{
 	"star":      func(db uint64, o SysOptions) System { return newSITSystem(db, false, star.Factory, o) },
 	"scue":      func(db uint64, o SysOptions) System { return newSITSystem(db, false, scue.Factory, o) },
 	"scue-sc":   func(db uint64, o SysOptions) System { return newSITSystem(db, true, scue.Factory, o) },
-	"bmt":       func(db uint64, o SysOptions) System { return newBMTSystem(db, o) },
+	"pipesit":   func(db uint64, o SysOptions) System { return newSITSystem(db, false, pipesit.Factory, o) },
+	"pipesit-sc": func(db uint64, o SysOptions) System {
+		return newSITSystem(db, true, pipesit.Factory, o)
+	},
+	"triad":    func(db uint64, o SysOptions) System { return newSITSystem(db, false, triad.Factory, o) },
+	"triad-sc": func(db uint64, o SysOptions) System { return newSITSystem(db, true, triad.Factory, o) },
+	"bmt":      func(db uint64, o SysOptions) System { return newBMTSystem(db, o) },
 }
 
 // NewSystem builds a named scheme over dataBytes of protected data with a

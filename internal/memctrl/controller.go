@@ -84,8 +84,9 @@ type Controller struct {
 // New builds a controller with the given configuration and recovery
 // scheme. The NVM capacity is derived from the layout.
 func New(cfg Config, factory PolicyFactory) *Controller {
-	if cfg.MetaCacheWays < 2 {
-		panic("memctrl: metadata cache needs at least 2 ways")
+	cfg, err := cfg.Validate()
+	if err != nil {
+		panic(err)
 	}
 	lay := NewLayout(cfg)
 	cfg.NVM.CapacityBytes = lay.Capacity

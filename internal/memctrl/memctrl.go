@@ -127,6 +127,56 @@ func DefaultConfig(dataBytes uint64, splitLeaf bool) Config {
 	}
 }
 
+// ConfigError reports a Config field New cannot build a controller from.
+// It is structured so harnesses can tell WHICH knob a hand-built (non-
+// DefaultConfig) configuration got wrong.
+type ConfigError struct {
+	Field  string // the Config field name
+	Value  int64  // the rejected value
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("memctrl: invalid Config.%s = %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks a configuration and returns a normalized copy: fields
+// with a well-defined degenerate meaning are clamped (MACBatchWindow <= 0
+// behaves exactly like 1, i.e. batching disabled — any window is
+// bit-identical by contract, so silent divergence is impossible;
+// NVBufferBytes < 0 is an absent buffer), while fields no controller can
+// be built from (zero/negative cache or data sizes, associativity below
+// the 2 ways eviction needs) are rejected with a *ConfigError. Both
+// construction paths funnel through it: DefaultConfig output passes
+// unchanged, and New applies it to every hand-built Config.
+func (cfg Config) Validate() (Config, error) {
+	if cfg.DataBytes == 0 {
+		return cfg, &ConfigError{Field: "DataBytes", Value: 0, Reason: "no protected data region"}
+	}
+	if cfg.MetaCacheBytes <= 0 {
+		return cfg, &ConfigError{Field: "MetaCacheBytes", Value: int64(cfg.MetaCacheBytes),
+			Reason: "metadata cache needs a positive capacity"}
+	}
+	if cfg.MetaCacheWays < 2 {
+		return cfg, &ConfigError{Field: "MetaCacheWays", Value: int64(cfg.MetaCacheWays),
+			Reason: "metadata cache needs at least 2 ways"}
+	}
+	if cfg.MetaCacheBytes < cfg.MetaCacheWays*nvmem.LineSize {
+		return cfg, &ConfigError{Field: "MetaCacheBytes", Value: int64(cfg.MetaCacheBytes),
+			Reason: fmt.Sprintf("smaller than one %d-way set of 64 B lines", cfg.MetaCacheWays)}
+	}
+	if cfg.MACBatchWindow < 1 {
+		cfg.MACBatchWindow = 1
+	}
+	if cfg.NVBufferBytes < 0 {
+		cfg.NVBufferBytes = 0
+	}
+	if cfg.RecordCacheLines < 0 {
+		cfg.RecordCacheLines = 0
+	}
+	return cfg, nil
+}
+
 // Layout places every region in the NVM address space: user data at zero,
 // the SIT levels above it, then the per-scheme regions (sized for every
 // scheme so one device layout serves all of them; unused regions are free

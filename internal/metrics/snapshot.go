@@ -20,9 +20,9 @@ type PhaseSnapshot struct {
 
 // PathSnapshot is one request path (read or write) in a snapshot.
 type PathSnapshot struct {
-	Ops          uint64         `json:"ops"`
-	LatSumCycles uint64         `json:"lat_sum_cycles"`
-	Latency      HistSnapshot   `json:"latency"`
+	Ops          uint64          `json:"ops"`
+	LatSumCycles uint64          `json:"lat_sum_cycles"`
+	Latency      HistSnapshot    `json:"latency"`
 	Phases       []PhaseSnapshot `json:"phases"`
 }
 

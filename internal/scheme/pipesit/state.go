@@ -1,0 +1,49 @@
+// Snapshot support: pipesit's state beyond the shared controller
+// structures is the on-chip NV recovery register plus the coalescing
+// update pipeline, serialized in FIFO order so a resumed run retires
+// updates in the identical sequence.
+
+package pipesit
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SaveState implements memctrl.PolicyState.
+func (p *Policy) SaveState() ([]byte, error) {
+	b := make([]byte, 8+8+len(p.pipe)*24)
+	binary.LittleEndian.PutUint64(b[0:], p.recoveryRoot)
+	binary.LittleEndian.PutUint64(b[8:], uint64(len(p.pipe)))
+	off := 16
+	for _, u := range p.pipe {
+		binary.LittleEndian.PutUint64(b[off:], uint64(u.level))
+		binary.LittleEndian.PutUint64(b[off+8:], u.index)
+		binary.LittleEndian.PutUint64(b[off+16:], u.counter)
+		off += 24
+	}
+	return b, nil
+}
+
+// LoadState implements memctrl.PolicyState.
+func (p *Policy) LoadState(data []byte) error {
+	if len(data) < 16 {
+		return fmt.Errorf("pipesit: state is %d bytes, want >= 16", len(data))
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	if uint64(len(data)) != 16+n*24 {
+		return fmt.Errorf("pipesit: state is %d bytes, want %d for %d updates", len(data), 16+n*24, n)
+	}
+	p.recoveryRoot = binary.LittleEndian.Uint64(data)
+	p.pipe = p.pipe[:0]
+	off := 16
+	for i := uint64(0); i < n; i++ {
+		p.pipe = append(p.pipe, update{
+			level:   int(binary.LittleEndian.Uint64(data[off:])),
+			index:   binary.LittleEndian.Uint64(data[off+8:]),
+			counter: binary.LittleEndian.Uint64(data[off+16:]),
+		})
+		off += 24
+	}
+	return nil
+}

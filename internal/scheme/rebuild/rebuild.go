@@ -1,0 +1,206 @@
+// Package rebuild implements bottom-up integrity-tree reconstruction for
+// the generated-counter (CounterGen) scheme family. Any scheme whose parent
+// counters are derived from child contents (Eq. 1/Eq. 2) can rebuild every
+// interior level by summation once the leaf level is trusted; the packages
+// scue, pipesit and triad differ only in HOW the leaf level is recovered
+// (Osiris-style search over data blocks vs. reading strictly-persisted leaf
+// images) and in what runtime state survives the crash.
+//
+// The helpers here keep the recovery accounting (NVMReads/NVMWrites/MACOps/
+// NodesRecovered and the §IV-D nanosecond cost model) identical across the
+// family, so cross-scheme recovery comparisons measure the designs, not
+// bookkeeping drift. All paths are read-only until WriteBack and therefore
+// restartable: a mid-recovery re-crash simply reruns them from scratch.
+package rebuild
+
+import (
+	"fmt"
+
+	"steins/internal/counter"
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+	"steins/internal/sit"
+)
+
+// LeavesFromData reconstructs every leaf node from its covered data blocks
+// (SCUE §II-D): each block's counter is searched from the stale leaf image
+// through the CME recovery window until the block's tag verifies. Cost
+// scales with data capacity. With degraded set, an unmatchable leaf is
+// quarantined and its stale (authentic but possibly old) counters carried,
+// keeping the interior summation well-defined; otherwise the integrity
+// error aborts recovery.
+func LeavesFromData(c *memctrl.Controller, rep *memctrl.RecoveryReport, degraded bool) ([]*sit.Node, uint64, error) {
+	geo := &c.Layout().Geo
+	eng := c.Engine()
+	leaves := make([]*sit.Node, geo.LevelNodes[0])
+	var total uint64
+	for idx := uint64(0); idx < geo.LevelNodes[0]; idx++ {
+		rep.NVMReads++ // stale leaf
+		stale := c.StaleNode(0, idx)
+		node := &sit.Node{Level: 0, Index: idx, IsSplit: geo.SplitLeaf}
+		var lerr error
+		if node.IsSplit {
+			lerr = splitLeafFromData(c, rep, node, stale)
+		} else {
+			for i := 0; i < int(geo.LeafCover); i++ {
+				daddr := geo.DataAddr(idx, i)
+				rep.NVMReads++
+				ct := [64]byte(c.Device().Peek(daddr))
+				ctr, macOps, ok := eng.RecoverCounterGC(&ct, daddr, c.Tag(daddr), stale.Counter(i))
+				rep.MACOps += macOps
+				if !ok {
+					lerr = memctrl.TamperData(daddr, "during tree rebuild")
+					break
+				}
+				node.SetCounter(i, ctr)
+			}
+		}
+		if lerr != nil {
+			if degraded {
+				// The leaf's covered blocks cannot all be matched to a
+				// counter: fence off its coverage and carry the stale
+				// counters so the interior summation stays well-defined.
+				c.QuarantineSubtree(0, idx, &rep.Degradation)
+				leaves[idx] = stale
+				total += stale.FValue()
+				continue
+			}
+			return nil, 0, lerr
+		}
+		total += node.FValue()
+		leaves[idx] = node
+	}
+	return leaves, total, nil
+}
+
+// splitLeafFromData reconstructs one split-counter leaf: every covered
+// block's minor is searched under a consistent major taken from the tags.
+func splitLeafFromData(c *memctrl.Controller, rep *memctrl.RecoveryReport, node, stale *sit.Node) error {
+	geo := &c.Layout().Geo
+	eng := c.Engine()
+	major := stale.Split.Major
+	have := false
+	for i := 0; i < counter.SplitArity; i++ {
+		daddr := geo.DataAddr(node.Index, i)
+		rep.NVMReads++
+		ct := [64]byte(c.Device().Peek(daddr))
+		tag := c.Tag(daddr)
+		if !tag.Written {
+			continue
+		}
+		if !have {
+			major, have = tag.Hint, true
+		} else if tag.Hint != major {
+			return memctrl.ReplayAt("split leaf", 0, node.Index, "inconsistent majors")
+		}
+		m, minor, macOps, ok := eng.RecoverCounterSC(&ct, daddr, tag, stale.Split.Minor[i])
+		rep.MACOps += macOps
+		if !ok || m != major {
+			return memctrl.TamperData(daddr, "during tree rebuild")
+		}
+		node.Split.Minor[i] = minor
+	}
+	node.Split.Major = major
+	return nil
+}
+
+// LeavesFromNVM reads every leaf's current NVM image and checks its
+// self-seal: a generated-counter leaf that is persisted strictly (written
+// through on every modification, Triad-NVM style) carries an HMAC under its
+// own FValue, so tampering with counters or MAC is detected per leaf, and
+// replay of an authentic old image is caught by the caller's register check
+// on the returned total. Cost scales with the tree, not the data capacity.
+func LeavesFromNVM(c *memctrl.Controller, rep *memctrl.RecoveryReport, degraded bool) ([]*sit.Node, uint64, error) {
+	geo := &c.Layout().Geo
+	leaves := make([]*sit.Node, geo.LevelNodes[0])
+	var total uint64
+	for idx := uint64(0); idx < geo.LevelNodes[0]; idx++ {
+		rep.NVMReads++
+		node := c.StaleNode(0, idx)
+		// An all-zero line is the valid initial state of a never-flushed
+		// leaf (cf. Controller.VerifyNodeLine).
+		if line := c.Device().Peek(geo.NodeAddr(0, idx)); line != (nvmem.Line{}) {
+			rep.MACOps++
+			if c.NodeMAC(node, node.FValue()) != node.HMAC() {
+				if degraded {
+					c.QuarantineSubtree(0, idx, &rep.Degradation)
+					leaves[idx] = node
+					total += node.FValue()
+					continue
+				}
+				return nil, 0, memctrl.TamperAt("strict leaf", 0, idx, "self-seal HMAC mismatch")
+			}
+		}
+		total += node.FValue()
+		leaves[idx] = node
+	}
+	return leaves, total, nil
+}
+
+// CheckRegister compares the reconstructed leaf total with the scheme's
+// on-chip recovery register. With quarantined leaves in the sum their true
+// counters are unknown, so the equality cannot be checked exactly.
+func CheckRegister(rep *memctrl.RecoveryReport, total, register uint64) error {
+	if total != register && len(rep.Degradation.Quarantined) == 0 {
+		return memctrl.ReplayAt("leaf level", 0, 0,
+			fmt.Sprintf("leaf sum %d != recovery register %d", total, register))
+	}
+	return nil
+}
+
+// WriteBack rebuilds every interior level by summation over the recovered
+// leaves, reseals each node under its generated parent counter, persists
+// the result and installs the top-level counters in the on-chip root. With
+// writeLeaves the leaf level itself is also resealed and persisted (schemes
+// whose leaves were reconstructed rather than read); without it the leaf
+// images in NVM are already current and only levels >= 1 are written.
+func WriteBack(c *memctrl.Controller, rep *memctrl.RecoveryReport, leaves []*sit.Node, writeLeaves bool) {
+	geo := &c.Layout().Geo
+	levels := make([][]*sit.Node, geo.Levels)
+	levels[0] = leaves
+	for k := 1; k < geo.Levels; k++ {
+		levels[k] = make([]*sit.Node, geo.LevelNodes[k])
+		for idx := range levels[k] {
+			n := &sit.Node{Level: k, Index: uint64(idx)}
+			for i := 0; i < counter.Arity; i++ {
+				ci := uint64(idx)*counter.Arity + uint64(i)
+				if ci < uint64(len(levels[k-1])) {
+					n.SetCounter(i, levels[k-1][ci].FValue())
+				}
+			}
+			levels[k][idx] = n
+		}
+	}
+	start := 0
+	if !writeLeaves {
+		start = 1
+	}
+	for k := start; k < geo.Levels; k++ {
+		for idx, n := range levels[k] {
+			n.SetHMAC(c.NodeMAC(n, n.FValue()))
+			rep.MACOps++
+			c.Device().Poke(geo.NodeAddr(k, uint64(idx)), nvmem.Line(n.Encode()))
+			rep.NVMWrites++
+			rep.NodesRecovered++
+			if geo.IsTop(k) {
+				c.Root().SetCounter(uint64(idx), n.FValue())
+			}
+			c.FaultEvent(memctrl.EvRecoveryStep, geo.NodeAddr(k, uint64(idx)))
+		}
+	}
+	// With the leaf level kept in place its top-level ancestors still must
+	// land in the root; geo.Levels == 1 (single-level trees) hits this.
+	if !writeLeaves && geo.Levels == 1 {
+		for idx, n := range levels[0] {
+			c.Root().SetCounter(uint64(idx), n.FValue())
+		}
+	}
+}
+
+// Cost folds the recovery work into the §IV-D nanosecond model.
+func Cost(c *memctrl.Controller, rep *memctrl.RecoveryReport) {
+	cfg := c.Config()
+	rep.TimeNS = float64(rep.NVMReads)*cfg.RecoveryReadNS +
+		float64(rep.NVMWrites)*cfg.RecoveryWriteNS +
+		float64(rep.MACOps)*cfg.RecoveryHashNS
+}

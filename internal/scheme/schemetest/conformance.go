@@ -22,6 +22,7 @@ func Schemes() []sim.Scheme {
 	return []sim.Scheme{
 		sim.WBGC, sim.WBSC, sim.ASIT, sim.STAR,
 		sim.SteinsGC, sim.SteinsSC, sim.SCUEGC, sim.SCUESC,
+		sim.PipeSITGC, sim.PipeSITSC, sim.TriadGC, sim.TriadSC,
 	}
 }
 

@@ -12,12 +12,9 @@
 package scue
 
 import (
-	"fmt"
-
 	"steins/internal/cache"
-	"steins/internal/counter"
 	"steins/internal/memctrl"
-	"steins/internal/nvmem"
+	"steins/internal/scheme/rebuild"
 	"steins/internal/sit"
 )
 
@@ -94,120 +91,18 @@ func (p *Policy) OnCrash() {}
 // Cost scales with the full tree, not the metadata cache.
 func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 	rep := memctrl.RecoveryReport{Scheme: p.Name()}
-	geo := &p.c.Layout().Geo
-	eng := p.c.Engine()
-	degraded := p.c.Config().DegradedRecovery
-
-	prev := make([]*sit.Node, geo.LevelNodes[0])
-	var total uint64
-	for idx := uint64(0); idx < geo.LevelNodes[0]; idx++ {
-		rep.NVMReads++ // stale leaf
-		stale := p.c.StaleNode(0, idx)
-		node := &sit.Node{Level: 0, Index: idx, IsSplit: geo.SplitLeaf}
-		var lerr error
-		if node.IsSplit {
-			lerr = p.recoverSplitLeaf(&rep, node, stale)
-		} else {
-			for i := 0; i < int(geo.LeafCover); i++ {
-				daddr := geo.DataAddr(idx, i)
-				rep.NVMReads++
-				ct := [64]byte(p.c.Device().Peek(daddr))
-				ctr, macOps, ok := eng.RecoverCounterGC(&ct, daddr, p.c.Tag(daddr), stale.Counter(i))
-				rep.MACOps += macOps
-				if !ok {
-					lerr = memctrl.TamperData(daddr, "during SCUE rebuild")
-					break
-				}
-				node.SetCounter(i, ctr)
-			}
-		}
-		if lerr != nil {
-			if degraded {
-				// The leaf's covered blocks cannot all be matched to a
-				// counter: fence off its coverage and carry the stale
-				// (authentic but possibly old) counters so the interior
-				// summation stays well-defined.
-				p.c.QuarantineSubtree(0, idx, &rep.Degradation)
-				prev[idx] = stale
-				total += stale.FValue()
-				continue
-			}
-			return rep, lerr
-		}
-		total += node.FValue()
-		prev[idx] = node
+	leaves, total, err := rebuild.LeavesFromData(p.c, &rep, p.c.Config().DegradedRecovery)
+	if err != nil {
+		return rep, err
 	}
 	// With quarantined leaves in the sum, their true counters are unknown
 	// and the Recovery_root equality cannot be checked exactly.
-	if total != p.recoveryRoot && len(rep.Degradation.Quarantined) == 0 {
-		return rep, memctrl.ReplayAt("leaf level", 0, 0,
-			fmt.Sprintf("leaf sum %d != Recovery_root %d", total, p.recoveryRoot))
+	if err := rebuild.CheckRegister(&rep, total, p.recoveryRoot); err != nil {
+		return rep, err
 	}
-
-	// Rebuild interior levels by summation and write everything back.
-	levels := make([][]*sit.Node, geo.Levels)
-	levels[0] = prev
-	for k := 1; k < geo.Levels; k++ {
-		levels[k] = make([]*sit.Node, geo.LevelNodes[k])
-		for idx := range levels[k] {
-			n := &sit.Node{Level: k, Index: uint64(idx)}
-			for i := 0; i < counter.Arity; i++ {
-				ci := uint64(idx)*counter.Arity + uint64(i)
-				if ci < uint64(len(levels[k-1])) {
-					n.SetCounter(i, levels[k-1][ci].FValue())
-				}
-			}
-			levels[k][idx] = n
-		}
-	}
-	for k := 0; k < geo.Levels; k++ {
-		for idx, n := range levels[k] {
-			n.SetHMAC(p.c.NodeMAC(n, n.FValue()))
-			rep.MACOps++
-			p.c.Device().Poke(geo.NodeAddr(k, uint64(idx)), nvmem.Line(n.Encode()))
-			rep.NVMWrites++
-			rep.NodesRecovered++
-			if geo.IsTop(k) {
-				p.c.Root().SetCounter(uint64(idx), n.FValue())
-			}
-			p.c.FaultEvent(memctrl.EvRecoveryStep, geo.NodeAddr(k, uint64(idx)))
-		}
-	}
-
-	cfg := p.c.Config()
-	rep.TimeNS = float64(rep.NVMReads)*cfg.RecoveryReadNS +
-		float64(rep.NVMWrites)*cfg.RecoveryWriteNS +
-		float64(rep.MACOps)*cfg.RecoveryHashNS
+	rebuild.WriteBack(p.c, &rep, leaves, true)
+	rebuild.Cost(p.c, &rep)
 	return rep, nil
-}
-
-func (p *Policy) recoverSplitLeaf(rep *memctrl.RecoveryReport, node, stale *sit.Node) error {
-	geo := &p.c.Layout().Geo
-	eng := p.c.Engine()
-	major := stale.Split.Major
-	have := false
-	for i := 0; i < counter.SplitArity; i++ {
-		daddr := geo.DataAddr(node.Index, i)
-		rep.NVMReads++
-		ct := [64]byte(p.c.Device().Peek(daddr))
-		tag := p.c.Tag(daddr)
-		if !tag.Written {
-			continue
-		}
-		if !have {
-			major, have = tag.Hint, true
-		} else if tag.Hint != major {
-			return memctrl.ReplayAt("split leaf", 0, node.Index, "inconsistent majors")
-		}
-		m, minor, macOps, ok := eng.RecoverCounterSC(&ct, daddr, tag, stale.Split.Minor[i])
-		rep.MACOps += macOps
-		if !ok || m != major {
-			return memctrl.TamperData(daddr, "during SCUE rebuild")
-		}
-		node.Split.Minor[i] = minor
-	}
-	node.Split.Major = major
-	return nil
 }
 
 // Storage implements memctrl.Policy: just the tree and an 8 B register.

@@ -1,0 +1,124 @@
+package triad_test
+
+import (
+	"errors"
+	"testing"
+
+	"steins/internal/memctrl"
+	"steins/internal/scheme/schemetest"
+	"steins/internal/scheme/triad"
+)
+
+func TestConformance(t *testing.T) {
+	t.Run("RoundTripGC", func(t *testing.T) { schemetest.RunRoundTrip(t, triad.Factory, false) })
+	t.Run("RoundTripSC", func(t *testing.T) { schemetest.RunRoundTrip(t, triad.Factory, true) })
+	t.Run("CrashRecoverGC", func(t *testing.T) { schemetest.RunCrashRecover(t, triad.Factory, false) })
+	t.Run("CrashRecoverSC", func(t *testing.T) { schemetest.RunCrashRecover(t, triad.Factory, true) })
+	t.Run("ForceAllDirty", func(t *testing.T) { schemetest.RunForceAllDirtyRecover(t, triad.Factory, false) })
+	t.Run("RuntimeTamper", func(t *testing.T) { schemetest.RunRuntimeTamperDetected(t, triad.Factory) })
+	t.Run("DataReplay", func(t *testing.T) { schemetest.RunRecoveryDetectsDataReplay(t, triad.Factory) })
+	t.Run("Determinism", func(t *testing.T) { schemetest.RunDeterminism(t, triad.Factory, false) })
+	t.Run("SparseCache", func(t *testing.T) { schemetest.RunSparseCacheRecover(t, triad.Factory, false) })
+}
+
+func TestConformanceStrictLevelsSweep(t *testing.T) {
+	// The conformance invariants must hold at every persistence split,
+	// including all-strict (N = tree levels) and leaves-only (N = 1).
+	for _, n := range []int{1, 3} {
+		f := triad.FactoryWithOptions(triad.Options{StrictLevels: n})
+		t.Run("RoundTrip", func(t *testing.T) { schemetest.RunRoundTrip(t, f, false) })
+		t.Run("CrashRecover", func(t *testing.T) { schemetest.RunCrashRecover(t, f, false) })
+	}
+}
+
+func TestStrictLevelsClamped(t *testing.T) {
+	c := memctrl.New(schemetest.Config(false), triad.FactoryWithOptions(triad.Options{StrictLevels: 99}))
+	p := c.Policy().(*triad.Policy)
+	if lv := c.Layout().Geo.Levels; p.StrictLevels() != lv {
+		t.Fatalf("StrictLevels = %d, want clamped to tree levels %d", p.StrictLevels(), lv)
+	}
+	c = memctrl.New(schemetest.Config(false), triad.Factory)
+	if p := c.Policy().(*triad.Policy); p.StrictLevels() != 2 {
+		t.Fatalf("default StrictLevels = %d, want 2", p.StrictLevels())
+	}
+}
+
+func TestWriteThroughKeepsLeafImageCurrent(t *testing.T) {
+	// Every data write must leave the leaf's NVM image sealed under its own
+	// generated counter WITHOUT an eviction — the strict-persistence
+	// property recovery relies on.
+	c := memctrl.New(schemetest.Config(false), triad.Factory)
+	for i := uint64(1); i <= 3; i++ {
+		if err := c.WriteData(1, 0, schemetest.Pattern(0, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		n := c.StaleNode(0, 0)
+		if got := n.Counter(0); got != i {
+			t.Fatalf("persisted leaf counter %d after write %d; leaf was not written through", got, i)
+		}
+		if c.NodeMAC(n, n.FValue()) != n.HMAC() {
+			t.Fatalf("persisted leaf image not self-sealed after write %d", i)
+		}
+	}
+}
+
+func TestRecoveryReadsScaleWithTreeNotData(t *testing.T) {
+	// Triad recovery reads leaf IMAGES, not covered data blocks: with
+	// arity-8 leaf cover its NVM reads must be far below SCUE-style
+	// per-block search (which reads cover+1 lines per leaf).
+	c := memctrl.New(schemetest.Config(false), triad.Factory)
+	if err := c.WriteData(1, 0, schemetest.Pattern(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash()
+	rep, err := c.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := c.Layout().Geo.LevelNodes[0]
+	if rep.NVMReads != leaves {
+		t.Fatalf("recovery NVM reads = %d, want one per leaf (%d)", rep.NVMReads, leaves)
+	}
+}
+
+func TestRecoveryDetectsLeafReplay(t *testing.T) {
+	// Replaying an authentic old leaf image passes the self-seal but lowers
+	// the leaf total below the recovery register.
+	c := memctrl.New(schemetest.Config(false), triad.Factory)
+	if err := c.WriteData(1, 0, schemetest.Pattern(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	naddr := c.Layout().Geo.NodeAddr(0, 0)
+	old := c.Device().Peek(naddr)
+	if err := c.WriteData(1, 0, schemetest.Pattern(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash()
+	c.Device().Poke(naddr, old)
+	if _, err := c.Recover(); !errors.Is(err, memctrl.ErrReplay) {
+		t.Fatalf("recover after leaf replay = %v, want ErrReplay", err)
+	}
+}
+
+func TestRecoveryDetectsLeafTamper(t *testing.T) {
+	c := memctrl.New(schemetest.Config(false), triad.Factory)
+	if err := c.WriteData(1, 0, schemetest.Pattern(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	naddr := c.Layout().Geo.NodeAddr(0, 0)
+	line := c.Device().Peek(naddr)
+	line[0] ^= 0x40
+	c.Crash()
+	c.Device().Poke(naddr, line)
+	if _, err := c.Recover(); !errors.Is(err, memctrl.ErrTamper) {
+		t.Fatalf("recover after leaf tamper = %v, want ErrTamper", err)
+	}
+}
+
+func TestStorageOverheadTriad(t *testing.T) {
+	c := memctrl.New(schemetest.Config(false), triad.Factory)
+	s := c.Policy().Storage()
+	if s.OnChipNVBytes != 8 || s.NVMExtraBytes != 0 || s.CacheTaxBytes != 0 {
+		t.Fatalf("triad overhead %+v, want only the 8 B register", s)
+	}
+}

@@ -16,7 +16,7 @@ import (
 // case-sensitively against the canonical scheme set; snapshot resume uses
 // it to rebuild the policy factory recorded in a run header.
 func SchemeByName(name string) (Scheme, bool) {
-	for _, s := range []Scheme{WBGC, WBSC, ASIT, STAR, SteinsGC, SteinsSC, SCUEGC, SCUESC} {
+	for _, s := range []Scheme{WBGC, WBSC, ASIT, STAR, SteinsGC, SteinsSC, SCUEGC, SCUESC, PipeSITGC, PipeSITSC, TriadGC, TriadSC} {
 		if s.Name == name {
 			return s, true
 		}

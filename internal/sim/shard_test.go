@@ -104,6 +104,69 @@ func TestRunShardedDeterministicAcrossEpochSizes(t *testing.T) {
 	}
 }
 
+// TestDriveStreamWarmupEpochBoundaryIdentity pins the pipelined epoch
+// engine's warm-up reset against adversarial boundary placements (run
+// under -cpu 1,2,8 in make check). The warm-up statistics reset must land
+// at the same global-stream point no matter where epoch barriers fall —
+// warm-up one op short of an epoch, exactly on one, one past one — and no
+// matter how DriveStreamN calls slice the stream around it, including a
+// call boundary straddling the reset inside a double-buffered split epoch.
+// Results and metrics JSON must stay byte-identical to the straight run.
+func TestDriveStreamWarmupEpochBoundaryIdentity(t *testing.T) {
+	prof, opt := shardProfile(), shardOpt()
+	opt.Ops = 2000
+	mo := metrics.DefaultOptions()
+	opt.Metrics = &mo
+
+	drive := func(s Scheme, epoch int, chunks []int) (ShardedResult, []byte) {
+		t.Helper()
+		e := NewSharded(prof, s, opt,
+			ShardOptions{Channels: 2, Interleave: trace.InterleaveLine, EpochOps: epoch})
+		src := trace.New(prof, opt.Seed, opt.WarmupOps+opt.Ops)
+		for _, n := range chunks {
+			if _, err := e.DriveStreamN(src, n); err != nil {
+				t.Fatalf("%s epoch %d chunks %v: %v", s.Name, epoch, chunks, err)
+			}
+		}
+		res := e.Result()
+		if res.System == nil {
+			t.Fatalf("%s: no system snapshot", s.Name)
+		}
+		var buf bytes.Buffer
+		if err := res.System.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+
+	for _, s := range []Scheme{SteinsGC, PipeSITGC, TriadSC} {
+		// Warm-up offsets adversarial to the 256-op reference epoch: one
+		// short of the boundary, exactly on it, one past it.
+		for _, warm := range []int{255, 256, 257} {
+			opt.WarmupOps = warm
+			ref, refJSON := drive(s, 256, []int{-1})
+			for _, epoch := range []int{256, 64} {
+				for _, chunks := range [][]int{
+					{-1},              // one call
+					{warm, -1},        // call boundary exactly at the reset
+					{warm - 1, 9, -1}, // reset crossed mid-call, mid-epoch
+				} {
+					got, gotJSON := drive(s, epoch, chunks)
+					if !reflect.DeepEqual(ref.Merged, got.Merged) ||
+						!reflect.DeepEqual(ref.Shards, got.Shards) {
+						t.Fatalf("%s warm %d epoch %d chunks %v: results diverge from straight run",
+							s.Name, warm, epoch, chunks)
+					}
+					if !bytes.Equal(refJSON, gotJSON) {
+						t.Fatalf("%s warm %d epoch %d chunks %v: metrics JSON diverges",
+							s.Name, warm, epoch, chunks)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestShardedMatchesMultiSystem cross-checks the splitter against the
 // multi-DIMM reference: routing the same stream through multi.System at
 // the same interleave must leave every controller with the same stats as

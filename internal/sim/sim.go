@@ -16,9 +16,11 @@ import (
 	"steins/internal/metrics"
 	"steins/internal/nvmem"
 	"steins/internal/scheme/asit"
+	"steins/internal/scheme/pipesit"
 	"steins/internal/scheme/scue"
 	"steins/internal/scheme/star"
 	"steins/internal/scheme/steins"
+	"steins/internal/scheme/triad"
 	"steins/internal/scheme/wb"
 	"steins/internal/trace"
 )
@@ -42,6 +44,14 @@ var (
 	SteinsSC = Scheme{Name: "Steins-SC", Factory: steins.Factory, Split: true}
 	SCUEGC   = Scheme{Name: "SCUE-GC", Factory: scue.Factory, Split: false}
 	SCUESC   = Scheme{Name: "SCUE-SC", Factory: scue.Factory, Split: true}
+
+	// Relaxed-persistence family (ROADMAP item 3): streamlined pipelined
+	// tree updates with coalescing (Freij et al.) and Triad-NVM-style
+	// selective persistence (Awad et al.).
+	PipeSITGC = Scheme{Name: "PipeSIT-GC", Factory: pipesit.Factory, Split: false}
+	PipeSITSC = Scheme{Name: "PipeSIT-SC", Factory: pipesit.Factory, Split: true}
+	TriadGC   = Scheme{Name: "Triad-GC", Factory: triad.Factory, Split: false}
+	TriadSC   = Scheme{Name: "Triad-SC", Factory: triad.Factory, Split: true}
 )
 
 // GCComparison is the Fig. 9-11/13/15 scheme set.
@@ -156,7 +166,7 @@ func collect(c *memctrl.Controller, prof trace.Profile, s Scheme, ops int) Resul
 		snap.Scheme = s.Name // display name, matching Result.Scheme
 	}
 	return Result{
-		Snapshot: snap,
+		Snapshot:    snap,
 		Workload:    prof.Name,
 		Scheme:      s.Name,
 		Ops:         ops,

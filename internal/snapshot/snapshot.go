@@ -22,6 +22,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"steins/internal/memctrl"
 	"steins/internal/metrics"
@@ -298,17 +299,33 @@ func Read(r io.Reader) (*RunState, error) {
 	return st, nil
 }
 
-// SaveFile writes the state to path (truncating any existing file).
+// SaveFile writes the state to path, replacing any existing file
+// atomically: the bytes go to a temporary file in the same directory and
+// are renamed over path only once fully written, so a crash or kill
+// mid-save can never destroy the previous good checkpoint — the whole
+// point of keeping one.
 func SaveFile(path string, st *RunState) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
+	tmp := f.Name()
 	if err := Write(f, st); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	// CreateTemp opens 0600; keep the 0644 the plain-create path used.
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("snapshot: %w", err)
 	}
 	return nil

@@ -5,7 +5,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
 	"reflect"
+	"strings"
 	"testing"
 
 	"steins/internal/metrics"
@@ -452,6 +454,77 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := back.Resume(); err != nil {
 		t.Fatalf("resume from file: %v", err)
+	}
+}
+
+// TestSaveFileAtomicReplace pins the atomic-replace contract: overwriting
+// an existing checkpoint goes through a temp file + rename, so the
+// directory never holds a partially-written file under the final name, no
+// temp droppings survive a successful save, and a save into a missing
+// directory fails with a structured error while leaving the previous
+// checkpoint untouched.
+func TestSaveFileAtomicReplace(t *testing.T) {
+	h := testHeader("Triad-GC", 1, 300)
+	prof, _ := trace.ByName(h.Workload)
+	s, _ := sim.SchemeByName(h.Scheme)
+	opt, _ := h.Options()
+	e := sim.NewSingle(prof, s, opt)
+	g := trace.New(prof, opt.Seed, opt.WarmupOps+opt.Ops)
+	capture := func(drive int) *RunState {
+		if _, err := e.DriveN(g, drive); err != nil {
+			t.Fatalf("drive: %v", err)
+		}
+		st, err := CaptureSingle(h, g, e)
+		if err != nil {
+			t.Fatalf("capture: %v", err)
+		}
+		return st
+	}
+	dir := t.TempDir()
+	path := dir + "/run.snap"
+	if err := SaveFile(path, capture(100)); err != nil {
+		t.Fatalf("first save: %v", err)
+	}
+	st2 := capture(100)
+	if err := SaveFile(path, st2); err != nil {
+		t.Fatalf("overwrite save: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "run.snap" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v after save, want only run.snap (no temp droppings)", names)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("load after overwrite: %v", err)
+	}
+	var want bytes.Buffer
+	if err := Write(&want, st2); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, want.Bytes()) {
+		t.Fatal("overwritten file does not hold the newer checkpoint's bytes")
+	}
+	if err := SaveFile(dir+"/missing/run.snap", st2); err == nil {
+		t.Fatal("save into a missing directory succeeded")
+	} else if !strings.Contains(err.Error(), "snapshot:") {
+		t.Fatalf("missing-directory error %q lacks the snapshot prefix", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed save modified the existing checkpoint")
 	}
 }
 

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-json figs figs-full fuzz crashfuzz faultfuzz check cover clean metrics-demo
+.PHONY: all build test bench bench-json figs figs-full fuzz crashfuzz faultfuzz campaign check cover clean metrics-demo
 
 # The canonical benchmark set persisted to BENCH_$(BENCH_REV).json; keep in
 # sync with the `canonical` list in cmd/benchjson.
@@ -41,6 +41,7 @@ fuzz:
 	go test -fuzz=FuzzFaultRecovery -fuzztime=20s ./internal/crashfuzz
 	go test -fuzz=FuzzSnapshotRoundTrip -fuzztime=20s ./internal/snapshot
 	go test -fuzz=FuzzReadEnvelope -fuzztime=20s ./internal/snapshot
+	go test -fuzz=FuzzCampaignSchedule -fuzztime=20s ./internal/campaign
 
 # Short deterministic crash-point fault-injection sweep: every scheme,
 # pinned seeds, torn-write detection demo included.
@@ -83,6 +84,17 @@ faultfuzz:
 	go run ./cmd/crashfuzz -scheme triad-sc -workload pers_queue -crashes 3 -seed 12 \
 		-faults 'transient=1e-3,double=0.25' -corrupt 1 -degraded -q
 
+# Deterministic adversarial campaign: 5040 randomized hostile cases across
+# all 12 schemes × 1/2/4 channels, run twice (-verify demands byte-identical
+# reports) under the zero-silent-corruption contract, then a deliberate
+# corruption whose repro artifact must replay (-repro) to the identical
+# classification.
+campaign:
+	go run ./cmd/campaign -cases 5040 -seed 1 -selfcheck-every 250 -verify -q
+	go run ./cmd/campaign -seed 2 -selfcheck campaign_selfcheck.repro -q
+	go run ./cmd/campaign -repro campaign_selfcheck.repro
+	rm -f campaign_selfcheck.repro
+
 # Phase-attribution + occupancy snapshots for one run and one sweep.
 metrics-demo:
 	go run ./cmd/steinssim -workload cactusADM -scheme Steins-GC -ops 20000 -metrics metrics_demo.json
@@ -93,20 +105,22 @@ metrics-demo:
 # GOMAXPROCS settings). The sharded engine and conformance suite
 # additionally run at -cpu 1,2,8 to pin bit-identical results across
 # worker-pool widths. The checkpoint/resume suites run raced and twice
-# (-count=2) to pin byte-determinism of the snapshot wire format. The
+# (-count=2) to pin byte-determinism of the snapshot wire format. Every
+# go test runs -shuffle=on so order-dependent tests cannot hide. The
 # committed BENCH document is re-verified so the persisted trajectory can
 # never drift out of sync with the canonical benchmark set.
 check: crashfuzz faultfuzz
 	go vet ./...
-	go test -race -cpu 1,4 ./internal/crashfuzz ./internal/figures \
+	go test -shuffle=on -race -cpu 1,4 ./internal/crashfuzz ./internal/figures \
 		./internal/metrics ./internal/sim ./internal/multi \
 		./internal/nvmem ./internal/memctrl ./internal/attack
-	go test -race -cpu 1,2,8 -run 'Sharded|Conformance|Splitter|Interleave|NextEpoch|Replay|RecoverAll|DriveStream' \
-		./internal/sim ./internal/trace ./internal/multi ./internal/scheme/schemetest
-	go test -race -cpu 1,4 -run 'Resume|Snapshot|Campaign' \
-		./internal/snapshot ./internal/scheme/schemetest ./internal/crashfuzz ./cmd/steinssim
-	go test -count=2 ./internal/snapshot ./internal/scheme/schemetest
-	go test ./cmd/benchjson
+	go test -shuffle=on -race -cpu 1,2,8 -run 'Sharded|Conformance|Splitter|Interleave|NextEpoch|Replay|RecoverAll|DriveStream' \
+		./internal/sim ./internal/trace ./internal/multi ./internal/scheme/schemetest ./securemem
+	go test -shuffle=on -race -cpu 1,4 -run 'Resume|Snapshot|Campaign|Checkpoint|Artifact|SelfCheck' \
+		./internal/snapshot ./internal/scheme/schemetest ./internal/crashfuzz \
+		./internal/campaign ./cmd/campaign ./cmd/steinssim
+	go test -shuffle=on -count=2 ./internal/snapshot ./internal/scheme/schemetest ./internal/campaign
+	go test -shuffle=on ./cmd/benchjson
 	go run ./cmd/benchjson -verify BENCH_$(BENCH_REV).json
 
 cover:

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuchflag"},
+		{"stray-positional"},
+		{"-channels", "0"},
+		{"-channels", "two"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+func TestSmallCampaignDeterministic(t *testing.T) {
+	args := []string{"-cases", "36", "-seed", "11", "-selfcheck-every", "12", "-verify", "-q"}
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "silent corruptions: 0") {
+		t.Fatalf("report missing zero-corruption line:\n%s", s)
+	}
+	if !strings.Contains(s, "verify: second pass byte-identical") {
+		t.Fatalf("missing verify confirmation:\n%s", s)
+	}
+}
+
+func TestSelfCheckReproRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	art := filepath.Join(dir, "sabotage.repro")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-seed", "3", "-selfcheck", art, "-q"}, &out, &errb); code != 0 {
+		t.Fatalf("selfcheck exit %d\nstderr:\n%s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-repro", art}, &out, &errb); code != 0 {
+		t.Fatalf("repro exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "PASS repro: replay reproduced FAIL") {
+		t.Fatalf("repro output:\n%s", out.String())
+	}
+}
+
+func TestReproRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.repro")
+	if err := os.WriteFile(path, []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-repro", path}, &out, &errb); code != 1 {
+		t.Fatalf("garbage repro exit %d, want 1", code)
+	}
+}
+
+func TestSnapshotResume(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "c.snap")
+	straightOut := filepath.Join(dir, "straight.txt")
+	resumedOut := filepath.Join(dir, "resumed.txt")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-cases", "48", "-seed", "11", "-selfcheck-every", "12",
+		"-out", straightOut, "-q"}, &out, &errb); code != 0 {
+		t.Fatalf("straight exit %d\nstderr:\n%s", code, errb.String())
+	}
+	// Interrupted run: checkpoint every 12 cases but stop at 24 by running a
+	// shorter campaign, then resume from the on-disk snapshot.
+	out.Reset()
+	if code := run([]string{"-cases", "48", "-seed", "11", "-selfcheck-every", "12",
+		"-snapshot", snap, "-save-every", "24", "-out", resumedOut, "-q"}, &out, &errb); code != 0 {
+		t.Fatalf("snapshot run exit %d\nstderr:\n%s", code, errb.String())
+	}
+	out.Reset()
+	if code := run([]string{"-resume", snap, "-q"}, &out, &errb); code != 0 {
+		t.Fatalf("resume exit %d\nstderr:\n%s", code, errb.String())
+	}
+	straight, err := os.ReadFile(straightOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != string(straight) {
+		t.Fatalf("resumed report differs from straight run:\n--- resumed ---\n%s--- straight ---\n%s", got, straight)
+	}
+}

@@ -105,6 +105,22 @@ func routeAddr(channels int, addr uint64) (int, uint64) {
 	return int(chunk % uint64(channels)), (chunk/uint64(channels))*shardChunk + addr%shardChunk
 }
 
+// channelBytes sizes one channel's data region under shardChunk
+// interleaving of totalBytes across channels: enough whole chunks to hold
+// the worst-case local address, whether or not the chunk count divides the
+// channel count evenly. Sizing each channel as totalBytes/channels is
+// wrong twice for uneven counts: the earlier channels own one extra chunk
+// (their local space is larger than an even share), and the quotient need
+// not even be line-aligned.
+func channelBytes(totalBytes uint64, channels int) uint64 {
+	if channels <= 1 {
+		return totalBytes
+	}
+	chunks := (totalBytes + shardChunk - 1) / shardChunk
+	perChannel := (chunks + uint64(channels) - 1) / uint64(channels)
+	return perChannel * shardChunk
+}
+
 // Execute runs the scenario against a fresh system built by factory:
 // a write workload establishes state, the attack is injected around a
 // crash, and detection is checked first during recovery and then by
@@ -123,7 +139,7 @@ func Execute(factory memctrl.PolicyFactory, split bool, s Scenario) (Report, err
 func ExecuteSharded(factory memctrl.PolicyFactory, split bool, s Scenario, channels int) (Report, error) {
 	rep := Report{Scenario: s, Applicable: true}
 	const totalBytes = 1 << 20
-	cfg := memctrl.DefaultConfig(totalBytes/uint64(channels), split)
+	cfg := memctrl.DefaultConfig(channelBytes(totalBytes, channels), split)
 	cfg.MetaCacheBytes = 4 << 10
 	cfg.MetaCacheWays = 4
 	ctrls := make([]*memctrl.Controller, channels)
@@ -159,9 +175,7 @@ func ExecuteSharded(factory memctrl.PolicyFactory, split bool, s Scenario, chann
 	c := ctrls[co] // the channel the attack lands on
 
 	// Capture replay material before newer writes.
-	oldLine := c.Device().Peek(lt)
-	oldTag := c.Tag(lt)
-	var oldNode nvmem.Line
+	mat := Capture(c, lt)
 	leaf, _ := c.Layout().Geo.LeafOfData(lt)
 	leafAddr := c.Layout().Geo.NodeAddr(0, leaf)
 	if s == ReplayNode {
@@ -172,7 +186,7 @@ func ExecuteSharded(factory memctrl.PolicyFactory, split bool, s Scenario, chann
 		if _, err := read(target); err != nil {
 			return rep, err
 		}
-		oldNode = c.Device().Peek(leafAddr)
+		mat.Node = c.Device().Peek(leafAddr)
 		if err := write(target+64*2, 77); err != nil { // same leaf, new epoch
 			return rep, err
 		}
@@ -190,7 +204,7 @@ func ExecuteSharded(factory memctrl.PolicyFactory, split bool, s Scenario, chann
 	for _, ctrl := range ctrls {
 		ctrl.Crash()
 	}
-	inject(c, s, lt, oldLine, oldTag, oldNode, leafAddr)
+	Inject(c, s, lt, mat)
 
 	if _, _, err := multi.RecoverAll(ctrls); err != nil {
 		if errors.Is(err, memctrl.ErrNoRecovery) {
@@ -221,9 +235,34 @@ func ExecuteSharded(factory memctrl.PolicyFactory, split bool, s Scenario, chann
 	return rep, nil
 }
 
-// inject applies the scenario's mutation to the durable state.
-func inject(c *memctrl.Controller, s Scenario, target uint64,
-	oldLine nvmem.Line, oldTag cme.Tag, oldNode nvmem.Line, leafAddr uint64) {
+// Material carries the authentic stale durable state a replay scenario
+// restores: the target's ciphertext line and tag, and (for ReplayNode) an
+// older persisted image of the SIT leaf covering it.
+type Material struct {
+	Line nvmem.Line
+	Tag  cme.Tag
+	Node nvmem.Line
+}
+
+// Capture snapshots the target address's current durable state as replay
+// material. Taken before newer writes land, it is exactly the authentic
+// stale state the §II-A replay attacker holds. addr is controller-local.
+func Capture(c *memctrl.Controller, addr uint64) Material {
+	leaf, _ := c.Layout().Geo.LeafOfData(addr)
+	return Material{
+		Line: c.Device().Peek(addr),
+		Tag:  c.Tag(addr),
+		Node: c.Device().Peek(c.Layout().Geo.NodeAddr(0, leaf)),
+	}
+}
+
+// Inject applies the scenario's mutation to the durable state around the
+// controller-local target address. Replay scenarios restore the supplied
+// Material; the campaign engine reuses every scenario as a schedulable
+// adversarial event through this entry point.
+func Inject(c *memctrl.Controller, s Scenario, target uint64, m Material) {
+	leaf, _ := c.Layout().Geo.LeafOfData(target)
+	leafAddr := c.Layout().Geo.NodeAddr(0, leaf)
 	dev := c.Device()
 	switch s {
 	case TamperData:
@@ -235,14 +274,14 @@ func inject(c *memctrl.Controller, s Scenario, target uint64,
 		tag.MAC ^= 1
 		c.SetTag(target, tag)
 	case ReplayData:
-		dev.Poke(target, oldLine)
-		c.SetTag(target, oldTag)
+		dev.Poke(target, m.Line)
+		c.SetTag(target, m.Tag)
 	case TamperNode:
 		line := dev.Peek(leafAddr)
 		line[11] ^= 0x04
 		dev.Poke(leafAddr, line)
 	case ReplayNode:
-		dev.Poke(leafAddr, oldNode)
+		dev.Poke(leafAddr, m.Node)
 	case EraseTracking:
 		lay := c.Layout()
 		for li := uint64(0); li < lay.RecordLines(); li++ {

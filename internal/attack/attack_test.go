@@ -83,7 +83,7 @@ func TestShardedClassificationMatchesSingleChannel(t *testing.T) {
 			if !base.Detected && !base.Neutralized {
 				t.Errorf("%s/%v: neither detected nor neutralized", s.Name, sc)
 			}
-			for _, channels := range []int{2, 4} {
+			for _, channels := range []int{2, 4, 8} {
 				rep, err := attack.ExecuteSharded(s.Factory, s.Split, sc, channels)
 				if err != nil {
 					t.Errorf("%s/%v: %d channels: %v", s.Name, sc, channels, err)
@@ -96,6 +96,34 @@ func TestShardedClassificationMatchesSingleChannel(t *testing.T) {
 						base.Detected, base.Where, base.Neutralized,
 						channels, rep.Detected, rep.Where, rep.Neutralized)
 				}
+			}
+		}
+	}
+}
+
+func TestShardedUnevenChannelCounts(t *testing.T) {
+	// Channel counts that do not divide the chunk count evenly give the
+	// first channels one extra chunk each; every local address must still
+	// land inside its controller's data region and the classification must
+	// match the single-channel reference. (Sizing channels as
+	// totalBytes/channels used to reject these configurations outright.)
+	for _, sc := range []attack.Scenario{attack.TamperData, attack.ReplayData, attack.EraseTracking} {
+		base, err := attack.Execute(steins.Factory, true, sc)
+		if err != nil {
+			t.Fatalf("%v: 1 channel: %v", sc, err)
+		}
+		for _, channels := range []int{3, 5, 6, 7} {
+			rep, err := attack.ExecuteSharded(steins.Factory, true, sc, channels)
+			if err != nil {
+				t.Errorf("%v: %d channels: %v", sc, channels, err)
+				continue
+			}
+			if rep.Detected != base.Detected || rep.Neutralized != base.Neutralized ||
+				rep.Where != base.Where {
+				t.Errorf("%v: classification diverged at %d channels: 1ch detected=%v/%s neutralized=%v, got detected=%v/%s neutralized=%v",
+					sc, channels,
+					base.Detected, base.Where, base.Neutralized,
+					rep.Detected, rep.Where, rep.Neutralized)
 			}
 		}
 	}

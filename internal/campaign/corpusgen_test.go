@@ -1,0 +1,26 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func TestWriteSeedCorpus(t *testing.T) {
+	if os.Getenv("CAMPAIGN_WRITE_CORPUS") == "" {
+		t.Skip("set CAMPAIGN_WRITE_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzCampaignSchedule")
+	for i, a := range corpusArtifacts() {
+		data, err := EncodeArtifact(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", i)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"steins/internal/nvmem"
+)
+
+// corpusArtifacts are the seed artifacts for FuzzCampaignSchedule: a
+// representative spread of the schedule grammar (crashes on every event
+// class, recrash, tampers, faults, degraded, sabotage, empty schedule).
+// The same set is mirrored on disk under testdata/fuzz.
+func corpusArtifacts() []*Artifact {
+	return []*Artifact{
+		{Case: Case{Scheme: "Steins-GC", Workload: "kv_a_zipf", Seed: 1, Channels: 1,
+			Footprint: 64 << 10}},
+		{Case: Case{Index: 7, Scheme: "WB-SC", Workload: "pers_queue", Seed: 2, Channels: 2,
+			Footprint: 128 << 10,
+			Sched:     Schedule{Rounds: []Round{{Ops: 90, Crash: true, CrashEv: 3, CrashN: 11}}}},
+			Verdict: NoRecovery, Detail: "recovery is not supported"},
+		{Case: Case{Index: 64, Scheme: "Steins-SC", Workload: "kv_d_latest", Seed: 0x76d3a2b1, Channels: 4,
+			Footprint: 128 << 10,
+			Sched: Schedule{
+				Degraded: true,
+				Faults: nvmem.FaultConfig{Seed: 5, TransientPerRead: 2e-4,
+					DoubleBitFrac: 0.2, TornOnCrash: 0.5},
+				Rounds: []Round{
+					{Ops: 140, Crash: true, CrashEv: 1, CrashN: 4, Recrash: true,
+						RecrashStep: 9, RecrashChan: 3, FlipNodes: 2, FlipData: 1},
+					{Ops: 60},
+				}}},
+			Verdict: DegradedLoss, Detail: "degraded recovery lost 3 lines"},
+		{Case: Case{Index: 99, Scheme: "Triad-GC", Workload: "kv_uniform", Seed: 12, Channels: 2,
+			Footprint: 128 << 10,
+			Sched: Schedule{Rounds: []Round{
+				{Ops: 100, Crash: true, CrashEv: 4, CrashN: 2,
+					Tampers: []Tamper{{Scenario: 2, TargetIdx: 17}, {Scenario: 6, TargetIdx: 0}}}}}},
+			Verdict: DetectedRecovery, Detail: "recovery rejected: HMAC mismatch"},
+		{Case: Case{Index: 24, Scheme: "SCUE-SC", Workload: "pers_hash", Seed: 3, Channels: 1,
+			Footprint: 128 << 10,
+			Sched:     Schedule{Sabotage: true, Rounds: []Round{{Ops: 80}}}},
+			Verdict: Fail, Detail: "SILENT CORRUPTION: addr 0x40 differs"},
+	}
+}
+
+// FuzzCampaignSchedule is the repro-artifact codec contract: the decoder
+// never panics on arbitrary bytes, and any input it accepts re-encodes to
+// the exact bytes it came from (the codec is canonical), with the decoded
+// schedule surviving a second round trip unchanged. This is what lets a
+// campaign failure artifact from any source be replayed byte-exactly.
+func FuzzCampaignSchedule(f *testing.F) {
+	for _, a := range corpusArtifacts() {
+		data, err := EncodeArtifact(a)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("STEINSNP garbage after the magic"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeArtifact(data)
+		if err != nil {
+			return // rejected cleanly: the only other acceptable outcome
+		}
+		again, err := EncodeArtifact(a)
+		if err != nil {
+			t.Fatalf("decoded artifact failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("codec not canonical: accepted %d bytes but re-encoded to %d different bytes", len(data), len(again))
+		}
+		b, err := DecodeArtifact(again)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("second decode diverged from first")
+		}
+	})
+}

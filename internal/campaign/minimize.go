@@ -1,0 +1,106 @@
+// Schedule minimization: a failing case is shrunk — greedily, under a
+// bounded re-run budget — before its repro artifact is emitted, so the
+// artifact describes the smallest event sequence still reproducing the
+// failure rather than the whole randomized soup it was found in.
+
+package campaign
+
+// Minimize shrinks c's schedule while it still classifies as Fail,
+// spending at most budget case re-runs. The passes, in order: truncate the
+// rounds after the failure, drop whole rounds, drop individual tampers,
+// zero the flip counts, disable the re-crash, halve the drive windows.
+// A non-positive budget returns the case unchanged.
+func Minimize(c Case, budget int) Case {
+	if budget <= 0 {
+		return c
+	}
+	runs := 0
+	fails := func(cand Case) bool {
+		if runs >= budget {
+			return false
+		}
+		runs++
+		return RunCase(cand).Verdict == Fail
+	}
+
+	// Truncate trailing rounds: binary-search-free greedy from the tail,
+	// since schedules are at most a handful of rounds.
+	for len(c.Sched.Rounds) > 1 {
+		cand := c
+		cand.Sched.Rounds = append([]Round(nil), c.Sched.Rounds[:len(c.Sched.Rounds)-1]...)
+		if !fails(cand) {
+			break
+		}
+		c = cand
+	}
+	// Drop interior rounds.
+	for i := 0; i < len(c.Sched.Rounds)-1; {
+		cand := c
+		cand.Sched.Rounds = append(append([]Round(nil), c.Sched.Rounds[:i]...), c.Sched.Rounds[i+1:]...)
+		if fails(cand) {
+			c = cand
+		} else {
+			i++
+		}
+	}
+	// Drop tampers one at a time.
+	for ri := range c.Sched.Rounds {
+		for ti := 0; ti < len(c.Sched.Rounds[ri].Tampers); {
+			cand := cloneCase(c)
+			tams := &cand.Sched.Rounds[ri].Tampers
+			*tams = append(append([]Tamper(nil), (*tams)[:ti]...), (*tams)[ti+1:]...)
+			if len(*tams) == 0 {
+				*tams = nil
+			}
+			if fails(cand) {
+				c = cand
+			} else {
+				ti++
+			}
+		}
+	}
+	// Zero flips and the re-crash.
+	for ri := range c.Sched.Rounds {
+		rd := &c.Sched.Rounds[ri]
+		if rd.FlipNodes > 0 || rd.FlipData > 0 {
+			cand := cloneCase(c)
+			cand.Sched.Rounds[ri].FlipNodes = 0
+			cand.Sched.Rounds[ri].FlipData = 0
+			if fails(cand) {
+				c = cand
+			}
+		}
+		if rd.Recrash {
+			cand := cloneCase(c)
+			cand.Sched.Rounds[ri].Recrash = false
+			if fails(cand) {
+				c = cand
+			}
+		}
+	}
+	// Halve drive windows while the failure survives.
+	for ri := range c.Sched.Rounds {
+		for c.Sched.Rounds[ri].Ops > 8 {
+			cand := cloneCase(c)
+			cand.Sched.Rounds[ri].Ops /= 2
+			if !fails(cand) {
+				break
+			}
+			c = cand
+		}
+	}
+	return c
+}
+
+// cloneCase deep-copies the schedule so candidate mutations never alias
+// the accepted case.
+func cloneCase(c Case) Case {
+	out := c
+	out.Sched.Rounds = append([]Round(nil), c.Sched.Rounds...)
+	for i := range out.Sched.Rounds {
+		if t := out.Sched.Rounds[i].Tampers; t != nil {
+			out.Sched.Rounds[i].Tampers = append([]Tamper(nil), t...)
+		}
+	}
+	return out
+}

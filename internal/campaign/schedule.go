@@ -1,0 +1,138 @@
+// Schedule grammar: the complete, explicit description of one campaign
+// case's adversarial event sequence. A Schedule is drawn once from the
+// case's schedule RNG and then executed; because every execution-time
+// choice is either recorded here or drawn from a second RNG seeded by the
+// case seed, replaying the same (case spec, schedule) pair is
+// byte-identical — which is what makes minimized repro artifacts exact.
+
+package campaign
+
+import (
+	"steins/internal/attack"
+	"steins/internal/memctrl"
+	"steins/internal/nvmem"
+	"steins/internal/rng"
+)
+
+// Tamper is one deliberate post-crash mutation of durable state: an attack
+// scenario aimed at the TargetIdx-th shadowed address (modulo the shadow
+// size at injection time, so minimization never invalidates it).
+type Tamper struct {
+	Scenario  uint8  // attack.Scenario
+	TargetIdx uint32 // index into the sorted shadowed addresses
+}
+
+// Round is one drive window plus the adversarial events around its crash.
+// A round with Crash false is a pure workload window; every other field
+// only takes effect when the crash actually commits.
+type Round struct {
+	Ops uint32 // workload requests to drive
+
+	Crash   bool
+	CrashEv uint8  // memctrl.Event class arming the crash
+	CrashN  uint32 // 1-based countdown within the class
+
+	// Recrash aborts the recovery pass of channel RecrashChan (modulo the
+	// channel count) at its RecrashStep-th recovery step, then crashes the
+	// whole system again and re-recovers from that arbitrary prefix.
+	Recrash     bool
+	RecrashStep uint32
+	RecrashChan uint8
+
+	Tampers   []Tamper // applied between crash commit and recovery
+	FlipNodes uint8    // interior SIT node lines to bit-flip post-crash
+	FlipData  uint8    // data lines to bit-flip post-crash
+}
+
+// Schedule is one case's full event plan.
+type Schedule struct {
+	Degraded bool              // controllers run with degraded recovery
+	Faults   nvmem.FaultConfig // device media-fault model (may be zero)
+	Sabotage bool              // corrupt the golden shadow pre-verify (self-check)
+	Rounds   []Round
+}
+
+// runtimeCrashEvents are the event classes a runtime crash can arm on;
+// EvRecoveryStep is reserved for the Recrash mechanism.
+var runtimeCrashEvents = []memctrl.Event{
+	memctrl.EvLineWrite, memctrl.EvEviction, memctrl.EvRecordAppend, memctrl.EvOpRetired,
+}
+
+// tamperScenarios are the attack scenarios schedulable as campaign events.
+var tamperScenarios = []attack.Scenario{
+	attack.TamperData, attack.TamperTag, attack.ReplayData,
+	attack.TamperNode, attack.ReplayNode, attack.EraseTracking,
+	attack.MediaTag, attack.MediaRecord,
+}
+
+// drawSchedule generates one case's schedule from its schedule RNG. The
+// draw order is fixed: changing any knob upstream changes the case seed,
+// never the interpretation of an existing stream.
+func drawSchedule(r *rng.Source, cfg *Config) Schedule {
+	s := Schedule{}
+	// ~1 in 4 cases run over faulty media; rates are kept low enough that
+	// the workload itself stays mostly serviceable.
+	if r.Bool(0.25) {
+		s.Faults = nvmem.FaultConfig{
+			Seed:             r.Uint64() | 1,
+			TransientPerRead: float64(1+r.Intn(4)) * 1e-4,
+			DoubleBitFrac:    0.2,
+			StuckPerWrite:    float64(r.Intn(3)) * 1e-4,
+			TornOnCrash:      float64(r.Intn(3)) * 0.25,
+		}
+	}
+	s.Degraded = r.Bool(0.5)
+	rounds := 1 + r.Intn(cfg.MaxRounds)
+	for i := 0; i < rounds; i++ {
+		rd := Round{Ops: uint32(cfg.OpsPerRound/2 + r.Intn(cfg.OpsPerRound))}
+		if r.Bool(0.8) {
+			rd.Crash = true
+			ev := runtimeCrashEvents[r.Intn(len(runtimeCrashEvents))]
+			rd.CrashEv = uint8(ev)
+			// Countdowns are scaled per class: retired ops are bounded by
+			// the round's op budget; the other classes fire only on writes
+			// (or evictions), which read-heavy mixes produce sparsely, so
+			// their countdowns stay small to keep the skip rate down.
+			switch ev {
+			case memctrl.EvOpRetired:
+				rd.CrashN = uint32(1 + r.Intn(int(rd.Ops)))
+			case memctrl.EvLineWrite:
+				rd.CrashN = uint32(1 + r.Intn(int(rd.Ops)/4+1))
+			default:
+				rd.CrashN = uint32(1 + r.Intn(int(rd.Ops)/16+1))
+			}
+			if r.Bool(0.25) {
+				rd.Recrash = true
+				rd.RecrashStep = uint32(1 + r.Intn(40))
+				rd.RecrashChan = uint8(r.Intn(8))
+			}
+			// Deliberate tamper is only scheduled on strict-mode cases.
+			// Degraded recovery intentionally relaxes the exact LInc
+			// equalities when media damage makes level increments
+			// unknowable, and that relaxation is exploitable: an attacker
+			// who replays an authentic stale (ciphertext, tag) pair while
+			// media damage is being healed around it regresses the
+			// recovered counter without tripping the relaxed replay check —
+			// stale data then verifies. Strict mode detects exactly this
+			// (trust-base LInc mismatch), so the adversarial cases run
+			// strict; degraded cases keep the full media-fault arsenal.
+			// The campaign found this boundary; DESIGN.md documents it.
+			if !s.Degraded {
+				for r.Bool(0.35) && len(rd.Tampers) < 3 {
+					rd.Tampers = append(rd.Tampers, Tamper{
+						Scenario:  uint8(tamperScenarios[r.Intn(len(tamperScenarios))]),
+						TargetIdx: uint32(r.Intn(1 << 16)),
+					})
+				}
+			}
+			if r.Bool(0.2) {
+				rd.FlipNodes = uint8(1 + r.Intn(2))
+			}
+			if r.Bool(0.15) {
+				rd.FlipData = uint8(1 + r.Intn(2))
+			}
+		}
+		s.Rounds = append(s.Rounds, rd)
+	}
+	return s
+}

@@ -278,10 +278,10 @@ func (f *fuzzer) recover(round int, point CrashPoint) error {
 	f.sys.SetFaultHooks(inj)
 	sig, err := runRecover(f.sys)
 	if sig != nil {
-		// The re-crash aborted recovery at step sig.index; recovery must
+		// The re-crash aborted recovery at step sig.Index; recovery must
 		// succeed from this arbitrary prefix.
 		f.rep.Recrashes++
-		point = CrashPoint{Event: memctrl.EvRecoveryStep, Index: sig.index}
+		point = CrashPoint{Event: memctrl.EvRecoveryStep, Index: sig.Index}
 		f.sys.Crash()
 		inj = NewInjector(memctrl.EvRecoveryStep, 0)
 		f.sys.SetFaultHooks(inj)
@@ -300,18 +300,8 @@ func (f *fuzzer) recover(round int, point CrashPoint) error {
 
 // runRecover converts an injected crashSignal panic into a return value;
 // genuine panics propagate.
-func runRecover(sys System) (sig *crashSignal, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			cs, ok := p.(crashSignal)
-			if !ok {
-				panic(p)
-			}
-			sig = &cs
-		}
-	}()
-	err = sys.Recover()
-	return
+func runRecover(sys System) (*RecoveryCrash, error) {
+	return CatchRecoveryCrash(sys.Recover)
 }
 
 // verify differentially checks recovered state: every sampled line must
@@ -426,7 +416,7 @@ func CrashAt(cfg Config, ev memctrl.Event, n uint64) (bool, error) {
 			}
 			return reached, f.verify(0, point)
 		}
-		point = CrashPoint{Event: memctrl.EvRecoveryStep, Index: sig.index}
+		point = CrashPoint{Event: memctrl.EvRecoveryStep, Index: sig.Index}
 		f.sys.Crash()
 	}
 	rinj := NewInjector(memctrl.EvRecoveryStep, 0)

@@ -71,6 +71,33 @@ func (in *Injector) FiredAt() (uint64, uint64) { return in.firedAt, in.firedAddr
 // Count returns how many events of a class have been observed.
 func (in *Injector) Count(ev memctrl.Event) uint64 { return in.counts[ev] }
 
+// RecoveryCrash describes an injected mid-recovery abort: the 1-based
+// recovery step the pass was halted at and the address it was touching.
+type RecoveryCrash struct {
+	Index uint64
+	Addr  uint64
+}
+
+// CatchRecoveryCrash runs a recovery pass (typically a closure over
+// Controller.Recover with an EvRecoveryStep injector installed) and
+// converts the injected abort into a return value: rc is non-nil when the
+// injector halted the pass, err is the pass's own verdict otherwise.
+// Genuine panics in the code under test propagate untouched. The campaign
+// engine composes mid-recovery re-crashes through this entry point.
+func CatchRecoveryCrash(fn func() error) (rc *RecoveryCrash, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			cs, ok := p.(crashSignal)
+			if !ok {
+				panic(p)
+			}
+			rc = &RecoveryCrash{Index: cs.index, Addr: cs.addr}
+		}
+	}()
+	err = fn()
+	return
+}
+
 // CrashPoint identifies one reproducible crash: the event class and the
 // 1-based ordinal of the event within that class since the hooks were
 // installed.

@@ -46,6 +46,13 @@ const (
 	// KindCampaign is a crashfuzz campaign (internal/crashfuzz owns the
 	// payload encoding; the envelope is shared).
 	KindCampaign uint32 = 2
+	// KindAdversarial is an adversarial-campaign checkpoint
+	// (internal/campaign owns the payload encoding).
+	KindAdversarial uint32 = 3
+	// KindRepro is a self-contained campaign repro artifact: one failing
+	// case's scheme, seed and event schedule (internal/campaign owns the
+	// payload encoding).
+	KindRepro uint32 = 4
 )
 
 // headerLen is the fixed envelope prefix: magic + version + kind + length

@@ -62,6 +62,48 @@ func TestFileTruncated(t *testing.T) {
 	}
 }
 
+func TestFileZeroLength(t *testing.T) {
+	if _, _, err := ReadFile(bytes.NewReader(nil)); err == nil {
+		t.Fatal("zero-length input accepted")
+	}
+}
+
+func TestFileTruncatedName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, "a_rather_long_profile_name", nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Cut inside the name bytes (header is 8 bytes, name follows).
+	if _, _, err := ReadFile(bytes.NewReader(data[:8+5])); err == nil {
+		t.Fatal("truncated name accepted")
+	}
+}
+
+func TestFileLyingOpCount(t *testing.T) {
+	p, _ := ByName("lbm_r")
+	ops := Record(p, 1, 10)
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, p.Name, ops); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	countOff := 8 + len(p.Name)
+	// Header claims more ops than the file holds: must error, not hang or
+	// return a short slice.
+	data[countOff] = 200
+	if _, _, err := ReadFile(bytes.NewReader(data)); err == nil {
+		t.Fatal("lying op count accepted")
+	}
+	// An implausibly huge count must be rejected before any allocation.
+	for i := 0; i < 8; i++ {
+		data[countOff+i] = 0xFF
+	}
+	if _, _, err := ReadFile(bytes.NewReader(data)); err == nil {
+		t.Fatal("huge op count accepted")
+	}
+}
+
 func TestFileBadVersion(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteFile(&buf, "x", nil); err != nil {

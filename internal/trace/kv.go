@@ -1,0 +1,23 @@
+package trace
+
+// KVMixes returns YCSB-like key-value service mixes. They complement the
+// SPEC and STAR persistent profiles with the read/write ratios and reuse
+// skews of the standard cloud-serving workloads: an update-heavy zipfian
+// mix (YCSB-A-like), a read-mostly zipfian mix (YCSB-B-like), a
+// read-latest mix (YCSB-D-like) and an update-heavy uniform mix. The
+// campaign engine draws these as workloads and overrides the footprint
+// per case, so the defaults here only matter for standalone use.
+func KVMixes() []Profile {
+	return []Profile{
+		{Name: "kv_a_zipf", FootprintBytes: 64 << 20, WriteFrac: 0.50, GapMean: 300, Pattern: Zipf, ZipfS: 0.99},
+		{Name: "kv_b_zipf", FootprintBytes: 64 << 20, WriteFrac: 0.05, GapMean: 300, Pattern: Zipf, ZipfS: 0.99},
+		{Name: "kv_d_latest", FootprintBytes: 64 << 20, WriteFrac: 0.05, GapMean: 300, Pattern: Latest, ZipfS: 0.99},
+		{Name: "kv_uniform", FootprintBytes: 64 << 20, WriteFrac: 0.50, GapMean: 300, Pattern: Uniform},
+	}
+}
+
+func init() {
+	for _, p := range KVMixes() {
+		Register(p)
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import "testing"
+
+func TestKVMixesRegistered(t *testing.T) {
+	for _, want := range KVMixes() {
+		got, ok := ByName(want.Name)
+		if !ok {
+			t.Fatalf("%s not registered", want.Name)
+		}
+		if got != want {
+			t.Fatalf("%s: registry returned %+v, want %+v", want.Name, got, want)
+		}
+	}
+}
+
+func TestKVMixStateRoundTrip(t *testing.T) {
+	// Property: capturing State() after k ops and Restoring it into a fresh
+	// generator yields exactly the stream the original generator continues
+	// with, for every KV mix and several split points. This is what lets
+	// the campaign engine checkpoint mid-workload.
+	const n = 4000
+	for _, p := range KVMixes() {
+		p.FootprintBytes = 1 << 20 // keep the tests small
+		for _, k := range []int{0, 1, 37, 1000, n - 1} {
+			g := New(p, 42, n)
+			for i := 0; i < k; i++ {
+				if _, ok := g.Next(); !ok {
+					t.Fatalf("%s: stream ended at %d", p.Name, i)
+				}
+			}
+			st := g.State()
+			h := New(p, 42, n)
+			h.Restore(st)
+			for i := k; ; i++ {
+				a, oka := g.Next()
+				b, okb := h.Next()
+				if oka != okb || a != b {
+					t.Fatalf("%s: restored stream diverged at op %d (split %d): %+v/%v vs %+v/%v",
+						p.Name, i, k, a, oka, b, okb)
+				}
+				if !oka {
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestLatestPattern(t *testing.T) {
+	p := Profile{Name: "latest_t", FootprintBytes: 1 << 16, WriteFrac: 0.2, GapMean: 10, Pattern: Latest, ZipfS: 0.99}
+	lines := p.FootprintBytes / 64
+	g := New(p, 9, 20000)
+	var frontier uint64 // mirror of the expected insert position
+	recent := 0
+	reads := 0
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		line := op.Addr / 64
+		if line >= lines {
+			t.Fatalf("address %#x outside footprint", op.Addr)
+		}
+		if op.IsWrite || frontier == 0 {
+			if line != frontier%lines {
+				t.Fatalf("insert at line %d, want frontier %d", line, frontier%lines)
+			}
+			frontier++
+			continue
+		}
+		reads++
+		// Reads must target already-inserted lines, skewed toward the
+		// newest: count how many land within the last 1/16 of the window.
+		window := frontier
+		if window > lines {
+			window = lines
+		}
+		dist := (frontier - 1 - line) % lines
+		if frontier <= lines && line >= frontier {
+			t.Fatalf("read of uninserted line %d (frontier %d)", line, frontier)
+		}
+		if dist < window/16+1 {
+			recent++
+		}
+	}
+	if reads == 0 {
+		t.Fatal("no reads generated")
+	}
+	// A uniform distribution would put ~6% in the newest 1/16; the zipfian
+	// skew concentrates far more there.
+	if frac := float64(recent) / float64(reads); frac < 0.3 {
+		t.Fatalf("reads not skewed to recent inserts: %.2f in newest 1/16", frac)
+	}
+}

@@ -32,6 +32,7 @@ const (
 	MixedPhase                  // alternating scan/random phases (xalancbmk-like)
 	Queue                       // persistent FIFO: append at tail, pop at head
 	HashTable                   // persistent hash table: random slot updates
+	Latest                      // YCSB-D-style: writes insert at a frontier, reads skew to recent inserts
 )
 
 // Profile describes one workload.
@@ -114,7 +115,7 @@ func New(p Profile, seed uint64, n int) *Generator {
 		panic("trace: footprint must be a positive multiple of 64")
 	}
 	g := &Generator{p: p, r: rng.New(seed ^ 0x9e3779b97f4a7c15), n: n, lines: p.FootprintBytes / 64}
-	if p.Pattern == Zipf || p.Pattern == PointerChase {
+	if p.Pattern == Zipf || p.Pattern == PointerChase || p.Pattern == Latest {
 		s := p.ZipfS
 		if s == 0 {
 			s = 0.99
@@ -140,11 +141,14 @@ func (g *Generator) Next() (Op, bool) {
 		Gap:     1 + g.r.Uint64n(2*g.p.GapMean),
 		IsWrite: g.r.Bool(g.p.WriteFrac),
 	}
-	op.Addr = g.nextLine() * 64
+	op.Addr = g.nextLine(op.IsWrite) * 64
 	return op, true
 }
 
-func (g *Generator) nextLine() uint64 {
+func (g *Generator) nextLine(isWrite bool) uint64 {
+	if g.p.Pattern == Latest {
+		return g.latestLine(isWrite)
+	}
 	switch g.p.Pattern {
 	case Uniform, Zipf, PointerChase, HashTable:
 		if g.runLeft > 0 {
@@ -228,6 +232,25 @@ func (g *Generator) jumpLine() uint64 {
 	default:
 		panic("trace: unknown pattern")
 	}
+}
+
+// latestLine implements the YCSB-D access distribution: every write
+// inserts at a monotonically advancing frontier (wrapping once the
+// footprint fills), and reads draw a Zipf-skewed distance back from the
+// frontier, so the most recently inserted lines are the hottest. The
+// frontier lives in cursor, so the generic State/Restore covers it.
+func (g *Generator) latestLine(isWrite bool) uint64 {
+	if isWrite || g.cursor == 0 {
+		l := g.cursor % g.lines
+		g.cursor++
+		return l
+	}
+	window := g.cursor
+	if window > g.lines {
+		window = g.lines
+	}
+	off := uint64(g.zipf.Next()) * window / zipfRanks
+	return (g.cursor - 1 - off) % g.lines
 }
 
 // scaleRank spreads Zipf ranks over the footprint: rank r maps to a fixed

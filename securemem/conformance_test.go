@@ -1,0 +1,124 @@
+package securemem_test
+
+import (
+	"errors"
+	"testing"
+
+	"steins/internal/trace"
+	"steins/securemem"
+)
+
+// Public-API conformance: the same KV-mix workload is driven through every
+// scheme purely through the securemem surface (New/Write/Read/Crash/
+// Recover/Stats) and verified differentially against a shadow model —
+// including full readback after crash+recover. Every scheme must agree on
+// the data plane bit-for-bit; only the recovery behaviour may differ, and
+// then only in the sanctioned way (WB returns ErrNoRecovery).
+func TestPublicAPIConformanceAllSchemes(t *testing.T) {
+	const (
+		dataBytes = 512 << 10
+		ops       = 3000
+	)
+	prof, ok := trace.ByName("kv_a_zipf")
+	if !ok {
+		t.Fatal("kv_a_zipf not registered")
+	}
+	prof.FootprintBytes = dataBytes
+
+	if got := len(securemem.Schemes()); got != 12 {
+		t.Fatalf("Schemes() lists %d schemes, want 12", got)
+	}
+
+	type outcome struct {
+		shadow map[uint64]securemem.Block
+		reads  uint64
+		writes uint64
+	}
+	var ref *outcome
+	var refScheme securemem.Scheme
+	for _, s := range securemem.Schemes() {
+		m, err := securemem.New(securemem.Config{
+			DataBytes: dataBytes, Scheme: s, MetaCacheBytes: 8 << 10,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+
+		// Phase 1: drive the identical trace, shadowing every write.
+		g := trace.New(prof, 7, ops)
+		shadow := map[uint64]securemem.Block{}
+		seq := uint64(0)
+		for {
+			op, ok := g.Next()
+			if !ok {
+				break
+			}
+			if op.IsWrite {
+				var b securemem.Block
+				b[0], b[1], b[2] = byte(seq), byte(seq>>8), byte(op.Addr>>6)
+				if err := m.Write(op.Addr, b); err != nil {
+					t.Fatalf("%s write %#x: %v", s, op.Addr, err)
+				}
+				shadow[op.Addr] = b
+				seq++
+			} else {
+				got, err := m.Read(op.Addr)
+				if err != nil {
+					t.Fatalf("%s read %#x: %v", s, op.Addr, err)
+				}
+				if got != shadow[op.Addr] {
+					t.Fatalf("%s: runtime divergence at %#x", s, op.Addr)
+				}
+			}
+		}
+
+		// Phase 2: crash, recover, and read the whole shadow back.
+		m.Crash()
+		rep, err := m.Recover()
+		switch {
+		case errors.Is(err, securemem.ErrNoRecovery):
+			if s != securemem.WBGC && s != securemem.WBSC {
+				t.Fatalf("%s: unexpected ErrNoRecovery", s)
+			}
+		case err != nil:
+			t.Fatalf("%s recover: %v", s, err)
+		default:
+			if s == securemem.WBGC || s == securemem.WBSC {
+				t.Fatalf("%s: recovery succeeded for a no-recovery baseline", s)
+			}
+			if rep.SimulatedNS <= 0 {
+				t.Fatalf("%s: empty recovery report %+v", s, rep)
+			}
+			for addr, want := range shadow {
+				got, err := m.Read(addr)
+				if err != nil {
+					t.Fatalf("%s post-recovery read %#x: %v", s, addr, err)
+				}
+				if got != want {
+					t.Fatalf("%s: silent corruption after recovery at %#x", s, addr)
+				}
+			}
+		}
+
+		// Phase 3: differential — the data plane is scheme-invariant.
+		st := m.Stats()
+		cur := &outcome{shadow: shadow, reads: st.Reads, writes: st.Writes}
+		if ref == nil {
+			ref, refScheme = cur, s
+			continue
+		}
+		if cur.writes != ref.writes {
+			t.Fatalf("%s drove %d writes, %s drove %d — trace not scheme-invariant",
+				s, cur.writes, refScheme, ref.writes)
+		}
+		if len(cur.shadow) != len(ref.shadow) {
+			t.Fatalf("%s shadow has %d blocks, %s has %d",
+				s, len(cur.shadow), refScheme, len(ref.shadow))
+		}
+		for addr, want := range ref.shadow {
+			if cur.shadow[addr] != want {
+				t.Fatalf("%s and %s disagree on final contents of %#x", s, refScheme, addr)
+			}
+		}
+	}
+}

@@ -33,9 +33,11 @@ import (
 	"steins/internal/memctrl"
 	"steins/internal/nvmem"
 	"steins/internal/scheme/asit"
+	"steins/internal/scheme/pipesit"
 	"steins/internal/scheme/scue"
 	"steins/internal/scheme/star"
 	"steins/internal/scheme/steins"
+	"steins/internal/scheme/triad"
 	"steins/internal/scheme/wb"
 	"steins/internal/stats"
 )
@@ -61,11 +63,22 @@ const (
 	SteinsSC Scheme = "Steins-SC" // the paper's scheme, split leaves
 	SCUEGC   Scheme = "SCUE-GC"   // recovery-root, full-tree rebuild
 	SCUESC   Scheme = "SCUE-SC"
+
+	// The relaxed-persistence family: PipeSIT pipelines tree updates with
+	// coalescing, Triad persists only the lower tree levels and rebuilds
+	// the rest on recovery.
+	PipeSITGC Scheme = "PipeSIT-GC"
+	PipeSITSC Scheme = "PipeSIT-SC"
+	TriadGC   Scheme = "Triad-GC"
+	TriadSC   Scheme = "Triad-SC"
 )
 
 // Schemes lists every available scheme.
 func Schemes() []Scheme {
-	return []Scheme{WBGC, WBSC, ASIT, STAR, SteinsGC, SteinsSC, SCUEGC, SCUESC}
+	return []Scheme{
+		WBGC, WBSC, ASIT, STAR, SteinsGC, SteinsSC, SCUEGC, SCUESC,
+		PipeSITGC, PipeSITSC, TriadGC, TriadSC,
+	}
 }
 
 // Integrity errors, re-exported from the controller.
@@ -124,6 +137,14 @@ func New(cfg Config) (*Memory, error) {
 		factory = scue.Factory
 	case SCUESC:
 		factory, split = scue.Factory, true
+	case PipeSITGC:
+		factory = pipesit.Factory
+	case PipeSITSC:
+		factory, split = pipesit.Factory, true
+	case TriadGC:
+		factory = triad.Factory
+	case TriadSC:
+		factory, split = triad.Factory, true
 	default:
 		return nil, fmt.Errorf("securemem: unknown scheme %q", cfg.Scheme)
 	}

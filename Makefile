@@ -86,11 +86,14 @@ faultfuzz:
 
 # Deterministic adversarial campaign: 5040 randomized hostile cases across
 # all 12 schemes × 1/2/4 channels, run twice (-verify demands byte-identical
-# reports) under the zero-silent-corruption contract, then a deliberate
-# corruption whose repro artifact must replay (-repro) to the identical
-# classification.
+# reports) under the zero-silent-corruption contract, then a byte-compared
+# degraded-tamper slice (-degraded forces every case through the evidence-
+# arbitration/quarantine path with the full tamper grammar), then a
+# deliberate corruption whose repro artifact must replay (-repro) to the
+# identical classification.
 campaign:
 	go run ./cmd/campaign -cases 5040 -seed 1 -selfcheck-every 250 -verify -q
+	go run ./cmd/campaign -cases 1260 -seed 3 -degraded -selfcheck-every 0 -verify -q
 	go run ./cmd/campaign -seed 2 -selfcheck campaign_selfcheck.repro -q
 	go run ./cmd/campaign -repro campaign_selfcheck.repro
 	rm -f campaign_selfcheck.repro
@@ -105,15 +108,20 @@ metrics-demo:
 # GOMAXPROCS settings). The sharded engine and conformance suite
 # additionally run at -cpu 1,2,8 to pin bit-identical results across
 # worker-pool widths. The checkpoint/resume suites run raced and twice
-# (-count=2) to pin byte-determinism of the snapshot wire format. Every
-# go test runs -shuffle=on so order-dependent tests cannot hide. The
-# committed BENCH document is re-verified so the persisted trajectory can
-# never drift out of sync with the canonical benchmark set.
+# (-count=2) to pin byte-determinism of the snapshot wire format. The
+# quarantine/re-admission suites (evidence-arbitrated degraded recovery)
+# run raced at -cpu 1,4 across the steins policy, the controller and the
+# campaign's replay-boundary repro artifacts. Every go test runs
+# -shuffle=on so order-dependent tests cannot hide. The committed BENCH
+# document is re-verified so the persisted trajectory can never drift out
+# of sync with the canonical benchmark set.
 check: crashfuzz faultfuzz
 	go vet ./...
 	go test -shuffle=on -race -cpu 1,4 ./internal/crashfuzz ./internal/figures \
 		./internal/metrics ./internal/sim ./internal/multi \
 		./internal/nvmem ./internal/memctrl ./internal/attack
+	go test -shuffle=on -race -cpu 1,4 -run 'Quarantine|Readmission|Degraded|Heal|ReplayBoundary' \
+		./internal/scheme/steins ./internal/memctrl ./internal/campaign
 	go test -shuffle=on -race -cpu 1,2,8 -run 'Sharded|Conformance|Splitter|Interleave|NextEpoch|Replay|RecoverAll|DriveStream' \
 		./internal/sim ./internal/trace ./internal/multi ./internal/scheme/schemetest ./securemem
 	go test -shuffle=on -race -cpu 1,4 -run 'Resume|Snapshot|Campaign|Checkpoint|Artifact|SelfCheck' \

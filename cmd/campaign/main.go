@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rounds    = fs.Int("rounds", 0, "max adversarial rounds per case (0: default)")
 		every     = fs.Int("selfcheck-every", 250, "make every Nth case a deliberate corruption that MUST fail (0: never)")
 		minimize  = fs.Int("minimize", 0, "re-run budget for shrinking a failing case (0: default, <0: off)")
+		degraded  = fs.Bool("degraded", false, "force degraded recovery for every case (the tamper-under-arbitration slice)")
 		verify    = fs.Bool("verify", false, "run the campaign twice and demand byte-identical reports")
 		outPath   = fs.String("out", "", "also write the report to this file")
 		artDir    = fs.String("artifact-dir", "", "write each failure's minimized repro artifact into this directory")
@@ -91,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxRounds:      *rounds,
 		SelfCheckEvery: *every,
 		MinimizeBudget: *minimize,
+		ForceDegraded:  *degraded,
 		Logf:           logf,
 	}
 

@@ -61,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ivMode     = fs.String("interleave", "line", "address interleave granularity for -channels: line, page, or hash")
 		faultSpec  = fs.String("faults", "", "media-fault model, e.g. transient=1e-4,double=0.25,stuck=1e-6,torn=0.5,seed=7 (empty or 'off': disabled)")
 		ecc        = fs.Bool("ecc", true, "model the per-word SECDED ECC layer (with -ecc=false corrupted lines return silently and only the integrity layer can catch them)")
+		degraded   = fs.Bool("degraded", false, "run recovery in degraded mode: heal media-explained damage, quarantine the rest (prints the quarantine table after -crash)")
 		ckptEvery  = fs.Int("checkpoint", 0, "snapshot the complete run state every N ops to -checkpoint-file (0: never)")
 		ckptFile   = fs.String("checkpoint-file", "steinssim.snap", "snapshot file for -checkpoint (and the file -resume keeps current)")
 		resumeFrom = fs.String("resume", "", "resume a run from this snapshot file; workload/scheme/ops flags are taken from the snapshot")
@@ -85,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	configure := func(cfg *memctrl.Config) {
 		cfg.NVM.Faults = faults
 		cfg.NVM.ECC.Disable = !*ecc
+		cfg.DegradedRecovery = *degraded
 	}
 
 	if *list {
@@ -198,6 +200,16 @@ func printRecovery(stdout io.Writer, rep memctrl.RecoveryReport) {
 	if d := &rep.Degradation; d.Degraded() {
 		fmt.Fprintf(stdout, "degraded: %d healed, %d quarantined, %d unrecoverable, data-loss bound %s\n",
 			len(d.Healed), len(d.Quarantined), len(d.Unrecoverable), stats.Bytes(d.DataLossBoundBytes))
+		if len(d.Records) > 0 {
+			qt := stats.NewTable("quarantined regions (local addresses)",
+				"root", "data range", "cause", "evidence")
+			for _, r := range d.Records {
+				qt.AddRow(fmt.Sprintf("L%d/%d", r.Node.Level, r.Node.Index),
+					fmt.Sprintf("%#x-%#x", r.DataLo, r.DataHi),
+					r.Cause.String(), r.Evidence)
+			}
+			fmt.Fprint(stdout, qt)
+		}
 	}
 }
 

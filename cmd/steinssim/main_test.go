@@ -26,6 +26,29 @@ func TestRunCrashRecover(t *testing.T) {
 	}
 }
 
+func TestRunDegradedQuarantineTable(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-workload", "kv_b_zipf", "-scheme", "steins-gc",
+		"-ops", "30000", "-crash", "-degraded",
+		"-faults", "transient=2e-4,double=0.2,torn=0.5,stuck=2e-4,seed=9",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "degraded:") {
+		t.Fatalf("missing degraded summary:\n%s", s)
+	}
+	if strings.Contains(s, "quarantined regions") {
+		// The table carries the arbitration: a root, a data range and a
+		// cause column for every record.
+		if !regexp.MustCompile(`L\d+/\d+\s+0x[0-9a-f]+-0x[0-9a-f]+\s+\S+`).MatchString(s) {
+			t.Fatalf("quarantine table missing root/range/cause columns:\n%s", s)
+		}
+	}
+}
+
 func TestRunList(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {

@@ -544,9 +544,9 @@ func (c *Controller) recoverLeaf(leaf uint64, stale counter.CME) (counter.CME, u
 		if !tag.Written {
 			continue
 		}
-		if !have {
-			blk.Major, have = tag.Hint, true
-		} else if tag.Hint != blk.Major {
+		if h := tag.Hint >> 7; !have { // CME minors are 7 bits wide
+			blk.Major, have = h, true
+		} else if h != blk.Major {
 			return blk, reads, macs, memctrl.ReplayAt("BMT leaf", 0, leaf, "inconsistent majors")
 		}
 		ct := [64]byte(c.dev.Peek(daddr))

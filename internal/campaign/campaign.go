@@ -55,6 +55,15 @@ type Config struct {
 	// disables minimization).
 	MinimizeBudget int
 
+	// ForceDegraded runs every case with degraded recovery instead of
+	// drawing the mode 50/50 — the CI slice that pins the lifted tamper
+	// gate: the full adversarial grammar against the arbitration/
+	// quarantine path on every single case. The underlying random draw is
+	// still consumed, so a forced campaign's schedules differ from an
+	// unforced one ONLY in the mode bit and sliced runs stay
+	// byte-reproducible under -verify.
+	ForceDegraded bool
+
 	Logf func(format string, args ...any)
 }
 

@@ -42,6 +42,10 @@ func corpusArtifacts() []*Artifact {
 			Footprint: 128 << 10,
 			Sched:     Schedule{Sabotage: true, Rounds: []Round{{Ops: 80}}}},
 			Verdict: Fail, Detail: "SILENT CORRUPTION: addr 0x40 differs"},
+		// The replay-under-torn-write boundary case (see repro_test.go):
+		// a degraded-mode ReplayData strike under torn-crash media that
+		// must arbitrate to a replay-shaped quarantine.
+		reproReplayUnderTornWrite(),
 	}
 }
 

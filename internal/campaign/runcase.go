@@ -45,6 +45,10 @@ const (
 	// SkippedCrash: the armed crash point was never reached; the case ran
 	// as a pure workload window and verified clean.
 	SkippedCrash
+	// DetectedQuarantine: degraded recovery quarantined damage that no
+	// recorded media evidence explains — replay-shaped or ambiguous — and
+	// the fence (or the degradation report itself) surfaced the detection.
+	DetectedQuarantine
 	// Fail is a contract violation; the case emits a repro artifact.
 	Fail
 	numVerdicts
@@ -52,7 +56,7 @@ const (
 
 var verdictNames = [numVerdicts]string{
 	"clean", "neutralized", "detected-runtime", "detected-recovery",
-	"no-recovery", "degraded-loss", "skipped-crash", "FAIL",
+	"no-recovery", "degraded-loss", "skipped-crash", "detected-quarantine", "FAIL",
 }
 
 func (v Verdict) String() string {
@@ -196,8 +200,10 @@ func RunCase(c Case) CaseResult {
 		r.shadow[a] = b
 		r.adversarial = true
 	}
-	if r.detected == 0 || r.detected == DetectedRuntime {
-		// Final full readback (detection at recovery ends the case earlier).
+	if r.detected == 0 || r.detected == DetectedRuntime || r.detected == DetectedQuarantine {
+		// Final full readback (detection at recovery ends the case earlier;
+		// a quarantine verdict keeps running — re-admission is part of the
+		// lifecycle under test).
 		r.verify()
 		if r.detected == Fail {
 			return CaseResult{Fail, r.detail}
@@ -322,8 +328,10 @@ func (r *caseRun) recoverAll(rd *Round) bool {
 				step = 1
 			}
 			c.SetFaultHooks(crashfuzz.NewInjector(memctrl.EvRecoveryStep, step))
+			var rrep memctrl.RecoveryReport
 			rc, err := crashfuzz.CatchRecoveryCrash(func() error {
-				_, e := c.Recover()
+				rp, e := c.Recover()
+				rrep = rp
 				return e
 			})
 			c.SetFaultHooks(nil)
@@ -342,10 +350,16 @@ func (r *caseRun) recoverAll(rd *Round) bool {
 			if r.classifyRecovery(err) {
 				return true
 			}
+			if r.noteQuarantine(&rrep) {
+				return true
+			}
 			continue
 		}
-		_, err := c.Recover()
+		rep, err := c.Recover()
 		if r.classifyRecovery(err) {
+			return true
+		}
+		if r.noteQuarantine(&rep) {
 			return true
 		}
 	}
@@ -386,6 +400,32 @@ func (r *caseRun) classifyRecovery(err error) bool {
 // media faults with tearing count.
 func (r *caseRun) damageExplainsIntegrity() bool {
 	return r.damaged || r.mediaHit
+}
+
+// noteQuarantine folds a successful recovery's degradation report into the
+// case state: a quarantine verdict no recorded media evidence supports is
+// the detection of replay-shaped damage, and classifies the case even when
+// no later read ever touches the fence. true ends the case (quarantining
+// genuinely undamaged state is a contract violation).
+func (r *caseRun) noteQuarantine(rep *memctrl.RecoveryReport) bool {
+	if !rep.Degradation.ReplayShaped() {
+		return false
+	}
+	if !r.damageExplainsIntegrity() {
+		r.fail(fmt.Sprintf("recovery quarantined undamaged state: %+v", rep.Degradation.Records))
+		return true
+	}
+	if r.detected == 0 || r.detected == DetectedRuntime {
+		for _, rec := range rep.Degradation.Records {
+			if !rec.Cause.MediaExplained() {
+				r.detected = DetectedQuarantine
+				r.detail = fmt.Sprintf("recovery quarantined level %d index %d (cause %s, evidence %s)",
+					rec.Node.Level, rec.Node.Index, rec.Cause, rec.Evidence)
+				break
+			}
+		}
+	}
+	return false
 }
 
 // drive executes one workload request against the routed channel,
@@ -432,7 +472,33 @@ func (r *caseRun) driveWrite(addr uint64) bool {
 // classifyReadError folds one failing read into the case state; false ends
 // the case.
 func (r *caseRun) classifyReadError(addr uint64, err error) bool {
+	var qe *memctrl.QuarantineError
 	switch {
+	case errors.As(err, &qe):
+		// The quarantine fence carries its arbitration verdict. NOTE: this
+		// arm must precede structuredMedia — QuarantineError unwraps to
+		// ErrMediaFault for legacy classification.
+		if qe.Cause.MediaExplained() {
+			// Media-explained quarantine is bounded degraded loss, and only
+			// real media damage may produce it.
+			if !r.mediaHit {
+				r.fail(fmt.Sprintf("read %#x quarantined on clean media: %v", addr, err))
+				return false
+			}
+			r.mediaLost++
+			return true
+		}
+		// A detection-class fence (replay-shaped, ambiguous) is legitimate
+		// whenever any integrity damage landed — scheduled tampers included;
+		// quarantining genuinely undamaged state is a contract violation.
+		if !r.damageExplainsIntegrity() {
+			r.fail(fmt.Sprintf("read %#x quarantined undamaged state: %v", addr, err))
+			return false
+		}
+		if r.detected == 0 || r.detected == DetectedRuntime {
+			r.detected, r.detail = DetectedQuarantine, err.Error()
+		}
+		return true
 	case structuredMedia(err):
 		if !r.mediaHit {
 			r.fail(fmt.Sprintf("read %#x media fault on clean media: %v", addr, err))

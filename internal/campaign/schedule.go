@@ -81,7 +81,7 @@ func drawSchedule(r *rng.Source, cfg *Config) Schedule {
 			TornOnCrash:      float64(r.Intn(3)) * 0.25,
 		}
 	}
-	s.Degraded = r.Bool(0.5)
+	s.Degraded = r.Bool(0.5) || cfg.ForceDegraded
 	rounds := 1 + r.Intn(cfg.MaxRounds)
 	for i := 0; i < rounds; i++ {
 		rd := Round{Ops: uint32(cfg.OpsPerRound/2 + r.Intn(cfg.OpsPerRound))}
@@ -106,24 +106,23 @@ func drawSchedule(r *rng.Source, cfg *Config) Schedule {
 				rd.RecrashStep = uint32(1 + r.Intn(40))
 				rd.RecrashChan = uint8(r.Intn(8))
 			}
-			// Deliberate tamper is only scheduled on strict-mode cases.
-			// Degraded recovery intentionally relaxes the exact LInc
-			// equalities when media damage makes level increments
-			// unknowable, and that relaxation is exploitable: an attacker
-			// who replays an authentic stale (ciphertext, tag) pair while
-			// media damage is being healed around it regresses the
-			// recovered counter without tripping the relaxed replay check —
-			// stale data then verifies. Strict mode detects exactly this
-			// (trust-base LInc mismatch), so the adversarial cases run
-			// strict; degraded cases keep the full media-fault arsenal.
-			// The campaign found this boundary; DESIGN.md documents it.
-			if !s.Degraded {
-				for r.Bool(0.35) && len(rd.Tampers) < 3 {
-					rd.Tampers = append(rd.Tampers, Tamper{
-						Scenario:  uint8(tamperScenarios[r.Intn(len(tamperScenarios))]),
-						TargetIdx: uint32(r.Intn(1 << 16)),
-					})
-				}
+			// Deliberate tamper is scheduled in BOTH strict and degraded
+			// modes. Strict mode detects replayed authentic-stale state
+			// through the exact trust-base LInc equalities. Degraded mode
+			// used to forgive those equalities wholesale whenever media
+			// damage made level increments unknowable — an exploitable
+			// boundary this campaign found: a replay injected while damage
+			// healed around it regressed the recovered counter without
+			// tripping the relaxed check, and stale data verified silently.
+			// Evidence arbitration closed it: a regression with no recorded
+			// media evidence now quarantines as replay-shaped
+			// (detected-quarantine), so degraded cases run the full
+			// adversarial arsenal too. DESIGN.md tells the story.
+			for r.Bool(0.35) && len(rd.Tampers) < 3 {
+				rd.Tampers = append(rd.Tampers, Tamper{
+					Scenario:  uint8(tamperScenarios[r.Intn(len(tamperScenarios))]),
+					TargetIdx: uint32(r.Intn(1 << 16)),
+				})
 			}
 			if r.Bool(0.2) {
 				rd.FlipNodes = uint8(1 + r.Intn(2))

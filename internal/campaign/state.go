@@ -30,6 +30,7 @@ type savedConfig struct {
 	MaxRounds      int
 	SelfCheckEvery int
 	MinimizeBudget int
+	ForceDegraded  bool
 }
 
 func (s savedConfig) config() Config {
@@ -38,6 +39,7 @@ func (s savedConfig) config() Config {
 		Workloads: s.Workloads, FootprintBytes: s.FootprintBytes,
 		OpsPerRound: s.OpsPerRound, MaxRounds: s.MaxRounds,
 		SelfCheckEvery: s.SelfCheckEvery, MinimizeBudget: s.MinimizeBudget,
+		ForceDegraded: s.ForceDegraded,
 	}
 }
 
@@ -47,6 +49,7 @@ func saved(cfg *Config) savedConfig {
 		Workloads: cfg.Workloads, FootprintBytes: cfg.FootprintBytes,
 		OpsPerRound: cfg.OpsPerRound, MaxRounds: cfg.MaxRounds,
 		SelfCheckEvery: cfg.SelfCheckEvery, MinimizeBudget: cfg.MinimizeBudget,
+		ForceDegraded: cfg.ForceDegraded,
 	}
 }
 

@@ -4,10 +4,12 @@
 //
 // The tag models the HMAC stored alongside each data block in the ECC bits
 // of the DIMM (Synergy-style, so it costs no extra NVM access). Following
-// §II-D, in split-counter mode the tag also embeds a copy of the leaf's
-// major counter; for general-counter leaves it embeds the low bits of the
-// encryption counter as the analogous recovery hint, which bounds the
-// Osiris-style counter search during leaf recovery to a single candidate.
+// §II-D, in split-counter mode the tag also embeds a copy of the block's
+// encryption counter (the paper stores the major; carrying the minor bits
+// too lets degraded recovery pin a media-destroyed block's exact counter);
+// for general-counter leaves it embeds the low bits of the encryption
+// counter as the analogous recovery hint, which bounds the Osiris-style
+// counter search during leaf recovery to a single candidate.
 package cme
 
 import (
@@ -19,7 +21,7 @@ import (
 // line (ECC bits): a truncated HMAC plus the counter recovery hint.
 type Tag struct {
 	MAC     uint64 // truncated HMAC over (ciphertext, address, counter)
-	Hint    uint64 // SC: leaf major counter; GC: low 16 bits of the counter
+	Hint    uint64 // SC: full encryption counter; GC: low 16 bits of the counter
 	Written bool   // whether the block has ever been written
 }
 
@@ -75,13 +77,17 @@ func (e *Engine) TagGC(ct *[64]byte, addr, encCounter uint64) Tag {
 	}
 }
 
-// TagSC builds the tag for a ciphertext written under a split leaf; major
-// is the leaf's major counter (§II-D stores it in the data block's HMAC
-// field for recovery).
+// TagSC builds the tag for a ciphertext written under a split leaf. §II-D
+// stores the leaf's major counter in the data block's HMAC field for
+// recovery; the hint here carries the full encryption counter (major and
+// minor — the minor rides in the same reserved ECC bits the general-counter
+// hint uses), so a block whose ciphertext the media destroyed still pins
+// its exact counter. Consumers recover the major as Hint >> minor-width.
 func (e *Engine) TagSC(ct *[64]byte, addr, encCounter, major uint64) Tag {
+	_ = major // layout knowledge stays with the caller; the hint is the full counter
 	return Tag{
 		MAC:     sit.DataMACInto(&e.msg, e.MAC, e.Key, addr, ct, encCounter),
-		Hint:    major,
+		Hint:    encCounter,
 		Written: true,
 	}
 }
@@ -97,14 +103,14 @@ func (e *Engine) QueueTagGC(dst *Tag, ct *[64]byte, addr, encCounter uint64) {
 	e.queueTag(dst, ct, addr, encCounter, encCounter&GCHintMask)
 }
 
-// QueueTagSC is QueueTagGC for split-counter tags; major is the leaf's
-// major counter stored as the recovery hint.
+// QueueTagSC is QueueTagGC for split-counter tags; the full encryption
+// counter is stored as the recovery hint (see TagSC).
 func (e *Engine) QueueTagSC(dst *Tag, ct *[64]byte, addr, encCounter, major uint64) {
 	if e.BatchWindow <= 1 {
 		*dst = e.TagSC(ct, addr, encCounter, major)
 		return
 	}
-	e.queueTag(dst, ct, addr, encCounter, major)
+	e.queueTag(dst, ct, addr, encCounter, encCounter)
 }
 
 func (e *Engine) queueTag(dst *Tag, ct *[64]byte, addr, encCounter, hint uint64) {
@@ -168,6 +174,19 @@ func (e *Engine) Verify(ct *[64]byte, addr, encCounter uint64, tag Tag) bool {
 	return tag.Written && sit.DataMACInto(&e.msg, e.MAC, e.Key, addr, ct, encCounter) == tag.MAC
 }
 
+// CandidateGC returns the unique counter >= stale whose low bits equal the
+// general-counter tag hint. The controller's write-through guard keeps the
+// unflushed advance below the hint modulus, so when the stale base is an
+// authentic current image this candidate IS the block's true counter —
+// pure arithmetic, usable even when the ciphertext itself is destroyed.
+func CandidateGC(stale, hint uint64) uint64 {
+	cand := stale&^uint64(GCHintMask) | hint
+	if cand < stale {
+		cand += GCHintMask + 1
+	}
+	return cand
+}
+
 // RecoverCounterGC restores the encryption counter of a persisted data
 // block whose leaf counter was lost: the unique candidate >= stale whose
 // low bits equal the tag hint is checked against the MAC. macOps reports
@@ -176,24 +195,43 @@ func (e *Engine) RecoverCounterGC(ct *[64]byte, addr uint64, tag Tag, stale uint
 	if !tag.Written {
 		return stale, 0, true // never written since initialisation
 	}
-	cand := stale&^uint64(GCHintMask) | tag.Hint
-	if cand < stale {
-		cand += GCHintMask + 1
-	}
+	cand := CandidateGC(stale, tag.Hint)
 	if sit.DataMAC(e.MAC, e.Key, addr, ct, cand) == tag.MAC {
 		return cand, 1, true
 	}
 	return 0, 1, false
 }
 
+// SearchCounterGC restores a general-counter block with NO trusted stale
+// base (the leaf image was torn, bit-flipped or replayed): every counter
+// congruent to the tag hint is tried from the smallest upward, capped at
+// steps candidates. A hit is exact — the MAC binds (ciphertext, address,
+// counter) — so an intact data block survives the loss of its leaf image.
+func (e *Engine) SearchCounterGC(ct *[64]byte, addr uint64, tag Tag, steps int) (ctr uint64, macOps uint64, ok bool) {
+	if !tag.Written {
+		return 0, 0, true
+	}
+	cand := tag.Hint
+	for j := 0; j < steps; j++ {
+		macOps++
+		if sit.DataMAC(e.MAC, e.Key, addr, ct, cand) == tag.MAC {
+			return cand, macOps, true
+		}
+		cand += GCHintMask + 1
+	}
+	return 0, macOps, false
+}
+
 // RecoverCounterSC restores the (major, minor) encryption counter of a
-// block covered by a split leaf: the major comes from the tag hint, the
-// minor from an Osiris-style search over its 64 possible values.
+// block covered by a split leaf: the major comes from the high bits of the
+// tag hint, the minor from an Osiris-style search over its 64 possible
+// values (the search is the §IV-D recovery cost the paper models; the
+// hint's own minor bits only matter when the ciphertext is unverifiable).
 func (e *Engine) RecoverCounterSC(ct *[64]byte, addr uint64, tag Tag, staleMinor uint8) (major uint64, minor uint8, macOps uint64, ok bool) {
 	if !tag.Written {
 		return 0, staleMinor, 0, true
 	}
-	major = tag.Hint
+	major = tag.Hint >> 6
 	for m := 0; m < 64; m++ {
 		macOps++
 		enc := major<<6 | uint64(m)

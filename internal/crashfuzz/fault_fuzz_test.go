@@ -13,14 +13,19 @@ import (
 // with a structured media/integrity verdict, and recovery either absorbs
 // damage (degraded mode) or rejects it with a classified error.
 func FuzzFaultRecovery(f *testing.F) {
-	f.Add(uint64(1), uint8(0), uint16(20), uint8(25), true, false, uint8(0))
-	f.Add(uint64(2), uint8(1), uint16(0), uint8(0), false, true, uint8(3))
-	f.Add(uint64(3), uint8(3), uint16(45), uint8(100), true, true, uint8(1))
-	f.Add(uint64(4), uint8(6), uint16(10), uint8(50), false, false, uint8(0))
-	f.Add(uint64(5), uint8(4), uint16(5), uint8(0), true, true, uint8(2))
+	f.Add(uint64(1), uint8(0), uint16(20), uint8(25), true, false, uint8(0), uint8(0))
+	f.Add(uint64(2), uint8(1), uint16(0), uint8(0), false, true, uint8(3), uint8(0))
+	f.Add(uint64(3), uint8(3), uint16(45), uint8(100), true, true, uint8(1), uint8(0))
+	f.Add(uint64(4), uint8(6), uint16(10), uint8(50), false, false, uint8(0), uint8(0))
+	f.Add(uint64(5), uint8(4), uint16(5), uint8(0), true, true, uint8(2), uint8(0))
+	// Replay-under-torn-write: the boundary the campaign found. An
+	// authentic-stale replay lands while torn-line damage heals around it;
+	// degraded recovery must arbitrate the regression to a replay-shaped
+	// quarantine, not forgive it as media loss.
+	f.Add(uint64(6), uint8(0), uint16(3), uint8(20), true, true, uint8(1), uint8(2))
 
 	f.Fuzz(func(t *testing.T, seed uint64, schemeIdx uint8, tmilli uint16, doublePct uint8,
-		torn, degraded bool, corrupt uint8) {
+		torn, degraded bool, corrupt, replay uint8) {
 		names := SchemeNames()
 		scheme := names[int(schemeIdx)%len(names)]
 		cfg := FaultFuzzConfig{
@@ -38,14 +43,15 @@ func FuzzFaultRecovery(f *testing.F) {
 				StuckPerWrite:    float64(tmilli%50) / 1e5,
 			},
 			CorruptNodes: int(corrupt % 4),
+			ReplayLeaves: int(replay % 4),
 			Degraded:     degraded,
 		}
 		if torn {
 			cfg.Faults.TornOnCrash = 0.5
 		}
 		if _, err := RunFaults(cfg); err != nil {
-			t.Fatalf("seed %d %s transient=%d double=%d torn=%v degraded=%v corrupt=%d: %v",
-				seed, scheme, tmilli, doublePct, torn, degraded, corrupt, err)
+			t.Fatalf("seed %d %s transient=%d double=%d torn=%v degraded=%v corrupt=%d replay=%d: %v",
+				seed, scheme, tmilli, doublePct, torn, degraded, corrupt, replay, err)
 		}
 	})
 }

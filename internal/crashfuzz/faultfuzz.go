@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"steins/internal/attack"
 	"steins/internal/memctrl"
 	"steins/internal/nvmem"
 	"steins/internal/rng"
@@ -27,6 +28,12 @@ type FaultFuzzConfig struct {
 	// recovery time. Pair it with Degraded so recovery can heal or
 	// quarantine instead of rejecting outright.
 	CorruptNodes int
+	// ReplayLeaves restores that many authentic-stale (ciphertext, tag)
+	// pairs after every crash — the §II-A replay attacker striking while
+	// media damage heals around it. Strict recovery detects the regression
+	// through the exact trust-base equalities; degraded recovery must
+	// arbitrate it to a replay-shaped quarantine, never forgive it.
+	ReplayLeaves int
 	// Degraded enables the controllers' degraded-recovery mode (heal from
 	// children where the scheme supports it, quarantine otherwise).
 	Degraded bool
@@ -50,6 +57,7 @@ type FaultReport struct {
 	IntegrityLost uint64 // readbacks failing with a tamper/replay violation
 
 	NodesCorrupted     int    // interior node lines bit-flipped at crashes
+	LeavesReplayed     int    // authentic-stale data lines restored at crashes
 	Healed             int    // nodes degraded recovery healed in place
 	Quarantined        int    // subtree roots degraded recovery fenced off
 	DataLossBoundBytes uint64 // summed quarantine coverage
@@ -66,9 +74,9 @@ func (r *FaultReport) String() string {
 	s := fmt.Sprintf("%s/%s seed=%d: %d rounds, %d ops, faults r/w %d/%d, verified %d (media lost %d, integrity lost %d)",
 		r.Scheme, r.Workload, r.Seed, r.Rounds, r.Ops,
 		r.ReadFaults, r.WriteFaults, r.LinesVerified, r.MediaLost, r.IntegrityLost)
-	if r.NodesCorrupted > 0 || r.Healed > 0 || r.Quarantined > 0 {
-		s += fmt.Sprintf("; corrupted %d nodes → healed %d, quarantined %d (loss bound %d B)",
-			r.NodesCorrupted, r.Healed, r.Quarantined, r.DataLossBoundBytes)
+	if r.NodesCorrupted > 0 || r.LeavesReplayed > 0 || r.Healed > 0 || r.Quarantined > 0 {
+		s += fmt.Sprintf("; corrupted %d nodes, replayed %d lines → healed %d, quarantined %d (loss bound %d B)",
+			r.NodesCorrupted, r.LeavesReplayed, r.Healed, r.Quarantined, r.DataLossBoundBytes)
 	}
 	if r.RecoveryRejected != "" {
 		s += "; recovery rejected damaged state: " + r.RecoveryRejected
@@ -171,12 +179,24 @@ func (f *faultFuzzer) round(round int) (bool, error) {
 		f.rep.Ops++
 	}
 
+	replays, err := f.armReplays(round)
+	if err != nil {
+		return false, err
+	}
+
 	f.sys.Crash()
 	if f.cfg.CorruptNodes > 0 {
 		if c, ok := f.sys.(interface {
 			corruptInteriorNodes(*rng.Source, int) int
 		}); ok {
 			f.rep.NodesCorrupted += c.corruptInteriorNodes(f.r, f.cfg.CorruptNodes)
+		}
+	}
+	if len(replays) > 0 {
+		ctl := f.sys.(interface{ controller() *memctrl.Controller }).controller()
+		for _, p := range replays {
+			attack.Inject(ctl, attack.ReplayData, p.addr, p.mat)
+			f.rep.LeavesReplayed++
 		}
 	}
 
@@ -205,6 +225,46 @@ func (f *faultFuzzer) round(round int) (bool, error) {
 		return true, nil
 	}
 	return false, f.verify(round)
+}
+
+// replayPlan is one armed replay: material captured from the device before
+// a staling write, ready to restore after the crash.
+type replayPlan struct {
+	addr uint64
+	mat  attack.Material
+}
+
+// armReplays captures authentic-stale replay material for ReplayLeaves
+// shadowed lines and advances each target past the captured state with one
+// extra write, so by crash time the material is genuinely stale — exactly
+// what the §II-A replay attacker holds. Runs before the crash; the plans
+// are injected after it.
+func (f *faultFuzzer) armReplays(round int) ([]replayPlan, error) {
+	if f.cfg.ReplayLeaves <= 0 || len(f.shadow) == 0 {
+		return nil, nil
+	}
+	ctl, ok := f.sys.(interface{ controller() *memctrl.Controller })
+	if !ok {
+		return nil, nil // BMT reference system: no tag plane to capture
+	}
+	addrs := make([]uint64, 0, len(f.shadow))
+	for addr := range f.shadow {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var plans []replayPlan
+	for i := 0; i < f.cfg.ReplayLeaves; i++ {
+		addr := addrs[f.r.Intn(len(addrs))]
+		mat := attack.Capture(ctl.controller(), addr)
+		if err := f.drive(round, trace.Op{Addr: addr, IsWrite: true, Gap: 1}); err != nil {
+			return nil, err
+		}
+		if _, held := f.shadow[addr]; !held {
+			continue // staling write was rejected; nothing stale to replay
+		}
+		plans = append(plans, replayPlan{addr: addr, mat: mat})
+	}
+	return plans, nil
 }
 
 // drive executes one request. Structured media rejections are tolerated

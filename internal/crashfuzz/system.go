@@ -135,6 +135,10 @@ func (s *sitSystem) VerifyPersisted() error                      { return s.c.Ve
 // breakdown) to the fault fuzzer.
 func (s *sitSystem) recoverFull() (memctrl.RecoveryReport, error) { return s.c.Recover() }
 
+// controller exposes the raw controller to harnesses that inject attack
+// scenarios (replay material capture needs tag access, not just the device).
+func (s *sitSystem) controller() *memctrl.Controller { return s.c }
+
 // corruptInteriorNodes flips one bit in up to n distinct populated
 // interior SIT node lines, chosen deterministically from r, modelling
 // media damage to persisted metadata discovered at recovery time. It
@@ -159,7 +163,11 @@ func (s *sitSystem) corruptInteriorNodes(r *rng.Source, n int) int {
 		line := dev.Peek(addr)
 		bit := r.Intn(nvmem.LineSize * 8)
 		line[bit/8] ^= 1 << (bit % 8)
-		dev.Poke(addr, line)
+		// CorruptLine, not Poke: this harness models media decay, so the
+		// damage must leave the evidence trail degraded recovery arbitrates
+		// against (an evidence-free flip is tamper-shaped and quarantines
+		// instead of healing).
+		dev.CorruptLine(addr, line)
 	}
 	return hit
 }

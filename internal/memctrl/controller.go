@@ -50,6 +50,15 @@ type Controller struct {
 	// common fault-free run never touches it.
 	quarBits []uint64
 	quarN    int
+	// quarInfo carries each quarantined leaf's arbitration record (root,
+	// cause, evidence); readmit tracks data slots freshly rewritten under a
+	// quarantined leaf (bit i = slot i re-admitted). Both nil until used.
+	quarInfo map[uint64]quarInfo
+	readmit  map[uint64]uint64
+	// escalated is the controller's persistent RAS log: per-line counts of
+	// reads that exhausted the retry budget. Unlike the quarantine verdict
+	// it survives crashes — it is media evidence, not a recovery decision.
+	escalated map[uint64]uint64
 
 	// crashed/recovered/lastRecovery make Recover idempotent: a repeated
 	// call after a completed recovery replays the cached report instead of
@@ -229,6 +238,10 @@ func (c *Controller) ReadLineRetried(at uint64, addr uint64, cls nvmem.Class) (n
 		}
 	}
 	c.stats.MediaEscalated++
+	if c.escalated == nil {
+		c.escalated = make(map[uint64]uint64)
+	}
+	c.escalated[addr]++
 	return line, lat, &MediaFault{Addr: addr, Err: err}
 }
 
@@ -288,25 +301,6 @@ func (c *Controller) LeafQuarantined(index uint64) bool {
 
 // QuarantinedLeaves returns the number of quarantined leaves.
 func (c *Controller) QuarantinedLeaves() int { return c.quarN }
-
-// QuarantineSubtree fences off the data coverage of the subtree rooted at
-// (level, index): every covered leaf is quarantined and the degradation
-// report records the root and the resulting data-loss bound. Schemes call
-// it when degraded recovery gives up on a region.
-func (c *Controller) QuarantineSubtree(level int, index uint64, d *DegradationReport) {
-	geo := &c.lay.Geo
-	span := uint64(1)
-	for k := 0; k < level; k++ {
-		span *= counter.Arity
-	}
-	lo := index * span
-	hi := min(lo+span, geo.LevelNodes[0])
-	for leaf := lo; leaf < hi; leaf++ {
-		c.QuarantineLeaf(leaf)
-	}
-	d.Quarantined = append(d.Quarantined, NodeRef{Level: level, Index: index})
-	d.DataLossBoundBytes += (hi - lo) * geo.LeafCover * nvmem.LineSize
-}
 
 // --- metadata fetch ----------------------------------------------------------
 
@@ -458,9 +452,30 @@ func (c *Controller) SealAndWriteNode(n *sit.Node, parentCounter uint64) uint64 
 	n.SetHMAC(c.NodeMAC(n, parentCounter))
 	addr := c.lay.Geo.NodeAddr(n.Level, n.Index)
 	stall := c.dev.MustWrite(c.reqStart, addr, nvmem.Line(n.Encode()), nvmem.ClassMeta)
+	n.WritesSinceFlush = 0
 	c.Attribute(metrics.PhaseVerify, lat)
 	c.Attribute(metrics.PhaseWriteDrain, stall)
 	return lat + stall
+}
+
+// WriteThroughNode persists a dirty cached node through the scheme's
+// normal write-back path but keeps the (already trusted) copy resident
+// and clean. Unlike FlushNode it does not invalidate the entry, so later
+// accesses are served from cache rather than re-fetched through a parent
+// chain that may not have resealed yet — a quarantined branch stays
+// readable through its re-admitted slots while the deferred parent
+// updates drain.
+func (c *Controller) WriteThroughNode(e *cache.Entry[*sit.Node]) (uint64, error) {
+	if !e.Dirty {
+		return 0, nil
+	}
+	e.Dirty = false
+	cycles, err := c.EvictDirtyNode(e.Payload)
+	if err != nil {
+		e.Dirty = true
+		return cycles, err
+	}
+	return cycles, nil
 }
 
 // ClassicEvict is the classic SIT write-back shared by WB, ASIT and STAR:
@@ -539,10 +554,14 @@ func (c *Controller) Crash() {
 	// In-flight eviction tracking is volatile controller state; a crash
 	// aborting a recovery pass can leave entries behind.
 	c.evicting = c.evicting[:0]
-	// Quarantine is a recovery-time verdict; the next recovery pass
-	// re-evaluates the damage from scratch.
-	clear(c.quarBits)
-	c.quarN = 0
+	// The quarantine fence, its arbitration records and the re-admission
+	// masks are durable on-chip state (the same NV class as the escalation
+	// log): a verdict must outlive the crash that follows it, or a
+	// replay-shaped fence detected purely through the LInc shortfall —
+	// which recovery rebases once the verdict is rendered — would vanish
+	// and the condemned data would be served as authentic. The next
+	// recovery pass still re-arbitrates whatever damage remains on the
+	// media; re-derived verdicts simply land on the same fence.
 	c.crashed = true
 }
 

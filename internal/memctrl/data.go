@@ -11,9 +11,7 @@ import (
 )
 
 // checkDataAddr validates a user-data address, returning a wrapped
-// nvmem.ErrUnaligned/ErrOutOfRange on violation. A quarantined address
-// fails with a *MediaFault: its covering metadata was lost to degraded
-// recovery.
+// nvmem.ErrUnaligned/ErrOutOfRange on violation.
 func (c *Controller) checkDataAddr(addr uint64) error {
 	if addr%nvmem.LineSize != 0 {
 		return fmt.Errorf("memctrl: %w: data address %#x", nvmem.ErrUnaligned, addr)
@@ -22,10 +20,22 @@ func (c *Controller) checkDataAddr(addr uint64) error {
 		return fmt.Errorf("memctrl: %w: data address %#x outside %#x data bytes",
 			nvmem.ErrOutOfRange, addr, c.cfg.DataBytes)
 	}
+	return nil
+}
+
+// checkReadAddr is checkDataAddr plus the quarantine fence: a read under a
+// quarantined leaf fails fast with a typed *QuarantineError carrying the
+// arbitration verdict, unless a fresh write already re-admitted this slot.
+// Writes are deliberately not fenced — a fresh write is the re-admission
+// path.
+func (c *Controller) checkReadAddr(addr uint64) error {
+	if err := c.checkDataAddr(addr); err != nil {
+		return err
+	}
 	if c.quarN > 0 {
-		if leaf, _ := c.lay.Geo.LeafOfData(addr); c.LeafQuarantined(leaf) {
+		if leaf, slot := c.lay.Geo.LeafOfData(addr); c.LeafQuarantined(leaf) && !c.slotReadmitted(leaf, slot) {
 			c.stats.MediaUnrecoverable++
-			return &MediaFault{Addr: addr, Quarantined: true}
+			return c.quarantineError(addr, leaf)
 		}
 	}
 	return nil
@@ -42,7 +52,18 @@ func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
 	c.arrive(gap)
 	var cycles uint64
 	leaf, slot := c.lay.Geo.LeafOfData(addr)
-	le, fc, err := c.FetchNode(0, leaf)
+	readmitting := c.quarN > 0 && c.LeafQuarantined(leaf)
+	var le *cache.Entry[*sit.Node]
+	var fc uint64
+	var err error
+	if readmitting {
+		// Re-admission: a fresh write to a quarantined address adopts the
+		// condemned leaf as its counter base and reseals the branch
+		// bottom-up through the normal write-back machinery.
+		le, fc, err = c.readmitFetchLeaf(leaf)
+	} else {
+		le, fc, err = c.FetchNode(0, leaf)
+	}
 	cycles += fc
 	if err != nil {
 		c.completeWrite(cycles)
@@ -51,15 +72,32 @@ func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
 	wasClean := !le.Dirty
 	node := le.Payload
 	var encCtr, delta, major uint64
+	var skipped bool
 	if node.IsSplit {
-		var pre counter.Split
+		// The first re-admitted slot of a quarantine epoch skips the
+		// shared major past every encryption counter the condemned
+		// lineage could have sealed (its unflushed advance is bounded by
+		// WriteThroughEvery writes of at most 64 counter steps each,
+		// well under readmitCounterSkip·2^6): an adopted stale base must
+		// never reuse a counter an attacker may hold a captured (ct, tag)
+		// pair for. Later slots of the same epoch are covered by the
+		// same skip — the major never regresses.
+		skipped = readmitting && c.ReadmittedSlots(leaf) == 0
 		willOverflow := node.Split.Minor[slot] == counter.MinorMax
-		if willOverflow {
+		var pre counter.Split
+		if willOverflow || skipped {
 			pre = node.Split
 		}
-		delta, _ = node.Split.Increment(slot)
-		if willOverflow {
-			c.stats.Overflows++
+		if skipped {
+			node.Split.Major += readmitCounterSkip
+			delta += readmitCounterSkip * counter.MinorRange
+		}
+		d, _ := node.Split.Increment(slot)
+		delta += d
+		if willOverflow || skipped {
+			if willOverflow {
+				c.stats.Overflows++
+			}
 			rc, rerr := c.reencrypt(le, &pre, slot)
 			cycles += rc
 			if rerr != nil {
@@ -69,8 +107,16 @@ func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
 		}
 		encCtr, major = node.Split.EncCounter(slot), node.Split.Major
 	} else {
-		var wrapped bool
-		delta, wrapped = node.Gen.Increment(slot)
+		// Per-slot counters: every slot's first fresh write of a
+		// quarantine epoch takes its own skip (its neighbours' counters
+		// did not move with it).
+		if readmitting && !c.slotReadmitted(leaf, slot) {
+			node.Gen.C[slot] = (node.Gen.C[slot] + readmitCounterSkip) & counter.CounterMask
+			delta += readmitCounterSkip
+			skipped = true
+		}
+		d, wrapped := node.Gen.Increment(slot)
+		delta += d
 		if wrapped {
 			// The 342–685-year corner case of §III-B2: the system would
 			// re-key and rebuild the tree; the simulator surfaces it.
@@ -81,7 +127,13 @@ func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
 	}
 	le.Dirty = true
 	node.WritesSinceFlush++
-	writeThrough := c.cfg.WriteThroughEvery > 0 && node.WritesSinceFlush >= c.cfg.WriteThroughEvery
+	// A counter skip is flushed within the same (crash-atomic) request:
+	// the persisted leaf base then always bounds the unflushed counter
+	// advance by WriteThroughEvery < readmitCounterSkip, which is what
+	// makes both hint pinning and the next skip's freshness guarantee
+	// exact.
+	writeThrough := skipped ||
+		c.cfg.WriteThroughEvery > 0 && node.WritesSinceFlush >= c.cfg.WriteThroughEvery
 	cycles += c.policy.OnModify(le, wasClean, delta)
 	if c.cfg.EagerUpdate {
 		ec, eerr := c.eagerPropagate(leaf)
@@ -111,12 +163,28 @@ func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
 	stall := c.dev.MustWrite(c.reqStart+cycles, addr, nvmem.Line(ct), nvmem.ClassData)
 	c.Attribute(metrics.PhaseWriteDrain, stall)
 	cycles += stall
+	if readmitting {
+		// The slot now holds fresh data under a fresh counter and tag;
+		// lift its fence (and the whole leaf's once every slot is fresh).
+		c.readmitSlot(leaf, slot)
+	}
 	if writeThrough {
 		// §II-D write-through: persist the leaf (through the scheme's
 		// normal write-back) before its counters run beyond the recovery
 		// search window. The flush goes last so the captured encryption
-		// counter stays valid for this request.
-		wc, werr := c.FlushNode(0, leaf)
+		// counter stays valid for this request. A counter-skip flush
+		// keeps the trusted copy resident: on a quarantined branch the
+		// parent chain may not have resealed yet, and re-fetching
+		// through it would fail reads the re-admission just earned.
+		var wc uint64
+		var werr error
+		if e, ok := c.meta.Probe(c.lay.Geo.NodeAddr(0, leaf)); skipped && ok && e.Payload == node {
+			wc, werr = c.WriteThroughNode(e)
+		} else if !skipped {
+			wc, werr = c.FlushNode(0, leaf)
+		}
+		// A skipped leaf that already left the cache mid-request was
+		// persisted by that eviction; nothing more to flush.
 		cycles += wc
 		if werr != nil {
 			c.completeWrite(cycles)
@@ -131,7 +199,7 @@ func (c *Controller) WriteData(gap uint64, addr uint64, data [64]byte) error {
 // is generated in parallel with the NVM data fetch, hiding the decryption
 // latency when the counter hits in the metadata cache (§II-B).
 func (c *Controller) ReadData(gap uint64, addr uint64) ([64]byte, error) {
-	if err := c.checkDataAddr(addr); err != nil {
+	if err := c.checkReadAddr(addr); err != nil {
 		return [64]byte{}, err
 	}
 	c.arrive(gap)
@@ -217,6 +285,18 @@ func (c *Controller) reencrypt(le *cache.Entry[*sit.Node], pre *counter.Split, s
 		daddr := c.lay.Geo.DataAddr(node.Index, j)
 		tag := c.tagFor(daddr)
 		if !tag.Written {
+			continue
+		}
+		if c.quarN > 0 && c.LeafQuarantined(node.Index) && !c.slotReadmitted(node.Index, j) {
+			// Condemned coverage: the slot is fenced until freshly
+			// rewritten, so there is no plaintext to preserve (its old
+			// tag may not even verify). Reseal the raw bytes under the
+			// post-bump counter so the leaf's tags stay major-consistent
+			// for recovery; the fence still blocks every read.
+			ct := [64]byte(c.dev.Peek(daddr))
+			c.stats.HashOps++
+			c.eng.QueueTagSC(c.tags.Ptr(daddr/nvmem.LineSize), &ct, daddr,
+				node.Split.EncCounter(j), node.Split.Major)
 			continue
 		}
 		line, rlat, rerr := c.ReadLineRetried(c.reqStart+cycles, daddr, nvmem.ClassData)

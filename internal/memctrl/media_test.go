@@ -89,24 +89,57 @@ func TestQuarantinedLeafFailsFast(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.QuarantineLeaf(0)
+	var qe *memctrl.QuarantineError
 	if _, err := c.ReadData(1, 0); !errors.Is(err, memctrl.ErrMediaFault) {
 		t.Fatalf("read of quarantined leaf = %v, want ErrMediaFault", err)
+	} else if !errors.As(err, &qe) {
+		t.Fatalf("read of quarantined leaf = %v, want *QuarantineError", err)
+	} else if qe.Addr != 0 || qe.Leaf != 0 {
+		t.Fatalf("quarantine error names wrong target: %+v", qe)
 	}
-	if werr := c.WriteData(1, 0, pattern(0, 4)); !errors.Is(werr, memctrl.ErrMediaFault) {
-		t.Fatalf("write to quarantined leaf = %v, want ErrMediaFault", werr)
+	// A fresh write is the re-admission path: it succeeds and lifts the
+	// fence for exactly the written slot; the rest of the leaf stays fenced.
+	if werr := c.WriteData(1, 0, pattern(0, 4)); werr != nil {
+		t.Fatalf("re-admitting write = %v", werr)
+	}
+	if got, err := c.ReadData(1, 0); err != nil {
+		t.Fatalf("read of re-admitted slot: %v", err)
+	} else if got != pattern(0, 4) {
+		t.Fatal("re-admitted slot read back wrong data")
+	}
+	geo := &c.Layout().Geo
+	if _, err := c.ReadData(1, geo.DataAddr(0, 1)); !errors.Is(err, memctrl.ErrMediaFault) {
+		t.Fatalf("read beside re-admitted slot = %v, want ErrMediaFault", err)
 	}
 	if st := c.Stats(); st.MediaUnrecoverable != 2 {
 		t.Fatalf("MediaUnrecoverable = %d, want 2", st.MediaUnrecoverable)
 	}
 	// Uncovered addresses are unaffected.
-	other := c.Layout().Geo.DataAddr(1, 0)
+	other := geo.DataAddr(1, 0)
 	if err := c.WriteData(1, other, pattern(other, 5)); err != nil {
 		t.Fatalf("write outside quarantine: %v", err)
 	}
-	// A crash resets the quarantine; the next recovery re-derives it.
-	c.Crash()
+	// Rewriting every covered slot lifts the leaf's quarantine entirely.
+	for i := 0; i < int(geo.LeafCover); i++ {
+		a := geo.DataAddr(0, i)
+		if err := c.WriteData(1, a, pattern(a, 6)); err != nil {
+			t.Fatalf("rewrite slot %d: %v", i, err)
+		}
+	}
 	if c.LeafQuarantined(0) {
-		t.Fatal("quarantine survived the crash")
+		t.Fatal("quarantine not lifted after full rewrite")
+	}
+	if _, err := c.ReadData(1, geo.DataAddr(0, 1)); err != nil {
+		t.Fatalf("read after lift: %v", err)
+	}
+	// The fence is durable on-chip state: a verdict must outlive the
+	// crash that follows it, or a fence derived purely from the trust-base
+	// shortfall would vanish with the volatile state and the condemned
+	// data would read back as authentic.
+	c.QuarantineLeaf(1)
+	c.Crash()
+	if !c.LeafQuarantined(1) {
+		t.Fatal("quarantine did not survive the crash")
 	}
 }
 
@@ -116,5 +149,24 @@ func TestMediaStatsMergeAcrossControllers(t *testing.T) {
 	a.Merge(&b)
 	if a.MediaCorrected != 11 || a.MediaRetried != 22 || a.MediaEscalated != 33 || a.MediaUnrecoverable != 44 {
 		t.Fatalf("merged media stats wrong: %+v", a)
+	}
+}
+
+func TestArbitrateFailureSeesDataAddressZero(t *testing.T) {
+	// A data-block violation at address 0 must still have its data-line
+	// evidence consulted: 0 is a legitimate data address, not a "no data
+	// address" sentinel. A torn or uncorrectable line 0 used to arbitrate
+	// as ambiguous/replay-shaped, mass-fencing the whole level.
+	c := memctrl.New(testConfig(false), wb.Factory)
+	if err := c.WriteData(0, 0, pattern(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	c.Device().CorruptLine(0, nvmem.Line{})
+	cause, evidence := c.ArbitrateFailure(0, 0, memctrl.TamperData(0, "test"))
+	if cause != memctrl.CauseMediaECC {
+		t.Fatalf("ArbitrateFailure(data addr 0) cause = %v, want media-ecc", cause)
+	}
+	if evidence == "none" || evidence == "" {
+		t.Fatalf("ArbitrateFailure(data addr 0) evidence = %q, want recorded evidence", evidence)
 	}
 }

@@ -1,0 +1,413 @@
+// Evidence-arbitrated quarantine: the typed verdict layer degraded
+// recovery uses when it fences off a subtree instead of healing it. Every
+// quarantine carries a cause — which class of recorded media evidence (if
+// any) explains the damage — and an evidence summary, so callers can tell
+// a genuine media loss (torn line, stuck cells, escalated ECC) from
+// replay-shaped damage that no recorded fault explains. Reads under a
+// quarantined leaf fail fast with a *QuarantineError; a fresh write
+// re-admits the written slot, resealing the branch bottom-up through the
+// scheme's normal write-back machinery.
+
+package memctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"steins/internal/cache"
+	"steins/internal/cme"
+	"steins/internal/counter"
+	"steins/internal/nvmem"
+	"steins/internal/sit"
+)
+
+// QuarantineCause classifies what the recorded media evidence says about a
+// quarantined subtree's damage.
+type QuarantineCause uint8
+
+// Quarantine causes, ordered roughly by how directly the evidence explains
+// persistent damage.
+const (
+	// CauseUnknown is the zero value: the quarantining site recorded no
+	// arbitration (legacy paths, hand-built states).
+	CauseUnknown QuarantineCause = iota
+	// CauseMediaTorn: the damage sits on a line torn at the crash boundary.
+	CauseMediaTorn
+	// CauseMediaStuck: the damaged line carries sticky stuck-at cells.
+	CauseMediaStuck
+	// CauseMediaECC: the line logged detected-uncorrectable ECC events.
+	CauseMediaECC
+	// CauseMediaEscalated: reads of the line exhausted the retry budget.
+	CauseMediaEscalated
+	// CauseReplayShaped: the damage regressed state with NO supporting
+	// media evidence — the signature of an authentic-stale replay.
+	CauseReplayShaped
+	// CauseAmbiguous: damage that cannot be attributed to recorded media
+	// evidence but is not a clean regression either; ambiguity quarantines.
+	CauseAmbiguous
+	numCauses
+)
+
+var causeNames = [...]string{
+	"unknown", "media-torn", "media-stuck", "media-ecc", "media-escalated",
+	"replay-shaped", "ambiguous",
+}
+
+// String returns the cause name used in reports and CLI tables.
+func (c QuarantineCause) String() string {
+	if int(c) >= len(causeNames) {
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+	return causeNames[c]
+}
+
+// MediaExplained reports whether recorded media evidence explains the
+// damage; such quarantines are degraded data loss, not attack detection.
+func (c QuarantineCause) MediaExplained() bool {
+	switch c {
+	case CauseMediaTorn, CauseMediaStuck, CauseMediaECC, CauseMediaEscalated:
+		return true
+	}
+	return false
+}
+
+// EvidenceSummary combines the device's per-line fault ledger with the
+// controller-side retry-escalation record for one line.
+type EvidenceSummary struct {
+	nvmem.Evidence
+	// Escalated counts reads of this line that exhausted the retry budget
+	// (the controller's persistent RAS log; survives crashes like the
+	// machine-check logs it models).
+	Escalated uint64
+}
+
+// Persistent reports whether the evidence can explain persistent damage.
+func (e EvidenceSummary) Persistent() bool {
+	return e.Evidence.Persistent() || e.Escalated > 0
+}
+
+// String renders the combined summary; the zero value renders as "none".
+func (e EvidenceSummary) String() string {
+	s := e.Evidence.String()
+	if e.Escalated == 0 {
+		return s
+	}
+	esc := fmt.Sprintf("escalated×%d", e.Escalated)
+	if s == "none" {
+		return esc
+	}
+	return s + "+" + esc
+}
+
+// MediaCause maps an evidence summary to the quarantine cause it supports,
+// strongest class first; ok is false when nothing persistent was recorded.
+func MediaCause(e EvidenceSummary) (QuarantineCause, bool) {
+	switch {
+	case e.Torn:
+		return CauseMediaTorn, true
+	case e.Stuck:
+		return CauseMediaStuck, true
+	case e.Uncorrectable > 0:
+		return CauseMediaECC, true
+	case e.Escalated > 0:
+		return CauseMediaEscalated, true
+	}
+	return CauseUnknown, false
+}
+
+// EvidenceAt returns the recorded media evidence for the NVM line at addr.
+func (c *Controller) EvidenceAt(addr uint64) EvidenceSummary {
+	return EvidenceSummary{
+		Evidence:  c.dev.EvidenceFor(addr),
+		Escalated: c.escalated[addr],
+	}
+}
+
+// ArbitrateFailure attributes a recovery failure at a tree node against
+// recorded media evidence: first the node's own line, then — when the
+// failure names a specific data block — that data line. Damage some
+// persistent media fault explains is degraded loss; damage nothing explains
+// is replay-shaped (for replay-kind failures) or ambiguous (everything
+// else), and quarantines as attack-shaped either way. Shared by every
+// scheme's degraded recovery so cross-scheme verdicts stay comparable.
+func (c *Controller) ArbitrateFailure(level int, index uint64, err error) (QuarantineCause, string) {
+	ev := c.EvidenceAt(c.lay.Geo.NodeAddr(level, index))
+	if cause, ok := MediaCause(ev); ok {
+		return cause, ev.String()
+	}
+	var v *Violation
+	// Data-block violations are recognised by their site, not by a nonzero
+	// DataAddr: address 0 is a legitimate data line.
+	if errors.As(err, &v) && v.Where == "data block" {
+		dev := c.EvidenceAt(v.DataAddr)
+		if cause, ok := MediaCause(dev); ok {
+			return cause, dev.String()
+		}
+	}
+	if errors.Is(err, ErrMediaFault) {
+		return CauseMediaEscalated, ev.String()
+	}
+	if errors.Is(err, ErrReplay) {
+		return CauseReplayShaped, ev.String()
+	}
+	return CauseAmbiguous, ev.String()
+}
+
+// QuarantineError is the typed fail-fast error every access under a
+// quarantined (and not re-admitted) address returns, across all schemes.
+// It matches ErrMediaFault via errors.Is, so legacy structured-error
+// classification keeps working, and errors.As exposes the arbitration:
+// address, quarantine root, cause, and the evidence summary recorded when
+// the verdict was made.
+type QuarantineError struct {
+	// Addr is the data address the request targeted.
+	Addr uint64
+	// Leaf is the quarantined leaf index covering Addr.
+	Leaf uint64
+	// Root is the subtree root the quarantine was applied at.
+	Root NodeRef
+	// Cause is the arbitration verdict.
+	Cause QuarantineCause
+	// Evidence is the evidence summary recorded at quarantine time.
+	Evidence string
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("media fault: address %#x is quarantined by degraded recovery (cause %s, evidence %s)",
+		e.Addr, e.Cause, e.Evidence)
+}
+
+// Unwrap lets errors.Is(err, ErrMediaFault) classify the failure.
+func (e *QuarantineError) Unwrap() error { return ErrMediaFault }
+
+// quarInfo is the per-leaf arbitration record kept beside the quarantine
+// bitset.
+type quarInfo struct {
+	root     NodeRef
+	cause    QuarantineCause
+	evidence string
+}
+
+// QuarantineSubtree fences off the data coverage of the subtree rooted at
+// (level, index): every covered leaf is quarantined under the given cause
+// and evidence summary, and the degradation report records the root, the
+// arbitration, and the resulting data-loss bound. Schemes call it when
+// degraded recovery gives up on a region.
+func (c *Controller) QuarantineSubtree(level int, index uint64, cause QuarantineCause, evidence string, d *DegradationReport) {
+	geo := &c.lay.Geo
+	span := uint64(1)
+	for k := 0; k < level; k++ {
+		span *= counter.Arity
+	}
+	lo := index * span
+	hi := min(lo+span, geo.LevelNodes[0])
+	root := NodeRef{Level: level, Index: index}
+	if c.quarInfo == nil {
+		c.quarInfo = make(map[uint64]quarInfo)
+	}
+	for leaf := lo; leaf < hi; leaf++ {
+		c.QuarantineLeaf(leaf)
+		c.quarInfo[leaf] = quarInfo{root: root, cause: cause, evidence: evidence}
+		delete(c.readmit, leaf)
+	}
+	d.Quarantined = append(d.Quarantined, root)
+	d.Records = append(d.Records, QuarantineRecord{
+		Node: root, Cause: cause, Evidence: evidence,
+		DataLo: lo * geo.LeafCover * nvmem.LineSize,
+		DataHi: min(hi*geo.LeafCover*nvmem.LineSize, geo.DataBytes),
+	})
+	d.DataLossBoundBytes += (hi - lo) * geo.LeafCover * nvmem.LineSize
+}
+
+// QuarantineAll fences off the entire data coverage: one quarantine per
+// top-level subtree. Degraded recovery fails closed with it when an exact
+// conservation check (register residual, cache-tree root) says stale state
+// was replayed somewhere but cannot localise the replay — nothing recovered
+// can then be trusted individually, so everything is condemned and only
+// fresh writes re-admit.
+func (c *Controller) QuarantineAll(cause QuarantineCause, evidence string, d *DegradationReport) {
+	top := c.lay.Geo.Levels - 1
+	for idx := uint64(0); idx < c.lay.Geo.LevelNodes[top]; idx++ {
+		c.QuarantineSubtree(top, idx, cause, evidence, d)
+	}
+}
+
+// quarantineError builds the typed fail-fast error for a data access under
+// a quarantined leaf.
+func (c *Controller) quarantineError(addr, leaf uint64) *QuarantineError {
+	qe := &QuarantineError{Addr: addr, Leaf: leaf, Root: NodeRef{Level: 0, Index: leaf}}
+	if info, ok := c.quarInfo[leaf]; ok {
+		qe.Root, qe.Cause, qe.Evidence = info.root, info.cause, info.evidence
+	} else {
+		qe.Evidence = EvidenceSummary{}.String()
+	}
+	return qe
+}
+
+// LeafQuarantineRecord exposes one leaf's arbitration record (CLI tables,
+// tests); ok is false when the leaf is not quarantined.
+func (c *Controller) LeafQuarantineRecord(leaf uint64) (QuarantineRecord, bool) {
+	if !c.LeafQuarantined(leaf) {
+		return QuarantineRecord{}, false
+	}
+	rec := QuarantineRecord{Node: NodeRef{Level: 0, Index: leaf}}
+	if info, ok := c.quarInfo[leaf]; ok {
+		rec.Node, rec.Cause, rec.Evidence = info.root, info.cause, info.evidence
+	}
+	return rec, true
+}
+
+// --- re-admission ------------------------------------------------------------
+
+// readmitCounterSkip is how far a re-admission write advances the adopted
+// counter base beyond its persisted value before sealing fresh data. The
+// condemned lineage may have sealed tags at counters the adopted (stale)
+// leaf image never recorded — bounded by WriteThroughEvery unflushed
+// writes — and an attacker who captured such a (ct, tag) pair could
+// replay it over any reseal that reuses its counter, invisibly to every
+// conservation check because the reused counter is exactly the one the
+// accounting expects. Skipping by more than the unflushed-advance bound
+// (and flushing the skip in the same crash-atomic request) guarantees
+// every re-admitted seal uses a counter no lost lineage ever touched.
+// GCHintMask+1 also keeps GC hint congruence trivially intact.
+const readmitCounterSkip = cme.GCHintMask + 1
+
+// slotReadmitted reports whether the data slot under a quarantined leaf
+// has been freshly rewritten since the quarantine verdict.
+func (c *Controller) slotReadmitted(leaf uint64, slot int) bool {
+	return c.readmit[leaf]&(1<<uint(slot)) != 0
+}
+
+// readmitSlot records a fresh write to a quarantined leaf's data slot.
+// When every covered slot has been rewritten the leaf's quarantine is
+// fully lifted: the subtree was resealed bottom-up by the writes' normal
+// write-back path, and nothing condemned remains reachable.
+func (c *Controller) readmitSlot(leaf uint64, slot int) {
+	if c.readmit == nil {
+		c.readmit = make(map[uint64]uint64)
+	}
+	c.readmit[leaf] |= 1 << uint(slot)
+	full := uint64(1)<<c.lay.Geo.LeafCover - 1
+	if c.lay.Geo.LeafCover >= 64 {
+		full = ^uint64(0)
+	}
+	if c.readmit[leaf] == full {
+		c.liftQuarantine(leaf)
+	}
+}
+
+// liftQuarantine removes one leaf from the quarantine set entirely.
+func (c *Controller) liftQuarantine(leaf uint64) {
+	w, b := leaf/64, leaf%64
+	if c.quarBits != nil && c.quarBits[w]&(1<<b) != 0 {
+		c.quarBits[w] &^= 1 << b
+		c.quarN--
+	}
+	delete(c.quarInfo, leaf)
+	delete(c.readmit, leaf)
+}
+
+// ReadmittedSlots returns the readmit mask of a quarantined leaf (bit i =
+// data slot i freshly rewritten); zero when nothing was re-admitted.
+func (c *Controller) ReadmittedSlots(leaf uint64) uint64 { return c.readmit[leaf] }
+
+// AdoptReconciler is an optional policy interface. When re-admission
+// adopts a condemned leaf image that does NOT verify, the adopted FValue
+// differs from whatever the parent side vouches for the leaf — a gap the
+// scheme's increment accounting can never close on its own, because the
+// increments of the fresh writes count from the adopted base while the
+// parent-side chain still counts from the lost one. A scheme that keeps
+// such accounting implements ReconcileAdopted to move the parent side onto
+// the adopted FValue through its normal parent-update machinery, so the
+// reseal is exact and the next recovery's conservation law balances.
+type AdoptReconciler interface {
+	ReconcileAdopted(e *cache.Entry[*sit.Node]) uint64
+}
+
+// readmitFetchLeaf makes a condemned leaf writable again: it fetches the
+// leaf normally when the branch still verifies (an authentic-stale replay
+// is self-consistent, so this is the common replay-shaped case), and
+// otherwise adopts the leaf's stale NVM image without verification — the
+// copy is condemned either way, and the fresh write's normal write-back
+// reseals the branch bottom-up with honest increment deltas from the
+// adopted base.
+func (c *Controller) readmitFetchLeaf(leaf uint64) (*cache.Entry[*sit.Node], uint64, error) {
+	e, cyc, err := c.FetchNode(0, leaf)
+	if err == nil {
+		return e, cyc, nil
+	}
+	// The condemned image does not verify (media-shaped damage): adopt it
+	// as the counter base and mark it dirty through the policy funnel so
+	// the scheme re-establishes its tracking state (like the re-adopt path
+	// of EvictDirtyNode, the policy sees a clean->dirty transition).
+	node := c.StaleNode(0, leaf)
+	e, icyc, ierr := c.insertNode(c.lay.Geo.NodeAddr(0, leaf), node, true)
+	cyc += icyc
+	if ierr != nil {
+		return nil, cyc, ierr
+	}
+	e.Dirty = true
+	cyc += c.policy.OnModify(e, true, 0)
+	if ar, ok := c.policy.(AdoptReconciler); ok {
+		cyc += ar.ReconcileAdopted(e)
+	}
+	return e, cyc, nil
+}
+
+// NodeCondemned reports whether every leaf that tree node (level, index)
+// authenticates is quarantined. Such a node guards nothing readable: its
+// image may be arbitrarily damaged without any read depending on it, so a
+// scheme that must install a pending counter update into it (e.g. a
+// deferred parent-buffer drain) may adopt the stale image instead of
+// failing the fetch.
+func (c *Controller) NodeCondemned(level int, index uint64) bool {
+	if c.quarN == 0 {
+		return false
+	}
+	span := uint64(1)
+	for k := 0; k < level; k++ {
+		span *= counter.Arity
+	}
+	first := index * span
+	last := first + span
+	if last > c.lay.Geo.LevelNodes[0] {
+		last = c.lay.Geo.LevelNodes[0]
+	}
+	for leaf := first; leaf < last; leaf++ {
+		if !c.LeafQuarantined(leaf) {
+			return false
+		}
+	}
+	return true
+}
+
+// FetchNodeAdoptingCondemned fetches a metadata node like FetchNode, but
+// when verification fails AND the node's entire leaf coverage is
+// quarantined, it adopts the stale NVM image as the counter base instead
+// of surfacing the error (the interior-node analogue of readmitFetchLeaf).
+// Re-admission forces condemned leaves to flush, which hands their parent
+// a counter update even though that parent — the quarantined subtree's own
+// damaged spine — may not verify; the adoption lets the update land, the
+// entry goes dirty through the policy funnel, and the eventual write-back
+// reseals the spine with honest deltas from the adopted base. Nothing is
+// hidden from detection: every leaf under the node stays fenced until a
+// fresh write re-admits it, and a crash re-arbitrates the branch against
+// the exact conservation proofs.
+func (c *Controller) FetchNodeAdoptingCondemned(level int, index uint64) (*cache.Entry[*sit.Node], uint64, error) {
+	e, cyc, err := c.FetchNode(level, index)
+	if err == nil || !c.NodeCondemned(level, index) {
+		return e, cyc, err
+	}
+	node := c.StaleNode(level, index)
+	e, icyc, ierr := c.insertNode(c.lay.Geo.NodeAddr(level, index), node, true)
+	cyc += icyc
+	if ierr != nil {
+		return nil, cyc, ierr
+	}
+	e.Dirty = true
+	cyc += c.policy.OnModify(e, true, 0)
+	if ar, ok := c.policy.(AdoptReconciler); ok {
+		cyc += ar.ReconcileAdopted(e)
+	}
+	return e, cyc, nil
+}

@@ -10,6 +10,7 @@ package memctrl
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"steins/internal/cache"
 	"steins/internal/cme"
@@ -39,9 +40,31 @@ type TagState struct {
 // ControllerState is the full serializable controller image. The
 // configuration and the crypto engine are not captured: the restoring side
 // rebuilds the controller via New from the same Config.
+// QuarantineState is one quarantined leaf's arbitration record.
+type QuarantineState struct {
+	Leaf     uint64
+	Root     NodeRef
+	Cause    QuarantineCause
+	Evidence string
+	// Readmit is the leaf's re-admission mask (bit i = data slot i freshly
+	// rewritten since the quarantine verdict).
+	Readmit uint64
+}
+
+// EscalationState is one line's retry-escalation count (the RAS log).
+type EscalationState struct {
+	Addr  uint64
+	Count uint64
+}
+
 type ControllerState struct {
 	Tags        []TagState // sorted by address
 	Quarantined []uint64   // sorted leaf indices
+	// QuarInfo carries the arbitration record and re-admission mask of each
+	// quarantined leaf that has one, sorted by leaf index.
+	QuarInfo []QuarantineState
+	// Escalated is the retry-escalation log, sorted by address.
+	Escalated []EscalationState
 
 	Crashed      bool
 	Recovered    bool
@@ -101,10 +124,23 @@ func (c *Controller) State() (*ControllerState, error) {
 	})
 	for w, set := range c.quarBits {
 		for set != 0 {
-			st.Quarantined = append(st.Quarantined, uint64(w)*64+uint64(bits.TrailingZeros64(set)))
+			leaf := uint64(w)*64 + uint64(bits.TrailingZeros64(set))
+			st.Quarantined = append(st.Quarantined, leaf)
+			info, hasInfo := c.quarInfo[leaf]
+			mask := c.readmit[leaf]
+			if hasInfo || mask != 0 {
+				st.QuarInfo = append(st.QuarInfo, QuarantineState{
+					Leaf: leaf, Root: info.root, Cause: info.cause,
+					Evidence: info.evidence, Readmit: mask,
+				})
+			}
 			set &= set - 1
 		}
 	}
+	for addr := range c.escalated {
+		st.Escalated = append(st.Escalated, EscalationState{Addr: addr, Count: c.escalated[addr]})
+	}
+	sort.Slice(st.Escalated, func(i, j int) bool { return st.Escalated[i].Addr < st.Escalated[j].Addr })
 	st.Meta = c.meta.State()
 	for i, e := range st.Meta.Entries {
 		st.Meta.Entries[i].Payload = e.Payload.Clone()
@@ -140,8 +176,29 @@ func (c *Controller) Restore(st *ControllerState) error {
 	}
 	c.quarBits = nil
 	c.quarN = 0
+	c.quarInfo = nil
+	c.readmit = nil
 	for _, idx := range st.Quarantined {
 		c.QuarantineLeaf(idx)
+	}
+	for _, q := range st.QuarInfo {
+		if c.quarInfo == nil {
+			c.quarInfo = make(map[uint64]quarInfo)
+		}
+		c.quarInfo[q.Leaf] = quarInfo{root: q.Root, cause: q.Cause, evidence: q.Evidence}
+		if q.Readmit != 0 {
+			if c.readmit == nil {
+				c.readmit = make(map[uint64]uint64)
+			}
+			c.readmit[q.Leaf] = q.Readmit
+		}
+	}
+	c.escalated = nil
+	for _, e := range st.Escalated {
+		if c.escalated == nil {
+			c.escalated = make(map[uint64]uint64)
+		}
+		c.escalated[e.Addr] = e.Count
 	}
 	c.crashed = st.Crashed
 	c.recovered = st.Recovered

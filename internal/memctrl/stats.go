@@ -120,10 +120,35 @@ type NodeRef struct {
 // were entirely unrecoverable, plus the resulting worst-case data-loss
 // bound in bytes.
 type DegradationReport struct {
-	Healed             []NodeRef
-	Quarantined        []NodeRef
-	Unrecoverable      []NodeRef
+	Healed        []NodeRef
+	Quarantined   []NodeRef
+	Unrecoverable []NodeRef
+	// Records carries the arbitration verdict of each Quarantined entry
+	// (same order): the cause class and the media-evidence summary the
+	// verdict was made against.
+	Records            []QuarantineRecord
 	DataLossBoundBytes uint64
+}
+
+// QuarantineRecord is one quarantine root together with its arbitration.
+type QuarantineRecord struct {
+	Node     NodeRef
+	Cause    QuarantineCause
+	Evidence string
+	// DataLo/DataHi bound the fenced data coverage as a half-open byte
+	// range of controller-local addresses (channel-local under sharding).
+	DataLo, DataHi uint64
+}
+
+// ReplayShaped reports whether any quarantine verdict was replay-shaped or
+// ambiguous — damage no recorded media evidence explains.
+func (d *DegradationReport) ReplayShaped() bool {
+	for _, r := range d.Records {
+		if !r.Cause.MediaExplained() {
+			return true
+		}
+	}
+	return false
 }
 
 // Degraded reports whether anything deviated from a clean recovery.
@@ -136,6 +161,7 @@ func (d *DegradationReport) Fold(o *DegradationReport) {
 	d.Healed = append(d.Healed, o.Healed...)
 	d.Quarantined = append(d.Quarantined, o.Quarantined...)
 	d.Unrecoverable = append(d.Unrecoverable, o.Unrecoverable...)
+	d.Records = append(d.Records, o.Records...)
 	d.DataLossBoundBytes += o.DataLossBoundBytes
 }
 

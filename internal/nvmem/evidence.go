@@ -1,0 +1,130 @@
+// Media-fault evidence: a per-line ledger of every fault event the device
+// itself witnessed — ECC corrections, detected-uncorrectable words, torn
+// crash writes, and sticky stuck-at overlays. Degraded recovery arbitrates
+// damage against this ledger: a node whose contents regressed with no
+// supporting media evidence cannot blame the media, so the damage is
+// replay-shaped and must quarantine rather than heal.
+//
+// The ledger is deliberately one-sided. Timed reads, Peek, CrashTear and
+// the explicit media-damage injector CorruptLine append to it; Poke and
+// SetTag never do — an attacker with physical DIMM access writes ECC-clean
+// content and therefore cannot manufacture the evidence that would excuse
+// the damage they caused.
+
+package nvmem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lineEvidence is the per-line fault ledger entry. A zero value equals no
+// recorded evidence (arena slots start zero).
+type lineEvidence struct {
+	corrected     uint64 // ECC single-bit corrections observed on this line
+	uncorrectable uint64 // detected-uncorrectable decode events
+	torn          bool   // line torn by CrashTear and not yet rewritten
+}
+
+// Evidence summarises the media-fault history of one line for recovery-time
+// damage arbitration.
+type Evidence struct {
+	// Torn reports the line was torn at the last crash boundary and has not
+	// been rewritten since.
+	Torn bool
+	// Stuck reports the line carries at least one sticky stuck-at cell.
+	Stuck bool
+	// Corrected counts ECC single-bit corrections observed on the line.
+	Corrected uint64
+	// Uncorrectable counts detected-uncorrectable decode events on the line.
+	Uncorrectable uint64
+}
+
+// Any reports whether any media evidence at all was recorded for the line.
+func (e Evidence) Any() bool {
+	return e.Torn || e.Stuck || e.Corrected > 0 || e.Uncorrectable > 0
+}
+
+// Persistent reports whether the evidence can explain *persistent* damage:
+// torn writes, stuck cells, and uncorrectable words change or mask stored
+// content, while a corrected single-bit flip delivered intact data and
+// excuses nothing.
+func (e Evidence) Persistent() bool {
+	return e.Torn || e.Stuck || e.Uncorrectable > 0
+}
+
+// String renders the evidence summary in the compact form quarantine
+// reports and CLI tables use; the zero value renders as "none".
+func (e Evidence) String() string {
+	if !e.Any() {
+		return "none"
+	}
+	var parts []string
+	if e.Torn {
+		parts = append(parts, "torn")
+	}
+	if e.Stuck {
+		parts = append(parts, "stuck")
+	}
+	if e.Uncorrectable > 0 {
+		parts = append(parts, fmt.Sprintf("uncorrectable×%d", e.Uncorrectable))
+	}
+	if e.Corrected > 0 {
+		parts = append(parts, fmt.Sprintf("corrected×%d", e.Corrected))
+	}
+	return strings.Join(parts, "+")
+}
+
+// noteECC appends ECC decode events for addr to the ledger. It runs on
+// every decode, timed or not: Peek-path damage comes only from persistent
+// state (stuck overlays, torn lines), so recording it keeps the ledger a
+// deterministic function of the access sequence.
+func (d *Device) noteECC(addr uint64, corrected, uncorrectable uint64) {
+	if corrected == 0 && uncorrectable == 0 {
+		return
+	}
+	ev := d.evid.Ptr(addr / LineSize)
+	ev.corrected += corrected
+	ev.uncorrectable += uncorrectable
+}
+
+// noteTorn marks addr torn at a crash boundary. The flag clears on the next
+// store to the line (the rewrite supersedes the torn content).
+func (d *Device) noteTorn(addr uint64) {
+	ev := d.evid.Ptr(addr / LineSize)
+	if !ev.torn {
+		ev.torn = true
+		d.tornN++
+	}
+}
+
+// CorruptLine damages the line at addr with damage attributed to the
+// MEDIA: the stored content changes and the ledger records a
+// detected-uncorrectable event, as a patrol scrub logs for cells decayed
+// beyond ECC's reach. Contrast Poke, the tamper primitive, which alters
+// content and records nothing — harnesses choose the one matching the
+// failure they model, and recovery-time arbitration tells them apart.
+func (d *Device) CorruptLine(addr uint64, line Line) {
+	d.mustAddr(addr)
+	d.store(addr, line)
+	d.noteECC(addr, 0, 1)
+}
+
+// EvidenceFor returns the recorded media-fault evidence for the line at
+// addr, combining the event ledger with the current stuck-cell overlay.
+func (d *Device) EvidenceFor(addr uint64) Evidence {
+	d.mustAddr(addr)
+	var e Evidence
+	if ev := d.evid.Probe(addr / LineSize); ev != nil {
+		e.Torn = ev.torn
+		e.Corrected = ev.corrected
+		e.Uncorrectable = ev.uncorrectable
+	}
+	if s := d.stuck.Probe(addr / LineSize); s != nil && s.mask != (Line{}) {
+		e.Stuck = true
+	}
+	return e
+}
+
+// TornLines reports how many lines currently carry the torn flag.
+func (d *Device) TornLines() int { return d.tornN }

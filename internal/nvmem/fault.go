@@ -207,12 +207,14 @@ func (d *Device) decode(addr uint64, cls Class, intended, raw Line, count bool) 
 			if count {
 				d.stats.Faults.Uncorrectable++
 			}
+			d.noteECC(addr, corrected, 1)
 			return raw, 0, &FaultError{Addr: addr, Class: cls}
 		}
 	}
 	if count {
 		d.stats.Faults.Corrected += corrected
 	}
+	d.noteECC(addr, corrected, 0)
 	return intended, d.cfg.ECC.CorrectCycles, nil
 }
 
@@ -250,6 +252,9 @@ func (d *Device) CrashTear() (uint64, bool) {
 	copy(torn[:LineSize/2], lw.next[:LineSize/2])
 	copy(torn[LineSize/2:], lw.prev[LineSize/2:])
 	d.store(lw.addr, torn)
+	// Record the tear after the store: store clears the torn flag on
+	// rewrite, and this write IS the tear.
+	d.noteTorn(lw.addr)
 	d.stats.Faults.TornWrites++
 	return lw.addr, true
 }

@@ -189,6 +189,11 @@ type Device struct {
 	stuckN int
 	// last is the tear candidate for the next crash boundary.
 	last lastWrite
+	// evid is the per-line media-fault evidence ledger (evidence.go);
+	// tornN counts lines whose torn flag is currently set, gating the
+	// clear-on-rewrite probe out of the fault-free hot path.
+	evid  arena.T[lineEvidence]
+	tornN int
 }
 
 // New creates a Device. Lines read before any write return the zero line,
@@ -352,6 +357,14 @@ func (d *Device) QueueDepth(now uint64) int {
 }
 
 func (d *Device) store(addr uint64, line Line) {
+	if d.tornN > 0 {
+		// A rewrite supersedes torn content: the old tear can no longer
+		// explain damage to what is stored now.
+		if ev := d.evid.Probe(addr / LineSize); ev != nil && ev.torn {
+			ev.torn = false
+			d.tornN--
+		}
+	}
 	p := d.lines.Ptr(addr / LineSize)
 	// A zero line equals absent; track the populated count across the
 	// zero/non-zero transitions so PopulatedLines stays O(1).

@@ -37,6 +37,14 @@ type LastWriteState struct {
 	Next  Line
 }
 
+// EvidenceState is one line's media-fault evidence ledger entry.
+type EvidenceState struct {
+	Addr          uint64
+	Corrected     uint64
+	Uncorrectable uint64
+	Torn          bool
+}
+
 // State is the full serializable device image. The configuration is not
 // captured: the restoring side rebuilds the device from the same Config and
 // the snapshot header's knobs.
@@ -52,6 +60,8 @@ type State struct {
 	FaultRNG      [4]uint64
 	Stuck         []StuckState // stuck-cell overlays, sorted by address
 	LastWrite     LastWriteState
+	// Evidence is the per-line media-fault ledger, sorted by address.
+	Evidence []EvidenceState
 }
 
 // State captures the device. The observer callback is not part of the
@@ -80,6 +90,12 @@ func (d *Device) State() State {
 	d.stuck.ForEach(func(idx uint64, s *stuckLine) {
 		if s.mask != (Line{}) {
 			st.Stuck = append(st.Stuck, StuckState{Addr: idx * LineSize, Mask: s.mask, Val: s.val})
+		}
+	})
+	d.evid.ForEach(func(idx uint64, ev *lineEvidence) {
+		if *ev != (lineEvidence{}) {
+			st.Evidence = append(st.Evidence, EvidenceState{Addr: idx * LineSize,
+				Corrected: ev.corrected, Uncorrectable: ev.uncorrectable, Torn: ev.torn})
 		}
 	})
 	if d.frng != nil {
@@ -115,6 +131,15 @@ func (d *Device) Restore(st State) {
 		if s.Mask != (Line{}) {
 			*d.stuck.Ptr(s.Addr / LineSize) = stuckLine{mask: s.Mask, val: s.Val}
 			d.stuckN++
+		}
+	}
+	d.evid.Reset()
+	d.tornN = 0
+	for _, ev := range st.Evidence {
+		*d.evid.Ptr(ev.Addr / LineSize) = lineEvidence{
+			corrected: ev.Corrected, uncorrectable: ev.Uncorrectable, torn: ev.Torn}
+		if ev.Torn {
+			d.tornN++
 		}
 	}
 	if st.FaultRNGValid {

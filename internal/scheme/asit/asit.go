@@ -218,11 +218,23 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 		if degraded {
 			// The cache-tree proof is broken, so no shadow image can be
 			// trusted for restoration: quarantine everything the table
-			// recorded and restore nothing. (This trades replay fail-stop
-			// for availability — the report makes the degradation visible.)
+			// recorded and restore nothing. The verdict is arbitrated
+			// against the shadow table's own media evidence — a recorded
+			// persistent fault on any slot line explains the mismatch as
+			// degraded loss; a clean table whose proof broke is
+			// replay-shaped. (This trades replay fail-stop for
+			// availability — the report makes the degradation visible.)
+			cause, ev := memctrl.CauseReplayShaped, memctrl.EvidenceSummary{}.String()
+			for s := 0; s < slots; s++ {
+				sev := p.c.EvidenceAt(p.slotAddr(s))
+				if mc, ok := memctrl.MediaCause(sev); ok {
+					cause, ev = mc, sev.String()
+					break
+				}
+			}
 			for level := range byLevel {
 				for index := range byLevel[level] {
-					p.c.QuarantineSubtree(level, index, &rep.Degradation)
+					p.c.QuarantineSubtree(level, index, cause, ev, &rep.Degradation)
 				}
 			}
 			return rep, nil

@@ -194,14 +194,17 @@ func (p *Policy) OnCrash() {}
 // pipeline is simply cleared once the rebuild lands.
 func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 	rep := memctrl.RecoveryReport{Scheme: p.Name()}
-	leaves, total, err := rebuild.LeavesFromData(p.c, &rep, p.c.Config().DegradedRecovery)
+	degraded := p.c.Config().DegradedRecovery
+	rec, err := rebuild.LeavesFromData(p.c, &rep, degraded)
 	if err != nil {
 		return rep, err
 	}
-	if err := rebuild.CheckRegister(&rep, total, p.recoveryRoot); err != nil {
+	reg, err := rebuild.CheckRegister(p.c, &rep, rec, p.recoveryRoot, degraded)
+	if err != nil {
 		return rep, err
 	}
-	rebuild.WriteBack(p.c, &rep, leaves, true)
+	p.recoveryRoot = reg
+	rebuild.WriteBack(p.c, &rep, rec.Leaves, true)
 	rebuild.Cost(p.c, &rep)
 	p.pipe = p.pipe[:0]
 	return rep, nil

@@ -6,6 +6,18 @@
 // (Osiris-style search over data blocks vs. reading strictly-persisted leaf
 // images) and in what runtime state survives the crash.
 //
+// Degraded recovery here is built on EXACT counter accounting: every data
+// block's encryption counter is either proven by its MAC (fast candidate
+// over the stale base, then a base-less search over hint-congruent values)
+// or pinned arithmetically from the tag hint when recorded media evidence
+// says the ciphertext itself is gone. The reconstructed leaf total is then
+// a conservation law against the on-chip recovery register: a residual with
+// no unpinnable block behind it can only mean replayed authentic-stale
+// state, and recovery fails closed by condemning the whole tree instead of
+// forgiving the mismatch. Only genuine double destruction — evidenced media
+// damage to both a ciphertext and its leaf's stale base — leaves the total
+// unknowable, and only that (unforgeable) evidence forgives a residual.
+//
 // The helpers here keep the recovery accounting (NVMReads/NVMWrites/MACOps/
 // NodesRecovered and the §IV-D nanosecond cost model) identical across the
 // family, so cross-scheme recovery comparisons measure the designs, not
@@ -16,66 +28,137 @@ package rebuild
 import (
 	"fmt"
 
+	"steins/internal/cme"
 	"steins/internal/counter"
 	"steins/internal/memctrl"
 	"steins/internal/nvmem"
 	"steins/internal/sit"
 )
 
-// LeavesFromData reconstructs every leaf node from its covered data blocks
-// (SCUE §II-D): each block's counter is searched from the stale leaf image
-// through the CME recovery window until the block's tag verifies. Cost
-// scales with data capacity. With degraded set, an unmatchable leaf is
-// quarantined and its stale (authentic but possibly old) counters carried,
-// keeping the interior summation well-defined; otherwise the integrity
-// error aborts recovery.
-func LeavesFromData(c *memctrl.Controller, rep *memctrl.RecoveryReport, degraded bool) ([]*sit.Node, uint64, error) {
-	geo := &c.Layout().Geo
-	eng := c.Engine()
-	leaves := make([]*sit.Node, geo.LevelNodes[0])
-	var total uint64
-	for idx := uint64(0); idx < geo.LevelNodes[0]; idx++ {
-		rep.NVMReads++ // stale leaf
-		stale := c.StaleNode(0, idx)
-		node := &sit.Node{Level: 0, Index: idx, IsSplit: geo.SplitLeaf}
-		var lerr error
-		if node.IsSplit {
-			lerr = splitLeafFromData(c, rep, node, stale)
-		} else {
-			for i := 0; i < int(geo.LeafCover); i++ {
-				daddr := geo.DataAddr(idx, i)
-				rep.NVMReads++
-				ct := [64]byte(c.Device().Peek(daddr))
-				ctr, macOps, ok := eng.RecoverCounterGC(&ct, daddr, c.Tag(daddr), stale.Counter(i))
-				rep.MACOps += macOps
-				if !ok {
-					lerr = memctrl.TamperData(daddr, "during tree rebuild")
-					break
-				}
-				node.SetCounter(i, ctr)
-			}
-		}
-		if lerr != nil {
-			if degraded {
-				// The leaf's covered blocks cannot all be matched to a
-				// counter: fence off its coverage and carry the stale
-				// counters so the interior summation stays well-defined.
-				c.QuarantineSubtree(0, idx, &rep.Degradation)
-				leaves[idx] = stale
-				total += stale.FValue()
-				continue
-			}
-			return nil, 0, lerr
-		}
-		total += node.FValue()
-		leaves[idx] = node
-	}
-	return leaves, total, nil
+// searchSteps caps the base-less hint-congruent counter search: enough to
+// cover any counter a simulated workload reaches, bounded so an
+// unverifiable block cannot stall recovery.
+const searchSteps = 4096
+
+// LeafRecovery aggregates one leaf-level reconstruction: the recovered
+// nodes, their exact FValue total, and the two counters the register
+// residual policy arbitrates on.
+type LeafRecovery struct {
+	Leaves []*sit.Node
+	Total  uint64
+	// Unpinnable counts data blocks whose exact counter could not be
+	// established by any means: evidenced media damage destroyed the
+	// ciphertext AND the stale base needed to resolve the hint congruence.
+	// Only these blocks make the leaf total genuinely unknowable, and the
+	// evidence behind them cannot be manufactured by an attacker (the
+	// device ledger records only real faults, never stores).
+	Unpinnable int
+	// AttackShaped counts blocks whose damage no recorded media evidence
+	// explains — tampered ciphertexts, flipped tags, forged hints. Any such
+	// block means an active adversary touched durable state, and the
+	// residual policy fails closed regardless of whether the totals happen
+	// to balance.
+	AttackShaped int
+	// Fenced is set by CheckRegister when the residual policy condemned
+	// the whole tree; the scheme should still write back the rebuilt
+	// (sealed, possibly stale) tree so re-admission has a coherent base.
+	Fenced bool
 }
 
-// splitLeafFromData reconstructs one split-counter leaf: every covered
-// block's minor is searched under a consistent major taken from the tags.
-func splitLeafFromData(c *memctrl.Controller, rep *memctrl.RecoveryReport, node, stale *sit.Node) error {
+// LeafFromData reconstructs one leaf node from its covered data blocks,
+// exactly where possible: MAC-proven counters first, hint-pinned counters
+// where media evidence says the ciphertext is gone. In degraded mode an
+// unverifiable coverage is quarantined (fenced, typed fail-fast reads) and
+// the best-known counters are carried so the interior summation and the
+// register conservation law stay exact; in strict mode the first
+// unverifiable block aborts with the integrity error.
+func LeafFromData(c *memctrl.Controller, rep *memctrl.RecoveryReport, rec *LeafRecovery, idx uint64, stale *sit.Node, degraded bool) (*sit.Node, error) {
+	geo := &c.Layout().Geo
+	node := &sit.Node{Level: 0, Index: idx, IsSplit: geo.SplitLeaf}
+
+	var cause memctrl.QuarantineCause
+	var evidence string
+	condemn := func(q memctrl.QuarantineCause, ev string) {
+		if cause == memctrl.CauseUnknown || (!cause.MediaExplained() && q.MediaExplained()) {
+			cause, evidence = q, ev
+		}
+	}
+
+	var lerr error
+	if node.IsSplit {
+		lerr = splitLeafFromData(c, rep, rec, node, stale, degraded, condemn)
+	} else {
+		lerr = generalLeafFromData(c, rep, rec, node, stale, degraded, condemn)
+	}
+	if lerr != nil {
+		return nil, lerr
+	}
+	if cause != memctrl.CauseUnknown {
+		c.QuarantineSubtree(0, idx, cause, evidence, &rep.Degradation)
+	}
+	return node, nil
+}
+
+// generalLeafFromData fills a general-counter leaf block by block.
+func generalLeafFromData(c *memctrl.Controller, rep *memctrl.RecoveryReport, rec *LeafRecovery, node, stale *sit.Node, degraded bool, condemn func(memctrl.QuarantineCause, string)) error {
+	geo := &c.Layout().Geo
+	eng := c.Engine()
+	for i := 0; i < int(geo.LeafCover); i++ {
+		daddr := geo.DataAddr(node.Index, i)
+		rep.NVMReads++
+		ct := [64]byte(c.Device().Peek(daddr))
+		tag := c.Tag(daddr)
+		if !tag.Written {
+			// Never written: the counter never left zero, whatever a
+			// damaged stale image claims.
+			node.SetCounter(i, 0)
+			continue
+		}
+		ctr, macOps, ok := eng.RecoverCounterGC(&ct, daddr, tag, stale.Counter(i))
+		rep.MACOps += macOps
+		if ok {
+			node.SetCounter(i, ctr)
+			continue
+		}
+		// The unique candidate over the stale base failed: the base may be
+		// lost (torn/flipped/replayed leaf image) while the block itself is
+		// intact. A base-less search over hint-congruent counters proves
+		// the block exactly if so.
+		ctr, macOps, ok = eng.SearchCounterGC(&ct, daddr, tag, searchSteps)
+		rep.MACOps += macOps
+		if ok {
+			node.SetCounter(i, ctr)
+			continue
+		}
+		// No counter verifies this ciphertext: the block is damaged.
+		if !degraded {
+			return memctrl.TamperData(daddr, "during tree rebuild")
+		}
+		// Carry the hint-pinned candidate: exact when the hint and base are
+		// authentic, and any forgery here surfaces as a register residual.
+		node.SetCounter(i, cme.CandidateGC(stale.Counter(i), tag.Hint))
+		dev := c.EvidenceAt(daddr)
+		if mc, mok := memctrl.MediaCause(dev); mok {
+			if _, baseLost := memctrl.MediaCause(c.EvidenceAt(geo.NodeAddr(0, node.Index))); baseLost {
+				// Double destruction: ciphertext and stale base both lost
+				// to evidenced media damage — the counter is unknowable.
+				rec.Unpinnable++
+			}
+			condemn(mc, dev.String())
+		} else {
+			rec.AttackShaped++
+			condemn(memctrl.CauseAmbiguous, dev.String())
+		}
+	}
+	return nil
+}
+
+// splitLeafFromData fills a split-counter leaf: every written block must
+// agree on one major (the high bits of each tag hint), minors come from the
+// per-block search, and an unverifiable block's minor pins from its hint's
+// low bits — the hint carries the full counter, so split leaves are never
+// unpinnable.
+func splitLeafFromData(c *memctrl.Controller, rep *memctrl.RecoveryReport, rec *LeafRecovery, node, stale *sit.Node, degraded bool, condemn func(memctrl.QuarantineCause, string)) error {
 	geo := &c.Layout().Geo
 	eng := c.Engine()
 	major := stale.Split.Major
@@ -88,20 +171,62 @@ func splitLeafFromData(c *memctrl.Controller, rep *memctrl.RecoveryReport, node,
 		if !tag.Written {
 			continue
 		}
-		if !have {
-			major, have = tag.Hint, true
-		} else if tag.Hint != major {
-			return memctrl.ReplayAt("split leaf", 0, node.Index, "inconsistent majors")
+		if h := tag.Hint >> 6; !have {
+			major, have = h, true
+		} else if h != major {
+			// Tags from different major epochs cannot coexist after a
+			// request-atomic crash: some of these blocks are replayed.
+			if !degraded {
+				return memctrl.ReplayAt("split leaf", 0, node.Index, "inconsistent majors")
+			}
+			rec.AttackShaped++
+			condemn(memctrl.CauseReplayShaped, c.EvidenceAt(daddr).String())
+			if h > major {
+				major = h
+			}
+			continue
 		}
 		m, minor, macOps, ok := eng.RecoverCounterSC(&ct, daddr, tag, stale.Split.Minor[i])
 		rep.MACOps += macOps
-		if !ok || m != major {
+		if ok && m == major {
+			node.Split.Minor[i] = minor
+			continue
+		}
+		if !degraded {
 			return memctrl.TamperData(daddr, "during tree rebuild")
 		}
-		node.Split.Minor[i] = minor
+		// The ciphertext verifies under no minor: pin the exact counter
+		// from the hint's minor bits.
+		node.Split.Minor[i] = uint8(tag.Hint & 63)
+		dev := c.EvidenceAt(daddr)
+		if mc, mok := memctrl.MediaCause(dev); mok {
+			condemn(mc, dev.String())
+		} else {
+			rec.AttackShaped++
+			condemn(memctrl.CauseAmbiguous, dev.String())
+		}
 	}
 	node.Split.Major = major
 	return nil
+}
+
+// LeavesFromData reconstructs every leaf node from its covered data blocks
+// (SCUE §II-D): cost scales with data capacity. See LeafFromData for the
+// exactness and quarantine rules.
+func LeavesFromData(c *memctrl.Controller, rep *memctrl.RecoveryReport, degraded bool) (*LeafRecovery, error) {
+	geo := &c.Layout().Geo
+	rec := &LeafRecovery{Leaves: make([]*sit.Node, geo.LevelNodes[0])}
+	for idx := uint64(0); idx < geo.LevelNodes[0]; idx++ {
+		rep.NVMReads++ // stale leaf
+		stale := c.StaleNode(0, idx)
+		node, err := LeafFromData(c, rep, rec, idx, stale, degraded)
+		if err != nil {
+			return nil, err
+		}
+		rec.Leaves[idx] = node
+		rec.Total += node.FValue()
+	}
+	return rec, nil
 }
 
 // LeavesFromNVM reads every leaf's current NVM image and checks its
@@ -110,10 +235,13 @@ func splitLeafFromData(c *memctrl.Controller, rep *memctrl.RecoveryReport, node,
 // own FValue, so tampering with counters or MAC is detected per leaf, and
 // replay of an authentic old image is caught by the caller's register check
 // on the returned total. Cost scales with the tree, not the data capacity.
-func LeavesFromNVM(c *memctrl.Controller, rep *memctrl.RecoveryReport, degraded bool) ([]*sit.Node, uint64, error) {
+// In degraded mode a leaf whose self-seal fails is reconstructed from its
+// covered data blocks instead — a rebuilt leaf that proves every block by
+// MAC heals outright; anything less is quarantined under LeafFromData's
+// arbitration.
+func LeavesFromNVM(c *memctrl.Controller, rep *memctrl.RecoveryReport, degraded bool) (*LeafRecovery, error) {
 	geo := &c.Layout().Geo
-	leaves := make([]*sit.Node, geo.LevelNodes[0])
-	var total uint64
+	rec := &LeafRecovery{Leaves: make([]*sit.Node, geo.LevelNodes[0])}
 	for idx := uint64(0); idx < geo.LevelNodes[0]; idx++ {
 		rep.NVMReads++
 		node := c.StaleNode(0, idx)
@@ -122,30 +250,77 @@ func LeavesFromNVM(c *memctrl.Controller, rep *memctrl.RecoveryReport, degraded 
 		if line := c.Device().Peek(geo.NodeAddr(0, idx)); line != (nvmem.Line{}) {
 			rep.MACOps++
 			if c.NodeMAC(node, node.FValue()) != node.HMAC() {
-				if degraded {
-					c.QuarantineSubtree(0, idx, &rep.Degradation)
-					leaves[idx] = node
-					total += node.FValue()
-					continue
+				if !degraded {
+					return nil, memctrl.TamperAt("strict leaf", 0, idx, "self-seal HMAC mismatch")
 				}
-				return nil, 0, memctrl.TamperAt("strict leaf", 0, idx, "self-seal HMAC mismatch")
+				// The persisted image is damaged: fall back to the data
+				// blocks, which carry their own MACs and hints. The rebuilt
+				// leaf is resealed and re-persisted — strict-persistence
+				// schemes keep their leaf images current in NVM.
+				rebuilt, err := LeafFromData(c, rep, rec, idx, node, degraded)
+				if err != nil {
+					return nil, err
+				}
+				rebuilt.SetHMAC(c.NodeMAC(rebuilt, rebuilt.FValue()))
+				rep.MACOps++
+				c.Device().Poke(geo.NodeAddr(0, idx), nvmem.Line(rebuilt.Encode()))
+				rep.NVMWrites++
+				rep.NodesRecovered++
+				node = rebuilt
 			}
 		}
-		total += node.FValue()
-		leaves[idx] = node
+		rec.Leaves[idx] = node
+		rec.Total += node.FValue()
 	}
-	return leaves, total, nil
+	return rec, nil
 }
 
-// CheckRegister compares the reconstructed leaf total with the scheme's
-// on-chip recovery register. With quarantined leaves in the sum their true
-// counters are unknown, so the equality cannot be checked exactly.
-func CheckRegister(rep *memctrl.RecoveryReport, total, register uint64) error {
-	if total != register && len(rep.Degradation.Quarantined) == 0 {
-		return memctrl.ReplayAt("leaf level", 0, 0,
-			fmt.Sprintf("leaf sum %d != recovery register %d", total, register))
+// CheckRegister arbitrates the reconstructed leaf total against the
+// scheme's on-chip recovery register — a conservation law over every
+// counter increment the runtime ever applied. Because the leaf totals are
+// exact (MAC-proven or hint-pinned) up to the recorded Unpinnable blocks,
+// the policy is:
+//
+//   - Evidence-free damage anywhere (AttackShaped > 0): an active adversary
+//     touched durable state; fail closed and condemn the whole tree, even
+//     if the totals balance — a forged hint could cancel a replay deficit.
+//   - Residual with no unpinnable block: stale authentic state was replayed
+//     somewhere among the MAC-verified blocks; it cannot be localised, so
+//     condemn the whole tree.
+//   - Residual with unpinnable blocks: genuine double media destruction
+//     made the total unknowable; the damaged coverage is already
+//     quarantined under its media verdict, and the mismatch is forgiven
+//     (the evidence behind it is unforgeable). This is the documented
+//     residual-risk window: a replay timed into the same crash as a double
+//     destruction hides, but the attacker cannot cause the destruction.
+//
+// The returned register value is what the scheme should carry forward:
+// unchanged on an exact match or strict error, resynced to the rebuilt
+// total whenever recovery proceeds past a mismatch (the quarantine records
+// are the durable memory of the event; resyncing makes the next crash's
+// conservation law exact again instead of re-condemning a fenced tree).
+func CheckRegister(c *memctrl.Controller, rep *memctrl.RecoveryReport, rec *LeafRecovery, register uint64, degraded bool) (uint64, error) {
+	if rec.Total == register && rec.AttackShaped == 0 {
+		return register, nil
 	}
-	return nil
+	if !degraded {
+		if rec.Total != register {
+			return register, memctrl.ReplayAt("leaf level", 0, 0,
+				fmt.Sprintf("leaf sum %d != recovery register %d", rec.Total, register))
+		}
+		return register, nil
+	}
+	if rec.Total != register && rec.Unpinnable > 0 && rec.AttackShaped == 0 {
+		return rec.Total, nil
+	}
+	detail := fmt.Sprintf("leaf sum %d != recovery register %d", rec.Total, register)
+	if rec.AttackShaped > 0 {
+		detail = fmt.Sprintf("%d evidence-free damaged blocks; leaf sum %d, recovery register %d",
+			rec.AttackShaped, rec.Total, register)
+	}
+	rec.Fenced = true
+	c.QuarantineAll(memctrl.CauseReplayShaped, detail, &rep.Degradation)
+	return rec.Total, nil
 }
 
 // WriteBack rebuilds every interior level by summation over the recovered

@@ -91,16 +91,22 @@ func (p *Policy) OnCrash() {}
 // Cost scales with the full tree, not the metadata cache.
 func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 	rep := memctrl.RecoveryReport{Scheme: p.Name()}
-	leaves, total, err := rebuild.LeavesFromData(p.c, &rep, p.c.Config().DegradedRecovery)
+	degraded := p.c.Config().DegradedRecovery
+	rec, err := rebuild.LeavesFromData(p.c, &rep, degraded)
 	if err != nil {
 		return rep, err
 	}
-	// With quarantined leaves in the sum, their true counters are unknown
-	// and the Recovery_root equality cannot be checked exactly.
-	if err := rebuild.CheckRegister(&rep, total, p.recoveryRoot); err != nil {
+	// The rebuilt leaf total is exact (MAC-proven or hint-pinned), so the
+	// Recovery_root equality is a conservation law: a residual no
+	// unpinnable media loss explains condemns the whole tree rather than
+	// being forgiven. The register follows the written-back total when
+	// recovery proceeds past a mismatch.
+	reg, err := rebuild.CheckRegister(p.c, &rep, rec, p.recoveryRoot, degraded)
+	if err != nil {
 		return rep, err
 	}
-	rebuild.WriteBack(p.c, &rep, leaves, true)
+	p.recoveryRoot = reg
+	rebuild.WriteBack(p.c, &rep, rec.Leaves, true)
 	rebuild.Cost(p.c, &rep)
 	return rep, nil
 }

@@ -15,6 +15,7 @@ import (
 	"steins/internal/counter"
 	"steins/internal/memctrl"
 	"steins/internal/nvmem"
+	"steins/internal/scheme/rebuild"
 	"steins/internal/sit"
 )
 
@@ -394,43 +395,59 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 		return dirty[i].index < dirty[j].index
 	})
 
-	// 2. Rebuild each dirty node from the LSBs its children carry.
+	// 2. Rebuild each dirty node from the LSBs its children carry. Leaves
+	//    go through the shared exact reconstruction: every covered block's
+	//    counter is MAC-proven (fast candidate, then base-less search) or
+	//    hint-pinned where media evidence says the ciphertext is gone, so a
+	//    damaged leaf still yields its exact crash-time counters and only
+	//    its unreadable coverage is quarantined.
 	degraded := p.c.Config().DegradedRecovery
+	rec := &rebuild.LeafRecovery{}
 	recovered := make(map[nodeKey]*sit.Node)
-	kept := dirty[:0]
 	for _, k := range dirty {
-		node, err := p.recoverNode(&rep, k)
+		node, err := p.recoverNode(&rep, rec, k, degraded)
 		if err != nil {
-			if degraded {
-				// The node cannot be rebuilt from its children; fence off
-				// its coverage and keep recovering the rest.
-				p.c.QuarantineSubtree(k.level, k.index, &rep.Degradation)
-				continue
-			}
 			return rep, err
 		}
-		kept = append(kept, k)
 		recovered[k] = node
 		rep.NodesRecovered++
 		p.c.FaultEvent(memctrl.EvRecoveryStep, p.c.Layout().Geo.NodeAddr(k.level, k.index))
 	}
-	dirty = kept
 
 	// 3. Verify against the cache-tree root: recompute the per-set MACs
 	//    from the recovered nodes (sorted by address within each set).
-	//    With nodes dropped by quarantine the recorded set is incomplete
-	//    and the proof cannot pass; with no quarantines a degraded-mode
-	//    mismatch means no recovered node can be trusted, so everything
-	//    recorded dirty is fenced off and nothing is reinstated.
-	if len(rep.Degradation.Quarantined) == 0 {
-		if err := p.verifyRecovered(&rep, recovered); err != nil {
-			if degraded {
-				for _, k := range dirty {
-					p.c.QuarantineSubtree(k.level, k.index, &rep.Degradation)
-				}
-				return rep, nil
-			}
+	//    Every recorded-dirty node participates — quarantines only fence
+	//    data coverage, the node counters themselves are exact — so the
+	//    surviving root arbitrates replay over the full dirty set. A
+	//    mismatch fails closed (nothing recovered can be trusted, the
+	//    whole tree is condemned) unless genuine double media destruction
+	//    left a block's counter unknowable with no evidence-free damage
+	//    beside it: only that unforgeable combination forgives the proof.
+	if err := p.verifyRecovered(&rep, recovered); err != nil {
+		if !degraded {
 			return rep, err
+		}
+		if rec.Unpinnable == 0 || rec.AttackShaped > 0 {
+			p.c.QuarantineAll(memctrl.CauseReplayShaped,
+				"STAR cache-tree root mismatch over the recorded dirty set", &rep.Degradation)
+			// Re-anchor the cache-tree on the post-crash (empty) cache:
+			// the durable quarantine records now carry the verdict, and
+			// a root left pointing at the lost dirty set would only
+			// re-fence every later recovery — resetting re-admission
+			// progress — without fencing anything new.
+			for s := range p.setMACs {
+				mac, _ := p.setMAC(s)
+				p.setMACs[s] = mac
+				rep.MACOps++
+			}
+			root, hashes := p.rebuildTree(p.setMACs)
+			rep.MACOps += hashes
+			p.root = root
+			cfg := p.c.Config()
+			rep.TimeNS = float64(rep.NVMReads)*cfg.RecoveryReadNS +
+				float64(rep.NVMWrites)*cfg.RecoveryWriteNS +
+				float64(rep.MACOps)*cfg.RecoveryHashNS
+			return rep, nil
 		}
 	}
 
@@ -484,74 +501,31 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 
 // recoverNode rebuilds one dirty node: counter i extends the stale value's
 // high bits with the LSBs stored in child i (or, at the leaf level, with
-// the counter recovered from the covered data blocks' tags).
-func (p *Policy) recoverNode(rep *memctrl.RecoveryReport, k nodeKey) (*sit.Node, error) {
+// the counter recovered from the covered data blocks' tags through the
+// shared exact reconstruction — the Osiris-style search STAR shares with
+// the other recovery schemes, plus hint pinning for media-destroyed
+// blocks).
+func (p *Policy) recoverNode(rep *memctrl.RecoveryReport, rec *rebuild.LeafRecovery, k nodeKey, degraded bool) (*sit.Node, error) {
 	geo := &p.c.Layout().Geo
 	rep.NVMReads++ // stale base
 	stale := p.c.StaleNode(k.level, k.index)
-	node := &sit.Node{Level: k.level, Index: k.index, IsSplit: geo.SplitLeaf && k.level == 0}
-	if k.level > 0 {
-		for i := 0; i < counter.Arity; i++ {
-			childIdx := k.index*counter.Arity + uint64(i)
-			if childIdx >= geo.LevelNodes[k.level-1] {
-				continue
-			}
-			rep.NVMReads++ // child line carries the LSBs
-			lsb, ok := p.lsb[nodeKey{k.level - 1, childIdx}]
-			if !ok {
-				// Child never flushed: parent counter slot is untouched.
-				node.SetCounter(i, stale.Counter(i))
-				continue
-			}
-			node.SetCounter(i, extendLSB(stale.Counter(i), lsb))
-		}
-		return node, nil
+	if k.level == 0 {
+		return rebuild.LeafFromData(p.c, rep, rec, k.index, stale, degraded)
 	}
-	return p.recoverLeaf(rep, node, stale)
-}
-
-// recoverLeaf rebuilds a leaf from the covered data blocks' tags, exactly
-// as the tag hints allow (the Osiris-style search STAR shares with the
-// other recovery schemes).
-func (p *Policy) recoverLeaf(rep *memctrl.RecoveryReport, node, stale *sit.Node) (*sit.Node, error) {
-	geo := &p.c.Layout().Geo
-	eng := p.c.Engine()
-	if node.IsSplit {
-		major := stale.Split.Major
-		have := false
-		for i := 0; i < counter.SplitArity; i++ {
-			daddr := geo.DataAddr(node.Index, i)
-			rep.NVMReads++
-			ct := [64]byte(p.c.Device().Peek(daddr))
-			tag := p.c.Tag(daddr)
-			if !tag.Written {
-				continue
-			}
-			if !have {
-				major, have = tag.Hint, true
-			} else if tag.Hint != major {
-				return nil, memctrl.ReplayAt("split leaf", 0, node.Index, "inconsistent majors")
-			}
-			m, minor, macOps, ok := eng.RecoverCounterSC(&ct, daddr, tag, stale.Split.Minor[i])
-			rep.MACOps += macOps
-			if !ok || m != major {
-				return nil, memctrl.TamperData(daddr, "during STAR leaf recovery")
-			}
-			node.Split.Minor[i] = minor
+	node := &sit.Node{Level: k.level, Index: k.index}
+	for i := 0; i < counter.Arity; i++ {
+		childIdx := k.index*counter.Arity + uint64(i)
+		if childIdx >= geo.LevelNodes[k.level-1] {
+			continue
 		}
-		node.Split.Major = major
-		return node, nil
-	}
-	for i := 0; i < int(geo.LeafCover); i++ {
-		daddr := geo.DataAddr(node.Index, i)
-		rep.NVMReads++
-		ct := [64]byte(p.c.Device().Peek(daddr))
-		ctr, macOps, ok := eng.RecoverCounterGC(&ct, daddr, p.c.Tag(daddr), stale.Counter(i))
-		rep.MACOps += macOps
+		rep.NVMReads++ // child line carries the LSBs
+		lsb, ok := p.lsb[nodeKey{k.level - 1, childIdx}]
 		if !ok {
-			return nil, memctrl.TamperData(daddr, "during STAR leaf recovery")
+			// Child never flushed: parent counter slot is untouched.
+			node.SetCounter(i, stale.Counter(i))
+			continue
 		}
-		node.SetCounter(i, ctr)
+		node.SetCounter(i, extendLSB(stale.Counter(i), lsb))
 	}
 	return node, nil
 }

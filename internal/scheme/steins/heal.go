@@ -1,6 +1,9 @@
 package steins
 
 import (
+	"fmt"
+
+	"steins/internal/cme"
 	"steins/internal/counter"
 	"steins/internal/memctrl"
 	"steins/internal/nvmem"
@@ -42,16 +45,22 @@ func (p *Policy) selfConsistent(st *recoveryState, n *sit.Node) bool {
 func (p *Policy) healNode(st *recoveryState, n *sit.Node) *sit.Node {
 	key := nodeKey{n.Level, n.Index}
 	if n.Level == 0 {
-		// Leaf counters are not a function of other persisted state;
-		// nothing to regenerate from.
-		p.quarantineSubtree(st, n.Level, n.Index)
+		// Leaf counters are not a function of other persisted NODES, but
+		// they ARE recoverable from the covered data blocks when those are
+		// intact: rebuildLeaf heals a media-damaged leaf line from its
+		// authenticated data, keeping the LInc delta exactly accountable.
+		// Only when that fails is the leaf's coverage quarantined.
+		if rebuilt := p.rebuildLeaf(st, n); rebuilt != nil {
+			return rebuilt
+		}
+		p.quarantineDamaged(st, n.Level, n.Index)
 		return n
 	}
 	if len(st.rollback[key]) > 0 {
 		// A buffered flush still targets this node: its persisted image
 		// predates the child's flush, so regeneration from the current
 		// children cannot reproduce the lost pre-flush slot values.
-		p.quarantineSubtree(st, n.Level, n.Index)
+		p.quarantineDamaged(st, n.Level, n.Index)
 		return n
 	}
 	geo := &p.c.Layout().Geo
@@ -65,7 +74,7 @@ func (p *Policy) healNode(st *recoveryState, n *sit.Node) *sit.Node {
 		if st.quarRoots[nodeKey{n.Level - 1, childIdx}] {
 			// The child could not be healed either; the regenerated
 			// counter would be garbage.
-			p.quarantineSubtree(st, n.Level, n.Index)
+			p.quarantineDamaged(st, n.Level, n.Index)
 			return n
 		}
 		healed.SetCounter(i, child.FValue())
@@ -74,13 +83,28 @@ func (p *Policy) healNode(st *recoveryState, n *sit.Node) *sit.Node {
 		// The node was dirty in the crash-time cache: children may have
 		// been flushed after this image was persisted, so the regenerated
 		// counters describe the cache image, not the lost stale snapshot.
-		// The LInc delta for this level can no longer be validated exactly.
-		st.relaxLInc(n.Level)
+		// When the parent side still names the lost image's exact FValue,
+		// the LInc delta stays exactly accountable (healedBase) and the
+		// equality needs no excuse. Otherwise arbitrate: a recorded media
+		// fault on the node's line excuses this level's equality; a damaged
+		// line NO media fault explains is attack-shaped, and the subtree
+		// quarantines instead of laundering the unknowable delta through a
+		// forgiven LInc.
+		if base, ok := p.exactStaleBase(st, n.Level, n.Index); ok {
+			st.healedBase[key] = base
+		} else {
+			ev := p.nodeEvidence(n.Level, n.Index)
+			if !ev.Persistent() {
+				p.quarantineSubtree(st, n.Level, n.Index, memctrl.CauseAmbiguous, ev.String())
+				return n
+			}
+			st.excuseLInc(n.Level)
+		}
 	} else if pc, ok := p.trustedCounterNoHeal(st, n.Level, n.Index); ok && pc != 0 {
 		// Chain consistency: an untracked clean node's parent slot holds
 		// f(node at its last persist) = f(current persisted children).
 		if pc != healed.FValue() {
-			p.quarantineSubtree(st, n.Level, n.Index)
+			p.quarantineDamaged(st, n.Level, n.Index)
 			return n
 		}
 	}
@@ -93,6 +117,162 @@ func (p *Policy) healNode(st *recoveryState, n *sit.Node) *sit.Node {
 	st.healedSet[key] = true
 	st.verified[key] = true
 	return healed
+}
+
+// rebuildLeaf attempts the data-driven heal of a damaged leaf node line.
+// Leaf counters are not derivable from other nodes, but every covered data
+// block authenticates only under its exact write counter, so intact data
+// pins the crash-time leaf image: each slot's counter is recovered by a
+// hint-anchored search bounded by the level's total unflushed increment.
+// The lost stale image's FValue survives on the trusted parent side
+// (exactStaleBase), which keeps the leaf's LInc delta exactly accountable —
+// the heal needs no equality excuse, so a concurrent data replay elsewhere
+// on the level still surfaces as an unexcused shortfall. The rebuild itself
+// arbitrates: authenticated data whose FValue regressed below the trusted
+// stale base (or diverged from it on a clean leaf) is definitive replay
+// evidence and quarantines replay-shaped. Returns nil when the heal is not
+// possible (no media evidence, no exact base, damaged data) — the caller
+// falls back to the quarantine path.
+func (p *Policy) rebuildLeaf(st *recoveryState, n *sit.Node) *sit.Node {
+	geo := &p.c.Layout().Geo
+	ev := p.nodeEvidence(0, n.Index)
+	if !ev.Persistent() {
+		// Evidence-free damage earns no reconstruction: healing state an
+		// attacker shaped would launder the tamper into a clean tree.
+		return nil
+	}
+	base, ok := p.exactStaleBase(st, 0, n.Index)
+	if !ok {
+		return nil
+	}
+	rebuilt := &sit.Node{Level: 0, Index: n.Index, IsSplit: geo.SplitLeaf}
+	if geo.SplitLeaf {
+		if !p.rebuildSplitLeafCounters(st, rebuilt) {
+			return nil
+		}
+	} else if !p.rebuildLeafCounters(st, rebuilt, base) {
+		return nil
+	}
+	f := rebuilt.FValue()
+	dirty := st.dirty[0][n.Index]
+	if f < base || (!dirty && f != base) {
+		// The data authenticates, yet its counters sit below the FValue the
+		// parent side vouches the leaf reached at its last flush (or, for a
+		// clean leaf, disagree with it): authentic-stale state was put back
+		// after newer state existed. That is replay, not media loss.
+		p.quarantineSubtree(st, 0, n.Index, memctrl.CauseReplayShaped,
+			fmt.Sprintf("rebuilt leaf FValue %d vs trusted stale %d (line: %s)", f, base, ev.String()))
+		return nil
+	}
+	key := nodeKey{0, n.Index}
+	if dirty {
+		st.healedBase[key] = base
+	}
+	st.report.MACOps++
+	rebuilt.SetHMAC(p.c.NodeMAC(rebuilt, f))
+	st.report.NVMWrites++
+	p.c.Device().Poke(geo.NodeAddr(0, n.Index), nvmem.Line(rebuilt.Encode()))
+	st.report.Degradation.Healed = append(st.report.Degradation.Healed,
+		memctrl.NodeRef{Level: 0, Index: n.Index})
+	st.healedSet[key] = true
+	st.verified[key] = true
+	return rebuilt
+}
+
+// rebuildLeafCounters recovers a general leaf's slot counters from its
+// covered data blocks with no stale floor: candidates congruent to the tag
+// hint are checked in increasing order up to base + LInc[0] (a slot counter
+// never exceeds the leaf's crash FValue, itself at most the stale base plus
+// the level's total unflushed increment).
+func (p *Policy) rebuildLeafCounters(st *recoveryState, node *sit.Node, base uint64) bool {
+	geo := &p.c.Layout().Geo
+	eng := p.c.Engine()
+	bound := base + p.linc[0] + cme.GCHintMask
+	for i := 0; i < int(geo.LeafCover); i++ {
+		daddr := geo.DataAddr(node.Index, i)
+		st.report.NVMReads++
+		ct := [64]byte(p.c.Device().Peek(daddr))
+		tag := p.c.Tag(daddr)
+		if !tag.Written {
+			continue // never written: the counter never advanced from zero
+		}
+		found := false
+		for cand := tag.Hint; cand <= bound; cand += cme.GCHintMask + 1 {
+			st.report.MACOps++
+			if eng.Verify(&ct, daddr, cand, tag) {
+				node.SetCounter(i, cand)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildSplitLeafCounters recovers a split leaf's (major, minor) counters
+// from its covered data blocks: all written blocks must agree on one major
+// (carried in full by every tag hint), minors come from the per-block
+// search. No stale floor is needed — the major is explicit and the minor
+// space is exhaustively small.
+func (p *Policy) rebuildSplitLeafCounters(st *recoveryState, node *sit.Node) bool {
+	geo := &p.c.Layout().Geo
+	eng := p.c.Engine()
+	haveWritten := false
+	var major uint64
+	for i := 0; i < counter.SplitArity; i++ {
+		daddr := geo.DataAddr(node.Index, i)
+		st.report.NVMReads++
+		ct := [64]byte(p.c.Device().Peek(daddr))
+		tag := p.c.Tag(daddr)
+		if !tag.Written {
+			continue
+		}
+		if h := tag.Hint >> 6; !haveWritten {
+			major, haveWritten = h, true
+		} else if h != major {
+			return false
+		}
+		m, minor, macOps, ok := eng.RecoverCounterSC(&ct, daddr, tag, 0)
+		st.report.MACOps += macOps
+		if !ok || m != major {
+			return false
+		}
+		node.Split.Minor[i] = minor
+	}
+	node.Split.Major = major
+	return true
+}
+
+// exactStaleBase returns the FValue the parent side vouches for (level,
+// index)'s persisted stale image, but only from sources that name it
+// EXACTLY: a pending NV-buffer flush entry (the buffered counter IS the
+// FValue of the image that flush persisted), the on-chip root, or a CLEAN
+// self-consistent parent's slot. A dirty parent's persisted slot may lag
+// the child's last flush (the update lived only in the lost cache), and an
+// under-estimated base would inflate the delta into a false replay verdict
+// — so dirty parents yield no base and the caller falls back to the
+// excuse-or-quarantine arbitration.
+func (p *Policy) exactStaleBase(st *recoveryState, level int, index uint64) (uint64, bool) {
+	geo := &p.c.Layout().Geo
+	if ov, ok := p.ParentCounterOverride(level, index); ok {
+		return ov, true
+	}
+	if geo.IsTop(level) {
+		return p.c.Root().Counter(index), true
+	}
+	pl, pi, slot := geo.Parent(level, index)
+	if st.dirty[pl][pi] {
+		return 0, false
+	}
+	st.report.NVMReads++
+	parent := p.c.StaleNode(pl, pi)
+	if !p.selfConsistent(st, parent) {
+		return 0, false
+	}
+	return parent.Counter(slot), true
 }
 
 // trustedCounterNoHeal fetches the parent-side counter for (level, index)
@@ -127,17 +307,88 @@ func (p *Policy) trustedCounterNoHeal(st *recoveryState, level int, index uint64
 
 // quarantineSubtree gives up on the subtree rooted at (level, index): every
 // covered data leaf is quarantined on the controller (accesses return a
-// MediaFault), the report records the root and the data-loss bound, and the
-// LInc equality for the affected levels is relaxed (the skipped nodes'
-// increments are unknowable).
-func (p *Policy) quarantineSubtree(st *recoveryState, level int, index uint64) {
+// typed QuarantineError), and the report records the root, the arbitration
+// verdict and the data-loss bound. The LInc treatment of the affected
+// levels depends on the verdict: media-explained damage excuses the
+// equality (the hidden increments are genuine loss), while replay-shaped or
+// ambiguous damage merely marks the level arbitrated — the quarantine
+// itself is the detection.
+func (p *Policy) quarantineSubtree(st *recoveryState, level int, index uint64, cause memctrl.QuarantineCause, evidence string) {
+	p.quarantineCore(st, level, index, cause, evidence)
+	// The subtree's increments go unaccounted: its own delta is dropped and
+	// its dirty descendants are skipped, so every level from the root's own
+	// down to the leaves stops being exactly checkable.
+	if cause.MediaExplained() {
+		st.excuseThrough(level)
+	} else {
+		st.arbThrough(level)
+	}
+}
+
+// quarantineAccounted fences a subtree whose DATA is lost to a recorded
+// media fault but whose increment contribution was reconstructed exactly:
+// the levels stay exactly checkable, so no equality is excused — which is
+// precisely what keeps a concurrent replay elsewhere detectable.
+func (p *Policy) quarantineAccounted(st *recoveryState, level int, index uint64, cause memctrl.QuarantineCause, evidence string) {
+	p.quarantineCore(st, level, index, cause, evidence)
+}
+
+// quarantineCore applies the controller-side fence and records the verdict
+// once per subtree root; the excuse/arbitration marks are the caller's.
+func (p *Policy) quarantineCore(st *recoveryState, level int, index uint64, cause memctrl.QuarantineCause, evidence string) {
 	key := nodeKey{level, index}
 	if st.quarRoots[key] {
 		return
 	}
 	st.quarRoots[key] = true
-	p.c.QuarantineSubtree(level, index, &st.report.Degradation)
-	st.relaxLInc(level)
+	p.c.QuarantineSubtree(level, index, cause, evidence, &st.report.Degradation)
+}
+
+// quarantineDamaged quarantines a node whose persisted image is damaged
+// beyond healing, with the cause arbitrated from the node's own line
+// evidence: a recorded persistent media fault explains the damage (degraded
+// loss); a damaged line nothing explains is ambiguous and quarantines as
+// attack-shaped.
+func (p *Policy) quarantineDamaged(st *recoveryState, level int, index uint64) {
+	ev := p.nodeEvidence(level, index)
+	cause, ok := memctrl.MediaCause(ev)
+	if !ok {
+		cause = memctrl.CauseAmbiguous
+	}
+	p.quarantineSubtree(st, level, index, cause, ev.String())
+}
+
+// nodeEvidence gathers the recorded media evidence for a node's own line.
+func (p *Policy) nodeEvidence(level int, index uint64) memctrl.EvidenceSummary {
+	return p.c.EvidenceAt(p.c.Layout().Geo.NodeAddr(level, index))
+}
+
+// arbitrateFailure attributes a recovery failure at (level, index) against
+// recorded media evidence via the controller's shared arbitration: the
+// node's own line first, then the failing data line when the error names
+// one; unexplained damage is replay-shaped or ambiguous.
+func (p *Policy) arbitrateFailure(level int, index uint64, err error) (memctrl.QuarantineCause, string) {
+	return p.c.ArbitrateFailure(level, index, err)
+}
+
+// quarantineReplayShaped handles a quiet LInc regression: every tracked
+// node at the level recovered cleanly, yet the level increment disagrees
+// with the crash-time LInc and no recorded media fault supports hidden
+// damage. The regression is replay-shaped; the level's suspect dirty nodes
+// (those not already fenced) are quarantined and dropped from
+// reinstatement. Returns false when no suspect was left to pin it on.
+func (p *Policy) quarantineReplayShaped(st *recoveryState, k int) bool {
+	any := false
+	for _, idx := range sortedKeys(st.dirty[k]) {
+		if p.underQuarantine(st, k, idx) {
+			continue
+		}
+		ev := p.nodeEvidence(k, idx)
+		p.quarantineSubtree(st, k, idx, memctrl.CauseReplayShaped, ev.String())
+		delete(st.recovered[k], idx)
+		any = true
+	}
+	return any
 }
 
 // underQuarantine reports whether the node or any ancestor is a quarantined

@@ -3,6 +3,7 @@ package steins
 import (
 	"fmt"
 
+	"steins/internal/cme"
 	"steins/internal/counter"
 	"steins/internal/memctrl"
 	"steins/internal/nvmem"
@@ -24,20 +25,56 @@ type recoveryState struct {
 	rollback  map[nodeKey][]int      // parent slots with pending buffered flushes
 	stales    map[nodeKey]*sit.Node  // memoised stale reads
 	verified  map[nodeKey]bool       // stale nodes already chain-verified
+	incs      map[nodeKey]int64      // each recovered node's increment over its base
+	bufInc    []int64                // per level: pending buffered-increment chain
 
 	// Degraded-mode bookkeeping (heal.go); inert when degraded is false.
-	degraded   bool
-	healedSet  map[nodeKey]bool // nodes rebuilt in place from their children
-	quarRoots  map[nodeKey]bool // quarantined subtree roots
-	relaxLevel int              // LInc equality relaxed for levels <= this
+	degraded  bool
+	healedSet map[nodeKey]bool // nodes rebuilt in place from their children
+	quarRoots map[nodeKey]bool // quarantined subtree roots
+	// healedBase carries the trusted stale FValue of a node healed in place:
+	// the heal regenerates the node from children or data, losing the
+	// persisted pre-damage image, but the parent side still names its exact
+	// FValue, so the node's LInc delta stays exactly accountable.
+	healedBase map[nodeKey]uint64
+	// The LInc equality at a level can stop being exactly checkable for two
+	// very different reasons, and the evidence arbitration keeps them apart.
+	// excused marks levels where recorded MEDIA evidence (torn lines, stuck
+	// cells, uncorrectable/escalated ECC) explains hidden increments — the
+	// damage heals or quarantines as degraded loss. arbed marks levels where
+	// a REPLAY-SHAPED or ambiguous quarantine was already applied — the
+	// verdict stands and its fence is the detection. Both are per-level
+	// EXACT sets, not high-water bands: a quarantined subtree disturbs its
+	// own level and every level below (its dirty descendants are skipped),
+	// but an in-place heal disturbs only the healed node's own level — a
+	// band would let a level-2 heal launder a leaf-level data replay. A
+	// shortfall at a level in neither set is a quiet regression no media
+	// fault supports: replay-shaped, and the suspect dirty nodes of that
+	// level are quarantined instead of forgiven.
+	excused map[int]bool
+	arbed   map[int]bool
 }
 
-// relaxLInc widens the band of levels whose LInc equality cannot be checked
-// exactly: a quarantined subtree (or a healed dirty base) hides increments
-// from every level at and below its root.
-func (st *recoveryState) relaxLInc(level int) {
-	if level > st.relaxLevel {
-		st.relaxLevel = level
+// excuseLInc excuses exactly one level's LInc equality on recorded media
+// evidence (an in-place heal whose pre-damage base is unknowable).
+func (st *recoveryState) excuseLInc(level int) {
+	st.excused[level] = true
+}
+
+// excuseThrough excuses every level from 0 through level: a media-explained
+// quarantined subtree hides increments at its root's level and at every
+// descendant level (its dirty descendants are skipped entirely).
+func (st *recoveryState) excuseThrough(level int) {
+	for k := 0; k <= level; k++ {
+		st.excused[k] = true
+	}
+}
+
+// arbThrough marks every level from 0 through level as already arbitrated:
+// a replay-shaped/ambiguous quarantine verdict stands over the subtree.
+func (st *recoveryState) arbThrough(level int) {
+	for k := 0; k <= level; k++ {
+		st.arbed[k] = true
 	}
 }
 
@@ -72,10 +109,14 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 		rollback:   make(map[nodeKey][]int),
 		stales:     make(map[nodeKey]*sit.Node),
 		verified:   make(map[nodeKey]bool),
+		incs:       make(map[nodeKey]int64),
+		bufInc:     make([]int64, geo.Levels),
 		degraded:   p.c.Config().DegradedRecovery,
 		healedSet:  make(map[nodeKey]bool),
 		quarRoots:  make(map[nodeKey]bool),
-		relaxLevel: -1,
+		healedBase: make(map[nodeKey]uint64),
+		excused:    make(map[int]bool),
+		arbed:      make(map[int]bool),
 	}
 	for k := range st.dirty {
 		st.dirty[k] = make(map[uint64]bool)
@@ -107,13 +148,16 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 			if err != nil {
 				if st.degraded {
 					// The node (or a child it regenerates from) is beyond
-					// repair; give up on its coverage and keep going.
-					p.quarantineSubtree(st, k, idx)
+					// repair; arbitrate the failure against recorded media
+					// evidence, give up on its coverage and keep going.
+					cause, evStr := p.arbitrateFailure(k, idx, err)
+					p.quarantineSubtree(st, k, idx, cause, evStr)
 					continue
 				}
 				return st.report, err
 			}
 			st.recovered[k][idx] = node
+			st.incs[nodeKey{k, idx}] = inc
 			calc += inc
 			p.c.FaultEvent(memctrl.EvRecoveryStep, geo.NodeAddr(k, idx))
 		}
@@ -122,19 +166,47 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 		// successive flushes of one child each contribute their increment
 		// over the previous entry (chained per parent slot, in buffer
 		// order, from the stale base the crash-time cache agreed with).
-		calc += p.bufferedIncrements(st, k, bufByParent)
+		st.bufInc[k] = p.bufferedIncrements(st, k, bufByParent)
+		calc += st.bufInc[k]
 		// Steps ③-④/⑨-⑩: replay detection. With no dirty nodes and no
 		// pending flushes the level increment must be exactly zero (§III-G).
-		// A level inside the degraded-relax band hides increments behind
-		// quarantined subtrees and cannot be checked exactly.
-		if calc != int64(p.linc[k]) && !(st.degraded && k <= st.relaxLevel) {
-			return st.report, memctrl.ReplayAt("SIT level", k, 0,
-				fmt.Sprintf("increment %d != LInc %d", calc, int64(p.linc[k])))
+		// In degraded mode a mismatch is arbitrated against the recorded
+		// media evidence rather than blanket-forgiven: media-excused levels
+		// heal as before, already-arbitrated levels keep their quarantine
+		// verdict, and a quiet regression no evidence supports is
+		// replay-shaped — the level's suspect dirty nodes are quarantined.
+		if calc != int64(p.linc[k]) {
+			if !st.degraded {
+				return st.report, memctrl.ReplayAt("SIT level", k, 0,
+					fmt.Sprintf("increment %d != LInc %d", calc, int64(p.linc[k])))
+			}
+			switch {
+			case st.excused[k]:
+				// Recorded media faults disturbing this level explain the
+				// hidden increments; the shortfall is degraded loss.
+			case st.arbed[k]:
+				// A replay-shaped/ambiguous quarantine already fenced damage
+				// disturbing this level, so the residual mismatch cannot be
+				// attributed — but a standing verdict elsewhere does not
+				// contain a possible regression in the nodes that recovered
+				// "cleanly". Ambiguity quarantines: fence the level's
+				// remaining suspects too rather than reinstate one that may
+				// serve authentic-stale data.
+				p.quarantineReplayShaped(st, k)
+			default:
+				if !p.quarantineReplayShaped(st, k) {
+					// Nothing left to pin the regression on: fail the
+					// recovery rather than forgive an unattributable replay.
+					return st.report, memctrl.ReplayAt("SIT level", k, 0,
+						fmt.Sprintf("increment %d != LInc %d (no media evidence)", calc, int64(p.linc[k])))
+				}
+			}
 		}
 	}
 
 	if st.degraded {
 		p.scrub(st)
+		p.rebaseLInc(st)
 	}
 	p.reinstate(st)
 
@@ -143,6 +215,28 @@ func (p *Policy) Recover() (memctrl.RecoveryReport, error) {
 		float64(st.report.NVMWrites)*cfg.RecoveryWriteNS +
 		float64(st.report.MACOps)*cfg.RecoveryHashNS
 	return st.report, nil
+}
+
+// rebaseLInc re-anchors the on-chip LInc registers to the state a degraded
+// pass actually reinstates: the increments of the nodes that recovered
+// (quarantined subtrees' deltas are gone) plus the pending buffered chain.
+// Without the rebase, every excused or arbitrated shortfall would sit in
+// the register forever, so the NEXT crash would re-detect the same — by
+// then fenced and arbitrated — damage as a fresh shortfall and fence
+// innocent suspects with it. The fence itself is durable on-chip state
+// that survives crashes, so rebasing sacrifices no detection: the verdict
+// has been rendered and recorded; the register's job is to detect NEW
+// regressions from the reinstated state onward. On a clean pass the
+// rebase recomputes exactly the current register values (the equalities
+// just held), so it is a no-op.
+func (p *Policy) rebaseLInc(st *recoveryState) {
+	for k := range p.linc {
+		sum := st.bufInc[k]
+		for idx := range st.recovered[k] {
+			sum += st.incs[nodeKey{k, idx}]
+		}
+		p.linc[k] = uint64(sum)
+	}
 }
 
 // bufferedIncrements sums, for child level k, each pending buffer entry's
@@ -300,7 +394,7 @@ func (p *Policy) recoverNode(st *recoveryState, level int, index uint64) (*sit.N
 	node := &sit.Node{Level: level, Index: index, IsSplit: geo.SplitLeaf && level == 0}
 	var err error
 	if level > 0 {
-		err = p.regenerateFromNodes(st, node)
+		err = p.regenerateFromNodes(st, node, stale)
 	} else if node.IsSplit {
 		err = p.regenerateSplitLeaf(st, node, stale)
 	} else {
@@ -313,13 +407,26 @@ func (p *Policy) recoverNode(st *recoveryState, level int, index uint64) (*sit.N
 		node.SetCounter(slot, stale.Counter(slot))
 	}
 	st.report.NodesRecovered++
-	return node, int64(node.FValue()) - int64(stale.FValue()), nil
+	// A node healed in place lost its persisted pre-damage image; its stale
+	// FValue survives on the trusted parent side (healedBase), keeping the
+	// delta — and with it the level's LInc equality — exactly accountable.
+	base := int64(stale.FValue())
+	if hb, ok := st.healedBase[nodeKey{level, index}]; ok {
+		base = int64(hb)
+	}
+	return node, int64(node.FValue()) - base, nil
 }
 
 // regenerateFromNodes rebuilds an intermediate node: counter i is the
 // generation function of persisted child i (§III-B), and each child's HMAC
-// is checked with the regenerated counter as input (Fig. 6).
-func (p *Policy) regenerateFromNodes(st *recoveryState, node *sit.Node) error {
+// is checked with the regenerated counter as input (Fig. 6). In degraded
+// mode a child whose subtree was condemned does not poison the parent:
+// the fence already contains whatever the child's image says, so the
+// parent keeps the slot value the crash-time cache agreed with (its own
+// stale slot — parent slots only move at child flushes, which the
+// condemned child has not had since). The parent's delta stays exact and
+// re-admission later reconciles the slot onto whatever base it adopts.
+func (p *Policy) regenerateFromNodes(st *recoveryState, node *sit.Node, stale *sit.Node) error {
 	geo := &p.c.Layout().Geo
 	for i := 0; i < counter.Arity; i++ {
 		childIdx := node.Index*counter.Arity + uint64(i)
@@ -327,6 +434,10 @@ func (p *Policy) regenerateFromNodes(st *recoveryState, node *sit.Node) error {
 			continue
 		}
 		child := p.staleOf(st, node.Level-1, childIdx)
+		if st.degraded && p.underQuarantine(st, node.Level-1, childIdx) {
+			node.SetCounter(i, stale.Counter(i))
+			continue
+		}
 		cand := child.FValue()
 		if !(cand == 0 && child.Encode() == (counter.Block{})) {
 			st.report.MACOps++
@@ -351,11 +462,54 @@ func (p *Policy) regenerateGeneralLeaf(st *recoveryState, node *sit.Node, stale 
 		ctr, macOps, ok := eng.RecoverCounterGC(&ct, daddr, p.c.Tag(daddr), stale.Counter(i))
 		st.report.MACOps += macOps
 		if !ok {
+			if st.degraded {
+				if c2, ok2 := p.reconstructTornSlot(st, node.Index, daddr, stale.Counter(i)); ok2 {
+					node.SetCounter(i, c2)
+					continue
+				}
+			}
 			return memctrl.TamperData(daddr, "during leaf recovery")
 		}
 		node.SetCounter(i, ctr)
 	}
 	return nil
+}
+
+// reconstructTornSlot handles a data block destroyed by a recorded media
+// fault (a torn crash write, stuck cells) under a recovering leaf. The data
+// is genuine loss — its coverage quarantines — but the slot's crash-time
+// counter is still exactly reconstructible for LInc accounting: the tag
+// region survived the tear, and the tag hint pins the counter uniquely
+// within the reachable window [stale, stale + LInc[0]] (counters only grow,
+// and a slot cannot have absorbed more than the level's whole unflushed
+// increment). Accounting the delta exactly means the quarantine needs NO
+// level excuse, so a concurrent data replay elsewhere on the level still
+// surfaces as an unexcused shortfall instead of laundering through the
+// media loss. Reconstruction declines (and the caller falls back to the
+// excuse path) when the damage has no media evidence, the hint names no
+// unique in-window counter, or the tag was never written.
+func (p *Policy) reconstructTornSlot(st *recoveryState, leaf uint64, daddr uint64, staleCtr uint64) (uint64, bool) {
+	ev := p.c.EvidenceAt(daddr)
+	cause, ok := memctrl.MediaCause(ev)
+	if !ok {
+		return 0, false
+	}
+	tag := p.c.Tag(daddr)
+	if !tag.Written {
+		return 0, false
+	}
+	cand := staleCtr&^uint64(cme.GCHintMask) | tag.Hint
+	if cand < staleCtr {
+		cand += cme.GCHintMask + 1
+	}
+	if cand > staleCtr+p.linc[0] {
+		return 0, false // the hint names no reachable counter
+	}
+	if cand+cme.GCHintMask+1 <= staleCtr+p.linc[0] {
+		return 0, false // window spans several congruent candidates: ambiguous
+	}
+	p.quarantineAccounted(st, 0, leaf, cause, ev.String())
+	return cand, true
 }
 
 // regenerateSplitLeaf rebuilds a split leaf from its 64 persisted data
@@ -381,9 +535,9 @@ func (p *Policy) regenerateSplitLeaf(st *recoveryState, node *sit.Node, stale *s
 		if !tag.Written {
 			continue // never written: minor stays zero
 		}
-		if !haveWritten {
-			major, haveWritten = tag.Hint, true
-		} else if tag.Hint != major {
+		if h := tag.Hint >> 6; !haveWritten {
+			major, haveWritten = h, true
+		} else if h != major {
 			return memctrl.ReplayAt("split leaf", 0, node.Index, "inconsistent major counters across data blocks")
 		}
 		written = append(written, i)

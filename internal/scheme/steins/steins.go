@@ -209,7 +209,7 @@ func (p *Policy) EvictDirty(victim *sit.Node) (uint64, error) {
 	if p.noBuf {
 		// Ablation variant: the parent fetch sits on the write critical
 		// path, exactly the cost §III-E removes.
-		pe, fc, err := p.c.FetchNode(pl, pi)
+		pe, fc, err := p.c.FetchNodeAdoptingCondemned(pl, pi)
 		cycles += fc
 		if err != nil {
 			return cycles, err
@@ -268,7 +268,11 @@ func (p *Policy) drain() (uint64, error) {
 	for len(p.buf) > 0 {
 		ent := p.buf[0]
 		pl, pi, slot := geo.Parent(ent.level, ent.index)
-		pe, fc, err := p.c.FetchNode(pl, pi)
+		// Re-admission flushes condemned leaves, handing the drain a
+		// parent that may itself be the quarantined subtree's damaged
+		// spine; the adopting fetch lets the update land and the spine
+		// reseal instead of failing every read behind the re-admission.
+		pe, fc, err := p.c.FetchNodeAdoptingCondemned(pl, pi)
 		cycles += fc
 		if err != nil {
 			return cycles, err
@@ -296,6 +300,50 @@ func (p *Policy) drain() (uint64, error) {
 		p.buf = append(p.buf[:idx], p.buf[idx+1:]...)
 	}
 	return cycles, nil
+}
+
+// ReconcileAdopted implements memctrl.AdoptReconciler: re-admission just
+// adopted a condemned, non-verifying leaf image as counter base. The
+// parent side still vouches the lost pre-damage FValue, so the adopted
+// base and the parent-side chain disagree by an amount no write will ever
+// close — left alone, the next recovery's conservation law breaks by
+// exactly that gap and mass-fences innocent leaves. Move the parent side
+// onto the adopted FValue through the normal update machinery: a cached
+// parent takes the counter directly (its own level absorbs the delta via
+// OnModify); an uncached one gets a buffered entry, with the child level's
+// LInc raised by the gap so the eventual drain's subtraction balances —
+// the discipline EvictDirty skips only because a flushed delta is already
+// in the register, which an adoption gap never was. The buffer is not
+// drained here even at capacity: a drain fetches (and verifies) parents,
+// and re-admission must stay error-free; the next read or eviction drains.
+func (p *Policy) ReconcileAdopted(e *cache.Entry[*sit.Node]) uint64 {
+	n := e.Payload
+	f := n.FValue()
+	k := n.Level
+	geo := &p.c.Layout().Geo
+	if geo.IsTop(k) {
+		p.c.Root().SetCounter(n.Index, f)
+		return 1
+	}
+	pl, pi, slot := geo.Parent(k, n.Index)
+	if pe, ok := p.c.Meta().Probe(geo.NodeAddr(pl, pi)); ok {
+		cycles := p.applyBuffered(k, n.Index, pe, slot)
+		delta := f - pe.Payload.Counter(slot)
+		if delta == 0 {
+			return cycles
+		}
+		return cycles + p.c.SetParentCounter(pe, slot, f, delta)
+	}
+	vouched, ok := p.ParentCounterOverride(k, n.Index)
+	if !ok {
+		vouched = p.c.StaleNode(pl, pi).Counter(slot)
+	}
+	if vouched == f {
+		return 0
+	}
+	p.buf = append(p.buf, bufEntry{level: k, index: n.Index, counter: f})
+	p.linc[k] += f - vouched
+	return 1
 }
 
 // BeforeRead implements memctrl.Policy: reads drain the buffer first, so

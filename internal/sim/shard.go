@@ -471,6 +471,12 @@ func RunShardedWithCrash(prof trace.Profile, s Scheme, opt Options, so ShardOpti
 			break
 		}
 		if _, rerr := e.ReadGlobal(op.Gap, op.Addr); rerr != nil {
+			// Quarantine fences are accounted degraded loss, not probe
+			// failures.
+			var qe *memctrl.QuarantineError
+			if errors.As(rerr, &qe) {
+				continue
+			}
 			return res, agg, fmt.Errorf("sim: post-recovery read failed: %w", rerr)
 		}
 	}

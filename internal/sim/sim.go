@@ -231,6 +231,13 @@ func RunWithCrash(prof trace.Profile, s Scheme, opt Options, forceAllDirty bool)
 			break
 		}
 		if _, rerr := c.ReadData(op.Gap, op.Addr); rerr != nil {
+			// A quarantine fence is degraded recovery's designed outcome
+			// (fail-fast containment, accounted in the report), not a
+			// probe failure.
+			var qe *memctrl.QuarantineError
+			if errors.As(rerr, &qe) {
+				continue
+			}
 			return res, rep, fmt.Errorf("sim: post-recovery read failed: %w", rerr)
 		}
 	}

@@ -1,11 +1,11 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench bench-json figs figs-full fuzz crashfuzz faultfuzz campaign check cover clean metrics-demo
+.PHONY: all build test bench bench-json figs figs-full fuzz crashfuzz faultfuzz campaign check serve-check cover clean metrics-demo
 
 # The canonical benchmark set persisted to BENCH_$(BENCH_REV).json; keep in
 # sync with the `canonical` list in cmd/benchjson.
-BENCH_REV ?= 2
-BENCH_PATTERN = HotWritePath|HotReadPath|MACBatchWindow|RunUnsharded|RunSchemes|RunSharded|SplitterEpoch|SnapshotSave|SnapshotLoad|GCSweepBuild|SCSweepBuild
+BENCH_REV ?= 3
+BENCH_PATTERN = HotWritePath|HotReadPath|MACBatchWindow|RunUnsharded|RunSchemes|RunSharded|SplitterEpoch|SnapshotSave|SnapshotLoad|GCSweepBuild|SCSweepBuild|ServePath
 
 all: build test
 
@@ -115,7 +115,17 @@ metrics-demo:
 # -shuffle=on so order-dependent tests cannot hide. The committed BENCH
 # document is re-verified so the persisted trajectory can never drift out
 # of sync with the canonical benchmark set.
-check: crashfuzz faultfuzz
+# Serving-layer gate: the linearization differential, crash-mid-serve
+# checkpoint/restart, admission property and daemon suites, plus the HTTP
+# conformance drive (all 12 schemes × 1/2/4 channels) and the concurrent
+# engine hammer — raced, shuffled, across -cpu 1,4,8 so the linearization
+# argument is exercised under every worker-pool width.
+serve-check:
+	go test -shuffle=on -race -cpu 1,4,8 ./internal/server ./cmd/securememd
+	go test -shuffle=on -race -cpu 1,4,8 \
+		-run 'HTTPConformance|ConcurrentHammer|ChannelsDataPlane|ChannelsValidation' ./securemem
+
+check: crashfuzz faultfuzz serve-check
 	go vet ./...
 	go test -shuffle=on -race -cpu 1,4 ./internal/crashfuzz ./internal/figures \
 		./internal/metrics ./internal/sim ./internal/multi \

@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"steins/internal/bmt"
@@ -25,9 +26,11 @@ import (
 	"steins/internal/rng"
 	"steins/internal/scheme/steins"
 	"steins/internal/scheme/wb"
+	"steins/internal/server"
 	"steins/internal/sim"
 	"steins/internal/snapshot"
 	"steins/internal/trace"
+	"steins/securemem"
 )
 
 // rngNew keeps the bench file decoupled from the rng package's name.
@@ -669,5 +672,49 @@ func BenchmarkAblationBMTSystem(b *testing.B) {
 		if i == b.N-1 {
 			b.ReportMetric(bmtLat/sitLat, "bmt_over_sit_wlat_x")
 		}
+	}
+}
+
+// BenchmarkServePath measures the serving layer end to end — admission,
+// write coalescing, placement-group routing and the engine epoch — with
+// concurrent clients hammering one tenant (2 PGs × 2 channels, Steins-SC)
+// through the same Pool.Do path the HTTP handlers use.
+func BenchmarkServePath(b *testing.B) {
+	const poolBytes = 256 << 10
+	p, err := server.NewPool(server.Config{Tenants: []server.TenantConfig{{
+		Name: "bench", Scheme: securemem.SteinsSC, PGs: 2, PoolBytes: poolBytes,
+		Channels: 2, MaxInFlight: 512, MaxQueuedOps: 8192, BatchOps: 64,
+	}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		spec := make([]server.OpSpec, 1)
+		for pb.Next() {
+			i := next.Add(1)
+			spec[0] = server.OpSpec{IsWrite: i%4 != 0, Addr: (i * 64) % poolBytes}
+			spec[0].Data[0] = byte(i)
+			for {
+				ops, aerr := p.Do("bench", spec)
+				if aerr == nil {
+					if ops[0].Err != nil {
+						b.Fatal(ops[0].Err)
+					}
+					break
+				}
+				if aerr.Status != 429 {
+					b.Fatal(aerr)
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	adm := p.Tenant("bench").Admission()
+	if adm.Batches > 0 {
+		b.ReportMetric(float64(adm.Accepted)/float64(adm.Batches), "ops_per_batch")
 	}
 }

@@ -72,6 +72,7 @@ var canonical = []string{
 	"BenchmarkSnapshotLoad",
 	"BenchmarkGCSweepBuild",
 	"BenchmarkSCSweepBuild",
+	"BenchmarkServePath",
 }
 
 func main() {

@@ -30,6 +30,7 @@ BenchmarkSnapshotSave-8          	     320	   3700000 ns/op	  250000 snapshot_by
 BenchmarkSnapshotLoad-8          	     430	   2770000 ns/op	  90.25 MB/s	 1200000 B/op	    2000 allocs/op
 BenchmarkGCSweepBuild-8          	       2	 900000000 ns/op
 BenchmarkSCSweepBuild-8          	       3	 700000000 ns/op
+BenchmarkServePath-8             	  250000	      4100 ns/op	        64.00 ops_per_batch	     700 B/op	      10 allocs/op
 PASS
 ok  	steins	42.000s
 `
@@ -42,8 +43,8 @@ func TestParseSample(t *testing.T) {
 	if doc.Goos != "linux" || doc.Pkg != "steins" || doc.CPU != "Example CPU @ 2.70GHz" {
 		t.Fatalf("header = %+v", doc)
 	}
-	if len(doc.Benchmarks) != 17 {
-		t.Fatalf("parsed %d benchmarks, want 17", len(doc.Benchmarks))
+	if len(doc.Benchmarks) != 18 {
+		t.Fatalf("parsed %d benchmarks, want 18", len(doc.Benchmarks))
 	}
 	byName := map[string]Benchmark{}
 	for _, b := range doc.Benchmarks {

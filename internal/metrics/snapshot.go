@@ -43,6 +43,9 @@ func (p *PathSnapshot) PhaseCycles(name string) uint64 {
 type Snapshot struct {
 	Scheme   string `json:"scheme"`
 	Workload string `json:"workload,omitempty"`
+	// Tenant labels the snapshot with the serving-layer tenant the
+	// controller belongs to; empty outside the multi-tenant server.
+	Tenant string `json:"tenant,omitempty"`
 	// Ops is the number of requests retired in the measured phase;
 	// ExecCycles the measured makespan they produced.
 	Ops        uint64       `json:"ops"`
@@ -101,7 +104,7 @@ func EncodeJSONAll(w io.Writer, snaps []*Snapshot) error {
 }
 
 // csvHeader is the flat column set shared by every CSV row kind.
-const csvHeader = "type,scheme,workload,path,phase,cycles,ops,op,cycle,meta_dirty_frac,track_fill,write_queue_depth,lincs"
+const csvHeader = "type,scheme,workload,path,phase,cycles,ops,op,cycle,meta_dirty_frac,track_fill,write_queue_depth,lincs,tenant"
 
 // WriteCSV writes the snapshot in a flat CSV form: one "summary" row per
 // path (ops + latency sum), one "phase" row per (path, bucket), and one
@@ -134,7 +137,7 @@ func (s *Snapshot) writeCSVRows(w io.Writer) error {
 		return err
 	}
 	if err := row("summary", s.Scheme, s.Workload, "", "exec",
-		fmt.Sprint(s.ExecCycles), fmt.Sprint(s.Ops), "", "", "", "", "", ""); err != nil {
+		fmt.Sprint(s.ExecCycles), fmt.Sprint(s.Ops), "", "", "", "", "", "", s.Tenant); err != nil {
 		return err
 	}
 	for _, p := range []struct {
@@ -142,12 +145,12 @@ func (s *Snapshot) writeCSVRows(w io.Writer) error {
 		path *PathSnapshot
 	}{{"read", &s.Read}, {"write", &s.Write}} {
 		if err := row("summary", s.Scheme, s.Workload, p.name, "latency_sum",
-			fmt.Sprint(p.path.LatSumCycles), fmt.Sprint(p.path.Ops), "", "", "", "", "", ""); err != nil {
+			fmt.Sprint(p.path.LatSumCycles), fmt.Sprint(p.path.Ops), "", "", "", "", "", "", s.Tenant); err != nil {
 			return err
 		}
 		for _, ph := range p.path.Phases {
 			if err := row("phase", s.Scheme, s.Workload, p.name, ph.Phase,
-				fmt.Sprint(ph.Cycles), "", "", "", "", "", "", ""); err != nil {
+				fmt.Sprint(ph.Cycles), "", "", "", "", "", "", "", s.Tenant); err != nil {
 				return err
 			}
 		}
@@ -160,7 +163,7 @@ func (s *Snapshot) writeCSVRows(w io.Writer) error {
 		if err := row("series", s.Scheme, s.Workload, "", "", "", "",
 			fmt.Sprint(sm.Op), fmt.Sprint(sm.Cycle), ff(sm.MetaDirtyFrac),
 			ff(sm.TrackFill), fmt.Sprint(sm.WriteQueueDepth),
-			strings.Join(lincs, "|")); err != nil {
+			strings.Join(lincs, "|"), s.Tenant); err != nil {
 			return err
 		}
 	}
@@ -209,6 +212,7 @@ func MergeSnapshots(per []Snapshot) *SystemSnapshot {
 	m := &sys.Merged
 	m.Scheme = per[0].Scheme
 	m.Workload = "system"
+	m.Tenant = per[0].Tenant
 	for i := range per {
 		s := &per[i]
 		m.Ops += s.Ops

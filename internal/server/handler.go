@@ -1,0 +1,242 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"steins/securemem"
+)
+
+// Handler returns the pool's HTTP surface:
+//
+//	PUT  /v1/tenants/{tenant}/blocks/{addr}   raw 64-byte body → write
+//	GET  /v1/tenants/{tenant}/blocks/{addr}   read → raw 64-byte body
+//	POST /v1/tenants/{tenant}/batch           JSON op list, applied as one request
+//	GET  /v1/tenants/{tenant}/stats           admission counters + per-PG engine stats
+//	GET  /v1/tenants/{tenant}/recovery        last restart-recovery report
+//	GET  /metrics                             per-tenant labeled metrics snapshots
+//	GET  /healthz                             200 serving / 503 draining
+//
+// Admission rejections map to 429 with a Retry-After header (in-flight or
+// queue bound) or 503 (draining); integrity violations on the served path
+// map to 409, other engine errors to 500.
+func (p *Pool) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/tenants/{tenant}/blocks/{addr}", p.handleBlockPut)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/blocks/{addr}", p.handleBlockGet)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/batch", p.handleBatch)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/stats", p.handleStats)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/recovery", p.handleRecovery)
+	mux.HandleFunc("GET /metrics", p.handleMetrics)
+	mux.HandleFunc("GET /healthz", p.handleHealthz)
+	return mux
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (p *Pool) writeError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(p.cfg.RetryAfterSeconds))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// parseAddr accepts decimal or 0x-prefixed block addresses.
+func parseAddr(s string) (uint64, error) {
+	return strconv.ParseUint(s, 0, 64)
+}
+
+// engineStatus maps a served-path engine error to its HTTP status:
+// integrity violations (tamper, replay, quarantined subtrees) are the
+// client-visible 409 class, everything else is a server fault.
+func engineStatus(err error) int {
+	if errors.Is(err, securemem.ErrTamper) || errors.Is(err, securemem.ErrReplay) {
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
+func (p *Pool) handleBlockPut(w http.ResponseWriter, r *http.Request) {
+	addr, err := parseAddr(r.PathValue("addr"))
+	if err != nil {
+		p.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad address: %v", err))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, securemem.BlockSize+1))
+	if err != nil {
+		p.writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	if len(body) != securemem.BlockSize {
+		p.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("body must be exactly %d bytes, got %d", securemem.BlockSize, len(body)))
+		return
+	}
+	var blk securemem.Block
+	copy(blk[:], body)
+	ops, aerr := p.Do(r.PathValue("tenant"), []OpSpec{{IsWrite: true, Addr: addr, Data: blk}})
+	if aerr != nil {
+		p.writeError(w, aerr.Status, aerr.Reason)
+		return
+	}
+	if ops[0].Err != nil {
+		p.writeError(w, engineStatus(ops[0].Err), ops[0].Err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (p *Pool) handleBlockGet(w http.ResponseWriter, r *http.Request) {
+	addr, err := parseAddr(r.PathValue("addr"))
+	if err != nil {
+		p.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad address: %v", err))
+		return
+	}
+	ops, aerr := p.Do(r.PathValue("tenant"), []OpSpec{{Addr: addr}})
+	if aerr != nil {
+		p.writeError(w, aerr.Status, aerr.Reason)
+		return
+	}
+	if ops[0].Err != nil {
+		p.writeError(w, engineStatus(ops[0].Err), ops[0].Err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(ops[0].Data[:])
+}
+
+// BatchOp is one operation in a POST /batch body; Data is base64 and
+// required for writes, absent for reads.
+type BatchOp struct {
+	Op   string `json:"op"` // "write" or "read"
+	Addr uint64 `json:"addr"`
+	Data string `json:"data,omitempty"`
+}
+
+// BatchResult is one operation's outcome; reads carry the block base64.
+type BatchResult struct {
+	OK    bool   `json:"ok"`
+	Data  string `json:"data,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+func (p *Pool) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Ops []BatchOp `json:"ops"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		p.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad batch body: %v", err))
+		return
+	}
+	specs := make([]OpSpec, len(body.Ops))
+	for i, bo := range body.Ops {
+		switch bo.Op {
+		case "write":
+			raw, err := base64.StdEncoding.DecodeString(bo.Data)
+			if err != nil || len(raw) != securemem.BlockSize {
+				p.writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("op %d: data must be base64 of exactly %d bytes", i, securemem.BlockSize))
+				return
+			}
+			specs[i].IsWrite = true
+			copy(specs[i].Data[:], raw)
+		case "read":
+			if bo.Data != "" {
+				p.writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: read carries data", i))
+				return
+			}
+		default:
+			p.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("op %d: unknown op %q (want write or read)", i, bo.Op))
+			return
+		}
+		specs[i].Addr = bo.Addr
+	}
+	ops, aerr := p.Do(r.PathValue("tenant"), specs)
+	if aerr != nil {
+		p.writeError(w, aerr.Status, aerr.Reason)
+		return
+	}
+	results := make([]BatchResult, len(ops))
+	for i := range ops {
+		if ops[i].Err != nil {
+			results[i].Error = ops[i].Err.Error()
+			continue
+		}
+		results[i].OK = true
+		if !ops[i].IsWrite {
+			results[i].Data = base64.StdEncoding.EncodeToString(ops[i].Data[:])
+		}
+	}
+	writeJSON(w, struct {
+		Results []BatchResult `json:"results"`
+	}{results})
+}
+
+// TenantStatus is the GET /stats payload.
+type TenantStatus struct {
+	Tenant    string            `json:"tenant"`
+	Scheme    string            `json:"scheme"`
+	PGs       int               `json:"pgs"`
+	Channels  int               `json:"channels"`
+	Admission AdmissionStats    `json:"admission"`
+	PGStats   []securemem.Stats `json:"pg_stats"`
+}
+
+func (p *Pool) handleStats(w http.ResponseWriter, r *http.Request) {
+	t := p.tenants[r.PathValue("tenant")]
+	if t == nil {
+		p.writeError(w, http.StatusNotFound, fmt.Sprintf("unknown tenant %q", r.PathValue("tenant")))
+		return
+	}
+	writeJSON(w, TenantStatus{
+		Tenant:    t.cfg.Name,
+		Scheme:    string(t.cfg.Scheme),
+		PGs:       t.cfg.PGs,
+		Channels:  t.cfg.Channels,
+		Admission: t.Admission(),
+		PGStats:   t.PGStats(),
+	})
+}
+
+func (p *Pool) handleRecovery(w http.ResponseWriter, r *http.Request) {
+	t := p.tenants[r.PathValue("tenant")]
+	if t == nil {
+		p.writeError(w, http.StatusNotFound, fmt.Sprintf("unknown tenant %q", r.PathValue("tenant")))
+		return
+	}
+	rec := t.Recovery()
+	if rec == nil {
+		p.writeError(w, http.StatusNotFound, "no recovery has run")
+		return
+	}
+	writeJSON(w, rec)
+}
+
+func (p *Pool) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, p.MetricsExport())
+}
+
+func (p *Pool) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if p.draining.Load() {
+		p.writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, "ok\n")
+}

@@ -53,6 +53,9 @@ const (
 	// case's scheme, seed and event schedule (internal/campaign owns the
 	// payload encoding).
 	KindRepro uint32 = 4
+	// KindServer is a serving-layer checkpoint: every tenant's placement
+	// groups and their channel controllers (see server.go).
+	KindServer uint32 = 5
 )
 
 // headerLen is the fixed envelope prefix: magic + version + kind + length

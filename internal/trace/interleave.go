@@ -56,6 +56,16 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// HashShard maps a data address to its shard under the hash interleave:
+// the owning shard of addr's 64 B line, for any consumer that routes by
+// the scattered mapping without the splitter's first-touch local
+// compaction (the serving layer's pool → placement-group routing keeps
+// hash-mode local addresses identical to global ones, so routing must be
+// a pure function of the address).
+func HashShard(addr uint64, shards int) int {
+	return int(mix64(addr/64) % uint64(shards))
+}
+
 // ShardedOp is one operation routed to a shard: the embedded Op carries the
 // shard-local address and shard-local inter-arrival gap, while GlobalAddr
 // and Index preserve the operation's identity in the source stream (payload

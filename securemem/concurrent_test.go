@@ -1,0 +1,180 @@
+package securemem_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"steins/securemem"
+)
+
+// The Memory's documented concurrency contract: every method serializes
+// on an internal mutex, so hammering one instance from 8 goroutines must
+// be race-free (pinned under -race in `make serve-check`) and every
+// goroutine's per-address write order must be observed by its own reads.
+// Each goroutine owns a disjoint address stripe, so its operations on a
+// given address are totally ordered regardless of the cross-goroutine
+// interleaving — the data plane must reflect exactly that order.
+func TestMemoryConcurrentHammer(t *testing.T) {
+	for _, channels := range []int{1, 2} {
+		t.Run(fmt.Sprintf("%dch", channels), func(t *testing.T) {
+			const (
+				goroutines = 8
+				opsPerG    = 300
+				dataBytes  = 256 << 10
+			)
+			m, err := securemem.New(securemem.Config{
+				DataBytes: dataBytes,
+				Scheme:    securemem.SteinsSC,
+				Channels:  channels,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Phase 1: 8 goroutines hammer one instance concurrently.
+			finals := make([]map[uint64]securemem.Block, goroutines)
+			var wg sync.WaitGroup
+			errs := make([]error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					last := map[uint64]securemem.Block{}
+					for i := 0; i < opsPerG; i++ {
+						// Stripe addresses by goroutine so each address has a
+						// single writer; wrap within the region.
+						addr := uint64((g+goroutines*(i%17))*securemem.BlockSize) % dataBytes
+						addr -= addr % securemem.BlockSize
+						if i%3 == 2 {
+							got, err := m.Read(addr)
+							if err != nil {
+								errs[g] = fmt.Errorf("read %#x: %w", addr, err)
+								return
+							}
+							if want, ok := last[addr]; ok && got != want {
+								errs[g] = fmt.Errorf("read %#x: lost own write", addr)
+								return
+							}
+							continue
+						}
+						var b securemem.Block
+						b[0], b[1], b[2] = byte(g), byte(i), byte(addr>>6)
+						if err := m.Write(addr, b); err != nil {
+							errs[g] = fmt.Errorf("write %#x: %w", addr, err)
+							return
+						}
+						last[addr] = b
+					}
+					finals[g] = last
+				}(g)
+			}
+			wg.Wait()
+			for g, err := range errs {
+				if err != nil {
+					t.Fatalf("goroutine %d: %v", g, err)
+				}
+			}
+
+			// Phase 2: quiesced — every goroutine's final values are visible.
+			verify := func(stage string) {
+				for g, last := range finals {
+					for addr, want := range last {
+						got, err := m.Read(addr)
+						if err != nil {
+							t.Fatalf("%s: goroutine %d addr %#x: %v", stage, g, addr, err)
+						}
+						if got != want {
+							t.Fatalf("%s: goroutine %d addr %#x: silent corruption", stage, g, addr)
+						}
+					}
+				}
+			}
+			verify("pre-crash")
+
+			// Phase 3: crash + recover (per channel, in parallel), re-verify.
+			m.Crash()
+			if _, err := m.Recover(); err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			verify("post-recovery")
+
+			if st := m.Stats(); st.Writes == 0 || st.Reads == 0 {
+				t.Fatalf("stats lost the concurrent traffic: %+v", st)
+			}
+		})
+	}
+}
+
+// Concurrent callers and channels must not change the single-threaded
+// data-plane contract: a Channels=2 instance driven sequentially returns
+// byte-identical readback to a single-controller instance over the same
+// operation sequence.
+func TestChannelsDataPlaneEquivalence(t *testing.T) {
+	const dataBytes = 128 << 10
+	mk := func(channels int) *securemem.Memory {
+		m, err := securemem.New(securemem.Config{
+			DataBytes: dataBytes, Scheme: securemem.SteinsGC, Channels: channels,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ref, two := mk(1), mk(2)
+	for i := 0; i < 500; i++ {
+		addr := uint64(i*7%2048) * securemem.BlockSize
+		var b securemem.Block
+		b[0], b[1] = byte(i), byte(i>>8)
+		if err := ref.Write(addr, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := two.Write(addr, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2048; i++ {
+		addr := uint64(i) * securemem.BlockSize
+		a, err := ref.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := two.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("addr %#x: 1ch and 2ch readback differ", addr)
+		}
+	}
+}
+
+// Config validation: channel counts that cannot tile the region are
+// rejected up front, and WB recovery still reports ErrNoRecovery through
+// the multi-channel path.
+func TestChannelsValidationAndWB(t *testing.T) {
+	if _, err := securemem.New(securemem.Config{
+		DataBytes: 64 * 3, Scheme: securemem.SteinsGC, Channels: 2,
+	}); err == nil {
+		t.Fatal("DataBytes not a multiple of Channels×64 accepted")
+	}
+	if _, err := securemem.New(securemem.Config{
+		DataBytes: 1 << 20, Scheme: securemem.SteinsGC, Channels: -1,
+	}); err == nil {
+		t.Fatal("negative Channels accepted")
+	}
+	m, err := securemem.New(securemem.Config{
+		DataBytes: 1 << 20, Scheme: securemem.WBSC, Channels: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0, securemem.Block{1}); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if _, err := m.Recover(); !errors.Is(err, securemem.ErrNoRecovery) {
+		t.Fatalf("WB over channels: Recover() = %v, want ErrNoRecovery", err)
+	}
+}

@@ -1,0 +1,204 @@
+package securemem_test
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"steins/internal/server"
+	"steins/internal/trace"
+	"steins/securemem"
+)
+
+// httpTenant drives one tenant through the serving layer's HTTP handler
+// in-process (httptest recorders, no network).
+type httpTenant struct {
+	t    *testing.T
+	h    http.Handler
+	name string
+}
+
+func (ht *httpTenant) batch(ops []server.BatchOp) []server.BatchResult {
+	ht.t.Helper()
+	body, err := json.Marshal(struct {
+		Ops []server.BatchOp `json:"ops"`
+	}{ops})
+	if err != nil {
+		ht.t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost,
+		fmt.Sprintf("/v1/tenants/%s/batch", ht.name), bytes.NewReader(body))
+	rr := httptest.NewRecorder()
+	ht.h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		ht.t.Fatalf("batch: status %d: %s", rr.Code, rr.Body.String())
+	}
+	var resp struct {
+		Results []server.BatchResult `json:"results"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		ht.t.Fatal(err)
+	}
+	if len(resp.Results) != len(ops) {
+		ht.t.Fatalf("batch returned %d results for %d ops", len(resp.Results), len(ops))
+	}
+	return resp.Results
+}
+
+func (ht *httpTenant) get(addr uint64) (securemem.Block, int) {
+	ht.t.Helper()
+	req := httptest.NewRequest(http.MethodGet,
+		fmt.Sprintf("/v1/tenants/%s/blocks/%d", ht.name, addr), nil)
+	rr := httptest.NewRecorder()
+	ht.h.ServeHTTP(rr, req)
+	var blk securemem.Block
+	copy(blk[:], rr.Body.Bytes())
+	return blk, rr.Code
+}
+
+// TestHTTPConformanceAllSchemes extends the public-API conformance drive
+// through the serving layer: for every scheme × 1/2/4 channels, the same
+// KV-mix trace is driven through the HTTP handler (two placement groups,
+// batched JSON requests) and through the library directly, asserting
+// byte-equal read results op by op, matching crash-recovery verdicts, and
+// byte-equal full readback after recovery.
+func TestHTTPConformanceAllSchemes(t *testing.T) {
+	const (
+		dataBytes = 32 << 10
+		ops       = 600
+		batchMax  = 8
+	)
+	prof, ok := trace.ByName("kv_a_zipf")
+	if !ok {
+		t.Fatal("kv_a_zipf not registered")
+	}
+	prof.FootprintBytes = dataBytes
+
+	for _, s := range securemem.Schemes() {
+		for _, channels := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/%dch", s, channels), func(t *testing.T) {
+				direct, err := securemem.New(securemem.Config{
+					DataBytes: dataBytes, Scheme: s, Channels: channels, MetaCacheBytes: 8 << 10,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pool, err := server.NewPool(server.Config{Tenants: []server.TenantConfig{{
+					Name: "t", Scheme: s, PGs: 2, PoolBytes: dataBytes, Channels: channels,
+					MetaCacheBytes: 8 << 10,
+				}}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer pool.Close()
+				ht := &httpTenant{t: t, h: pool.Handler(), name: "t"}
+
+				// Phase 1: identical trace through both paths, reads compared
+				// byte-for-byte. The HTTP side goes through /batch in windows
+				// so the coalescing path is what's under test.
+				g := trace.New(prof, 11, ops)
+				shadow := map[uint64]securemem.Block{}
+				var window []server.BatchOp
+				var directReads []securemem.Block
+				seq := uint64(0)
+				flush := func() {
+					if len(window) == 0 {
+						return
+					}
+					results := ht.batch(window)
+					r := 0
+					for i, op := range window {
+						if !results[i].OK {
+							t.Fatalf("op %d (%s %#x): %s", i, op.Op, op.Addr, results[i].Error)
+						}
+						if op.Op != "read" {
+							continue
+						}
+						raw, err := base64.StdEncoding.DecodeString(results[i].Data)
+						if err != nil || len(raw) != securemem.BlockSize {
+							t.Fatalf("read %#x returned malformed data: %v", op.Addr, err)
+						}
+						if !bytes.Equal(raw, directReads[r][:]) {
+							t.Fatalf("served read of %#x diverges from direct path", op.Addr)
+						}
+						r++
+					}
+					window = window[:0]
+					directReads = directReads[:0]
+				}
+				for {
+					op, ok := g.Next()
+					if !ok {
+						break
+					}
+					if op.IsWrite {
+						var b securemem.Block
+						b[0], b[1], b[2] = byte(seq), byte(seq>>8), byte(op.Addr>>6)
+						if err := direct.Write(op.Addr, b); err != nil {
+							t.Fatalf("direct write %#x: %v", op.Addr, err)
+						}
+						shadow[op.Addr] = b
+						seq++
+						window = append(window, server.BatchOp{Op: "write", Addr: op.Addr,
+							Data: base64.StdEncoding.EncodeToString(b[:])})
+					} else {
+						got, err := direct.Read(op.Addr)
+						if err != nil {
+							t.Fatalf("direct read %#x: %v", op.Addr, err)
+						}
+						directReads = append(directReads, got)
+						window = append(window, server.BatchOp{Op: "read", Addr: op.Addr})
+					}
+					if len(window) >= batchMax {
+						flush()
+					}
+				}
+				flush()
+
+				// Phase 2: crash + recover both paths; the verdicts must
+				// match (WB fails with ErrNoRecovery on both, everything
+				// else succeeds on both).
+				direct.Crash()
+				_, directErr := direct.Recover()
+				reps := pool.CrashRecoverAll()
+				if len(reps) != 1 {
+					t.Fatalf("got %d recovery reports", len(reps))
+				}
+				served := reps[0]
+				if (directErr == nil) != served.Recovered {
+					t.Fatalf("recovery verdicts diverge: direct err %v, served %+v", directErr, served)
+				}
+				if errors.Is(directErr, securemem.ErrNoRecovery) !=
+					errors.Is(served.RecoverErr, securemem.ErrNoRecovery) {
+					t.Fatalf("recovery error class diverges: direct %v, served %v",
+						directErr, served.RecoverErr)
+				}
+				if directErr != nil {
+					return // WB: nothing readable to compare
+				}
+
+				// Phase 3: full readback through both paths, byte-equal
+				// against each other and the shadow.
+				for addr, want := range shadow {
+					dgot, err := direct.Read(addr)
+					if err != nil {
+						t.Fatalf("direct post-recovery read %#x: %v", addr, err)
+					}
+					sgot, code := ht.get(addr)
+					if code != http.StatusOK {
+						t.Fatalf("served post-recovery read %#x: status %d", addr, code)
+					}
+					if dgot != want || sgot != want {
+						t.Fatalf("post-recovery divergence at %#x: direct %x…, served %x…, shadow %x…",
+							addr, dgot[:4], sgot[:4], want[:4])
+					}
+				}
+			})
+		}
+	}
+}

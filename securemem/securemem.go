@@ -24,13 +24,32 @@
 // The underlying simulator charges the paper's Table I cycle costs to
 // every operation, so Stats also reports the performance metrics the
 // paper's figures use (execution cycles, latencies, NVM traffic, energy).
+//
+// # Concurrency
+//
+// A Memory is safe for concurrent use: every method serializes on an
+// internal mutex, so concurrent callers observe some linearization of
+// their operations — each Write or Read takes effect atomically between
+// its invocation and return. The simulated clock advances in that
+// linearization order, so timing statistics depend on the interleaving,
+// but data-plane results (the bytes a Read returns) depend only on the
+// per-address order of linearized operations.
+//
+// The one exception is Controller/Controllers: they hand out the
+// underlying simulator objects, which are NOT internally locked. Callers
+// own the exclusion there — use them only while no other goroutine is
+// calling into the Memory (a quiesced instance), exactly like advanced
+// snapshot or attack-injection harnesses do.
 package securemem
 
 import (
 	"fmt"
+	"sync"
 
+	"steins/internal/cache"
 	"steins/internal/crypt"
 	"steins/internal/memctrl"
+	"steins/internal/multi"
 	"steins/internal/nvmem"
 	"steins/internal/scheme/asit"
 	"steins/internal/scheme/pipesit"
@@ -92,6 +111,11 @@ var (
 // the attacked location.
 type Violation = memctrl.Violation
 
+// DegradationReport details a degraded-mode recovery: healed and
+// quarantined subtrees, the arbitration verdict behind each quarantine,
+// and the bound on fenced data.
+type DegradationReport = memctrl.DegradationReport
+
 // Config configures a Memory. The zero value of every optional field
 // selects the paper's Table I parameter.
 type Config struct {
@@ -99,18 +123,61 @@ type Config struct {
 	DataBytes uint64
 	// Scheme selects the recovery scheme; required.
 	Scheme Scheme
-	// MetaCacheBytes sizes the controller's metadata cache (default 256 KiB).
+	// Channels interleaves the data region across this many independent
+	// channel controllers at 64-byte line granularity — the §IV-F
+	// multi-DIMM model, each channel a complete secure-memory system with
+	// its own integrity tree recovering in parallel. 0 or 1 selects a
+	// single controller (bit-identical to the pre-channel behaviour).
+	// DataBytes must be a multiple of Channels×64.
+	Channels int
+	// MetaCacheBytes sizes the controller's metadata cache (default
+	// 256 KiB); with channels, each channel controller gets this budget.
 	MetaCacheBytes int
 	// KeySeed derives the (deterministic) secret key; any value works.
 	KeySeed uint64
-	// Advanced exposes every low-level knob; applied last.
+	// Advanced exposes every low-level knob; applied last (with channels,
+	// to every channel controller's configuration).
 	Advanced func(*memctrl.Config)
 }
 
 // Memory is a secure NVM region with crash recovery.
 type Memory struct {
-	c      *memctrl.Controller
-	scheme Scheme
+	mu       sync.Mutex
+	c        *memctrl.Controller // single-channel engine (nil when sys != nil)
+	sys      *multi.System       // channel-interleaved engine (Channels > 1)
+	scheme   Scheme
+	channels int
+}
+
+// factoryFor maps a scheme name to its policy factory and counter mode.
+func factoryFor(s Scheme) (memctrl.PolicyFactory, bool, error) {
+	switch s {
+	case WBGC:
+		return wb.Factory, false, nil
+	case WBSC:
+		return wb.Factory, true, nil
+	case ASIT:
+		return asit.Factory, false, nil
+	case STAR:
+		return star.Factory, false, nil
+	case SteinsGC:
+		return steins.Factory, false, nil
+	case SteinsSC:
+		return steins.Factory, true, nil
+	case SCUEGC:
+		return scue.Factory, false, nil
+	case SCUESC:
+		return scue.Factory, true, nil
+	case PipeSITGC:
+		return pipesit.Factory, false, nil
+	case PipeSITSC:
+		return pipesit.Factory, true, nil
+	case TriadGC:
+		return triad.Factory, false, nil
+	case TriadSC:
+		return triad.Factory, true, nil
+	}
+	return nil, false, fmt.Errorf("securemem: unknown scheme %q", s)
 }
 
 // New builds a Memory.
@@ -118,37 +185,22 @@ func New(cfg Config) (*Memory, error) {
 	if cfg.DataBytes == 0 || cfg.DataBytes%BlockSize != 0 {
 		return nil, fmt.Errorf("securemem: DataBytes must be a positive multiple of %d", BlockSize)
 	}
-	var factory memctrl.PolicyFactory
-	split := false
-	switch cfg.Scheme {
-	case WBGC:
-		factory = wb.Factory
-	case WBSC:
-		factory, split = wb.Factory, true
-	case ASIT:
-		factory = asit.Factory
-	case STAR:
-		factory = star.Factory
-	case SteinsGC:
-		factory = steins.Factory
-	case SteinsSC:
-		factory, split = steins.Factory, true
-	case SCUEGC:
-		factory = scue.Factory
-	case SCUESC:
-		factory, split = scue.Factory, true
-	case PipeSITGC:
-		factory = pipesit.Factory
-	case PipeSITSC:
-		factory, split = pipesit.Factory, true
-	case TriadGC:
-		factory = triad.Factory
-	case TriadSC:
-		factory, split = triad.Factory, true
-	default:
-		return nil, fmt.Errorf("securemem: unknown scheme %q", cfg.Scheme)
+	if cfg.Channels < 0 {
+		return nil, fmt.Errorf("securemem: Channels must be non-negative, got %d", cfg.Channels)
 	}
-	mc := memctrl.DefaultConfig(cfg.DataBytes, split)
+	factory, split, err := factoryFor(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	channels := cfg.Channels
+	if channels == 0 {
+		channels = 1
+	}
+	if cfg.DataBytes%(uint64(channels)*BlockSize) != 0 {
+		return nil, fmt.Errorf("securemem: DataBytes %d must be a multiple of Channels×%d = %d",
+			cfg.DataBytes, BlockSize, uint64(channels)*BlockSize)
+	}
+	mc := memctrl.DefaultConfig(cfg.DataBytes/uint64(channels), split)
 	if cfg.MetaCacheBytes != 0 {
 		mc.MetaCacheBytes = cfg.MetaCacheBytes
 	}
@@ -158,40 +210,79 @@ func New(cfg Config) (*Memory, error) {
 	if cfg.Advanced != nil {
 		cfg.Advanced(&mc)
 	}
-	return &Memory{c: memctrl.New(mc, factory), scheme: cfg.Scheme}, nil
+	m := &Memory{scheme: cfg.Scheme, channels: channels}
+	if channels > 1 {
+		m.sys = multi.New(channels, mc, factory, BlockSize)
+	} else {
+		m.c = memctrl.New(mc, factory)
+	}
+	return m, nil
 }
 
 // Scheme returns the active recovery scheme.
 func (m *Memory) Scheme() Scheme { return m.scheme }
 
+// Channels returns the number of channel controllers (1 for a
+// single-controller Memory).
+func (m *Memory) Channels() int { return m.channels }
+
 // Write encrypts, authenticates and persists one block. addr must be
 // 64-byte aligned and inside the data region.
 func (m *Memory) Write(addr uint64, data Block) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sys != nil {
+		return m.sys.WriteData(1, addr, data)
+	}
 	return m.c.WriteData(1, addr, data)
 }
 
 // Read verifies and decrypts one block. Blocks never written read as
 // zero. A verification failure returns an error matching ErrTamper.
 func (m *Memory) Read(addr uint64) (Block, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sys != nil {
+		return m.sys.ReadData(1, addr)
+	}
 	return m.c.ReadData(1, addr)
 }
 
 // Crash models a power failure: all volatile controller state (cached
-// security metadata) is lost; NVM contents, ADR-flushed tracking state
-// and on-chip non-volatile registers survive.
-func (m *Memory) Crash() { m.c.Crash() }
+// security metadata) is lost on every channel; NVM contents, ADR-flushed
+// tracking state and on-chip non-volatile registers survive.
+func (m *Memory) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sys != nil {
+		m.sys.Crash()
+		return
+	}
+	m.c.Crash()
+}
 
-// Recover restores the security metadata lost in the last Crash. The
-// report quantifies the work; errors match ErrTamper/ErrReplay when the
-// persisted state fails verification, or ErrNoRecovery for WB.
+// Recover restores the security metadata lost in the last Crash; with
+// channels, every channel recovers concurrently and the report aggregates
+// them (work summed, time the parallel maximum). The report quantifies
+// the work; errors match ErrTamper/ErrReplay when the persisted state
+// fails verification, or ErrNoRecovery for WB.
 func (m *Memory) Recover() (RecoveryReport, error) {
-	rep, err := m.c.Recover()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var rep memctrl.RecoveryReport
+	var err error
+	if m.sys != nil {
+		rep, err = m.sys.Recover()
+	} else {
+		rep, err = m.c.Recover()
+	}
 	return RecoveryReport{
 		NodesRecovered: rep.NodesRecovered,
 		NVMReads:       rep.NVMReads,
 		NVMWrites:      rep.NVMWrites,
 		MACOps:         rep.MACOps,
 		SimulatedNS:    rep.TimeNS,
+		Degradation:    rep.Degradation,
 	}, err
 }
 
@@ -203,6 +294,9 @@ type RecoveryReport struct {
 	NVMWrites      uint64
 	MACOps         uint64
 	SimulatedNS    float64
+	// Degradation details degraded-mode outcomes (healed or quarantined
+	// subtrees); empty on a clean recovery.
+	Degradation DegradationReport
 }
 
 // Stats reports the simulated performance counters of the run so far.
@@ -219,35 +313,107 @@ type Stats struct {
 	MetaCacheHitRate float64
 }
 
-// Stats returns the current counters.
+// Stats returns the current counters; with channels, counters are summed,
+// the makespan is the parallel maximum, and latencies are recomputed from
+// the merged sums.
 func (m *Memory) Stats() Stats {
-	st := m.c.Stats()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ctrls := m.controllers()
+	var st memctrl.Stats
+	var cs cache.Stats
+	var nvm nvmem.Stats
+	var energy float64
+	var exec uint64
+	for _, c := range ctrls {
+		cst := c.Stats()
+		st.Merge(&cst)
+		cs.Merge(c.Meta().Stats())
+		dst := c.Device().Stats()
+		nvm.Merge(&dst)
+		energy += c.EnergyPJ()
+		exec = max(exec, c.ExecCycles())
+	}
 	return Stats{
 		Reads:            st.DataReads,
 		Writes:           st.DataWrites,
-		ExecCycles:       m.c.ExecCycles(),
+		ExecCycles:       exec,
 		AvgReadCycles:    st.AvgReadLatency(),
 		AvgWriteCycles:   st.AvgWriteLatency(),
 		P99ReadCycles:    st.ReadHist.Percentile(0.99),
 		P99WriteCycles:   st.WriteHist.Percentile(0.99),
-		NVMWriteBytes:    m.c.Device().Stats().WriteBytes(),
-		EnergyPJ:         m.c.EnergyPJ(),
-		MetaCacheHitRate: m.c.Meta().Stats().HitRate(),
+		NVMWriteBytes:    nvm.WriteBytes(),
+		EnergyPJ:         energy,
+		MetaCacheHitRate: cs.HitRate(),
 	}
+}
+
+// controllers returns the channel controllers without locking; internal
+// callers hold m.mu.
+func (m *Memory) controllers() []*memctrl.Controller {
+	if m.sys != nil {
+		return m.sys.Controllers()
+	}
+	return []*memctrl.Controller{m.c}
 }
 
 // Controller exposes the underlying simulator for advanced use (timing
 // experiments, attack injection through the device, custom policies).
-func (m *Memory) Controller() *memctrl.Controller { return m.c }
+// With channels it returns channel 0; see Controllers. The returned
+// controller is not internally locked — use it only on a quiesced Memory
+// (no concurrent calls in flight).
+func (m *Memory) Controller() *memctrl.Controller {
+	if m.sys != nil {
+		return m.sys.Controllers()[0]
+	}
+	return m.c
+}
+
+// Controllers returns every channel controller, in channel order (a
+// single-element slice for a single-controller Memory). Like Controller,
+// the result escapes the Memory's lock: callers own the exclusion and
+// must only touch the controllers while the Memory is quiesced —
+// snapshot capture/restore between batches, attack injection, recovery
+// orchestration.
+func (m *Memory) Controllers() []*memctrl.Controller {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.controllers()
+}
 
 // Describe returns a one-line summary of the configuration.
 func (m *Memory) Describe() string {
-	cfg := m.c.Config()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.controllers()[0]
+	cfg := c.Config()
+	if m.channels > 1 {
+		return fmt.Sprintf("%s over %d×%s data (%d channels), %s metadata cache/channel, tree height %d",
+			m.scheme, m.channels, stats.Bytes(cfg.DataBytes), m.channels,
+			stats.Bytes(uint64(cfg.MetaCacheBytes)),
+			c.Layout().Geo.HeightIncludingRoot())
+	}
 	return fmt.Sprintf("%s over %s data, %s metadata cache, tree height %d",
 		m.scheme, stats.Bytes(cfg.DataBytes),
 		stats.Bytes(uint64(cfg.MetaCacheBytes)),
-		m.c.Layout().Geo.HeightIncludingRoot())
+		c.Layout().Geo.HeightIncludingRoot())
 }
 
-// NVMWear summarises write-endurance consumption (§I's endurance concern).
-func (m *Memory) NVMWear() nvmem.Wear { return m.c.Device().WearStats() }
+// NVMWear summarises write-endurance consumption (§I's endurance
+// concern). With channels the sums fold across devices; MaxPerLine and
+// HotAddr describe the hottest line of any channel (HotAddr is that
+// channel's local address).
+func (m *Memory) NVMWear() nvmem.Wear {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var w nvmem.Wear
+	for _, c := range m.controllers() {
+		cw := c.Device().WearStats()
+		w.LinesWritten += cw.LinesWritten
+		w.TotalWrites += cw.TotalWrites
+		if cw.MaxPerLine > w.MaxPerLine {
+			w.MaxPerLine, w.HotAddr = cw.MaxPerLine, cw.HotAddr
+		}
+	}
+	return w
+}
